@@ -1,0 +1,31 @@
+//! # exflow-affinity
+//!
+//! Routing-trace capture and inter-layer expert-affinity estimation —
+//! the measurement half of ExFlow (IPDPS 2024, §IV-B).
+//!
+//! The paper defines *expert affinity* as the conditional probability that a
+//! token routed to expert `i` at layer `j` is routed to expert `p` at layer
+//! `j+1` (Eq. 1). This crate:
+//!
+//! * records token routing decisions into a [`RoutingTrace`]
+//!   (the simulated analogue of "tracing tokens from the Pile through a
+//!   pre-trained checkpoint");
+//! * estimates [`AffinityMatrix`] conditionals for consecutive layers
+//!   (Fig. 2) and arbitrary layer gaps (appendix Figs. 14–16);
+//! * computes the summary [`metrics`] the evaluation plots: scaled
+//!   affinity, top-k conditional mass, row entropy, and the
+//!   placement-transfer scores of Table III;
+//! * supports [`sampling`] studies — how many tokens are needed before the
+//!   estimate stabilizes (Fig. 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod matrix;
+pub mod metrics;
+pub mod sampling;
+pub mod trace;
+
+pub use matrix::AffinityMatrix;
+pub use trace::RoutingTrace;

@@ -1,0 +1,87 @@
+//! Property-based tests for affinity estimation.
+
+use exflow_affinity::{metrics, AffinityMatrix, RoutingTrace};
+use exflow_model::routing::AffinityModelSpec;
+use exflow_model::{CorpusSpec, TokenBatch};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = RoutingTrace> {
+    (2usize..16, 2usize..8, 1u64..500, 10usize..200).prop_map(|(e, l, seed, n)| {
+        let model = AffinityModelSpec::new(l, e).with_seed(seed).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), n, 1, seed);
+        RoutingTrace::from_batch(&batch, e)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimated_rows_are_distributions(trace in arb_trace()) {
+        for m in AffinityMatrix::consecutive(&trace) {
+            for i in 0..m.n_experts() {
+                let s: f64 = m.row(i).iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9);
+                prop_assert!(m.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_partition_tokens(trace in arb_trace()) {
+        for layer in 0..trace.n_layers() {
+            let h = trace.layer_histogram(layer);
+            prop_assert_eq!(h.iter().sum::<u64>(), trace.n_tokens() as u64);
+        }
+    }
+
+    #[test]
+    fn topk_mass_monotone_in_k(trace in arb_trace()) {
+        let m = AffinityMatrix::from_trace(&trace, 0, 1);
+        for i in 0..m.n_experts() {
+            let mut prev = 0.0;
+            for k in 1..=m.n_experts() {
+                let cur = m.topk_mass(i, k);
+                prop_assert!(cur + 1e-12 >= prev);
+                prev = cur;
+            }
+            prop_assert!((prev - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn affinity_score_in_unit_interval(trace in arb_trace(), k in 1usize..4) {
+        let m = AffinityMatrix::from_trace(&trace, 0, 1);
+        let s = metrics::affinity_score(&m, k);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn normalized_entropy_in_unit_interval(trace in arb_trace()) {
+        let m = AffinityMatrix::from_trace(&trace, 0, 1);
+        let h = metrics::normalized_entropy(&m);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&h));
+    }
+
+    #[test]
+    fn self_transfer_is_perfect(trace in arb_trace(), k in 1usize..4) {
+        let m = AffinityMatrix::from_trace(&trace, 0, 1);
+        prop_assert!((metrics::transfer_score(&m, &m, k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_affinity_scores_higher(seed in 0u64..200) {
+        let make = |kappa: f64| {
+            let model = AffinityModelSpec::new(2, 16)
+                .with_affinity(kappa)
+                .with_seed(seed)
+                .build();
+            let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 4000, 1, seed);
+            let trace = RoutingTrace::from_batch(&batch, 16);
+            AffinityMatrix::from_trace(&trace, 0, 1)
+        };
+        let weak = metrics::affinity_score(&make(0.2), 4);
+        let strong = metrics::affinity_score(&make(0.9), 4);
+        prop_assert!(strong > weak, "strong {} <= weak {}", strong, weak);
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation bench: placement-solver quality/latency trade-off on one
+//! profiled instance — times each solver individually.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::ablations;
+use exflow_bench::Scale;
+use exflow_placement::annealing::AnnealParams;
+use exflow_placement::{solve, SolverKind};
+
+fn bench(c: &mut Criterion) {
+    // One shared instance, timed per solver.
+    let rows = ablations::run_solvers(Scale::Quick);
+    assert!(rows.len() == 4);
+
+    let objective = {
+        use exflow_affinity::{AffinityMatrix, RoutingTrace};
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let spec = AffinityModelSpec::new(8, 16);
+        let routing = spec.build();
+        let batch = TokenBatch::sample(
+            &routing,
+            &CorpusSpec::pile_proxy(spec.n_domains),
+            2000,
+            1,
+            5,
+        );
+        let trace = RoutingTrace::from_batch(&batch, 16);
+        exflow_placement::Objective::from_affinities(&AffinityMatrix::consecutive(&trace))
+    };
+
+    let mut g = c.benchmark_group("solvers");
+    g.sample_size(10);
+    g.bench_function("greedy", |b| {
+        b.iter(|| solve(&objective, 4, SolverKind::Greedy, 0))
+    });
+    g.bench_function("local_search", |b| {
+        b.iter(|| solve(&objective, 4, SolverKind::LocalSearch { restarts: 1 }, 0))
+    });
+    g.bench_function("annealing", |b| {
+        b.iter(|| solve(&objective, 4, SolverKind::Annealing(AnnealParams::default()), 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

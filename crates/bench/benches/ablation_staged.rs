@@ -1,0 +1,21 @@
+//! Ablation bench: staged (node-then-GPU) vs flat placement solve, plus
+//! the affinity-strength sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::ablations;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("staged");
+    g.sample_size(10);
+    g.bench_function("staged_vs_flat", |b| {
+        b.iter(|| ablations::run_staged_vs_flat(Scale::Quick))
+    });
+    g.bench_function("affinity_sweep", |b| {
+        b.iter(|| ablations::run_affinity_sweep(Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

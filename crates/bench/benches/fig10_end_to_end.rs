@@ -1,0 +1,21 @@
+//! Fig. 10 bench: end-to-end engine throughput per mode — the headline
+//! comparison, timed as real work on the simulated cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::common::{engine_for, with_layers};
+use exflow_bench::Scale;
+use exflow_core::ParallelismMode;
+use exflow_model::presets::moe_gpt_m;
+
+fn bench(c: &mut Criterion) {
+    let engine = engine_for(with_layers(moe_gpt_m(16), 8), 8, Scale::Quick);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for mode in ParallelismMode::ALL {
+        g.bench_function(mode.label(), |b| b.iter(|| engine.run(mode)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 12 bench: time the training-affinity measurement (checkpoint
+//! simulation + trace + placement solve per iteration point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::fig12;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("training_affinity_early", |b| {
+        b.iter(|| fig12::run(Scale::Quick, true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 13 bench: time the sample-efficiency sweep (placement solves from
+//! truncated traces plus engine validation runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::fig13;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("sampling_sweep", |b| b.iter(|| fig13::run(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 6 bench: time the collective-overhead comparison (vanilla vs
+//! context-coherent engine runs over the simulated cluster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::fig6;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("collectives_overhead_sweep", |b| {
+        b.iter(|| {
+            let rows = fig6::run(Scale::Quick);
+            assert!(rows.iter().all(|r| r.cc_alltoall < 1.0));
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figs. 7/8 bench: time the GPU- and node-locality sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::{fig7, fig8};
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locality");
+    g.sample_size(10);
+    g.bench_function("fig7_gpu_locality", |b| {
+        b.iter(|| fig7::run(Scale::Quick))
+    });
+    g.bench_function("fig8_node_locality", |b| {
+        b.iter(|| fig8::run(Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

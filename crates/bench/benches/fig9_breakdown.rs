@@ -1,0 +1,17 @@
+//! Fig. 9 bench: time the operator-breakdown measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::fig9;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("operator_breakdown_sweep", |b| {
+        b.iter(|| fig9::run(Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

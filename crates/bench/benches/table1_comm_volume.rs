@@ -1,0 +1,22 @@
+//! Table I bench: time the communication-volume measurement pipeline
+//! (engine runs that produce the measured `p` / `p*` fractions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::table1;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("measure_comm_volume", |b| {
+        b.iter(|| {
+            let t = table1::run(Scale::Quick);
+            assert!(t.p_star < t.p);
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table III bench: time the out-of-distribution transfer measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exflow_bench::experiments::table3;
+use exflow_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("ood_transfer", |b| b.iter(|| table3::run(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

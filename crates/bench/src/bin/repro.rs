@@ -1,0 +1,74 @@
+//! `repro` — regenerate every table and figure of the ExFlow paper.
+//!
+//! ```text
+//! cargo run --release -p exflow-bench --bin repro -- all
+//! cargo run --release -p exflow-bench --bin repro -- fig10
+//! cargo run --release -p exflow-bench --bin repro -- --quick table1 fig7
+//! ```
+
+use exflow_bench::experiments::*;
+use exflow_bench::Scale;
+
+const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "table3", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "ablations",
+];
+
+fn print_usage() {
+    eprintln!("usage: repro [--quick] <artifact>... | all");
+    eprintln!("artifacts: {}", ARTIFACTS.join(", "));
+}
+
+fn run_one(name: &str, scale: Scale) -> bool {
+    println!("==============================================================");
+    match name {
+        "table1" => table1::print(scale),
+        "table2" => table2::print(scale),
+        "table3" => table3::print(scale),
+        "fig2" => fig2::print(scale),
+        "fig6" => fig6::print(scale),
+        "fig7" => fig7::print(scale),
+        "fig8" => fig8::print(scale),
+        "fig9" => fig9::print(scale),
+        "fig10" => fig10::print(scale),
+        "fig11" => fig11::print(scale),
+        "fig12" => fig12::print(scale),
+        "fig13" => fig13::print(scale),
+        "fig14" | "fig15" | "fig16" => fig2::print_gaps(scale),
+        "ablations" => ablations::print(scale),
+        other => {
+            eprintln!("unknown artifact: {other}");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut targets: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "-h" | "--help" => {
+                print_usage();
+                return;
+            }
+            "all" => targets.extend(ARTIFACTS.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut ok = true;
+    for t in targets {
+        ok &= run_one(&t, scale);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

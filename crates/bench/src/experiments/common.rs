@@ -1,0 +1,68 @@
+//! Shared workload construction for the experiment modules.
+
+use exflow_core::InferenceEngine;
+use exflow_model::ModelConfig;
+use exflow_topology::ClusterSpec;
+
+use crate::Scale;
+
+/// The cluster shape the paper evaluates on: 4 GPUs per node, so `gpus`
+/// GPUs means `gpus / 4` nodes (or a partial single node below 4).
+pub fn cluster_for(gpus: usize) -> ClusterSpec {
+    if gpus < 4 {
+        ClusterSpec::single_node(gpus).expect("gpus >= 1")
+    } else {
+        assert!(gpus % 4 == 0, "multi-node shapes must fill 4-GPU nodes");
+        ClusterSpec::wilkes3(gpus / 4).expect("nodes >= 1")
+    }
+}
+
+/// Build an engine for `model` on `gpus` GPUs with scale-appropriate
+/// workload sizes.
+pub fn engine_for(model: ModelConfig, gpus: usize, scale: Scale) -> InferenceEngine {
+    // Requests per GPU stay moderately large so the dispatch Alltoall is
+    // bandwidth- rather than straggler-dominated, matching the paper's
+    // batched serving scenario.
+    InferenceEngine::builder(model, cluster_for(gpus))
+        .requests_per_gpu(scale.pick(16, 48))
+        .prompt_len(scale.pick(8, 32))
+        .n_iterations(scale.pick(2, 6))
+        .profile_tokens(scale.pick(1200, 3000))
+        .placement_restarts(scale.pick(0, 1))
+        .seed(20_240_401)
+        .build()
+}
+
+/// A reduced-layer copy of a model config (keeps Quick runs fast while
+/// preserving the expert count that drives the experiments).
+pub fn with_layers(mut model: ModelConfig, n_layers: usize) -> ModelConfig {
+    model.n_layers = n_layers;
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exflow_model::presets::moe_gpt_m;
+
+    #[test]
+    fn cluster_shapes_follow_wilkes3() {
+        assert_eq!(cluster_for(2).n_nodes(), 1);
+        assert_eq!(cluster_for(4).n_nodes(), 1);
+        assert_eq!(cluster_for(16).n_nodes(), 4);
+        assert_eq!(cluster_for(16).gpus_per_node(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-GPU nodes")]
+    fn partial_nodes_rejected() {
+        let _ = cluster_for(6);
+    }
+
+    #[test]
+    fn engine_builds_for_quick_scale() {
+        let engine = engine_for(with_layers(moe_gpt_m(8), 4), 4, Scale::Quick);
+        assert_eq!(engine.config().cluster.world_size(), 4);
+        assert_eq!(engine.config().model.n_layers, 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 10 — end-to-end inference throughput of the seven Table II model
+//! variants across expert-parallel sizes, for the three systems
+//! (DeepSpeed, ExFlow without affinity, full ExFlow). Normalized to the
+//! DeepSpeed baseline per configuration, as the paper plots.
+
+use exflow_core::ParallelismMode;
+use exflow_model::presets::{
+    moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l, moe_gpt_xl_16e,
+};
+use exflow_model::ModelConfig;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{render_table, speedup};
+use crate::Scale;
+
+/// One (model, GPU count) group of normalized throughputs.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Expert-parallel GPU count.
+    pub gpus: usize,
+    /// DeepSpeed throughput, normalized to itself (= 1.0).
+    pub deepspeed: f64,
+    /// ExFlow without affinity, relative.
+    pub exflow_no_affinity: f64,
+    /// Full ExFlow, relative.
+    pub exflow_affinity: f64,
+}
+
+fn scenarios(scale: Scale) -> Vec<(ModelConfig, Vec<usize>)> {
+    let l = |m: ModelConfig, full: usize| with_layers(m, scale.pick(6, full));
+    match scale {
+        Scale::Quick => vec![
+            (l(moe_gpt_m(8), 24), vec![4, 8]),
+            (l(moe_gpt_m(16), 24), vec![8]),
+        ],
+        Scale::Full => vec![
+            (l(moe_gpt_m(8), 24), vec![4, 8]),
+            (l(moe_gpt_m(16), 24), vec![4, 8, 16]),
+            (l(moe_gpt_m(32), 24), vec![8, 16, 32]),
+            (l(moe_gpt_m(64), 24), vec![8, 16, 32, 64]),
+            (l(moe_gpt_m_32e_32l(), 32), vec![8, 16, 32]),
+            (l(moe_gpt_m_32e_40l(), 40), vec![8, 16, 32]),
+            (l(moe_gpt_xl_16e(), 24), vec![4, 8, 16]),
+        ],
+    }
+}
+
+/// Regenerate the throughput sweep.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (model, gpu_counts) in scenarios(scale) {
+        for gpus in gpu_counts {
+            let engine = engine_for(model.clone(), gpus, scale);
+            let ds = engine.run(ParallelismMode::Vanilla).throughput();
+            let cc = engine.run(ParallelismMode::ContextCoherent).throughput();
+            let aff = engine
+                .run(ParallelismMode::ContextCoherentAffinity)
+                .throughput();
+            rows.push(Row {
+                model: model.name.clone(),
+                gpus,
+                deepspeed: 1.0,
+                exflow_no_affinity: cc / ds,
+                exflow_affinity: aff / ds,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 10: end-to-end inference throughput (DeepSpeed = 1.0)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.gpus.to_string(),
+                speedup(r.deepspeed),
+                speedup(r.exflow_no_affinity),
+                speedup(r.exflow_affinity),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["model", "gpus", "deepspeed", "exflow-no-aff", "exflow-aff"],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exflow_beats_deepspeed_everywhere() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.exflow_affinity > 1.0,
+                "{} on {} GPUs: full ExFlow at {}",
+                r.model,
+                r.gpus,
+                r.exflow_affinity
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_adds_on_top_of_context_coherence() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.exflow_affinity >= r.exflow_no_affinity - 0.02,
+                "{} on {} GPUs: affinity {} below no-affinity {}",
+                r.model,
+                r.gpus,
+                r.exflow_affinity,
+                r.exflow_no_affinity
+            );
+        }
+    }
+
+    #[test]
+    fn multi_node_gains_exceed_intra_node_gains() {
+        // Paper: gains are small on 1 node (NVLink Alltoall is cheap) and
+        // large once inter-node links dominate.
+        let rows = run(Scale::Quick);
+        let single = rows.iter().find(|r| r.gpus == 4).unwrap();
+        let multi = rows.iter().find(|r| r.gpus == 8).unwrap();
+        assert!(
+            multi.exflow_affinity > single.exflow_affinity,
+            "multi-node {} should gain more than single-node {}",
+            multi.exflow_affinity,
+            single.exflow_affinity
+        );
+    }
+}

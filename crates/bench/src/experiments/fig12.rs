@@ -1,0 +1,151 @@
+//! Fig. 12 — scaled expert affinity across training: solve the placement
+//! objective on checkpoints simulated at increasing training iterations
+//! and plot the achievable locality, normalized per model (the paper's
+//! "scaled expert affinity").
+
+use exflow_affinity::{AffinityMatrix, RoutingTrace};
+use exflow_model::routing::AffinityModelSpec;
+use exflow_model::{CorpusSpec, TokenBatch, TrainingSimulator};
+use exflow_placement::{solve, Objective, SolverKind};
+
+use crate::fmt::{f3, render_table};
+use crate::Scale;
+
+/// One (expert count, iteration) point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Training iteration of the simulated checkpoint.
+    pub iteration: u64,
+    /// Locality achievable by the solved placement (raw).
+    pub affinity: f64,
+    /// Affinity scaled to the per-model series maximum.
+    pub scaled: f64,
+}
+
+/// Raw affinity of the checkpoint at `iteration`.
+fn measure(sim: &TrainingSimulator, iteration: u64, n_units: usize, tokens: usize) -> f64 {
+    let model = sim.model_at(iteration);
+    let corpus = CorpusSpec::pile_proxy(model.n_domains());
+    let batch = TokenBatch::sample(&model, &corpus, tokens, 1, 1000 + iteration);
+    let trace = RoutingTrace::from_batch(&batch, model.n_experts());
+    let objective = Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
+    let placement = solve(&objective, n_units, SolverKind::Greedy, iteration);
+    objective.local_fraction(&placement)
+}
+
+/// Regenerate one phase of the figure. `early` = iterations 0–2000
+/// (Fig. 12a); otherwise 2000–18000 (Fig. 12b).
+pub fn run(scale: Scale, early: bool) -> Vec<Row> {
+    let expert_counts: Vec<usize> = scale.pick(vec![8, 32], vec![8, 16, 32, 64]);
+    let iters: Vec<u64> = if early {
+        scale.pick(
+            vec![0, 400, 800, 1200, 2000],
+            vec![0, 200, 400, 600, 800, 1000, 2000],
+        )
+    } else {
+        scale.pick(
+            vec![2000, 8000, 18_000],
+            vec![2000, 4000, 6000, 8000, 10_000, 12_000, 14_000, 16_000, 18_000],
+        )
+    };
+    let tokens = scale.pick(1200, 4000);
+    let mut rows = Vec::new();
+    for e in expert_counts {
+        let sim = TrainingSimulator::new(AffinityModelSpec::new(8, e));
+        let n_units = (e / 2).min(4).max(2);
+        let raw: Vec<f64> = iters
+            .iter()
+            .map(|&it| measure(&sim, it, n_units, tokens))
+            .collect();
+        let max = raw.iter().copied().fold(f64::MIN, f64::max);
+        for (&it, &affinity) in iters.iter().zip(raw.iter()) {
+            rows.push(Row {
+                n_experts: e,
+                iteration: it,
+                affinity,
+                scaled: affinity / max,
+            });
+        }
+    }
+    rows
+}
+
+/// Print both phases.
+pub fn print(scale: Scale) {
+    for (early, title) in [(true, "Fig 12a (iterations 0-2000)"), (false, "Fig 12b (2000-18000)")] {
+        println!("{title}: scaled expert affinity during training\n");
+        let rows: Vec<Vec<String>> = run(scale, early)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_experts.to_string(),
+                    r.iteration.to_string(),
+                    f3(r.affinity),
+                    f3(r.scaled),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["experts", "iteration", "affinity", "scaled"], &rows)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_training_affinity_increases() {
+        // Fig 12b: "as the training proceeds, expert affinity steadily
+        // increases."
+        for e in [8usize, 32] {
+            let rows: Vec<Row> = run(Scale::Quick, false)
+                .into_iter()
+                .filter(|r| r.n_experts == e)
+                .collect();
+            let first = rows.first().unwrap().affinity;
+            let last = rows.last().unwrap().affinity;
+            assert!(
+                last > first,
+                "{e} experts: affinity fell from {first} to {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_training_shows_initial_high_affinity() {
+        // Fig 12a: iteration-0 checkpoints route through few experts, so
+        // measured affinity starts high before the rebalancing dip.
+        for e in [8usize, 32] {
+            let rows: Vec<Row> = run(Scale::Quick, true)
+                .into_iter()
+                .filter(|r| r.n_experts == e)
+                .collect();
+            let start = rows.first().unwrap().affinity;
+            let mid = rows[rows.len() / 2].affinity;
+            assert!(
+                start > mid,
+                "{e} experts: iteration-0 affinity {start} should exceed mid-training {mid}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_values_peak_at_one() {
+        for early in [true, false] {
+            let rows = run(Scale::Quick, early);
+            for e in [8usize, 32] {
+                let max = rows
+                    .iter()
+                    .filter(|r| r.n_experts == e)
+                    .map(|r| r.scaled)
+                    .fold(f64::MIN, f64::max);
+                assert!((max - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 13 — how many profiled tokens are needed to capture expert
+//! affinity: placements are solved from truncated profiling traces and the
+//! resulting Alltoall speedup (vs. the affinity-free placement) is
+//! measured end to end.
+
+use exflow_affinity::AffinityMatrix;
+use exflow_core::{InferenceEngine, ParallelismMode};
+use exflow_model::presets::moe_gpt_m;
+use exflow_placement::staged::solve_staged;
+use exflow_placement::Objective;
+
+use crate::experiments::common::with_layers;
+use crate::fmt::{render_table, speedup};
+use crate::Scale;
+
+/// One (expert count, sample size) point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Profiling tokens used to solve the placement.
+    pub tokens: usize,
+    /// Alltoall time speedup relative to the affinity-free placement.
+    pub alltoall_speedup: f64,
+}
+
+/// Regenerate the sampling sweep on 8 GPUs (2 nodes).
+pub fn run(scale: Scale) -> Vec<Row> {
+    let expert_counts: Vec<usize> = scale.pick(vec![8, 32], vec![8, 16, 32, 64]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![50, 500, 1500],
+        vec![50, 1000, 2000, 3000, 4000, 5000],
+    );
+    let mut rows = Vec::new();
+    for e in expert_counts {
+        let model = with_layers(moe_gpt_m(e), scale.pick(6, 24));
+        // Build with the largest profile so the trace can be truncated.
+        let engine = InferenceEngine::builder(model, super::common::cluster_for(8))
+            .requests_per_gpu(scale.pick(4, 8))
+            .prompt_len(8)
+            .n_iterations(2)
+            .profile_tokens(*sizes.last().unwrap())
+            .placement_restarts(0)
+            .seed(20_240_403)
+            .build();
+        let baseline = engine.run(ParallelismMode::ContextCoherent);
+        let base_a2a = baseline.breakdown.alltoall;
+
+        for &n in &sizes {
+            let trace = engine.profile_trace().truncated(n);
+            let objective =
+                Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
+            let staged = solve_staged(
+                &objective,
+                &engine.config().cluster,
+                0,
+                engine.config().seed,
+            );
+            let report = engine
+                .run_with_placement(ParallelismMode::ContextCoherentAffinity, &staged.gpu_level);
+            rows.push(Row {
+                n_experts: e,
+                tokens: n,
+                alltoall_speedup: base_a2a / report.breakdown.alltoall,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 13: Alltoall speedup vs profiling-token budget (8 GPUs)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_experts.to_string(),
+                r.tokens.to_string(),
+                speedup(r.alltoall_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["experts", "profile-tokens", "alltoall-speedup"], &rows)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_tokens_never_hurt_much() {
+        // The speedup curve saturates: the largest sample is at least as
+        // good as the smallest (within measurement tolerance).
+        let rows = run(Scale::Quick);
+        for e in [8usize, 32] {
+            let series: Vec<&Row> = rows.iter().filter(|r| r.n_experts == e).collect();
+            let first = series.first().unwrap().alltoall_speedup;
+            let last = series.last().unwrap().alltoall_speedup;
+            assert!(
+                last >= first - 0.05,
+                "{e} experts: speedup degraded from {first} to {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_speedup_is_real() {
+        let rows = run(Scale::Quick);
+        for e in [8usize, 32] {
+            let best = rows
+                .iter()
+                .filter(|r| r.n_experts == e)
+                .map(|r| r.alltoall_speedup)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                best > 1.05,
+                "{e} experts: best alltoall speedup {best} is negligible"
+            );
+        }
+    }
+}

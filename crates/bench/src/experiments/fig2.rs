@@ -1,0 +1,145 @@
+//! Fig. 2 — heatmaps of inter-layer expert routing preference on the
+//! 12-layer, 32-expert profiling model, plus the appendix Figs. 14–16
+//! (affinity from a layer to *all* later layers).
+
+use exflow_affinity::{metrics, AffinityMatrix, RoutingTrace};
+use exflow_model::presets::heatmap_model;
+use exflow_model::routing::AffinityModelSpec;
+use exflow_model::{CorpusSpec, TokenBatch};
+
+use crate::Scale;
+
+/// One heatmap: the conditional matrix plus summary stats.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Earlier layer.
+    pub from_layer: usize,
+    /// Later layer.
+    pub to_layer: usize,
+    /// The estimated conditional matrix.
+    pub matrix: AffinityMatrix,
+    /// Mean top-1 conditional mass (row "redness").
+    pub top1_mass: f64,
+    /// Normalized affinity score at k=3.
+    pub score: f64,
+}
+
+fn profile_trace(scale: Scale) -> RoutingTrace {
+    let model = heatmap_model();
+    let spec = AffinityModelSpec::new(model.n_layers, model.n_experts);
+    let routing = spec.build();
+    let batch = TokenBatch::sample(
+        &routing,
+        &CorpusSpec::pile_proxy(spec.n_domains),
+        scale.pick(3000, 20_000),
+        1,
+        31,
+    );
+    RoutingTrace::from_batch(&batch, model.n_experts)
+}
+
+/// The four consecutive-layer pairs Fig. 2 shows (paper labels layers
+/// 1-based: "layer 0 and 1", ..., "layer 11 and 12").
+pub fn run(scale: Scale) -> Vec<Heatmap> {
+    let trace = profile_trace(scale);
+    [(0usize, 1usize), (3, 4), (7, 8), (10, 11)]
+        .into_iter()
+        .map(|(a, b)| {
+            let matrix = AffinityMatrix::from_trace(&trace, a, b);
+            Heatmap {
+                from_layer: a,
+                to_layer: b,
+                top1_mass: metrics::mean_top1_mass(&matrix),
+                score: metrics::affinity_score(&matrix, 3),
+                matrix,
+            }
+        })
+        .collect()
+}
+
+/// Appendix Figs. 14–16: affinity from layers {0,3,7,10} to all later
+/// layers, summarized by top-1 mass per gap.
+pub fn run_gaps(scale: Scale) -> Vec<(usize, Vec<(usize, f64)>)> {
+    let trace = profile_trace(scale);
+    [0usize, 3, 7, 10]
+        .into_iter()
+        .map(|from| {
+            let series = (from + 1..trace.n_layers())
+                .map(|to| {
+                    let m = AffinityMatrix::from_trace(&trace, from, to);
+                    (to, metrics::mean_top1_mass(&m))
+                })
+                .collect();
+            (from, series)
+        })
+        .collect()
+}
+
+/// Print the heatmaps (ASCII) and their summary stats.
+pub fn print(scale: Scale) {
+    println!("Fig 2: inter-layer expert affinity heatmaps (32 experts, 12 layers)");
+    println!("shade scale: ' ' < '.' < ':' < '+' < '#' < '@' (vs uniform)\n");
+    for h in run(scale) {
+        println!(
+            "Layer {} -> Layer {}   mean top-1 mass {:.3}, affinity score {:.3}",
+            h.from_layer, h.to_layer, h.top1_mass, h.score
+        );
+        println!("{}", h.matrix.ascii_heatmap());
+    }
+}
+
+/// Print the appendix gap study.
+pub fn print_gaps(scale: Scale) {
+    println!("Figs 14-16: affinity from layer j to all later layers (mean top-1 mass)\n");
+    for (from, series) in run_gaps(scale) {
+        print!("layer {from:2} ->");
+        for (to, mass) in series {
+            print!("  L{to}:{mass:.2}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_show_sparse_affinity() {
+        // "For each row, we can observe only a few columns are red."
+        for h in run(Scale::Quick) {
+            assert!(
+                h.top1_mass > 3.0 / 32.0,
+                "layer {}->{} top-1 mass {} is no better than uniform",
+                h.from_layer,
+                h.to_layer,
+                h.top1_mass
+            );
+            assert!(h.score > 0.3, "affinity score {} too weak", h.score);
+        }
+    }
+
+    #[test]
+    fn four_pairs_match_figure() {
+        let maps = run(Scale::Quick);
+        let pairs: Vec<(usize, usize)> =
+            maps.iter().map(|h| (h.from_layer, h.to_layer)).collect();
+        assert_eq!(pairs, vec![(0, 1), (3, 4), (7, 8), (10, 11)]);
+    }
+
+    #[test]
+    fn affinity_decays_with_gap() {
+        // Consecutive layers are the most predictive; far layers decay
+        // toward uniform (what the appendix heatmaps show).
+        for (_, series) in run_gaps(Scale::Quick) {
+            if series.len() >= 3 {
+                let first = series.first().unwrap().1;
+                let last = series.last().unwrap().1;
+                assert!(
+                    first > last,
+                    "gap-1 mass {first} should exceed max-gap mass {last}"
+                );
+            }
+        }
+    }
+}

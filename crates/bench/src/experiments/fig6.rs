@@ -1,0 +1,133 @@
+//! Fig. 6 — collective-communication overhead of context-coherent expert
+//! parallelism versus the baseline, across model variants and
+//! expert-parallel sizes. Bars: baseline Alltoall, context-coherent
+//! Alltoall, context-coherent AllGather (all scaled to the baseline).
+
+use exflow_core::ParallelismMode;
+use exflow_model::presets::{moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l};
+use exflow_model::ModelConfig;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{f3, render_table};
+use crate::Scale;
+
+/// One (model, GPU count) bar group.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Expert-parallel GPU count.
+    pub gpus: usize,
+    /// Baseline (vanilla) Alltoall time, scaled to itself (= 1.0).
+    pub baseline_alltoall: f64,
+    /// Context-coherent Alltoall time relative to the baseline.
+    pub cc_alltoall: f64,
+    /// Context-coherent AllGather time relative to the baseline Alltoall.
+    pub cc_allgather: f64,
+}
+
+fn scenario_models(scale: Scale) -> Vec<(ModelConfig, Vec<usize>)> {
+    let l = |m: ModelConfig, full_layers: usize| -> ModelConfig {
+        with_layers(m, scale.pick(6, full_layers))
+    };
+    match scale {
+        Scale::Quick => vec![
+            (l(moe_gpt_m(8), 24), vec![8]),
+            (l(moe_gpt_m(16), 24), vec![8, 16]),
+        ],
+        Scale::Full => vec![
+            (l(moe_gpt_m(8), 24), vec![8]),
+            (l(moe_gpt_m(16), 24), vec![8, 16]),
+            (l(moe_gpt_m(32), 24), vec![16, 32]),
+            (l(moe_gpt_m(64), 24), vec![32, 64]),
+            (l(moe_gpt_m_32e_32l(), 32), vec![16, 32]),
+            (l(moe_gpt_m_32e_40l(), 40), vec![16, 32]),
+        ],
+    }
+}
+
+/// Regenerate the figure's series.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (model, gpu_counts) in scenario_models(scale) {
+        for gpus in gpu_counts {
+            let engine = engine_for(model.clone(), gpus, scale);
+            let vanilla = engine.run(ParallelismMode::Vanilla);
+            let cc = engine.run(ParallelismMode::ContextCoherent);
+            let base = vanilla.breakdown.alltoall;
+            rows.push(Row {
+                model: model.name.clone(),
+                gpus,
+                baseline_alltoall: 1.0,
+                cc_alltoall: cc.breakdown.alltoall / base,
+                cc_allgather: cc.breakdown.allgather / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 6: scaled communication latency (baseline Alltoall = 1.0)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.gpus.to_string(),
+                f3(r.baseline_alltoall),
+                f3(r.cc_alltoall),
+                f3(r.cc_allgather),
+                f3(r.cc_alltoall + r.cc_allgather),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "gpus",
+                "baseline-a2a",
+                "cc-a2a",
+                "cc-allgather",
+                "cc-total"
+            ],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_coherence_halves_alltoall() {
+        // The paper reports >50% Alltoall reduction; we require at least
+        // a meaningful cut on every scenario.
+        for r in run(Scale::Quick) {
+            assert!(
+                r.cc_alltoall < 0.7,
+                "{} on {} GPUs: cc alltoall {} not reduced enough",
+                r.model,
+                r.gpus,
+                r.cc_alltoall
+            );
+        }
+    }
+
+    #[test]
+    fn total_cc_communication_still_wins() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.cc_alltoall + r.cc_allgather < 1.0,
+                "{} on {} GPUs: cc total {} exceeds baseline",
+                r.model,
+                r.gpus,
+                r.cc_alltoall + r.cc_allgather
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 7 — fraction of tokens whose next expert lives on their current
+//! GPU, as the expert-parallel group grows (MoE-64). Bars: DeepSpeed
+//! placement vs. affinity placement; line: reduction in cross-GPU traffic.
+
+use exflow_core::ParallelismMode;
+use exflow_model::presets::moe_gpt_m;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{pct, render_table};
+use crate::Scale;
+
+/// One GPU-count point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Expert-parallel GPU count.
+    pub gpus: usize,
+    /// Tokens staying GPU-local under the DeepSpeed placement.
+    pub deepspeed_local: f64,
+    /// Tokens staying GPU-local under the affinity placement.
+    pub affinity_local: f64,
+    /// Relative reduction in cross-GPU token traffic.
+    pub comm_reduction: f64,
+}
+
+/// Regenerate the sweep over expert-parallel sizes.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let gpu_counts: Vec<usize> = scale.pick(vec![1, 4, 8], vec![1, 4, 8, 16, 32, 64]);
+    let model = with_layers(moe_gpt_m(64), scale.pick(6, 24));
+    gpu_counts
+        .into_iter()
+        .map(|gpus| {
+            let engine = engine_for(model.clone(), gpus, scale);
+            let base = engine.run(ParallelismMode::ContextCoherent);
+            let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+            let base_cross = 1.0 - base.dispatch.gpu_local_fraction();
+            let aff_cross = 1.0 - aff.dispatch.gpu_local_fraction();
+            Row {
+                gpus,
+                deepspeed_local: base.dispatch.gpu_local_fraction(),
+                affinity_local: aff.dispatch.gpu_local_fraction(),
+                comm_reduction: if base_cross == 0.0 {
+                    0.0
+                } else {
+                    1.0 - aff_cross / base_cross
+                },
+            }
+        })
+        .collect()
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 7: tokens staying on the same GPU (MoE-64)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.gpus.to_string(),
+                pct(r.deepspeed_local),
+                pct(r.affinity_local),
+                pct(r.comm_reduction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["gpus", "deepspeed-local", "affinity-local", "xGPU-comm-reduction"],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_always_at_least_matches_deepspeed() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.affinity_local >= r.deepspeed_local - 1e-9,
+                "{} GPUs: affinity {} below deepspeed {}",
+                r.gpus,
+                r.affinity_local,
+                r.deepspeed_local
+            );
+        }
+    }
+
+    #[test]
+    fn single_gpu_keeps_everything_local() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows[0].gpus, 1);
+        assert!((rows[0].deepspeed_local - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deepspeed_locality_tracks_inverse_gpu_count() {
+        // Affinity-free locality is ~1/G (uniform routing).
+        for r in run(Scale::Quick).iter().skip(1) {
+            let expected = 1.0 / r.gpus as f64;
+            assert!(
+                (r.deepspeed_local - expected).abs() < 0.1,
+                "{} GPUs: locality {} far from uniform {}",
+                r.gpus,
+                r.deepspeed_local,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_reduces_cross_gpu_traffic_multi_gpu() {
+        for r in run(Scale::Quick).iter().skip(1) {
+            assert!(
+                r.comm_reduction > 0.1,
+                "{} GPUs: reduction {} too small",
+                r.gpus,
+                r.comm_reduction
+            );
+        }
+    }
+}

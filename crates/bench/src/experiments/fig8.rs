@@ -1,0 +1,107 @@
+//! Fig. 8 — fraction of tokens whose next expert lives on their current
+//! *node*, as the node count grows (MoE-64, 4 GPUs per node). The staged
+//! placement prioritizes exactly this metric in stage 1.
+
+use exflow_core::ParallelismMode;
+use exflow_model::presets::moe_gpt_m;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{pct, render_table};
+use crate::Scale;
+
+/// One node-count point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of 4-GPU nodes.
+    pub nodes: usize,
+    /// Tokens staying node-local under the DeepSpeed placement.
+    pub deepspeed_local: f64,
+    /// Tokens staying node-local under the staged affinity placement.
+    pub affinity_local: f64,
+    /// Relative reduction in inter-node token traffic.
+    pub internode_reduction: f64,
+}
+
+/// Regenerate the node sweep.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let node_counts: Vec<usize> = scale.pick(vec![1, 2], vec![1, 2, 4, 8, 16]);
+    let model = with_layers(moe_gpt_m(64), scale.pick(6, 24));
+    node_counts
+        .into_iter()
+        .map(|nodes| {
+            let gpus = nodes * 4;
+            let engine = engine_for(model.clone(), gpus, scale);
+            let base = engine.run(ParallelismMode::ContextCoherent);
+            let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+            let base_cross = 1.0 - base.dispatch.node_local_fraction();
+            let aff_cross = 1.0 - aff.dispatch.node_local_fraction();
+            Row {
+                nodes,
+                deepspeed_local: base.dispatch.node_local_fraction(),
+                affinity_local: aff.dispatch.node_local_fraction(),
+                internode_reduction: if base_cross == 0.0 {
+                    0.0
+                } else {
+                    1.0 - aff_cross / base_cross
+                },
+            }
+        })
+        .collect()
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 8: tokens staying on the same node (MoE-64, 4 GPUs/node)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                pct(r.deepspeed_local),
+                pct(r.affinity_local),
+                pct(r.internode_reduction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "deepspeed-node-local",
+                "affinity-node-local",
+                "inter-node-reduction"
+            ],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_fully_node_local() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows[0].nodes, 1);
+        assert!((rows[0].deepspeed_local - 1.0).abs() < 1e-9);
+        assert!((rows[0].affinity_local - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staged_affinity_keeps_tokens_on_node() {
+        // Paper: "tokens are on average 2x more likely to stay within the
+        // same node". Require a clear improvement on multi-node runs.
+        for r in run(Scale::Quick).iter().skip(1) {
+            assert!(
+                r.affinity_local > r.deepspeed_local * 1.3,
+                "{} nodes: affinity {} vs deepspeed {}",
+                r.nodes,
+                r.affinity_local,
+                r.deepspeed_local
+            );
+            assert!(r.internode_reduction > 0.1);
+        }
+    }
+}

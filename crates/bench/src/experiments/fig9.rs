@@ -1,0 +1,114 @@
+//! Fig. 9 — share of step time per operator (gating, Alltoall, attention,
+//! expert FFN) in vanilla expert parallelism as node count grows: the
+//! motivation chart showing inference becoming Alltoall-bound.
+
+use exflow_core::ParallelismMode;
+use exflow_model::presets::moe_gpt_m;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{pct, render_table};
+use crate::Scale;
+
+/// One node-count breakdown.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of 4-GPU nodes.
+    pub nodes: usize,
+    /// Share of gating time.
+    pub gating: f64,
+    /// Share of Alltoall time (the paper's annotation).
+    pub alltoall: f64,
+    /// Share of attention time.
+    pub attention: f64,
+    /// Share of expert FFN time.
+    pub expert_ffn: f64,
+}
+
+/// Regenerate the sweep (vanilla mode, MoE-32).
+pub fn run(scale: Scale) -> Vec<Row> {
+    let node_counts: Vec<usize> = scale.pick(vec![1, 2], vec![1, 2, 4, 8]);
+    let model = with_layers(moe_gpt_m(32), scale.pick(6, 24));
+    node_counts
+        .into_iter()
+        .map(|nodes| {
+            let engine = engine_for(model.clone(), nodes * 4, scale);
+            let report = engine.run(ParallelismMode::Vanilla);
+            let b = report.breakdown;
+            let total = b.gating + b.alltoall + b.attention + b.expert_ffn;
+            Row {
+                nodes,
+                gating: b.gating / total,
+                alltoall: b.alltoall / total,
+                attention: b.attention / total,
+                expert_ffn: b.expert_ffn / total,
+            }
+        })
+        .collect()
+}
+
+/// Print the series.
+pub fn print(scale: Scale) {
+    println!("Fig 9: operator share of step time (vanilla expert parallelism, MoE-32)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                pct(r.gating),
+                pct(r.alltoall),
+                pct(r.attention),
+                pct(r.expert_ffn),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["nodes", "gating", "alltoall", "attention", "expert-ffn"],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in run(Scale::Quick) {
+            let s = r.gating + r.alltoall + r.attention + r.expert_ffn;
+            assert!((s - 1.0).abs() < 1e-9, "{} nodes: shares sum {}", r.nodes, s);
+        }
+    }
+
+    #[test]
+    fn alltoall_share_grows_with_nodes() {
+        // Paper: 15% at 1 node surging to 63% at 2 nodes, 76% at 8.
+        let rows = run(Scale::Quick);
+        assert!(rows.len() >= 2);
+        assert!(
+            rows[1].alltoall > rows[0].alltoall,
+            "alltoall share should grow: {} -> {}",
+            rows[0].alltoall,
+            rows[1].alltoall
+        );
+    }
+
+    #[test]
+    fn single_node_is_compute_dominated() {
+        let rows = run(Scale::Quick);
+        assert!(
+            rows[0].alltoall < 0.5,
+            "1 node: alltoall share {} should not dominate",
+            rows[0].alltoall
+        );
+    }
+
+    #[test]
+    fn gating_is_negligible() {
+        for r in run(Scale::Quick) {
+            assert!(r.gating < 0.05);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper artifact. Each exposes typed rows plus a
+//! `print(scale)` entry the `repro` binary calls.
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,181 @@
+//! Table I — comparison of MoE optimization methods: topology awareness,
+//! extra memory, forward communication volume (top-1 and top-2 gating),
+//! inference applicability.
+//!
+//! The volume columns are the paper's closed forms evaluated with routing
+//! fractions *measured* from engine runs: `p` from the round-robin
+//! placement, `p*` from the affinity placement, and `p_topo` modeled as the
+//! paper describes (topology-aware gating keeps a tuned fraction of tokens
+//! local during training; we evaluate its formula at the same measured `p`
+//! discounted by the locality FasterMoE reports, ~30%).
+
+use exflow_core::commvolume::{System, VolumeParams};
+use exflow_core::ParallelismMode;
+use exflow_model::presets::moe_gpt_m;
+
+use crate::experiments::common::{engine_for, with_layers};
+use crate::fmt::{f3, render_table};
+use crate::Scale;
+
+/// One Table I row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System name.
+    pub system: System,
+    /// Routing fraction the system achieves (`p`, `p_topo`, or `p*`).
+    pub routing_fraction: f64,
+    /// Forward volume (token-units) under top-1 gating.
+    pub volume_top1: f64,
+    /// Forward volume under top-2 gating.
+    pub volume_top2: f64,
+}
+
+/// Measured inputs plus the evaluated rows.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Scenario dimensions.
+    pub params: VolumeParams,
+    /// Measured cross-GPU fraction with affinity-free placement.
+    pub p: f64,
+    /// Measured cross-GPU fraction with affinity placement.
+    pub p_star: f64,
+    /// The four rows.
+    pub rows: Vec<Row>,
+}
+
+/// Regenerate Table I. The measurement scenario is MoE-GPT-M/16e on 8 GPUs
+/// (2 nodes), the configuration where the paper reports its headline 2.2x.
+pub fn run(scale: Scale) -> Table1 {
+    // Table I's ExFlow advantage amortizes the AllGather term over the
+    // layer count, so the measurement keeps the model's true 24 layers at
+    // both scales (Quick trims the workload, not the model).
+    let model = with_layers(moe_gpt_m(16), 24);
+    let gpus = 8;
+    let engine = engine_for(model.clone(), gpus, scale);
+
+    let cc = engine.run(ParallelismMode::ContextCoherent);
+    let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+    let p = 1.0 - cc.dispatch.gpu_local_fraction();
+    let p_star = 1.0 - aff.dispatch.gpu_local_fraction();
+    // FasterMoE/TA-MoE report keeping roughly a third of the dispatch
+    // local on their training clusters; the fraction is not transferable
+    // to inference (Table I's point) but its magnitude is modeled here.
+    let p_topo = p * 0.7;
+
+    let params = VolumeParams {
+        g: gpus,
+        n: engine.config().requests_per_gpu,
+        l: model.n_layers,
+    };
+    let rows = System::ALL
+        .iter()
+        .map(|&system| {
+            let frac = match system {
+                System::FasterMoe | System::TaMoe => p_topo,
+                System::DeepspeedMoe => p,
+                System::ExFlow => p_star,
+            };
+            Row {
+                system,
+                routing_fraction: frac,
+                volume_top1: system.volume(params, frac, 1),
+                volume_top2: system.volume(params, frac, 2),
+            }
+        })
+        .collect();
+
+    Table1 {
+        params,
+        p,
+        p_star,
+        rows,
+    }
+}
+
+/// Print the table in the paper's layout.
+pub fn print(scale: Scale) {
+    let t = run(scale);
+    println!(
+        "Table I: forward communication volume (token-units), G={} N={} L={}",
+        t.params.g, t.params.n, t.params.l
+    );
+    println!("measured p = {:.3}, p* = {:.3}\n", t.p, t.p_star);
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.label().to_string(),
+                if matches!(r.system, System::FasterMoe | System::TaMoe) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+                if r.system.extra_memory() { "yes" } else { "no" }.into(),
+                f3(r.routing_fraction),
+                format!("{:.0}", r.volume_top1),
+                format!("{:.0}", r.volume_top2),
+                if r.system.applicable_in_inference() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "system",
+                "topo-aware",
+                "extra-mem",
+                "routing-frac",
+                "comm@top1",
+                "comm@top2",
+                "inference-ok",
+            ],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exflow_achieves_smallest_volume() {
+        let t = run(Scale::Quick);
+        let by_system = |s: System| {
+            t.rows
+                .iter()
+                .find(|r| r.system == s)
+                .unwrap()
+                .volume_top1
+        };
+        assert!(by_system(System::ExFlow) < by_system(System::DeepspeedMoe));
+        assert!(by_system(System::ExFlow) < by_system(System::FasterMoe));
+    }
+
+    #[test]
+    fn affinity_reduces_routing_fraction() {
+        let t = run(Scale::Quick);
+        assert!(
+            t.p_star < t.p,
+            "affinity p* {} should be below p {}",
+            t.p_star,
+            t.p
+        );
+        assert!(t.p > 0.0 && t.p <= 1.0);
+    }
+
+    #[test]
+    fn top2_volumes_exceed_top1() {
+        let t = run(Scale::Quick);
+        for r in &t.rows {
+            assert!(r.volume_top2 > r.volume_top1);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the simulated communicator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated communication world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank disconnected (its thread panicked or returned early)
+    /// while this rank was waiting for a message.
+    PeerDisconnected {
+        /// The rank that observed the disconnect.
+        at_rank: usize,
+    },
+    /// A buffer count did not match the world size.
+    BadBufferCount {
+        /// Number of buffers supplied.
+        got: usize,
+        /// Number of buffers required (the world size).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerDisconnected { at_rank } => {
+                write!(f, "rank {at_rank}: peer disconnected mid-collective")
+            }
+            CommError::BadBufferCount { got, expected } => {
+                write!(f, "expected {expected} buffers (one per rank), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_details() {
+        assert!(CommError::PeerDisconnected { at_rank: 3 }
+            .to_string()
+            .contains('3'));
+        let e = CommError::BadBufferCount {
+            got: 2,
+            expected: 4,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('4'));
+    }
+}

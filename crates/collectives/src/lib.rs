@@ -1,0 +1,46 @@
+//! # exflow-collectives
+//!
+//! A simulated multi-GPU communication layer: the substrate that stands in
+//! for NCCL in this reproduction of ExFlow (IPDPS 2024).
+//!
+//! Every simulated GPU is a real OS thread. Messages are real byte buffers
+//! moved through crossbeam channels, so the concurrency (and any ordering
+//! bug) is genuine. *Time*, however, is virtual: each rank carries a
+//! [`VirtualClock`] advanced by the α–β cost model from `exflow-topology`,
+//! which makes every reported latency a deterministic function of
+//! (bytes, link class) — independent of host load, exactly what the paper's
+//! figures need.
+//!
+//! The API mirrors the collectives the ExFlow engine issues:
+//!
+//! * [`RankComm::all_to_all_v`] — the token dispatch/combine primitive;
+//! * [`RankComm::all_gather_v`] — the context-coherence primitive;
+//! * [`RankComm::barrier`] — clock synchronization between iterations.
+//!
+//! ```
+//! use exflow_collectives::CommWorld;
+//! use exflow_topology::{ClusterSpec, CostModel};
+//!
+//! let world = CommWorld::new(ClusterSpec::new(1, 4).unwrap(), CostModel::wilkes3());
+//! let results = world.run(|comm| {
+//!     // Every rank contributes its rank id; AllGather returns all of them.
+//!     let gathered = comm.all_gather_v(vec![comm.rank().0 as u8]);
+//!     gathered.into_iter().map(|b| b[0]).collect::<Vec<u8>>()
+//! });
+//! for r in &results {
+//!     assert_eq!(r, &[0, 1, 2, 3]);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod record;
+pub mod world;
+
+pub use clock::VirtualClock;
+pub use error::CommError;
+pub use record::{CommRecord, CommStats, OpKind};
+pub use world::{CommWorld, RankComm};

@@ -1,0 +1,114 @@
+//! Property-based tests: the simulated communicator against structural
+//! invariants and the analytic cost model from `exflow-topology`.
+
+use exflow_collectives::{CommWorld, OpKind};
+use exflow_topology::{ClusterSpec, CollectiveCostModel, CostModel};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=4, 1usize..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alltoall_is_a_permutation_of_payloads((nodes, gpn) in arb_shape(), seed in 0u64..100) {
+        let world = CommWorld::new(
+            ClusterSpec::new(nodes, gpn).unwrap(),
+            CostModel::wilkes3(),
+        );
+        let w = nodes * gpn;
+        let results = world.run(|comm| {
+            let me = comm.rank().0;
+            let bufs: Vec<Vec<u8>> = (0..w)
+                .map(|dst| {
+                    let n = ((seed + (me * w + dst) as u64) % 17) as usize;
+                    vec![(me * w + dst) as u8; n]
+                })
+                .collect();
+            comm.all_to_all_v(bufs)
+        });
+        // received[dst][src] must equal what src built for dst.
+        for (dst, received) in results.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                let n = ((seed + (src * w + dst) as u64) % 17) as usize;
+                prop_assert_eq!(buf.len(), n);
+                prop_assert!(buf.iter().all(|&b| b == (src * w + dst) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_byte_accounting_matches_analytic((nodes, gpn) in arb_shape(), bytes in 1usize..4096) {
+        let cluster = ClusterSpec::new(nodes, gpn).unwrap();
+        let world = CommWorld::new(cluster, CostModel::wilkes3());
+        let w = nodes * gpn;
+        world.run(|comm| {
+            comm.all_to_all_v(vec![vec![0u8; bytes]; w]);
+        });
+        let sim = world.stats().totals(OpKind::Alltoall).sent;
+        let analytic = CollectiveCostModel::new(cluster, CostModel::wilkes3())
+            .alltoallv_bytes(&vec![vec![bytes as u64; w]; w]);
+        prop_assert_eq!(sim.local, analytic.local);
+        prop_assert_eq!(sim.intra_node, analytic.intra_node);
+        prop_assert_eq!(sim.inter_node, analytic.inter_node);
+    }
+
+    #[test]
+    fn allgather_byte_accounting_matches_analytic((nodes, gpn) in arb_shape(), bytes in 1usize..4096) {
+        let cluster = ClusterSpec::new(nodes, gpn).unwrap();
+        let world = CommWorld::new(cluster, CostModel::wilkes3());
+        world.run(|comm| {
+            comm.all_gather_v(vec![0u8; bytes]);
+        });
+        let sim = world.stats().totals(OpKind::AllGather).sent;
+        let analytic = CollectiveCostModel::new(cluster, CostModel::wilkes3())
+            .allgatherv_bytes(&vec![bytes as u64; nodes * gpn]);
+        prop_assert_eq!(sim.total(), analytic.total());
+    }
+
+    #[test]
+    fn clocks_never_decrease((nodes, gpn) in arb_shape()) {
+        let world = CommWorld::new(
+            ClusterSpec::new(nodes, gpn).unwrap(),
+            CostModel::wilkes3(),
+        );
+        let w = nodes * gpn;
+        let monotone = world.run(|comm| {
+            let mut last = comm.now();
+            let mut ok = true;
+            for round in 0..3 {
+                comm.advance(1e-6 * (round + 1) as f64);
+                comm.all_to_all_v(vec![vec![0u8; 64]; w]);
+                ok &= comm.now() >= last;
+                last = comm.now();
+                comm.all_gather_v(vec![0u8; 32]);
+                ok &= comm.now() >= last;
+                last = comm.now();
+                comm.barrier();
+                ok &= comm.now() >= last;
+                last = comm.now();
+            }
+            ok
+        });
+        prop_assert!(monotone.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn barrier_equalizes_clocks((nodes, gpn) in arb_shape(), skews in proptest::collection::vec(0.0f64..10.0, 16)) {
+        let world = CommWorld::new(
+            ClusterSpec::new(nodes, gpn).unwrap(),
+            CostModel::wilkes3(),
+        );
+        let times = world.run(|comm| {
+            comm.advance(skews[comm.rank().0 % skews.len()]);
+            comm.barrier();
+            comm.now()
+        });
+        let first = times[0];
+        for t in times {
+            prop_assert!((t - first).abs() < 1e-12);
+        }
+    }
+}

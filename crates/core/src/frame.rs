@@ -1,0 +1,139 @@
+//! Token wire frames: how tokens are serialized into collective payloads.
+//!
+//! Each token crossing the wire occupies a frame of exactly
+//! `ModelConfig::token_bytes()` bytes — the true fp16 activation size of
+//! the model — so the virtual-clock α–β accounting sees the real traffic
+//! volume. Inside the frame the engine stores the token's id, domain, and
+//! its reduced-dimension (`sim_dim`) f32 embedding; the remainder is
+//! padding standing in for the activation elements we do not simulate.
+
+/// A token in flight or at rest on a rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Global token id within the current iteration.
+    pub id: u32,
+    /// Home rank (where the request lives, data-parallel).
+    pub home: u32,
+    /// Corpus domain of the token.
+    pub domain: u32,
+    /// Which of the token's top-k experts this copy targets (0 = primary).
+    /// Under top-1 gating this is always 0.
+    pub slot: u32,
+    /// Reduced-dimension embedding the expert FFNs actually transform.
+    pub emb: Vec<f32>,
+}
+
+/// Frame header size: id + home + domain + slot + embedding length.
+const HEADER: usize = 4 + 4 + 4 + 4 + 4;
+
+/// Bytes one token occupies on the wire for a model whose activation is
+/// `token_bytes` wide and whose simulated embedding has `sim_dim` floats.
+pub fn frame_size(token_bytes: u64, sim_dim: usize) -> usize {
+    (token_bytes as usize).max(HEADER + 4 * sim_dim)
+}
+
+/// Serialize tokens into one contiguous buffer of `frame` bytes each.
+pub fn encode(tokens: &[Token], frame: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; tokens.len() * frame];
+    for (slot, tok) in tokens.iter().enumerate() {
+        let base = slot * frame;
+        debug_assert!(HEADER + 4 * tok.emb.len() <= frame, "frame too small");
+        buf[base..base + 4].copy_from_slice(&tok.id.to_le_bytes());
+        buf[base + 4..base + 8].copy_from_slice(&tok.home.to_le_bytes());
+        buf[base + 8..base + 12].copy_from_slice(&tok.domain.to_le_bytes());
+        buf[base + 12..base + 16].copy_from_slice(&tok.slot.to_le_bytes());
+        buf[base + 16..base + 20].copy_from_slice(&(tok.emb.len() as u32).to_le_bytes());
+        for (i, &v) in tok.emb.iter().enumerate() {
+            let off = base + HEADER + 4 * i;
+            buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decode a buffer of `frame`-byte frames back into tokens.
+pub fn decode(buf: &[u8], frame: usize) -> Vec<Token> {
+    assert!(
+        frame >= HEADER && buf.len() % frame == 0,
+        "buffer is not a whole number of frames"
+    );
+    let mut out = Vec::with_capacity(buf.len() / frame);
+    for slot in 0..buf.len() / frame {
+        let base = slot * frame;
+        let id = u32::from_le_bytes(buf[base..base + 4].try_into().unwrap());
+        let home = u32::from_le_bytes(buf[base + 4..base + 8].try_into().unwrap());
+        let domain = u32::from_le_bytes(buf[base + 8..base + 12].try_into().unwrap());
+        let slot = u32::from_le_bytes(buf[base + 12..base + 16].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[base + 16..base + 20].try_into().unwrap()) as usize;
+        assert!(HEADER + 4 * len <= frame, "corrupt frame: embedding too long");
+        let emb = (0..len)
+            .map(|i| {
+                let off = base + HEADER + 4 * i;
+                f32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+            })
+            .collect();
+        out.push(Token {
+            id,
+            home,
+            domain,
+            slot,
+            emb,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(id: u32, dim: usize) -> Token {
+        Token {
+            id,
+            home: id % 4,
+            domain: id % 3,
+            slot: id % 2,
+            emb: (0..dim).map(|i| id as f32 + i as f32 * 0.25).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_tokens() {
+        let frame = frame_size(2048, 16);
+        let tokens: Vec<Token> = (0..7).map(|i| token(i, 16)).collect();
+        let buf = encode(&tokens, frame);
+        assert_eq!(buf.len(), 7 * frame);
+        assert_eq!(decode(&buf, frame), tokens);
+    }
+
+    #[test]
+    fn frame_size_respects_true_activation_width() {
+        // GPT-M: 1024 dims of fp16 = 2048 bytes, far above header needs.
+        assert_eq!(frame_size(2048, 16), 2048);
+        // Tiny test models never shrink below what the header needs.
+        assert!(frame_size(8, 32) >= HEADER + 128);
+    }
+
+    #[test]
+    fn empty_token_list_is_empty_buffer() {
+        let frame = frame_size(64, 4);
+        assert!(encode(&[], frame).is_empty());
+        assert!(decode(&[], frame).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of frames")]
+    fn ragged_buffer_rejected() {
+        let _ = decode(&[0u8; 100], 64);
+    }
+
+    #[test]
+    fn padding_bytes_do_not_leak_between_tokens() {
+        let frame = frame_size(2048, 4);
+        let a = vec![token(1, 4)];
+        let b = vec![token(1, 4), token(2, 4)];
+        let enc_a = encode(&a, frame);
+        let enc_b = encode(&b, frame);
+        assert_eq!(&enc_b[..frame], &enc_a[..]);
+    }
+}

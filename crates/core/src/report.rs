@@ -1,0 +1,225 @@
+//! Inference run reports: per-operator time breakdown, locality, traffic.
+
+use exflow_topology::collective_cost::BytesByClass;
+
+use crate::modes::ParallelismMode;
+
+/// Virtual time spent in each operator class, summed over iterations
+/// (averaged across ranks in an [`InferenceReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpBreakdown {
+    /// Gating projections.
+    pub gating: f64,
+    /// Attention (context-dependent compute).
+    pub attention: f64,
+    /// Expert FFN compute.
+    pub expert_ffn: f64,
+    /// Alltoall collectives (dispatch, plus combine in vanilla mode).
+    pub alltoall: f64,
+    /// AllGather collectives (context coherence).
+    pub allgather: f64,
+    /// Time spent waiting at collective entry for compute stragglers
+    /// (MoE load imbalance). Collectives are synchronization points, so
+    /// this wait is real; it is kept out of `alltoall`/`allgather` so those
+    /// report pure communication cost, as the paper's figures do.
+    pub imbalance: f64,
+}
+
+impl OpBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.gating
+            + self.attention
+            + self.expert_ffn
+            + self.alltoall
+            + self.allgather
+            + self.imbalance
+    }
+
+    /// Communication share of the total (Alltoall + AllGather).
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.alltoall + self.allgather) / t
+        }
+    }
+
+    /// Alltoall share of the total (the paper's Fig. 9 annotation).
+    pub fn alltoall_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.alltoall / t
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &OpBreakdown) {
+        self.gating += other.gating;
+        self.attention += other.attention;
+        self.expert_ffn += other.expert_ffn;
+        self.alltoall += other.alltoall;
+        self.allgather += other.allgather;
+        self.imbalance += other.imbalance;
+    }
+
+    /// Element-wise scale (for averaging across ranks).
+    pub fn scaled(&self, f: f64) -> OpBreakdown {
+        OpBreakdown {
+            gating: self.gating * f,
+            attention: self.attention * f,
+            expert_ffn: self.expert_ffn * f,
+            alltoall: self.alltoall * f,
+            allgather: self.allgather * f,
+            imbalance: self.imbalance * f,
+        }
+    }
+}
+
+/// Dispatch locality counters: where tokens' next experts lived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Total token-dispatch decisions.
+    pub total: u64,
+    /// Dispatches whose target expert was on the token's current GPU.
+    pub same_gpu: u64,
+    /// Dispatches whose target was on the same node (including same GPU).
+    pub same_node: u64,
+}
+
+impl DispatchStats {
+    /// Fraction of dispatches that stayed on the GPU.
+    pub fn gpu_local_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.same_gpu as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of dispatches that stayed on the node.
+    pub fn node_local_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.same_node as f64 / self.total as f64
+        }
+    }
+
+    /// Merge counters.
+    pub fn merge(&mut self, other: &DispatchStats) {
+        self.total += other.total;
+        self.same_gpu += other.same_gpu;
+        self.same_node += other.same_node;
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Mode that produced this report.
+    pub mode: ParallelismMode,
+    /// Wall (virtual) time of the run: max final clock across ranks.
+    pub total_time: f64,
+    /// Mean per-rank operator breakdown.
+    pub breakdown: OpBreakdown,
+    /// Tokens processed (requests x iterations, summed over ranks).
+    pub tokens_processed: u64,
+    /// Dispatch locality counters summed over ranks.
+    pub dispatch: DispatchStats,
+    /// Alltoall bytes sent, by link class, summed over ranks and layers.
+    pub alltoall_bytes: BytesByClass,
+    /// AllGather bytes sent, by link class.
+    pub allgather_bytes: BytesByClass,
+}
+
+impl InferenceReport {
+    /// End-to-end generation throughput in tokens per (virtual) second.
+    pub fn throughput(&self) -> f64 {
+        if self.total_time == 0.0 {
+            0.0
+        } else {
+            self.tokens_processed as f64 / self.total_time
+        }
+    }
+
+    /// Total communication time per the breakdown.
+    pub fn comm_time(&self) -> f64 {
+        self.breakdown.alltoall + self.breakdown.allgather
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> OpBreakdown {
+        OpBreakdown {
+            gating: 1.0,
+            attention: 2.0,
+            expert_ffn: 3.0,
+            alltoall: 3.0,
+            allgather: 1.0,
+            imbalance: 0.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = breakdown();
+        assert_eq!(b.total(), 10.0);
+        assert!((b.comm_fraction() - 0.4).abs() < 1e-12);
+        assert!((b.alltoall_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        let b = OpBreakdown::default();
+        assert_eq!(b.comm_fraction(), 0.0);
+        assert_eq!(b.alltoall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = breakdown();
+        a.merge(&breakdown());
+        assert_eq!(a.total(), 20.0);
+        assert_eq!(a.scaled(0.5).total(), 10.0);
+    }
+
+    #[test]
+    fn dispatch_fractions() {
+        let d = DispatchStats {
+            total: 10,
+            same_gpu: 4,
+            same_node: 7,
+        };
+        assert!((d.gpu_local_fraction() - 0.4).abs() < 1e-12);
+        assert!((d.node_local_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dispatch_is_fully_local() {
+        let d = DispatchStats::default();
+        assert_eq!(d.gpu_local_fraction(), 1.0);
+        assert_eq!(d.node_local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn throughput_divides_tokens_by_time() {
+        let r = InferenceReport {
+            mode: ParallelismMode::Vanilla,
+            total_time: 2.0,
+            breakdown: breakdown(),
+            tokens_processed: 100,
+            dispatch: DispatchStats::default(),
+            alltoall_bytes: BytesByClass::default(),
+            allgather_bytes: BytesByClass::default(),
+        };
+        assert_eq!(r.throughput(), 50.0);
+        assert_eq!(r.comm_time(), 4.0);
+    }
+}

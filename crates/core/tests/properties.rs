@@ -1,0 +1,90 @@
+//! Property-based tests for the engine layer.
+
+use exflow_core::commvolume::{uniform_crossing_fraction, System, VolumeParams};
+use exflow_core::frame::{decode, encode, frame_size, Token};
+use proptest::prelude::*;
+
+fn arb_token(dim: usize) -> impl Strategy<Value = Token> {
+    (0u32..10_000, 0u32..64, 0u32..8, 0u32..2).prop_map(move |(id, home, domain, slot)| Token {
+        id,
+        home,
+        domain,
+        slot,
+        emb: (0..dim).map(|i| (id as f32) * 0.01 + i as f32).collect(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip(
+        tokens in proptest::collection::vec(arb_token(8), 0..20),
+        width in 0u64..4096,
+    ) {
+        let frame = frame_size(width, 8);
+        let buf = encode(&tokens, frame);
+        prop_assert_eq!(buf.len(), tokens.len() * frame);
+        prop_assert_eq!(decode(&buf, frame), tokens);
+    }
+
+    #[test]
+    fn frame_size_honors_both_bounds(width in 0u64..1_000_000, dim in 0usize..256) {
+        let f = frame_size(width, dim);
+        prop_assert!(f >= width as usize);
+        prop_assert!(f >= 20 + 4 * dim);
+    }
+
+    #[test]
+    fn volumes_scale_linearly_in_n(
+        g in 2usize..64,
+        n in 1usize..512,
+        l in 1usize..48,
+        p in 0.0f64..1.0,
+    ) {
+        let a = VolumeParams { g, n, l };
+        let b = VolumeParams { g, n: n * 2, l };
+        for system in System::ALL {
+            let va = system.volume(a, p, 1);
+            let vb = system.volume(b, p, 1);
+            prop_assert!((vb - 2.0 * va).abs() < 1e-6, "{:?}", system);
+        }
+    }
+
+    #[test]
+    fn volumes_monotone_in_p(
+        g in 2usize..64,
+        n in 1usize..512,
+        l in 1usize..48,
+        p_lo in 0.0f64..1.0,
+        p_hi in 0.0f64..1.0,
+    ) {
+        prop_assume!(p_lo <= p_hi);
+        let params = VolumeParams { g, n, l };
+        for system in System::ALL {
+            prop_assert!(
+                system.volume(params, p_lo, 1) <= system.volume(params, p_hi, 1) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn exflow_beats_deepspeed_at_equal_p_when_deep(
+        g in 2usize..32,
+        n in 1usize..256,
+        p in 0.05f64..1.0,
+    ) {
+        // With L >= 2G/p the AllGather term is amortized and one Alltoall
+        // at fraction p beats two Alltoalls at the same p.
+        let l = ((2.0 * g as f64 / p).ceil() as usize).max(2);
+        let params = VolumeParams { g, n, l };
+        let ds = System::DeepspeedMoe.volume(params, p, 1);
+        let ex = System::ExFlow.volume(params, p, 1);
+        prop_assert!(ex < ds, "g={} l={} p={}: exflow {} vs ds {}", g, l, p, ex, ds);
+    }
+
+    #[test]
+    fn uniform_crossing_fraction_matches_formula(g in 1usize..512) {
+        let p = uniform_crossing_fraction(g);
+        prop_assert!((p - (1.0 - 1.0 / g as f64)).abs() < 1e-12);
+        prop_assert!((0.0..1.0).contains(&p));
+    }
+}

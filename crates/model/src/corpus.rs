@@ -1,0 +1,269 @@
+//! Synthetic corpora: domain-mixture token streams standing in for the
+//! Pile / C4 / Dolma / Yelp datasets of the paper's Table III.
+//!
+//! A corpus is a distribution over *domains*; a token drawn from a corpus
+//! carries a domain label and routes through the [`RoutingModel`] using that
+//! domain's transition structure. Different corpora remix the same domains
+//! with different weights — the controlled analogue of "out-of-distribution
+//! data that still flows through the same pre-trained model".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::routing::RoutingModel;
+
+/// A named domain-mixture specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Corpus name (e.g. `"pile-proxy"`).
+    pub name: String,
+    /// Unnormalized weight of each domain. Length must match the routing
+    /// model's domain count when sampling.
+    pub domain_weights: Vec<f64>,
+}
+
+impl CorpusSpec {
+    /// Build a corpus from explicit weights.
+    pub fn new(name: impl Into<String>, domain_weights: Vec<f64>) -> Self {
+        assert!(!domain_weights.is_empty(), "corpus needs at least one domain");
+        assert!(
+            domain_weights.iter().all(|&w| w >= 0.0)
+                && domain_weights.iter().sum::<f64>() > 0.0,
+            "weights must be non-negative with positive sum"
+        );
+        CorpusSpec {
+            name: name.into(),
+            domain_weights,
+        }
+    }
+
+    /// The profiling corpus: a broad, even mixture (the Pile is "an 800GB
+    /// dataset of *diverse* text").
+    pub fn pile_proxy(n_domains: usize) -> Self {
+        CorpusSpec::new("pile-proxy", vec![1.0; n_domains])
+    }
+
+    /// Web-crawl proxy: skewed towards the first domains.
+    pub fn c4_proxy(n_domains: usize) -> Self {
+        let w = (0..n_domains)
+            .map(|d| 1.0 / (1.0 + d as f64 * 0.5))
+            .collect();
+        CorpusSpec::new("c4-proxy", w)
+    }
+
+    /// Curated-corpus proxy: skewed towards the last domains.
+    pub fn dolma_proxy(n_domains: usize) -> Self {
+        let w = (0..n_domains)
+            .map(|d| 1.0 / (1.0 + (n_domains - 1 - d) as f64 * 0.5))
+            .collect();
+        CorpusSpec::new("dolma-proxy", w)
+    }
+
+    /// Narrow-domain proxy (reviews): almost all mass on one domain — the
+    /// most out-of-distribution of the four.
+    pub fn yelp_proxy(n_domains: usize) -> Self {
+        let mut w = vec![0.1; n_domains];
+        w[n_domains / 2] = 3.0;
+        CorpusSpec::new("yelp-proxy", w)
+    }
+
+    /// All four Table III corpora.
+    pub fn table3(n_domains: usize) -> Vec<CorpusSpec> {
+        vec![
+            CorpusSpec::pile_proxy(n_domains),
+            CorpusSpec::c4_proxy(n_domains),
+            CorpusSpec::dolma_proxy(n_domains),
+            CorpusSpec::yelp_proxy(n_domains),
+        ]
+    }
+
+    /// Sample a domain index according to the weights.
+    pub fn sample_domain<R: Rng>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.domain_weights.iter().sum();
+        let mut target = rng.gen::<f64>() * total;
+        for (d, &w) in self.domain_weights.iter().enumerate() {
+            if target < w {
+                return d;
+            }
+            target -= w;
+        }
+        self.domain_weights.len() - 1
+    }
+}
+
+/// A batch of routed tokens: the unit of work the engine and the affinity
+/// profiler both consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBatch {
+    /// `routes[token][layer]` lists the expert(s) the token visits at that
+    /// layer; entry 0 is the primary expert.
+    pub routes: Vec<Vec<Vec<u16>>>,
+    /// Domain label of each token.
+    pub domains: Vec<usize>,
+}
+
+impl TokenBatch {
+    /// Sample `n_tokens` from `corpus`, routing each through `model` with
+    /// `k` experts per layer. Deterministic in `seed`.
+    pub fn sample(
+        model: &RoutingModel,
+        corpus: &CorpusSpec,
+        n_tokens: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            corpus.domain_weights.len(),
+            model.n_domains(),
+            "corpus domain count must match routing model"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut routes = Vec::with_capacity(n_tokens);
+        let mut domains = Vec::with_capacity(n_tokens);
+        for _ in 0..n_tokens {
+            let d = corpus.sample_domain(&mut rng);
+            routes.push(model.sample_route(&mut rng, d, k));
+            domains.push(d);
+        }
+        TokenBatch { routes, domains }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Number of layers in each route.
+    pub fn n_layers(&self) -> usize {
+        self.routes.first().map_or(0, |r| r.len())
+    }
+
+    /// Primary (top-1) expert path of each token.
+    pub fn top1_paths(&self) -> Vec<Vec<u16>> {
+        self.routes
+            .iter()
+            .map(|route| route.iter().map(|experts| experts[0]).collect())
+            .collect()
+    }
+
+    /// Split the batch round-robin across `n` shards (how requests spread
+    /// across the data-parallel group before inference).
+    pub fn shard(&self, n: usize) -> Vec<TokenBatch> {
+        assert!(n >= 1);
+        let mut shards: Vec<TokenBatch> = (0..n)
+            .map(|_| TokenBatch {
+                routes: Vec::new(),
+                domains: Vec::new(),
+            })
+            .collect();
+        for (i, (route, &domain)) in self.routes.iter().zip(self.domains.iter()).enumerate() {
+            shards[i % n].routes.push(route.clone());
+            shards[i % n].domains.push(domain);
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::AffinityModelSpec;
+
+    fn model() -> RoutingModel {
+        AffinityModelSpec::new(6, 8).build()
+    }
+
+    #[test]
+    fn table3_has_four_named_corpora() {
+        let corpora = CorpusSpec::table3(4);
+        let names: Vec<_> = corpora.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["pile-proxy", "c4-proxy", "dolma-proxy", "yelp-proxy"]
+        );
+    }
+
+    #[test]
+    fn domain_sampling_respects_weights() {
+        let c = CorpusSpec::new("t", vec![0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(c.sample_domain(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn batch_shapes_are_consistent() {
+        let m = model();
+        let b = TokenBatch::sample(&m, &CorpusSpec::pile_proxy(4), 100, 1, 42);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.n_layers(), 6);
+        assert_eq!(b.domains.len(), 100);
+        for route in &b.routes {
+            assert_eq!(route.len(), 6);
+            for experts in route {
+                assert_eq!(experts.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_per_seed() {
+        let m = model();
+        let c = CorpusSpec::pile_proxy(4);
+        let a = TokenBatch::sample(&m, &c, 50, 1, 7);
+        let b = TokenBatch::sample(&m, &c, 50, 1, 7);
+        assert_eq!(a, b);
+        let c2 = TokenBatch::sample(&m, &c, 50, 1, 8);
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn top1_paths_extract_primary() {
+        let m = model();
+        let b = TokenBatch::sample(&m, &CorpusSpec::pile_proxy(4), 10, 2, 3);
+        let paths = b.top1_paths();
+        for (t, path) in paths.iter().enumerate() {
+            for (l, &e) in path.iter().enumerate() {
+                assert_eq!(e, b.routes[t][l][0]);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partitions_every_token() {
+        let m = model();
+        let b = TokenBatch::sample(&m, &CorpusSpec::pile_proxy(4), 103, 1, 3);
+        let shards = b.shard(4);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 103);
+        // Round-robin: shard sizes differ by at most 1.
+        let sizes: Vec<_> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain count must match")]
+    fn mismatched_domain_count_rejected() {
+        let m = model(); // 4 domains
+        let _ = TokenBatch::sample(&m, &CorpusSpec::pile_proxy(3), 10, 1, 0);
+    }
+
+    #[test]
+    fn yelp_proxy_is_most_concentrated() {
+        let yelp = CorpusSpec::yelp_proxy(4);
+        let pile = CorpusSpec::pile_proxy(4);
+        let h = |w: &[f64]| {
+            let s: f64 = w.iter().sum();
+            -w.iter()
+                .filter(|&&x| x > 0.0)
+                .map(|&x| (x / s) * (x / s).ln())
+                .sum::<f64>()
+        };
+        assert!(h(&yelp.domain_weights) < h(&pile.domain_weights));
+    }
+}

@@ -1,0 +1,47 @@
+//! # exflow-model
+//!
+//! The GPT Mixture-of-Experts model substrate for the ExFlow (IPDPS 2024)
+//! reproduction.
+//!
+//! The paper evaluates on pre-trained GPT MoE checkpoints (350M–1.3B
+//! parameters, 8–64 experts per layer) served by DeepSpeed-Megatron on A100
+//! clusters, and profiles token routing on the Pile corpus. Neither trained
+//! checkpoints nor corpora are available here, so this crate builds the
+//! closest synthetic equivalents (documented in `DESIGN.md` §2):
+//!
+//! * [`config`] / [`presets`] — the paper's Table II model zoo, plus a
+//!   FLOP/byte cost model per operator ([`cost`]);
+//! * [`tensor`] / [`expert`] — small but *real* dense linear algebra
+//!   (rayon-parallel matmul, GELU) so the engine genuinely computes expert
+//!   FFNs on token vectors;
+//! * [`routing`] — the core substitution: a layer-to-layer Markov routing
+//!   process over experts whose transition structure is a mixture of
+//!   permutation matrices (doubly stochastic, hence GShard-load-balanced)
+//!   with tunable *affinity concentration*. This reproduces the class of
+//!   conditional-probability structure the paper's Fig. 2 heatmaps show;
+//! * [`corpus`] — domain-mixture token streams standing in for Pile / C4 /
+//!   Dolma / Yelp (Table III);
+//! * [`training`] — a gating-evolution simulator reproducing the training
+//!   dynamics of Figs. 11–12 (early expert collapse, rebalancing, steady
+//!   affinity growth).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod config;
+pub mod corpus;
+pub mod cost;
+pub mod expert;
+pub mod presets;
+pub mod routing;
+pub mod tensor;
+pub mod training;
+
+pub use config::{GateKind, ModelConfig};
+pub use corpus::{CorpusSpec, TokenBatch};
+pub use cost::ComputeCostModel;
+pub use expert::Expert;
+pub use routing::{AffinityModelSpec, RoutingModel};
+pub use tensor::Matrix;
+pub use training::TrainingSimulator;

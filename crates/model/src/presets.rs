@@ -1,0 +1,101 @@
+//! The paper's Table II model zoo.
+
+use crate::config::ModelConfig;
+
+/// MoE GPT-M (350M base, 24 layers, d=1024) with `n_experts` per layer.
+/// Table II lists the 8/16/32/64-expert variants.
+pub fn moe_gpt_m(n_experts: usize) -> ModelConfig {
+    ModelConfig::new(
+        format!("MoE-GPT-M/{n_experts}e-24L"),
+        350_000_000,
+        24,
+        n_experts,
+        1024,
+    )
+}
+
+/// MoE GPT-M with 32 experts and 32 layers (470M base in Table II).
+pub fn moe_gpt_m_32e_32l() -> ModelConfig {
+    ModelConfig::new("MoE-GPT-M/32e-32L", 470_000_000, 32, 32, 1024)
+}
+
+/// MoE GPT-M with 32 experts and 40 layers (590M base in Table II).
+pub fn moe_gpt_m_32e_40l() -> ModelConfig {
+    ModelConfig::new("MoE-GPT-M/32e-40L", 590_000_000, 40, 32, 1024)
+}
+
+/// MoE GPT-XL (1.3B base, 24 layers, d=2048, 16 experts).
+pub fn moe_gpt_xl_16e() -> ModelConfig {
+    ModelConfig::new("MoE-GPT-XL/16e-24L", 1_300_000_000, 24, 16, 2048)
+}
+
+/// The 12-layer, 32-expert profiling model used for the paper's Fig. 2 and
+/// appendix heatmaps ("a pre-trained GPT model with 12 MoE layers, and each
+/// layer has 32 experts").
+pub fn heatmap_model() -> ModelConfig {
+    ModelConfig::new("MoE-GPT-350M/32e-12L", 350_000_000, 12, 32, 1024)
+}
+
+/// All seven Table II variants, in the order Fig. 10 plots them.
+pub fn table2() -> Vec<ModelConfig> {
+    vec![
+        moe_gpt_m(8),
+        moe_gpt_m(16),
+        moe_gpt_m(32),
+        moe_gpt_m(64),
+        moe_gpt_m_32e_32l(),
+        moe_gpt_m_32e_40l(),
+        moe_gpt_xl_16e(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_seven_variants() {
+        assert_eq!(table2().len(), 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            table2().into_iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn gpt_m_dimensions_match_table2() {
+        let c = moe_gpt_m(32);
+        assert_eq!(c.n_layers, 24);
+        assert_eq!(c.d_model, 1024);
+        assert_eq!(c.base_params, 350_000_000);
+    }
+
+    #[test]
+    fn xl_is_wider() {
+        assert_eq!(moe_gpt_xl_16e().d_model, 2048);
+        assert_eq!(moe_gpt_xl_16e().n_experts, 16);
+    }
+
+    #[test]
+    fn layer_variants() {
+        assert_eq!(moe_gpt_m_32e_32l().n_layers, 32);
+        assert_eq!(moe_gpt_m_32e_40l().n_layers, 40);
+    }
+
+    #[test]
+    fn moe_params_dominate_total() {
+        // 64 experts x 24 layers of 1024x4096 FFNs dwarf the 350M base.
+        let c = moe_gpt_m(64);
+        assert!(c.total_params() > 10 * c.base_params);
+    }
+
+    #[test]
+    fn heatmap_model_matches_fig2_caption() {
+        let c = heatmap_model();
+        assert_eq!(c.n_layers, 12);
+        assert_eq!(c.n_experts, 32);
+    }
+}

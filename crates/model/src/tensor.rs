@@ -1,0 +1,222 @@
+//! Minimal dense linear algebra: just enough real math for expert FFNs.
+//!
+//! The engine runs *genuine* matrix products on token activations (at the
+//! reduced `sim_dim`), parallelized with rayon as the hpc-parallel guides
+//! prescribe, while FLOP/byte *accounting* uses the true model dimensions
+//! from [`crate::config::ModelConfig`].
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier-uniform random init, deterministic under the supplied RNG.
+    pub fn random<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let dist = Uniform::new_inclusive(-bound, bound);
+        let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix product `self * other`, rows parallelized with rayon.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = vec![0.0f32; self.rows * other.cols];
+        out.par_chunks_mut(other.cols)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = self.row(i);
+                // k-outer loop keeps the inner loop contiguous over `other`'s
+                // rows: sequential access on both sides, auto-vectorizable.
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        Matrix::from_vec(self.rows, other.cols, out)
+    }
+
+    /// Apply GELU (tanh approximation) element-wise, in place.
+    pub fn gelu_inplace(&mut self) {
+        const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+        self.data.par_iter_mut().for_each(|x| {
+            let v = *x;
+            *x = 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + 0.044_715 * v * v * v)).tanh());
+        });
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.par_iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// Row-wise softmax of a slice, returned as a fresh `Vec`.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_identity() {
+        let mut eye = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            eye.set(i, i, 1.0);
+        }
+        let m = Matrix::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
+        assert_eq!(m.matmul(&eye), m);
+        assert_eq!(eye.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let mut m = Matrix::from_vec(1, 3, vec![0.0, 10.0, -10.0]);
+        m.gelu_inplace();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!((m.get(0, 1) - 10.0).abs() < 1e-3); // gelu(x) -> x for large x
+        assert!(m.get(0, 2).abs() < 1e-3); // gelu(x) -> 0 for very negative x
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Matrix::random(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = Matrix::random(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = Matrix::random(4, 4, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn norm_of_unit_row() {
+        let m = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]);
+        assert!((m.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Matrix::random(17, 13, &mut rng);
+        let b = Matrix::random(13, 11, &mut rng);
+        let c = a.matmul(&b);
+        // Naive reference.
+        for i in 0..17 {
+            for j in 0..11 {
+                let mut acc = 0.0f32;
+                for k in 0..13 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                assert!((c.get(i, j) - acc).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the model substrate.
+
+use exflow_model::routing::AffinityModelSpec;
+use exflow_model::tensor::{softmax, Matrix};
+use exflow_model::training::TrainingSimulator;
+use exflow_model::{CorpusSpec, TokenBatch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transitions_always_row_stochastic(
+        e in 2usize..32,
+        l in 2usize..8,
+        kappa in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let m = AffinityModelSpec::new(l, e)
+            .with_affinity(kappa)
+            .with_seed(seed)
+            .build();
+        for d in 0..m.n_domains() {
+            for gap in 0..l - 1 {
+                let t = m.transition(d, gap);
+                for row in 0..e {
+                    let s: f64 = t[row * e..(row + 1) * e].iter().sum();
+                    prop_assert!((s - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitions_always_doubly_stochastic(
+        e in 2usize..24,
+        kappa in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let m = AffinityModelSpec::new(3, e)
+            .with_affinity(kappa)
+            .with_seed(seed)
+            .build();
+        let t = m.transition(0, 0);
+        for col in 0..e {
+            let s: f64 = (0..e).map(|r| t[r * e + col]).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "col {} sum {}", col, s);
+        }
+    }
+
+    #[test]
+    fn paths_stay_in_range(
+        e in 1usize..16,
+        l in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let m = AffinityModelSpec::new(l, e).build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = m.sample_path(&mut rng, seed as usize % m.n_domains());
+        prop_assert_eq!(p.len(), l);
+        prop_assert!(p.iter().all(|&x| (x as usize) < e));
+    }
+
+    #[test]
+    fn batch_sharding_conserves_tokens(
+        n in 1usize..200,
+        shards in 1usize..8,
+    ) {
+        let m = AffinityModelSpec::new(4, 8).build();
+        let b = TokenBatch::sample(&m, &CorpusSpec::pile_proxy(4), n, 1, 0);
+        let parts = b.shard(shards);
+        prop_assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), n);
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        prop_assert!(max - min <= 1, "round-robin must balance within 1");
+    }
+
+    #[test]
+    fn training_active_count_monotone_and_bounded(
+        e in 1usize..64,
+        it_a in 0u64..3000,
+        it_b in 0u64..3000,
+    ) {
+        let sim = TrainingSimulator::new(AffinityModelSpec::new(4, e));
+        let (lo, hi) = if it_a <= it_b { (it_a, it_b) } else { (it_b, it_a) };
+        let ca = sim.active_count_at(lo);
+        let cb = sim.active_count_at(hi);
+        prop_assert!(ca <= cb);
+        prop_assert!((1..=e).contains(&ca));
+        prop_assert!((1..=e).contains(&cb));
+    }
+
+    #[test]
+    fn training_kappa_monotone(it_a in 0u64..20_000, it_b in 0u64..20_000) {
+        let sim = TrainingSimulator::new(AffinityModelSpec::new(4, 8));
+        let (lo, hi) = if it_a <= it_b { (it_a, it_b) } else { (it_b, it_a) };
+        prop_assert!(sim.kappa_at(lo) <= sim.kappa_at(hi) + 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-20.0f32..20.0, 1..32)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..50) {
+        // (A + B) * C == A*C + B*C within fp tolerance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(6, 5, &mut rng);
+        let b = Matrix::random(6, 5, &mut rng);
+        let c = Matrix::random(5, 4, &mut rng);
+        let mut ab = Matrix::zeros(6, 5);
+        for r in 0..6 {
+            for k in 0..5 {
+                ab.set(r, k, a.get(r, k) + b.get(r, k));
+            }
+        }
+        let lhs = ab.matmul(&c);
+        let ac = a.matmul(&c);
+        let bc = b.matmul(&c);
+        for r in 0..6 {
+            for k in 0..4 {
+                prop_assert!((lhs.get(r, k) - (ac.get(r, k) + bc.get(r, k))).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Kuhn–Munkres (Hungarian) algorithm for the min-cost perfect assignment
+//! problem — the exact solver for a *single* layer pair.
+//!
+//! When each GPU holds one expert per layer (capacity 1), choosing layer
+//! `j+1`'s placement given layer `j`'s is exactly an assignment problem:
+//! assign each expert to a GPU so the expected cross-GPU mass is minimal.
+//! With capacity `C` the same holds after expanding each GPU into `C`
+//! identical slots. The greedy chain solver ([`crate::greedy`]) applies
+//! this gap by gap.
+
+/// Solve min-cost assignment on an `n x n` cost matrix (row-major).
+/// Returns `assignment[row] = col`. O(n³), the classic potentials/augmenting
+/// path formulation.
+pub fn solve_assignment(cost: &[f64], n: usize) -> Vec<usize> {
+    assert_eq!(cost.len(), n * n, "cost matrix must be n*n");
+    assert!(n >= 1);
+    const INF: f64 = f64::INFINITY;
+
+    // 1-indexed potentials over rows (u) and columns (v).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    // p[col] = row matched to col (0 = unmatched); p[0] is the working row.
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
+    assignment
+}
+
+/// Total cost of an assignment under a cost matrix.
+pub fn assignment_cost(cost: &[f64], n: usize, assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r * n + c])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(cost: &[f64], n: usize) -> f64 {
+        // Enumerate all permutations (n <= 7 in tests).
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for pos in 0..n {
+                    let mut q: Vec<usize> = p.iter().map(|&x| x + usize::from(x >= pos)).collect();
+                    q.insert(0, pos);
+                    // rotate: we built "pos first" variants of sub-perm
+                    out.push(q);
+                }
+            }
+            out
+        }
+        perms(n)
+            .into_iter()
+            .map(|p| assignment_cost(cost, n, &p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn one_by_one() {
+        assert_eq!(solve_assignment(&[42.0], 1), vec![0]);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_cheaper() {
+        // Diagonal is expensive.
+        let cost = vec![10.0, 1.0, 1.0, 10.0];
+        let a = solve_assignment(&cost, 2);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(assignment_cost(&cost, 2, &a), 2.0);
+    }
+
+    #[test]
+    fn known_3x3() {
+        // Classic example: optimal cost 5 (0->1, 1->0, 2->2 or similar).
+        let cost = vec![
+            4.0, 1.0, 3.0, //
+            2.0, 0.0, 5.0, //
+            3.0, 2.0, 2.0,
+        ];
+        let a = solve_assignment(&cost, 3);
+        assert_eq!(assignment_cost(&cost, 3, &a), 5.0);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 12;
+        let cost: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let a = solve_assignment(&cost, n);
+        let mut seen = vec![false; n];
+        for &c in &a {
+            assert!(!seen[c], "column assigned twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..=6);
+            let cost: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let a = solve_assignment(&cost, n);
+            let got = assignment_cost(&cost, n, &a);
+            let best = brute_force(&cost, n);
+            assert!(
+                (got - best).abs() < 1e-9,
+                "trial {trial} n={n}: hungarian {got} vs brute {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![-5.0, 0.0, 0.0, -5.0];
+        let a = solve_assignment(&cost, 2);
+        assert_eq!(assignment_cost(&cost, 2, &a), -10.0);
+    }
+}

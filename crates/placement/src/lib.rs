@@ -1,0 +1,51 @@
+//! # exflow-placement
+//!
+//! Affinity-aware expert placement — the optimization half of ExFlow
+//! (IPDPS 2024, §IV-B/C/D).
+//!
+//! Given the inter-layer affinity matrices estimated by `exflow-affinity`,
+//! this crate decides which GPU holds which expert at every layer so that a
+//! token's most likely next expert is, with maximum probability, already on
+//! the token's current GPU (and failing that, on its current node).
+//!
+//! The paper formulates this as an integer linear program (formulas 8–12):
+//! minimize the number of cross-unit token transitions subject to exact
+//! load balance (each unit holds `E/P` experts per layer) and exclusive
+//! ownership. The same formulation is applied twice — first with units =
+//! nodes, then within each node with units = GPUs ("staged expert
+//! affinity"). Since no external ILP solver is available offline, this crate
+//! implements the model plus a family of solvers:
+//!
+//! * [`exact`] — exact dynamic programming over balanced partitions
+//!   (small instances; the oracle the heuristics are validated against);
+//! * [`hungarian`] — optimal per-layer-pair assignment (Kuhn–Munkres),
+//!   used by the greedy chain construction;
+//! * [`greedy`] — layer-by-layer chain construction;
+//! * [`local_search`] — pairwise-swap hill climbing with delta evaluation;
+//! * [`annealing`] — simulated annealing for rugged instances;
+//! * [`staged`] — the paper's two-stage node→GPU pipeline.
+//!
+//! [`objective::Objective`] scores placements (expected cross-unit
+//! transition mass) and [`objective::measure_trace_locality`] measures the
+//! realized locality of a placement on a concrete routing trace (the bars
+//! of the paper's Figs. 7–8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod exact;
+pub mod greedy;
+pub mod hungarian;
+pub mod io;
+pub mod local_search;
+pub mod objective;
+pub mod placement;
+pub mod replication;
+pub mod solver;
+pub mod staged;
+
+pub use objective::Objective;
+pub use placement::Placement;
+pub use solver::{solve, SolverKind};
+pub use staged::StagedPlacement;

@@ -1,0 +1,159 @@
+//! Pairwise-swap hill climbing with O(E) delta evaluation — the workhorse
+//! heuristic for the paper's ILP at the sizes where exact DP is infeasible
+//! (E up to 64, L up to 40).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::greedy::solve_greedy;
+use crate::objective::Objective;
+use crate::placement::Placement;
+
+/// Improve `placement` in place by first-improvement swap passes until a
+/// local optimum or `max_passes`. Returns the final cross mass.
+pub fn improve(objective: &Objective, placement: &mut Placement, max_passes: usize) -> f64 {
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for layer in 0..l {
+            for e1 in 0..e {
+                for e2 in (e1 + 1)..e {
+                    let delta = objective.swap_delta(placement, layer, e1, e2);
+                    if delta < -1e-12 {
+                        placement.swap(layer, e1, e2);
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    objective.cross_mass(placement)
+}
+
+/// A random balanced placement (restart seed for multi-start search).
+pub fn random_placement<R: Rng>(
+    n_layers: usize,
+    n_experts: usize,
+    n_units: usize,
+    rng: &mut R,
+) -> Placement {
+    let cap = n_experts / n_units;
+    let assign = (0..n_layers)
+        .map(|_| {
+            let mut experts: Vec<usize> = (0..n_experts).collect();
+            for i in (1..experts.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                experts.swap(i, j);
+            }
+            let mut row = vec![0usize; n_experts];
+            for (pos, &expert) in experts.iter().enumerate() {
+                row[expert] = pos / cap;
+            }
+            row
+        })
+        .collect();
+    Placement::new(assign, n_units)
+}
+
+/// Multi-start local search: the greedy chain plus `restarts` random
+/// starts, each polished by swap passes; returns the best placement found.
+pub fn solve_local_search(
+    objective: &Objective,
+    n_units: usize,
+    restarts: usize,
+    seed: u64,
+) -> Placement {
+    let mut best = solve_greedy(objective, n_units);
+    let mut best_cost = improve(objective, &mut best, 50);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..restarts {
+        let mut cand = random_placement(
+            objective.n_layers(),
+            objective.n_experts(),
+            n_units,
+            &mut rng,
+        );
+        let cost = improve(objective, &mut cand, 50);
+        if cost < best_cost {
+            best_cost = cost;
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_shift_objective(e: usize, gaps: usize, kappa: f64) -> Objective {
+        // shift structure mixed with uniform: harder than pure permutation.
+        let u = 1.0 / e as f64;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            for p in 0..e {
+                let s = f64::from(p == (i + 1) % e);
+                m[i * e + p] = kappa * s + (1.0 - kappa) * u;
+            }
+        }
+        Objective::from_raw(vec![m; gaps], e)
+    }
+
+    #[test]
+    fn improve_never_worsens() {
+        let obj = noisy_shift_objective(8, 4, 0.7);
+        let mut p = Placement::round_robin(5, 8, 4);
+        let before = obj.cross_mass(&p);
+        let after = improve(&obj, &mut p, 10);
+        assert!(after <= before + 1e-12);
+    }
+
+    #[test]
+    fn local_search_reaches_swap_optimality() {
+        let obj = noisy_shift_objective(8, 3, 0.8);
+        let mut p = Placement::round_robin(4, 8, 2);
+        improve(&obj, &mut p, 100);
+        // No single swap can improve further.
+        for layer in 0..4 {
+            for e1 in 0..8 {
+                for e2 in e1 + 1..8 {
+                    assert!(obj.swap_delta(&p, layer, e1, e2) >= -1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_placement_is_balanced_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_placement(3, 12, 4, &mut rng);
+        for layer in 0..3 {
+            for unit in 0..4 {
+                assert_eq!(p.experts_on(layer, unit).len(), 3);
+            }
+        }
+        let mut rng2 = StdRng::seed_from_u64(5);
+        assert_eq!(p, random_placement(3, 12, 4, &mut rng2));
+    }
+
+    #[test]
+    fn solve_beats_round_robin_under_noise() {
+        let obj = noisy_shift_objective(16, 6, 0.75);
+        let rr = Placement::round_robin(7, 16, 4);
+        let solved = solve_local_search(&obj, 4, 2, 0);
+        assert!(obj.cross_mass(&solved) < obj.cross_mass(&rr));
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let obj = noisy_shift_objective(8, 4, 0.6);
+        let zero = solve_local_search(&obj, 4, 0, 1);
+        let many = solve_local_search(&obj, 4, 4, 1);
+        assert!(obj.cross_mass(&many) <= obj.cross_mass(&zero) + 1e-12);
+    }
+}

@@ -1,0 +1,382 @@
+//! The ILP objective (paper formula 8) and locality measurement.
+
+use exflow_affinity::{AffinityMatrix, RoutingTrace};
+
+use crate::placement::Placement;
+
+/// The placement objective: expected number of cross-unit transitions per
+/// token per forward pass, computed from consecutive-layer affinity
+/// matrices.
+///
+/// This is the expectation of the paper's formula 8 (`Σ_k Σ_j R_{k,j}`)
+/// under the estimated routing distribution. Each source expert's row is
+/// weighted by its *empirical marginal* (its share of traced tokens at that
+/// layer): for the GShard-balanced models the paper studies this is simply
+/// `1/E`, but it stays correct for skewed checkpoints (early training,
+/// Fig. 12a) where a uniform weighting would dilute the objective with
+/// never-visited experts.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    n_experts: usize,
+    /// Flattened `E x E` conditional matrix per layer gap.
+    gaps: Vec<Vec<f64>>,
+    /// Per-gap source-expert marginal weights (each sums to 1).
+    weights: Vec<Vec<f64>>,
+}
+
+impl Objective {
+    /// Build from consecutive-layer affinity matrices (length `L - 1`,
+    /// ordered by layer), weighting each row by its observed marginal.
+    pub fn from_affinities(matrices: &[AffinityMatrix]) -> Self {
+        assert!(!matrices.is_empty(), "need at least one layer gap");
+        let e = matrices[0].n_experts();
+        let mut gaps = Vec::with_capacity(matrices.len());
+        let mut weights = Vec::with_capacity(matrices.len());
+        for m in matrices {
+            assert_eq!(m.n_experts(), e, "matrices must agree on expert count");
+            let mut flat = Vec::with_capacity(e * e);
+            for i in 0..e {
+                flat.extend_from_slice(m.row(i));
+            }
+            gaps.push(flat);
+            let total: u64 = (0..e).map(|i| m.row_count(i)).sum();
+            weights.push(if total == 0 {
+                vec![1.0 / e as f64; e]
+            } else {
+                (0..e)
+                    .map(|i| m.row_count(i) as f64 / total as f64)
+                    .collect()
+            });
+        }
+        Objective {
+            n_experts: e,
+            gaps,
+            weights,
+        }
+    }
+
+    /// Build from raw flattened transition matrices (each row-stochastic
+    /// `E x E`), e.g. a routing model's exact transitions, with uniform
+    /// (balanced) source marginals.
+    pub fn from_raw(gaps: Vec<Vec<f64>>, n_experts: usize) -> Self {
+        assert!(!gaps.is_empty());
+        for g in &gaps {
+            assert_eq!(g.len(), n_experts * n_experts);
+        }
+        let weights = vec![vec![1.0 / n_experts as f64; n_experts]; gaps.len()];
+        Objective {
+            n_experts,
+            gaps,
+            weights,
+        }
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// Number of layer gaps (`L - 1`).
+    pub fn n_gaps(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Number of layers (`gaps + 1`).
+    pub fn n_layers(&self) -> usize {
+        self.gaps.len() + 1
+    }
+
+    /// The conditional probability `P(expert p at layer gap+1 | expert i at
+    /// layer gap)` this objective was built from.
+    #[inline]
+    pub fn gap_prob(&self, gap: usize, i: usize, p: usize) -> f64 {
+        self.gaps[gap][i * self.n_experts + p]
+    }
+
+    /// The marginal weight of source expert `i` at layer `gap` (its share
+    /// of traced tokens; `1/E` for balanced models).
+    #[inline]
+    pub fn row_weight(&self, gap: usize, i: usize) -> f64 {
+        self.weights[gap][i]
+    }
+
+    /// Expected cross-unit transitions per token across the whole forward
+    /// pass (lower is better; range `[0, L-1]`).
+    pub fn cross_mass(&self, placement: &Placement) -> f64 {
+        assert_eq!(placement.n_layers(), self.n_layers());
+        assert_eq!(placement.n_experts(), self.n_experts);
+        let e = self.n_experts;
+        let mut total = 0.0f64;
+        for (gap, matrix) in self.gaps.iter().enumerate() {
+            for i in 0..e {
+                let w = self.weights[gap][i];
+                if w == 0.0 {
+                    continue;
+                }
+                let ui = placement.unit_of(gap, i);
+                let row = &matrix[i * e..(i + 1) * e];
+                let mut cross = 0.0f64;
+                for (p, &prob) in row.iter().enumerate() {
+                    if placement.unit_of(gap + 1, p) != ui {
+                        cross += prob;
+                    }
+                }
+                total += w * cross;
+            }
+        }
+        total
+    }
+
+    /// Expected fraction of layer transitions that stay on their unit
+    /// (`1 - cross_mass / (L-1)`; the quantity behind the paper's Fig. 7
+    /// bars).
+    pub fn local_fraction(&self, placement: &Placement) -> f64 {
+        1.0 - self.cross_mass(placement) / self.n_gaps() as f64
+    }
+
+    /// Change in [`Objective::cross_mass`] if `e1` and `e2` swapped units
+    /// at `layer` (negative = improvement). O(E) — the enabler for
+    /// large-instance local search.
+    pub fn swap_delta(&self, placement: &Placement, layer: usize, e1: usize, e2: usize) -> f64 {
+        let e = self.n_experts;
+        let u1 = placement.unit_of(layer, e1);
+        let u2 = placement.unit_of(layer, e2);
+        if u1 == u2 || e1 == e2 {
+            return 0.0;
+        }
+        let mut delta = 0.0f64;
+        // Incoming gap: transitions from layer-1 experts into e1/e2.
+        if layer > 0 {
+            let m = &self.gaps[layer - 1];
+            let weights = &self.weights[layer - 1];
+            for i in 0..e {
+                let w = weights[i];
+                if w == 0.0 {
+                    continue;
+                }
+                let ui = placement.unit_of(layer - 1, i);
+                let p1 = m[i * e + e1];
+                let p2 = m[i * e + e2];
+                let before = f64::from(u1 != ui) * p1 + f64::from(u2 != ui) * p2;
+                let after = f64::from(u2 != ui) * p1 + f64::from(u1 != ui) * p2;
+                delta += w * (after - before);
+            }
+        }
+        // Outgoing gap: transitions from e1/e2 into layer+1 experts, each
+        // row carrying its own marginal weight.
+        if layer + 1 < self.n_layers() {
+            let m = &self.gaps[layer];
+            let w1 = self.weights[layer][e1];
+            let w2 = self.weights[layer][e2];
+            for p in 0..e {
+                let up = placement.unit_of(layer + 1, p);
+                let p1 = m[e1 * e + p];
+                let p2 = m[e2 * e + p];
+                let before =
+                    w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
+                let after =
+                    w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
+                delta += after - before;
+            }
+        }
+        delta
+    }
+}
+
+/// Realized locality of a placement on a concrete routing trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceLocality {
+    /// Total layer transitions counted (`tokens x (L-1)`).
+    pub transitions: u64,
+    /// Transitions where the next expert lived on the same unit.
+    pub local: u64,
+}
+
+impl TraceLocality {
+    /// Fraction of transitions that stayed unit-local.
+    pub fn fraction(&self) -> f64 {
+        if self.transitions == 0 {
+            1.0
+        } else {
+            self.local as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Count, over a concrete trace, how many layer transitions stay on their
+/// unit under `placement` (the measured counterpart of
+/// [`Objective::local_fraction`]; the paper's "% tokens staying on the same
+/// GPU", Fig. 7).
+pub fn measure_trace_locality(trace: &RoutingTrace, placement: &Placement) -> TraceLocality {
+    assert_eq!(trace.n_layers(), placement.n_layers());
+    assert_eq!(trace.n_experts(), placement.n_experts());
+    let mut local = 0u64;
+    let mut transitions = 0u64;
+    for t in 0..trace.n_tokens() {
+        for j in 0..trace.n_layers() - 1 {
+            let a = placement.unit_of(j, trace.expert_at(t, j));
+            let b = placement.unit_of(j + 1, trace.expert_at(t, j + 1));
+            transitions += 1;
+            if a == b {
+                local += 1;
+            }
+        }
+    }
+    TraceLocality { transitions, local }
+}
+
+/// Like [`measure_trace_locality`] but at node granularity: `placement`
+/// assigns experts to GPUs (node-major ranks, `gpus_per_node` each) and a
+/// transition counts as local when both GPUs share a node (Fig. 8).
+pub fn measure_trace_node_locality(
+    trace: &RoutingTrace,
+    placement: &Placement,
+    gpus_per_node: usize,
+) -> TraceLocality {
+    assert!(gpus_per_node >= 1 && placement.n_units() % gpus_per_node == 0);
+    let mut local = 0u64;
+    let mut transitions = 0u64;
+    for t in 0..trace.n_tokens() {
+        for j in 0..trace.n_layers() - 1 {
+            let a = placement.unit_of(j, trace.expert_at(t, j)) / gpus_per_node;
+            let b = placement.unit_of(j + 1, trace.expert_at(t, j + 1)) / gpus_per_node;
+            transitions += 1;
+            if a == b {
+                local += 1;
+            }
+        }
+    }
+    TraceLocality { transitions, local }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity affinity: expert i always routes to expert i next.
+    fn identity_objective(e: usize, gaps: usize) -> Objective {
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + i] = 1.0;
+        }
+        Objective::from_raw(vec![m; gaps], e)
+    }
+
+    /// Shift affinity: expert i routes to (i+1) mod E.
+    fn shift_objective(e: usize, gaps: usize) -> Objective {
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + (i + 1) % e] = 1.0;
+        }
+        Objective::from_raw(vec![m; gaps], e)
+    }
+
+    #[test]
+    fn identity_affinity_makes_round_robin_perfect() {
+        let obj = identity_objective(8, 3);
+        let p = Placement::round_robin(4, 8, 4);
+        assert!(obj.cross_mass(&p) < 1e-12);
+        assert!((obj.local_fraction(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_affinity_breaks_round_robin_at_boundaries() {
+        // Capacity 2, shift-by-one: expert 1 -> 2 crosses, 3 -> 4 crosses,
+        // etc. Half the experts cross per gap.
+        let obj = shift_objective(8, 1);
+        let p = Placement::round_robin(2, 8, 4);
+        assert!((obj.cross_mass(&p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_mass_bounded_by_gaps() {
+        let obj = shift_objective(4, 5);
+        let p = Placement::round_robin(6, 4, 4); // capacity 1: every shift crosses
+        assert!((obj.cross_mass(&p) - 5.0).abs() < 1e-12);
+        assert!(obj.local_fraction(&p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_delta_matches_recomputation() {
+        // Random-ish dense matrix; verify delta == full recompute diff.
+        let e = 6;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            for p in 0..e {
+                m[i * e + p] = ((i * 7 + p * 3) % 11) as f64 + 1.0;
+            }
+            let s: f64 = m[i * e..(i + 1) * e].iter().sum();
+            for p in 0..e {
+                m[i * e + p] /= s;
+            }
+        }
+        let obj = Objective::from_raw(vec![m.clone(), m], e);
+        let p = Placement::round_robin(3, e, 3);
+        for layer in 0..3 {
+            for e1 in 0..e {
+                for e2 in 0..e {
+                    let delta = obj.swap_delta(&p, layer, e1, e2);
+                    let mut q = p.clone();
+                    q.swap(layer, e1, e2);
+                    let full = obj.cross_mass(&q) - obj.cross_mass(&p);
+                    assert!(
+                        (delta - full).abs() < 1e-12,
+                        "layer {layer} swap({e1},{e2}): delta {delta} vs {full}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_same_unit_is_free() {
+        let obj = identity_objective(4, 2);
+        let p = Placement::round_robin(3, 4, 2);
+        // Experts 0,1 share unit 0.
+        assert_eq!(obj.swap_delta(&p, 1, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn trace_locality_counts_by_hand() {
+        let trace = RoutingTrace::new(
+            vec![vec![0, 1, 2], vec![3, 3, 3]],
+            4,
+        );
+        let p = Placement::round_robin(3, 4, 2); // units: {0,1}, {2,3}
+        // Token 0: 0->1 local, 1->2 cross. Token 1: 3->3 local, 3->3 local.
+        let loc = measure_trace_locality(&trace, &p);
+        assert_eq!(loc.transitions, 4);
+        assert_eq!(loc.local, 3);
+        assert!((loc.fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_locality_is_coarser_than_gpu() {
+        let trace = RoutingTrace::new(vec![vec![0, 1], vec![0, 3]], 4);
+        let p = Placement::round_robin(2, 4, 4); // 1 expert per GPU
+        let gpu = measure_trace_locality(&trace, &p);
+        let node = measure_trace_node_locality(&trace, &p, 2); // 2 GPUs/node
+        // 0->1 crosses GPU but stays on node; 0->3 crosses both.
+        assert_eq!(gpu.local, 0);
+        assert_eq!(node.local, 1);
+        assert!(node.fraction() >= gpu.fraction());
+    }
+
+    #[test]
+    fn expected_and_measured_locality_agree_on_large_traces() {
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let model = AffinityModelSpec::new(6, 8).with_affinity(0.7).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 20_000, 1, 3);
+        let trace = RoutingTrace::from_batch(&batch, 8);
+        let mats = AffinityMatrix::consecutive(&trace);
+        let obj = Objective::from_affinities(&mats);
+        let p = Placement::round_robin(6, 8, 4);
+        let expected = obj.local_fraction(&p);
+        let measured = measure_trace_locality(&trace, &p).fraction();
+        assert!(
+            (expected - measured).abs() < 0.02,
+            "expected {expected} vs measured {measured}"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The placement data structure: which unit (GPU or node) holds which
+//! expert at each layer.
+
+/// A balanced assignment of experts to `n_units` units for every layer.
+///
+/// This is the solution variable `x^p_{i,j}` of the paper's ILP in dense
+/// form: `unit_of(layer, expert)` is the unit `p` with `x^p_{expert,layer} =
+/// 1`. Constraints (formulas 9–10) are enforced structurally: every
+/// constructor validates that each unit holds exactly `E / P` experts per
+/// layer and that every expert is owned by exactly one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    n_units: usize,
+    /// `assign[layer][expert]` = owning unit.
+    assign: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Build from an explicit assignment table, validating balance.
+    pub fn new(assign: Vec<Vec<usize>>, n_units: usize) -> Self {
+        assert!(!assign.is_empty(), "placement needs at least one layer");
+        assert!(n_units >= 1);
+        let e = assign[0].len();
+        assert!(e >= n_units && e % n_units == 0,
+            "experts ({e}) must be a positive multiple of units ({n_units})");
+        let cap = e / n_units;
+        for (layer, row) in assign.iter().enumerate() {
+            assert_eq!(row.len(), e, "layer {layer} has wrong expert count");
+            let mut loads = vec![0usize; n_units];
+            for &u in row {
+                assert!(u < n_units, "layer {layer}: unit {u} out of range");
+                loads[u] += 1;
+            }
+            assert!(
+                loads.iter().all(|&l| l == cap),
+                "layer {layer} violates load balance: {loads:?}"
+            );
+        }
+        Placement { n_units, assign }
+    }
+
+    /// The vanilla (DeepSpeed-MoE) placement: expert `i` lives on unit
+    /// `i / capacity` at every layer — experts are packed contiguously by
+    /// rank, with no awareness of inter-layer affinity.
+    pub fn round_robin(n_layers: usize, n_experts: usize, n_units: usize) -> Self {
+        assert!(n_experts % n_units == 0);
+        let cap = n_experts / n_units;
+        let row: Vec<usize> = (0..n_experts).map(|i| i / cap).collect();
+        Placement::new(vec![row; n_layers], n_units)
+    }
+
+    /// Number of units (GPUs or nodes).
+    pub fn n_units(&self) -> usize {
+        self.n_units
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.assign[0].len()
+    }
+
+    /// Experts each unit holds per layer.
+    pub fn capacity(&self) -> usize {
+        self.n_experts() / self.n_units
+    }
+
+    /// The unit holding `expert` at `layer`.
+    #[inline]
+    pub fn unit_of(&self, layer: usize, expert: usize) -> usize {
+        self.assign[layer][expert]
+    }
+
+    /// All experts held by `unit` at `layer`, ascending.
+    pub fn experts_on(&self, layer: usize, unit: usize) -> Vec<usize> {
+        self.assign[layer]
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &u)| (u == unit).then_some(e))
+            .collect()
+    }
+
+    /// One layer's assignment row.
+    pub fn layer(&self, layer: usize) -> &[usize] {
+        &self.assign[layer]
+    }
+
+    /// Swap the units of two experts within a layer (keeps balance).
+    pub fn swap(&mut self, layer: usize, e1: usize, e2: usize) {
+        self.assign[layer].swap(e1, e2);
+    }
+
+    /// Map each unit through `f` (used by the staged solver to refine a
+    /// node-level placement into a GPU-level one).
+    pub fn relabel<F: Fn(usize, usize, usize) -> usize>(&self, n_new_units: usize, f: F) -> Placement {
+        let assign = self
+            .assign
+            .iter()
+            .enumerate()
+            .map(|(layer, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(expert, &unit)| f(layer, expert, unit))
+                    .collect()
+            })
+            .collect();
+        Placement::new(assign, n_new_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_contiguous() {
+        let p = Placement::round_robin(3, 8, 4);
+        assert_eq!(p.layer(0), &[0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(p.capacity(), 2);
+        assert_eq!(p.unit_of(2, 5), 2);
+    }
+
+    #[test]
+    fn experts_on_returns_owned_set() {
+        let p = Placement::round_robin(2, 8, 2);
+        assert_eq!(p.experts_on(0, 0), vec![0, 1, 2, 3]);
+        assert_eq!(p.experts_on(1, 1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn swap_preserves_balance() {
+        let mut p = Placement::round_robin(2, 4, 2);
+        p.swap(0, 0, 3);
+        assert_eq!(p.unit_of(0, 0), 1);
+        assert_eq!(p.unit_of(0, 3), 0);
+        // Re-validating through the constructor must not panic.
+        let _ = Placement::new(
+            (0..2).map(|l| p.layer(l).to_vec()).collect(),
+            2,
+        );
+    }
+
+    #[test]
+    fn relabel_expands_units() {
+        // Node-level (2 nodes) -> GPU-level (4 GPUs, 2 per node): send each
+        // expert to its node's first or second GPU by parity of its index
+        // within the node set.
+        let node_level = Placement::round_robin(2, 8, 2);
+        let gpu_level = node_level.relabel(4, |layer, expert, node| {
+            let within: Vec<usize> = node_level.experts_on(layer, node);
+            let pos = within.iter().position(|&e| e == expert).unwrap();
+            node * 2 + pos % 2
+        });
+        assert_eq!(gpu_level.n_units(), 4);
+        assert_eq!(gpu_level.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "load balance")]
+    fn unbalanced_rejected() {
+        let _ = Placement::new(vec![vec![0, 0, 0, 1]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_unit_rejected() {
+        let _ = Placement::new(vec![vec![0, 2]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of units")]
+    fn non_divisible_rejected() {
+        let _ = Placement::new(vec![vec![0, 1, 0]], 2);
+    }
+}

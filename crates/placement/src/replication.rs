@@ -1,0 +1,195 @@
+//! The expert-*replication* baseline (Li et al., "Accelerating Distributed
+//! MoE Training and Inference with Lina", USENIX ATC'23 — the paper's §VI).
+//!
+//! Instead of moving experts to better GPUs, this family of systems keeps
+//! the vanilla placement and spends *extra memory* replicating the most
+//! popular (or most-affine, per the paper's formula 2) experts onto every
+//! GPU, so tokens whose next expert has a local replica skip the Alltoall.
+//! The paper's criticism: per-expert local optima and an explicit memory
+//! cost, versus ExFlow's zero-replica global optimization. This module
+//! implements the baseline so the trade-off can be measured.
+
+use exflow_affinity::RoutingTrace;
+
+use crate::objective::Objective;
+use crate::placement::Placement;
+
+/// A replication plan on top of a base placement: per layer, the experts
+/// replicated onto *every* GPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// Base (owning) placement.
+    pub base: Placement,
+    /// `replicated[layer]` lists expert ids with replicas everywhere.
+    pub replicated: Vec<Vec<usize>>,
+}
+
+impl ReplicationPlan {
+    /// Replicate, at every layer, the `budget` experts that receive the
+    /// most tokens (the "expert popularity" heuristic). The marginal comes
+    /// from the objective's row weights.
+    pub fn most_popular(objective: &Objective, base: Placement, budget: usize) -> Self {
+        let e = objective.n_experts();
+        assert!(budget <= e, "cannot replicate more experts than exist");
+        let l = base.n_layers();
+        let mut replicated = Vec::with_capacity(l);
+        for layer in 0..l {
+            // Popularity of an expert at `layer` = its marginal share.
+            // Row weights exist per gap; the last layer reuses the
+            // incoming gap's successor mass.
+            let mut popularity: Vec<(usize, f64)> = (0..e)
+                .map(|expert| {
+                    let p = if layer < objective.n_gaps() {
+                        objective.row_weight(layer, expert)
+                    } else {
+                        // Successor mass into the last layer.
+                        (0..e)
+                            .map(|i| {
+                                objective.row_weight(layer - 1, i)
+                                    * objective.gap_prob(layer - 1, i, expert)
+                            })
+                            .sum()
+                    };
+                    (expert, p)
+                })
+                .collect();
+            popularity.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let mut chosen: Vec<usize> =
+                popularity.into_iter().take(budget).map(|(e, _)| e).collect();
+            chosen.sort_unstable();
+            replicated.push(chosen);
+        }
+        ReplicationPlan { base, replicated }
+    }
+
+    /// Whether `expert` at `layer` is available on `unit` (owned there or
+    /// replicated everywhere).
+    pub fn available_on(&self, layer: usize, expert: usize, unit: usize) -> bool {
+        self.base.unit_of(layer, expert) == unit || self.replicated[layer].contains(&expert)
+    }
+
+    /// Extra expert copies this plan stores per GPU, summed over layers —
+    /// the "Extra Memory" column of the paper's Table I, in units of one
+    /// expert's parameters.
+    pub fn extra_copies_per_gpu(&self) -> usize {
+        self.replicated.iter().map(|r| r.len()).sum()
+    }
+
+    /// Fraction of a trace's layer transitions that can be served without
+    /// leaving the current unit, counting replicas as local.
+    pub fn trace_local_fraction(&self, trace: &RoutingTrace) -> f64 {
+        assert_eq!(trace.n_layers(), self.base.n_layers());
+        let mut local = 0u64;
+        let mut total = 0u64;
+        for t in 0..trace.n_tokens() {
+            // A token's "current unit" follows its served experts: if the
+            // expert was replicated, the token stays where it was.
+            let mut unit = self.base.unit_of(0, trace.expert_at(t, 0));
+            for j in 1..trace.n_layers() {
+                let expert = trace.expert_at(t, j);
+                total += 1;
+                if self.available_on(j, expert, unit) {
+                    local += 1;
+                } else {
+                    unit = self.base.unit_of(j, expert);
+                }
+            }
+        }
+        local as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exflow_affinity::AffinityMatrix;
+    use exflow_model::routing::AffinityModelSpec;
+    use exflow_model::{CorpusSpec, TokenBatch};
+
+    fn instance(e: usize, l: usize) -> (Objective, RoutingTrace) {
+        let model = AffinityModelSpec::new(l, e).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 4000, 1, 21);
+        let trace = RoutingTrace::from_batch(&batch, e);
+        let obj = Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
+        (obj, trace)
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let (obj, trace) = instance(8, 5);
+        let base = Placement::round_robin(5, 8, 4);
+        let plan = ReplicationPlan::most_popular(&obj, base.clone(), 0);
+        assert_eq!(plan.extra_copies_per_gpu(), 0);
+        let plain = crate::objective::measure_trace_locality(&trace, &base).fraction();
+        assert!((plan.trace_local_fraction(&trace) - plain).abs() < 0.15);
+    }
+
+    #[test]
+    fn full_budget_makes_everything_local() {
+        let (obj, trace) = instance(8, 5);
+        let base = Placement::round_robin(5, 8, 4);
+        let plan = ReplicationPlan::most_popular(&obj, base, 8);
+        assert!((plan.trace_local_fraction(&trace) - 1.0).abs() < 1e-12);
+        assert_eq!(plan.extra_copies_per_gpu(), 40);
+    }
+
+    #[test]
+    fn locality_is_monotone_in_budget() {
+        let (obj, trace) = instance(16, 6);
+        let base = Placement::round_robin(6, 16, 4);
+        let mut last = 0.0;
+        for budget in [0usize, 2, 4, 8, 16] {
+            let plan = ReplicationPlan::most_popular(&obj, base.clone(), budget);
+            let frac = plan.trace_local_fraction(&trace);
+            assert!(
+                frac + 1e-9 >= last,
+                "budget {budget}: locality {frac} fell below {last}"
+            );
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn exflow_placement_beats_replication_at_zero_memory() {
+        // The paper's §VI point: ExFlow reaches comparable locality with
+        // no replicas. Replication needs a non-trivial budget to catch the
+        // affinity placement.
+        let (obj, trace) = instance(16, 6);
+        let base = Placement::round_robin(6, 16, 4);
+        let exflow = crate::local_search::solve_local_search(&obj, 4, 1, 0);
+        let exflow_local =
+            crate::objective::measure_trace_locality(&trace, &exflow).fraction();
+        let rep0 = ReplicationPlan::most_popular(&obj, base.clone(), 0)
+            .trace_local_fraction(&trace);
+        assert!(
+            exflow_local > rep0,
+            "exflow {exflow_local} vs zero-budget replication {rep0}"
+        );
+        // Replication with large budget eventually wins (it spends memory).
+        let rep_full = ReplicationPlan::most_popular(&obj, base, 16)
+            .trace_local_fraction(&trace);
+        assert!(rep_full >= exflow_local);
+    }
+
+    #[test]
+    fn replicated_experts_are_available_everywhere() {
+        let (obj, _) = instance(8, 4);
+        let base = Placement::round_robin(4, 8, 4);
+        let plan = ReplicationPlan::most_popular(&obj, base, 3);
+        for layer in 0..4 {
+            for &expert in &plan.replicated[layer] {
+                for unit in 0..4 {
+                    assert!(plan.available_on(layer, expert, unit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more experts than exist")]
+    fn over_budget_rejected() {
+        let (obj, _) = instance(8, 4);
+        let base = Placement::round_robin(4, 8, 4);
+        let _ = ReplicationPlan::most_popular(&obj, base, 9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Unified solver front-end.
+
+use crate::annealing::{solve_annealing, AnnealParams};
+use crate::exact::solve_exact;
+use crate::greedy::solve_greedy;
+use crate::local_search::solve_local_search;
+use crate::objective::Objective;
+use crate::placement::Placement;
+
+/// Which algorithm to use for a (single-level) placement solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverKind {
+    /// The DeepSpeed-MoE baseline: contiguous experts, no affinity
+    /// awareness.
+    RoundRobin,
+    /// Greedy chain with exact per-gap Hungarian assignment.
+    Greedy,
+    /// Greedy seed + multi-start pairwise-swap hill climbing.
+    LocalSearch {
+        /// Number of random restarts beyond the greedy seed.
+        restarts: usize,
+    },
+    /// Simulated annealing with the given schedule.
+    Annealing(AnnealParams),
+    /// Exact DP over balanced partitions (small instances only; falls back
+    /// to `LocalSearch` when the state space exceeds the internal limit).
+    Exact,
+}
+
+impl SolverKind {
+    /// A sensible default for evaluation runs.
+    pub fn default_heuristic() -> Self {
+        SolverKind::LocalSearch { restarts: 2 }
+    }
+}
+
+/// Solve a placement instance with the chosen algorithm. `seed` drives all
+/// stochastic solvers; deterministic for fixed inputs.
+pub fn solve(objective: &Objective, n_units: usize, kind: SolverKind, seed: u64) -> Placement {
+    match kind {
+        SolverKind::RoundRobin => Placement::round_robin(
+            objective.n_layers(),
+            objective.n_experts(),
+            n_units,
+        ),
+        SolverKind::Greedy => solve_greedy(objective, n_units),
+        SolverKind::LocalSearch { restarts } => {
+            solve_local_search(objective, n_units, restarts, seed)
+        }
+        SolverKind::Annealing(params) => solve_annealing(objective, n_units, params, seed),
+        SolverKind::Exact => match solve_exact(objective, n_units, 1000) {
+            Ok((p, _)) => p,
+            Err(_) => solve_local_search(objective, n_units, 4, seed),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective() -> Objective {
+        let e = 8;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + (i + 3) % e] = 0.8;
+            for p in 0..e {
+                m[i * e + p] += 0.2 / e as f64;
+            }
+        }
+        Objective::from_raw(vec![m; 4], e)
+    }
+
+    #[test]
+    fn every_solver_returns_balanced_placements() {
+        let obj = objective();
+        let kinds = [
+            SolverKind::RoundRobin,
+            SolverKind::Greedy,
+            SolverKind::LocalSearch { restarts: 1 },
+            SolverKind::Annealing(AnnealParams::default()),
+            SolverKind::Exact,
+        ];
+        for kind in kinds {
+            let p = solve(&obj, 4, kind, 0);
+            assert_eq!(p.n_units(), 4);
+            for layer in 0..5 {
+                for unit in 0..4 {
+                    assert_eq!(p.experts_on(layer, unit).len(), 2, "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_solvers_beat_round_robin() {
+        let obj = objective();
+        let rr = solve(&obj, 4, SolverKind::RoundRobin, 0);
+        let rr_cost = obj.cross_mass(&rr);
+        for kind in [
+            SolverKind::Greedy,
+            SolverKind::LocalSearch { restarts: 1 },
+            SolverKind::Annealing(AnnealParams::default()),
+        ] {
+            let p = solve(&obj, 4, kind, 0);
+            assert!(
+                obj.cross_mass(&p) < rr_cost,
+                "{kind:?} did not beat round-robin"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_falls_back_gracefully_on_large_instances() {
+        // 16 experts / 4 units is beyond the exact limit; must not panic.
+        let e = 16;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + (i + 1) % e] = 1.0;
+        }
+        let obj = Objective::from_raw(vec![m; 2], e);
+        let p = solve(&obj, 4, SolverKind::Exact, 0);
+        assert_eq!(p.n_units(), 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the placement solvers.
+
+use exflow_placement::objective::{measure_trace_locality, measure_trace_node_locality};
+use exflow_placement::{solve, Objective, Placement, SolverKind};
+use exflow_topology::ClusterSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random row-stochastic objective with controllable structure.
+fn random_objective(e: usize, gaps: usize, seed: u64) -> Objective {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaps_vec = (0..gaps)
+        .map(|_| {
+            let mut m = vec![0.0f64; e * e];
+            for i in 0..e {
+                let mut s = 0.0;
+                for p in 0..e {
+                    let v: f64 = rng.gen_range(0.0..1.0f64).powi(4);
+                    m[i * e + p] = v;
+                    s += v;
+                }
+                for p in 0..e {
+                    m[i * e + p] /= s;
+                }
+            }
+            m
+        })
+        .collect();
+    Objective::from_raw(gaps_vec, e)
+}
+
+fn divisor_pairs() -> impl Strategy<Value = (usize, usize)> {
+    // (n_experts, n_units) with units | experts.
+    prop_oneof![
+        Just((4usize, 2usize)),
+        Just((8, 2)),
+        Just((8, 4)),
+        Just((12, 3)),
+        Just((12, 4)),
+        Just((16, 4)),
+        Just((6, 2)),
+        Just((6, 3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cross_mass_in_valid_range((e, u) in divisor_pairs(), gaps in 1usize..5, seed in 0u64..100) {
+        let obj = random_objective(e, gaps, seed);
+        let p = Placement::round_robin(gaps + 1, e, u);
+        let c = obj.cross_mass(&p);
+        prop_assert!((0.0..=gaps as f64 + 1e-9).contains(&c));
+        let f = obj.local_fraction(&p);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&f));
+    }
+
+    #[test]
+    fn swap_delta_agrees_with_recompute((e, u) in divisor_pairs(), seed in 0u64..50) {
+        let gaps = 3;
+        let obj = random_objective(e, gaps, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        let p = exflow_placement::local_search::random_placement(gaps + 1, e, u, &mut rng);
+        for _ in 0..10 {
+            let layer = rng.gen_range(0..gaps + 1);
+            let e1 = rng.gen_range(0..e);
+            let e2 = rng.gen_range(0..e);
+            let delta = obj.swap_delta(&p, layer, e1, e2);
+            let mut q = p.clone();
+            q.swap(layer, e1, e2);
+            let full = obj.cross_mass(&q) - obj.cross_mass(&p);
+            prop_assert!((delta - full).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solvers_preserve_balance((e, u) in divisor_pairs(), seed in 0u64..30) {
+        let obj = random_objective(e, 3, seed);
+        for kind in [SolverKind::Greedy, SolverKind::LocalSearch { restarts: 1 }] {
+            let p = solve(&obj, u, kind, seed);
+            let cap = e / u;
+            for layer in 0..4 {
+                for unit in 0..u {
+                    prop_assert_eq!(p.experts_on(layer, unit).len(), cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy((e, u) in divisor_pairs(), seed in 0u64..30) {
+        let obj = random_objective(e, 3, seed);
+        let g = solve(&obj, u, SolverKind::Greedy, seed);
+        let ls = solve(&obj, u, SolverKind::LocalSearch { restarts: 1 }, seed);
+        prop_assert!(obj.cross_mass(&ls) <= obj.cross_mass(&g) + 1e-9);
+    }
+
+    #[test]
+    fn exact_is_lower_bound_when_feasible(seed in 0u64..20) {
+        let obj = random_objective(6, 3, seed);
+        let (_, opt) = exflow_placement::exact::solve_exact(&obj, 2, 1000).unwrap();
+        for kind in [
+            SolverKind::RoundRobin,
+            SolverKind::Greedy,
+            SolverKind::LocalSearch { restarts: 2 },
+        ] {
+            let p = solve(&obj, 2, kind, seed);
+            prop_assert!(opt <= obj.cross_mass(&p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_locality_dominates_gpu_locality(seed in 0u64..30) {
+        use exflow_affinity::RoutingTrace;
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let model = AffinityModelSpec::new(5, 8).with_seed(seed).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 300, 1, seed);
+        let trace = RoutingTrace::from_batch(&batch, 8);
+        let p = Placement::round_robin(5, 8, 4);
+        let gpu = measure_trace_locality(&trace, &p).fraction();
+        let node = measure_trace_node_locality(&trace, &p, 2).fraction();
+        prop_assert!(node + 1e-12 >= gpu);
+    }
+
+    #[test]
+    fn staged_consistency_holds(seed in 0u64..20) {
+        let obj = random_objective(8, 3, seed);
+        let cluster = ClusterSpec::new(2, 2).unwrap();
+        let staged = exflow_placement::staged::solve_staged(&obj, &cluster, 1, seed);
+        prop_assert!(staged.is_consistent(&cluster));
+    }
+}

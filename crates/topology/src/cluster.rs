@@ -1,0 +1,216 @@
+//! Cluster shape: nodes, GPUs per node, and rank <-> device mapping.
+
+use crate::error::TopologyError;
+use crate::link::LinkClass;
+
+/// A flat rank in the expert-parallel group (one rank per simulated GPU).
+///
+/// Ranks are assigned node-major: ranks `0..gpus_per_node` live on node 0,
+/// the next `gpus_per_node` on node 1, and so on — the same convention
+/// MPI + one-process-per-GPU launchers use on the paper's Wilkes3 cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub usize);
+
+impl Rank {
+    /// The flat index of this rank.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// Physical coordinates of a simulated GPU: which node, which local slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId {
+    /// Node index within the cluster.
+    pub node: usize,
+    /// GPU index within the node.
+    pub gpu: usize,
+}
+
+/// The shape of a cluster: `n_nodes` nodes, each with `gpus_per_node` GPUs.
+///
+/// This is the only topology information ExFlow's placement stage consumes:
+/// the staged ILP first partitions experts across *nodes*, then across the
+/// *GPUs* of each node (paper §IV-C/D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    n_nodes: usize,
+    gpus_per_node: usize,
+}
+
+impl ClusterSpec {
+    /// Build a cluster of `n_nodes` nodes with `gpus_per_node` GPUs each.
+    ///
+    /// Returns an error if either dimension is zero.
+    pub fn new(n_nodes: usize, gpus_per_node: usize) -> Result<Self, TopologyError> {
+        if n_nodes == 0 {
+            return Err(TopologyError::EmptyDimension { what: "nodes" });
+        }
+        if gpus_per_node == 0 {
+            return Err(TopologyError::EmptyDimension {
+                what: "gpus_per_node",
+            });
+        }
+        Ok(ClusterSpec {
+            n_nodes,
+            gpus_per_node,
+        })
+    }
+
+    /// A single node with `gpus` GPUs (the paper's 1-node baseline case).
+    pub fn single_node(gpus: usize) -> Result<Self, TopologyError> {
+        ClusterSpec::new(1, gpus)
+    }
+
+    /// The paper's evaluation node shape: 4 A100 GPUs per node.
+    pub fn wilkes3(n_nodes: usize) -> Result<Self, TopologyError> {
+        ClusterSpec::new(n_nodes, 4)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// GPUs per node.
+    #[inline]
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Total number of ranks (GPUs) in the cluster.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.n_nodes * self.gpus_per_node
+    }
+
+    /// Map a flat rank to its `(node, gpu)` coordinates.
+    #[inline]
+    pub fn device_of(&self, rank: Rank) -> DeviceId {
+        debug_assert!(rank.0 < self.world_size());
+        DeviceId {
+            node: rank.0 / self.gpus_per_node,
+            gpu: rank.0 % self.gpus_per_node,
+        }
+    }
+
+    /// Map `(node, gpu)` coordinates to a flat rank.
+    #[inline]
+    pub fn rank_of(&self, device: DeviceId) -> Rank {
+        debug_assert!(device.node < self.n_nodes && device.gpu < self.gpus_per_node);
+        Rank(device.node * self.gpus_per_node + device.gpu)
+    }
+
+    /// Node index of a flat rank.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank.0 / self.gpus_per_node
+    }
+
+    /// Validate a rank against the cluster's world size.
+    pub fn check_rank(&self, rank: Rank) -> Result<(), TopologyError> {
+        if rank.0 >= self.world_size() {
+            Err(TopologyError::RankOutOfRange {
+                rank: rank.0,
+                world_size: self.world_size(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Classify the link between two ranks into the three-level hierarchy.
+    #[inline]
+    pub fn link_class(&self, a: Rank, b: Rank) -> LinkClass {
+        if a == b {
+            LinkClass::Local
+        } else if self.node_of(a) == self.node_of(b) {
+            LinkClass::IntraNode
+        } else {
+            LinkClass::InterNode
+        }
+    }
+
+    /// Iterate over all ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.world_size()).map(Rank)
+    }
+
+    /// Iterate over the ranks that live on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> impl Iterator<Item = Rank> {
+        let g = self.gpus_per_node;
+        (0..g).map(move |i| Rank(node * g + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(ClusterSpec::new(0, 4).is_err());
+        assert!(ClusterSpec::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn world_size_and_mapping_round_trip() {
+        let c = ClusterSpec::new(3, 4).unwrap();
+        assert_eq!(c.world_size(), 12);
+        for r in c.ranks() {
+            let d = c.device_of(r);
+            assert_eq!(c.rank_of(d), r);
+        }
+    }
+
+    #[test]
+    fn node_major_rank_layout() {
+        let c = ClusterSpec::new(2, 4).unwrap();
+        assert_eq!(c.device_of(Rank(0)), DeviceId { node: 0, gpu: 0 });
+        assert_eq!(c.device_of(Rank(3)), DeviceId { node: 0, gpu: 3 });
+        assert_eq!(c.device_of(Rank(4)), DeviceId { node: 1, gpu: 0 });
+        assert_eq!(c.device_of(Rank(7)), DeviceId { node: 1, gpu: 3 });
+    }
+
+    #[test]
+    fn link_classification() {
+        let c = ClusterSpec::new(2, 2).unwrap();
+        assert_eq!(c.link_class(Rank(1), Rank(1)), LinkClass::Local);
+        assert_eq!(c.link_class(Rank(0), Rank(1)), LinkClass::IntraNode);
+        assert_eq!(c.link_class(Rank(1), Rank(2)), LinkClass::InterNode);
+        // Symmetry.
+        assert_eq!(c.link_class(Rank(2), Rank(1)), LinkClass::InterNode);
+    }
+
+    #[test]
+    fn ranks_on_node_enumerates_local_gpus() {
+        let c = ClusterSpec::new(3, 2).unwrap();
+        let on1: Vec<_> = c.ranks_on_node(1).collect();
+        assert_eq!(on1, vec![Rank(2), Rank(3)]);
+    }
+
+    #[test]
+    fn check_rank_bounds() {
+        let c = ClusterSpec::new(1, 4).unwrap();
+        assert!(c.check_rank(Rank(3)).is_ok());
+        assert!(c.check_rank(Rank(4)).is_err());
+    }
+
+    #[test]
+    fn single_node_has_no_internode_links() {
+        let c = ClusterSpec::single_node(8).unwrap();
+        for a in c.ranks() {
+            for b in c.ranks() {
+                assert_ne!(c.link_class(a, b), LinkClass::InterNode);
+            }
+        }
+    }
+}

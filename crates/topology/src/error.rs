@@ -1,0 +1,56 @@
+//! Error type for topology construction and queries.
+
+use std::fmt;
+
+/// Errors produced when building or querying a cluster topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A cluster dimension (nodes or GPUs per node) was zero.
+    EmptyDimension {
+        /// Which dimension was empty (`"nodes"` or `"gpus_per_node"`).
+        what: &'static str,
+    },
+    /// A rank was out of range for the cluster's world size.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The cluster world size.
+        world_size: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyDimension { what } => {
+                write!(f, "cluster dimension `{what}` must be non-zero")
+            }
+            TopologyError::RankOutOfRange { rank, world_size } => {
+                write!(f, "rank {rank} out of range for world size {world_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_dimension() {
+        let e = TopologyError::EmptyDimension { what: "nodes" };
+        assert!(e.to_string().contains("nodes"));
+    }
+
+    #[test]
+    fn display_rank_out_of_range() {
+        let e = TopologyError::RankOutOfRange {
+            rank: 9,
+            world_size: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('8'));
+    }
+}

@@ -1,0 +1,90 @@
+//! Deployment workflow: the full offline artifact pipeline an operator
+//! would run — profile, solve, serialize, and sanity-check against the
+//! memory-hungry replication alternative.
+//!
+//! ```text
+//! cargo run --release --example deployment_workflow
+//! ```
+
+use exflow::affinity::io::{parse_trace_csv, write_trace_csv};
+use exflow::affinity::{AffinityMatrix, RoutingTrace};
+use exflow::model::capacity::{apply_capacity, CapacityPolicy};
+use exflow::model::presets::moe_gpt_m;
+use exflow::model::routing::AffinityModelSpec;
+use exflow::model::{CorpusSpec, TokenBatch};
+use exflow::placement::io::{parse_placement, write_placement};
+use exflow::placement::replication::ReplicationPlan;
+use exflow::placement::staged::solve_staged;
+use exflow::placement::{Objective, Placement};
+use exflow::topology::ClusterSpec;
+
+fn main() {
+    let model = moe_gpt_m(16);
+    let cluster = ClusterSpec::new(2, 4).expect("valid cluster");
+
+    // --- 1. Profile: trace tokens and persist the trace. -----------------
+    let spec = AffinityModelSpec::new(model.n_layers, model.n_experts);
+    let routing = spec.build();
+    let corpus = CorpusSpec::pile_proxy(spec.n_domains);
+    let batch = TokenBatch::sample(&routing, &corpus, 3000, 1, 2024);
+    let trace = RoutingTrace::from_batch(&batch, model.n_experts);
+    let trace_csv = write_trace_csv(&trace);
+    println!(
+        "profiled {} tokens x {} layers ({} bytes as CSV)",
+        trace.n_tokens(),
+        trace.n_layers(),
+        trace_csv.len()
+    );
+
+    // Round-trip proves the artifact is loadable where the model deploys.
+    let reloaded = parse_trace_csv(&trace_csv).expect("trace artifact parses");
+    assert_eq!(reloaded, trace);
+
+    // --- 2. Check the routing is capacity-safe. --------------------------
+    let experts_l0: Vec<u16> = (0..trace.n_tokens())
+        .map(|t| trace.expert_at(t, 0) as u16)
+        .collect();
+    let outcome = apply_capacity(
+        &experts_l0,
+        model.n_experts,
+        CapacityPolicy::Fixed { factor: 1.25 },
+    );
+    println!(
+        "capacity check: {:.2}% of tokens would overflow a CF=1.25 deployment",
+        outcome.drop_rate() * 100.0
+    );
+
+    // --- 3. Solve and serialize the placement. ---------------------------
+    let objective = Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
+    let staged = solve_staged(&objective, &cluster, 2, 2024);
+    let placement_text = write_placement(&staged.gpu_level);
+    let reparsed = parse_placement(&placement_text).expect("placement artifact parses");
+    assert_eq!(reparsed, staged.gpu_level);
+    println!(
+        "placement artifact: {} lines, expected locality {:.1}%",
+        placement_text.lines().count(),
+        objective.local_fraction(&staged.gpu_level) * 100.0
+    );
+
+    // --- 4. Compare against the replication alternative. -----------------
+    let base = Placement::round_robin(model.n_layers, model.n_experts, cluster.world_size());
+    println!("\nzero-memory ExFlow placement vs Lina-style replication:");
+    println!(
+        "  exflow      : extra-copies/GPU = 0   locality = {:.1}%",
+        exflow::placement::objective::measure_trace_locality(&trace, &staged.gpu_level)
+            .fraction()
+            * 100.0
+    );
+    for budget in [1usize, 2, 4] {
+        let plan = ReplicationPlan::most_popular(&objective, base.clone(), budget);
+        println!(
+            "  replicate-{budget} : extra-copies/GPU = {:<3} locality = {:.1}%",
+            plan.extra_copies_per_gpu(),
+            plan.trace_local_fraction(&trace) * 100.0
+        );
+    }
+    println!(
+        "\n(each extra copy costs {} MB of expert weights per GPU)",
+        model.expert_params() * 2 / 1_000_000
+    );
+}

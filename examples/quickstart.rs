@@ -1,0 +1,64 @@
+//! Quickstart: run the same MoE inference workload under the three
+//! execution strategies and compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::model::presets::moe_gpt_m;
+use exflow::topology::ClusterSpec;
+
+fn main() {
+    // A GPT-350M MoE model with 16 experts per layer, served with expert
+    // parallelism on 2 nodes x 4 GPUs (the paper's headline scenario).
+    let model = moe_gpt_m(16);
+    let cluster = ClusterSpec::new(2, 4).expect("valid cluster");
+
+    println!("model   : {}", model.name);
+    println!(
+        "cluster : {} nodes x {} GPUs ({} experts/GPU/layer)\n",
+        cluster.n_nodes(),
+        cluster.gpus_per_node(),
+        model.n_experts / cluster.world_size()
+    );
+
+    // Building the engine profiles routing offline and solves the staged
+    // affinity placement — the whole of ExFlow's deploy-time cost.
+    let engine = InferenceEngine::builder(model, cluster)
+        .requests_per_gpu(8)
+        .prompt_len(32)
+        .n_iterations(3)
+        .profile_tokens(2000)
+        .build();
+
+    let mut baseline_throughput = None;
+    for mode in ParallelismMode::ALL {
+        let report = engine.run(mode);
+        let baseline = *baseline_throughput.get_or_insert(report.throughput());
+        println!("{:<22}", mode.label());
+        println!(
+            "  throughput      : {:>9.0} tokens/s  ({:.2}x)",
+            report.throughput(),
+            report.throughput() / baseline
+        );
+        println!(
+            "  alltoall time   : {:>9.1} us/rank",
+            report.breakdown.alltoall * 1e6
+        );
+        println!(
+            "  allgather time  : {:>9.1} us/rank",
+            report.breakdown.allgather * 1e6
+        );
+        println!(
+            "  dispatch local  : {:>8.1}% GPU, {:.1}% node",
+            report.dispatch.gpu_local_fraction() * 100.0,
+            report.dispatch.node_local_fraction() * 100.0
+        );
+        println!(
+            "  cross-GPU bytes : {:>9} KiB alltoall",
+            report.alltoall_bytes.cross_gpu() / 1024
+        );
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the whole ExFlow suite.
+#![forbid(unsafe_code)]
+pub use exflow_affinity as affinity;
+pub use exflow_collectives as collectives;
+pub use exflow_core as core;
+pub use exflow_model as model;
+pub use exflow_placement as placement;
+pub use exflow_topology as topology;

@@ -1,0 +1,101 @@
+//! Determinism guarantees: every layer of the stack is a pure function of
+//! its seeds — the property that makes the paper's figures reproducible
+//! runs instead of noisy measurements.
+
+use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::model::presets::moe_gpt_m;
+use exflow::model::routing::AffinityModelSpec;
+use exflow::model::{CorpusSpec, TokenBatch};
+use exflow::placement::{solve, Objective, SolverKind};
+use exflow::topology::ClusterSpec;
+
+#[test]
+fn routing_model_is_seed_deterministic() {
+    let a = AffinityModelSpec::new(6, 16).with_seed(1).build();
+    let b = AffinityModelSpec::new(6, 16).with_seed(1).build();
+    for d in 0..a.n_domains() {
+        for gap in 0..5 {
+            assert_eq!(a.transition(d, gap), b.transition(d, gap));
+        }
+    }
+}
+
+#[test]
+fn batches_and_placements_are_deterministic() {
+    let model = AffinityModelSpec::new(6, 16).build();
+    let corpus = CorpusSpec::pile_proxy(4);
+    let b1 = TokenBatch::sample(&model, &corpus, 500, 1, 42);
+    let b2 = TokenBatch::sample(&model, &corpus, 500, 1, 42);
+    assert_eq!(b1, b2);
+
+    let raw: Vec<Vec<f64>> = (0..5)
+        .map(|gap| model.mixture_transition(&[1.0; 4], gap))
+        .collect();
+    let objective = Objective::from_raw(raw, 16);
+    for kind in [
+        SolverKind::Greedy,
+        SolverKind::LocalSearch { restarts: 2 },
+    ] {
+        let p1 = solve(&objective, 4, kind, 7);
+        let p2 = solve(&objective, 4, kind, 7);
+        assert_eq!(p1, p2, "{kind:?} not deterministic");
+    }
+}
+
+#[test]
+fn engine_reports_are_bit_identical_across_runs() {
+    let mut model = moe_gpt_m(8);
+    model.n_layers = 5;
+    let engine = InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+        .requests_per_gpu(8)
+        .prompt_len(8)
+        .n_iterations(2)
+        .profile_tokens(800)
+        .placement_restarts(0)
+        .seed(13)
+        .build();
+    for mode in ParallelismMode::ALL {
+        let a = engine.run(mode);
+        let b = engine.run(mode);
+        assert_eq!(a.total_time.to_bits(), b.total_time.to_bits(), "{mode}");
+        assert_eq!(a.breakdown, b.breakdown, "{mode}");
+        assert_eq!(a.dispatch, b.dispatch, "{mode}");
+        assert_eq!(a.alltoall_bytes, b.alltoall_bytes, "{mode}");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let model = AffinityModelSpec::new(6, 16).build();
+    let corpus = CorpusSpec::pile_proxy(4);
+    let b1 = TokenBatch::sample(&model, &corpus, 500, 1, 1);
+    let b2 = TokenBatch::sample(&model, &corpus, 500, 1, 2);
+    assert_ne!(b1, b2, "seeds must actually matter");
+}
+
+#[test]
+fn rebuilt_engines_agree() {
+    // Two engines built from identical configs produce identical
+    // placements and identical reports — nothing depends on ambient state.
+    let build = || {
+        let mut model = moe_gpt_m(8);
+        model.n_layers = 4;
+        InferenceEngine::builder(model, ClusterSpec::new(1, 4).unwrap())
+            .requests_per_gpu(8)
+            .prompt_len(8)
+            .n_iterations(1)
+            .profile_tokens(600)
+            .placement_restarts(1)
+            .seed(77)
+            .build()
+    };
+    let e1 = build();
+    let e2 = build();
+    assert_eq!(
+        e1.placement_for(ParallelismMode::ContextCoherentAffinity),
+        e2.placement_for(ParallelismMode::ContextCoherentAffinity)
+    );
+    let r1 = e1.run(ParallelismMode::ContextCoherentAffinity);
+    let r2 = e2.run(ParallelismMode::ContextCoherentAffinity);
+    assert_eq!(r1.total_time.to_bits(), r2.total_time.to_bits());
+}

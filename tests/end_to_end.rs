@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full ExFlow pipeline from routing traces
+//! through placement to engine reports, checked against the paper's
+//! qualitative claims.
+
+use exflow::affinity::{metrics, AffinityMatrix, RoutingTrace};
+use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::model::presets::moe_gpt_m;
+use exflow::model::routing::AffinityModelSpec;
+use exflow::model::{CorpusSpec, TokenBatch};
+use exflow::placement::objective::measure_trace_locality;
+use exflow::placement::staged::solve_staged;
+use exflow::placement::{Objective, Placement};
+use exflow::topology::ClusterSpec;
+
+fn engine(nodes: usize, gpn: usize, experts: usize, layers: usize) -> InferenceEngine {
+    let mut model = moe_gpt_m(experts);
+    model.n_layers = layers;
+    InferenceEngine::builder(model, ClusterSpec::new(nodes, gpn).unwrap())
+        .requests_per_gpu(16)
+        .prompt_len(8)
+        .n_iterations(2)
+        .profile_tokens(1500)
+        .placement_restarts(0)
+        .seed(99)
+        .build()
+}
+
+#[test]
+fn exflow_reduces_alltoall_and_improves_throughput() {
+    let engine = engine(2, 2, 16, 8);
+    let vanilla = engine.run(ParallelismMode::Vanilla);
+    let cc = engine.run(ParallelismMode::ContextCoherent);
+    let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+
+    // One Alltoall per layer instead of two -> roughly half the time.
+    assert!(cc.breakdown.alltoall < 0.7 * vanilla.breakdown.alltoall);
+    // Affinity placement cuts the remaining dispatch traffic further.
+    assert!(aff.alltoall_bytes.cross_gpu() < cc.alltoall_bytes.cross_gpu());
+    // Throughput ordering matches Fig. 10.
+    assert!(aff.throughput() >= cc.throughput() * 0.98);
+    assert!(cc.throughput() > vanilla.throughput());
+}
+
+#[test]
+fn pipeline_objective_predicts_engine_locality() {
+    // The offline objective's expected locality must predict the engine's
+    // measured serving-time locality (profiling and serving draw from the
+    // same routing process with different seeds).
+    let engine = engine(2, 2, 16, 8);
+    let placement = engine.placement_for(ParallelismMode::ContextCoherentAffinity);
+    let expected = engine.objective().local_fraction(placement);
+    let measured = engine
+        .run(ParallelismMode::ContextCoherentAffinity)
+        .dispatch
+        .gpu_local_fraction();
+    assert!(
+        (expected - measured).abs() < 0.08,
+        "objective predicts {expected}, engine measured {measured}"
+    );
+}
+
+#[test]
+fn offline_pipeline_matches_engine_pipeline() {
+    // Building the placement by hand from a trace gives the same quality
+    // as the engine's internal profiling (same components, same data).
+    let cluster = ClusterSpec::new(2, 2).unwrap();
+    let spec = AffinityModelSpec::new(8, 16);
+    let routing = spec.build();
+    let corpus = CorpusSpec::pile_proxy(spec.n_domains);
+    let batch = TokenBatch::sample(&routing, &corpus, 4000, 1, 5);
+    let trace = RoutingTrace::from_batch(&batch, 16);
+    let objective = Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
+    let staged = solve_staged(&objective, &cluster, 1, 5);
+    assert!(staged.is_consistent(&cluster));
+
+    let rr = Placement::round_robin(8, 16, 4);
+    let eval = TokenBatch::sample(&routing, &corpus, 4000, 1, 6);
+    let eval_trace = RoutingTrace::from_batch(&eval, 16);
+    let rr_local = measure_trace_locality(&eval_trace, &rr).fraction();
+    let opt_local = measure_trace_locality(&eval_trace, &staged.gpu_level).fraction();
+    assert!(
+        opt_local > rr_local + 0.1,
+        "optimized {opt_local} vs round-robin {rr_local}"
+    );
+}
+
+#[test]
+fn affinity_strength_drives_every_stage() {
+    // Weak-affinity models should yield weak placement gains; strong
+    // affinity should propagate into strong gains — end to end.
+    let gain_for = |kappa: f64| {
+        let mut model = moe_gpt_m(16);
+        model.n_layers = 6;
+        let spec = AffinityModelSpec::new(6, 16).with_affinity(kappa);
+        let engine = InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+            .routing_spec(spec)
+            .requests_per_gpu(16)
+            .prompt_len(8)
+            .n_iterations(2)
+            .profile_tokens(1500)
+            .placement_restarts(0)
+            .seed(3)
+            .build();
+        let cc = engine.run(ParallelismMode::ContextCoherent);
+        let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+        aff.dispatch.gpu_local_fraction() - cc.dispatch.gpu_local_fraction()
+    };
+    let weak = gain_for(0.1);
+    let strong = gain_for(0.9);
+    assert!(
+        strong > weak + 0.15,
+        "strong-affinity gain {strong} vs weak {weak}"
+    );
+}
+
+#[test]
+fn estimated_affinity_matches_generating_process() {
+    // The affinity the profiler estimates is the one the routing process
+    // was built with: top-k mass of the estimate tracks kappa.
+    for kappa in [0.3, 0.9] {
+        let spec = AffinityModelSpec::new(4, 16).with_affinity(kappa);
+        let routing = spec.build();
+        let batch = TokenBatch::sample(
+            &routing,
+            &CorpusSpec::pile_proxy(spec.n_domains),
+            20_000,
+            1,
+            11,
+        );
+        let trace = RoutingTrace::from_batch(&batch, 16);
+        let m = AffinityMatrix::from_trace(&trace, 0, 1);
+        // Preferred structure spans up to 2 core + 2-per-domain perms.
+        let mass = metrics::mean_topk_mass(&m, 10);
+        let floor = kappa + (1.0 - kappa) * 10.0 / 16.0;
+        assert!(
+            mass > floor - 0.05,
+            "kappa {kappa}: top-10 mass {mass} below floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn vanilla_and_cc_agree_on_model_semantics() {
+    // Both modes process identical routes; their dispatch totals and
+    // locality counters must coincide under the same placement.
+    let engine = engine(1, 4, 8, 6);
+    let vanilla = engine.run(ParallelismMode::Vanilla);
+    let cc = engine.run(ParallelismMode::ContextCoherent);
+    assert_eq!(vanilla.dispatch.total, cc.dispatch.total);
+    assert_eq!(vanilla.tokens_processed, cc.tokens_processed);
+}
