@@ -48,7 +48,12 @@ impl AffinityMatrix {
     }
 
     /// Build from raw joint counts.
-    pub fn from_counts(counts: Vec<u64>, n_experts: usize, from_layer: usize, to_layer: usize) -> Self {
+    pub fn from_counts(
+        counts: Vec<u64>,
+        n_experts: usize,
+        from_layer: usize,
+        to_layer: usize,
+    ) -> Self {
         assert_eq!(counts.len(), n_experts * n_experts);
         let e = n_experts;
         let mut probs = vec![0.0f64; e * e];
@@ -79,7 +84,12 @@ impl AffinityMatrix {
 
     /// Build directly from exact probabilities (e.g. a routing model's
     /// transition matrix) — used for oracle comparisons in tests.
-    pub fn from_probs(probs: Vec<f64>, n_experts: usize, from_layer: usize, to_layer: usize) -> Self {
+    pub fn from_probs(
+        probs: Vec<f64>,
+        n_experts: usize,
+        from_layer: usize,
+        to_layer: usize,
+    ) -> Self {
         assert_eq!(probs.len(), n_experts * n_experts);
         for i in 0..n_experts {
             let s: f64 = probs[i * n_experts..(i + 1) * n_experts].iter().sum();

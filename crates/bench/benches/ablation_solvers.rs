@@ -38,7 +38,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solve(&objective, 4, SolverKind::LocalSearch { restarts: 1 }, 0))
     });
     g.bench_function("annealing", |b| {
-        b.iter(|| solve(&objective, 4, SolverKind::Annealing(AnnealParams::default()), 0))
+        b.iter(|| {
+            solve(
+                &objective,
+                4,
+                SolverKind::Annealing(AnnealParams::default()),
+                0,
+            )
+        })
     });
     g.finish();
 }

@@ -7,12 +7,8 @@ use exflow_bench::Scale;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("locality");
     g.sample_size(10);
-    g.bench_function("fig7_gpu_locality", |b| {
-        b.iter(|| fig7::run(Scale::Quick))
-    });
-    g.bench_function("fig8_node_locality", |b| {
-        b.iter(|| fig8::run(Scale::Quick))
-    });
+    g.bench_function("fig7_gpu_locality", |b| b.iter(|| fig7::run(Scale::Quick)));
+    g.bench_function("fig8_node_locality", |b| b.iter(|| fig8::run(Scale::Quick)));
     g.finish();
 }
 

@@ -5,68 +5,40 @@
 //! cargo run --release -p exflow-bench --bin repro -- fig10
 //! cargo run --release -p exflow-bench --bin repro -- --quick table1 fig7
 //! ```
+//!
+//! Exit codes: 0 on success, 1 if any artifact fails to regenerate,
+//! 2 on usage errors (no targets, unknown artifact name).
 
-use exflow_bench::experiments::*;
-use exflow_bench::Scale;
-
-const ARTIFACTS: &[&str] = &[
-    "table1", "table2", "table3", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "ablations",
-];
+use exflow_bench::cli::{self, Command};
 
 fn print_usage() {
-    eprintln!("usage: repro [--quick] <artifact>... | all");
-    eprintln!("artifacts: {}", ARTIFACTS.join(", "));
-}
-
-fn run_one(name: &str, scale: Scale) -> bool {
-    println!("==============================================================");
-    match name {
-        "table1" => table1::print(scale),
-        "table2" => table2::print(scale),
-        "table3" => table3::print(scale),
-        "fig2" => fig2::print(scale),
-        "fig6" => fig6::print(scale),
-        "fig7" => fig7::print(scale),
-        "fig8" => fig8::print(scale),
-        "fig9" => fig9::print(scale),
-        "fig10" => fig10::print(scale),
-        "fig11" => fig11::print(scale),
-        "fig12" => fig12::print(scale),
-        "fig13" => fig13::print(scale),
-        "fig14" | "fig15" | "fig16" => fig2::print_gaps(scale),
-        "ablations" => ablations::print(scale),
-        other => {
-            eprintln!("unknown artifact: {other}");
-            return false;
-        }
-    }
-    true
+    eprintln!("usage: repro [--quick|--full] <artifact>... | all");
+    eprintln!("artifacts: {}", cli::artifact_names().join(", "));
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Full;
-    let mut targets: Vec<String> = Vec::new();
-    for a in args {
-        match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
-            "-h" | "--help" => {
-                print_usage();
-                return;
-            }
-            "all" => targets.extend(ARTIFACTS.iter().map(|s| s.to_string())),
-            other => targets.push(other.to_string()),
+    let (scale, targets) = match cli::parse(std::env::args().skip(1)) {
+        Ok(Command::Help) => {
+            print_usage();
+            return;
         }
-    }
-    if targets.is_empty() {
-        print_usage();
-        std::process::exit(2);
-    }
+        Ok(Command::Run { scale, targets }) => (scale, targets),
+        Err(err) => {
+            eprintln!("error: {err}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
     let mut ok = true;
-    for t in targets {
-        ok &= run_one(&t, scale);
+    for target in targets {
+        println!("==============================================================");
+        let run = cli::runner(&target).expect("parse validates against the dispatch table");
+        // Catch panics so one failing artifact doesn't abort the rest and
+        // the documented exit code (1, not the panic's 101) is honored.
+        if std::panic::catch_unwind(|| run(scale)).is_err() {
+            eprintln!("error: artifact {target} failed to regenerate");
+            ok = false;
+        }
     }
     if !ok {
         std::process::exit(1);

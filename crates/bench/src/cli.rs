@@ -1,0 +1,186 @@
+//! Argument parsing and artifact dispatch for the `repro` binary, factored
+//! out so the exit-code contract is unit-testable: usage errors (no targets,
+//! unknown artifact) are detected *before* any experiment runs and exit with
+//! status 2; failures while running exit with status 1.
+//!
+//! The dispatch table below is the single source of truth for artifact
+//! names: `parse` validates against it and `runner` dispatches from it, so
+//! the two cannot drift apart.
+
+use crate::experiments::{
+    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, table1, table2, table3,
+};
+use crate::Scale;
+
+/// A named artifact entry: `(name, runner)`.
+pub type Artifact = (&'static str, fn(Scale));
+
+/// Every artifact the `repro` binary can regenerate, with its runner.
+pub const ARTIFACTS: &[Artifact] = &[
+    ("table1", table1::print),
+    ("table2", table2::print),
+    ("table3", table3::print),
+    ("fig2", fig2::print),
+    ("fig6", fig6::print),
+    ("fig7", fig7::print),
+    ("fig8", fig8::print),
+    ("fig9", fig9::print),
+    ("fig10", fig10::print),
+    ("fig11", fig11::print),
+    ("fig12", fig12::print),
+    ("fig13", fig13::print),
+    ("fig14", fig2::print_gaps),
+    ("ablations", ablations::print),
+];
+
+/// Accepted aliases: the paper's Figs. 15/16 are gap-sweep variants of the
+/// same experiment as Fig. 14.
+pub const ALIASES: &[Artifact] = &[("fig15", fig2::print_gaps), ("fig16", fig2::print_gaps)];
+
+/// All artifact names (without aliases), for usage text.
+pub fn artifact_names() -> Vec<&'static str> {
+    ARTIFACTS.iter().map(|&(name, _)| name).collect()
+}
+
+/// Look up the runner for a validated artifact name or alias.
+pub fn runner(name: &str) -> Option<fn(Scale)> {
+    ARTIFACTS
+        .iter()
+        .chain(ALIASES)
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, f)| f)
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Print usage and exit successfully (`-h`/`--help`).
+    Help,
+    /// Run the given artifacts at the given scale.
+    Run {
+        /// Sweep size for every experiment.
+        scale: Scale,
+        /// Validated artifact names, in execution order.
+        targets: Vec<String>,
+    },
+}
+
+/// A usage error; the process should print usage and exit with status 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UsageError {
+    /// No artifact names were given.
+    NoTargets,
+    /// An argument named no known artifact or flag.
+    UnknownArtifact(String),
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UsageError::NoTargets => write!(f, "no artifacts requested"),
+            UsageError::UnknownArtifact(name) => write!(f, "unknown artifact: {name}"),
+        }
+    }
+}
+
+fn is_artifact(name: &str) -> bool {
+    runner(name).is_some()
+}
+
+/// Parse CLI arguments (without the program name). Unknown artifacts are
+/// rejected here, up front, so a typo cannot burn minutes of sweep time
+/// before failing.
+pub fn parse<I, S>(args: I) -> Result<Command, UsageError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut scale = Scale::Full;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_ref() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "-h" | "--help" => return Ok(Command::Help),
+            "all" => targets.extend(ARTIFACTS.iter().map(|&(name, _)| name.to_string())),
+            other if is_artifact(other) => targets.push(other.to_string()),
+            other => return Err(UsageError::UnknownArtifact(other.to_string())),
+        }
+    }
+    if targets.is_empty() {
+        return Err(UsageError::NoTargets);
+    }
+    Ok(Command::Run { scale, targets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_targets_and_scale() {
+        let cmd = parse(["--quick", "table2", "fig6"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                scale: Scale::Quick,
+                targets: vec!["table2".to_string(), "fig6".to_string()],
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_to_full_scale() {
+        match parse(["table1"]).unwrap() {
+            Command::Run { scale, .. } => assert_eq!(scale, Scale::Full),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_expands_to_every_artifact() {
+        match parse(["all"]).unwrap() {
+            Command::Run { targets, .. } => assert_eq!(targets.len(), ARTIFACTS.len()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_artifact_is_a_usage_error() {
+        assert_eq!(
+            parse(["fig99"]),
+            Err(UsageError::UnknownArtifact("fig99".to_string()))
+        );
+        // Even when mixed with valid targets or flags.
+        assert_eq!(
+            parse(["--quick", "table1", "tabel2"]),
+            Err(UsageError::UnknownArtifact("tabel2".to_string()))
+        );
+    }
+
+    #[test]
+    fn no_targets_is_a_usage_error() {
+        assert_eq!(parse::<_, &str>([]), Err(UsageError::NoTargets));
+        assert_eq!(parse(["--quick"]), Err(UsageError::NoTargets));
+    }
+
+    #[test]
+    fn help_wins_regardless_of_other_args() {
+        assert_eq!(parse(["table1", "--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn aliases_are_accepted() {
+        assert!(parse(["fig15", "fig16"]).is_ok());
+    }
+
+    #[test]
+    fn every_parseable_artifact_has_a_runner() {
+        // The dispatch table is shared, so anything parse accepts must
+        // resolve to a runner — including every alias.
+        for &(name, _) in ARTIFACTS.iter().chain(ALIASES) {
+            assert!(parse([name]).is_ok(), "{name} should parse");
+            assert!(runner(name).is_some(), "{name} should dispatch");
+        }
+    }
+}

@@ -12,7 +12,10 @@ pub fn cluster_for(gpus: usize) -> ClusterSpec {
     if gpus < 4 {
         ClusterSpec::single_node(gpus).expect("gpus >= 1")
     } else {
-        assert!(gpus % 4 == 0, "multi-node shapes must fill 4-GPU nodes");
+        assert!(
+            gpus.is_multiple_of(4),
+            "multi-node shapes must fill 4-GPU nodes"
+        );
         ClusterSpec::wilkes3(gpus / 4).expect("nodes >= 1")
     }
 }

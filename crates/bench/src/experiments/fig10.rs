@@ -4,9 +4,7 @@
 //! DeepSpeed baseline per configuration, as the paper plots.
 
 use exflow_core::ParallelismMode;
-use exflow_model::presets::{
-    moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l, moe_gpt_xl_16e,
-};
+use exflow_model::presets::{moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l, moe_gpt_xl_16e};
 use exflow_model::ModelConfig;
 
 use crate::experiments::common::{engine_for, with_layers};

@@ -62,7 +62,13 @@ pub fn print(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["experts", "iteration", "max-share", "active", "balanced-share"],
+            &[
+                "experts",
+                "iteration",
+                "max-share",
+                "active",
+                "balanced-share"
+            ],
             &rows
         )
     );

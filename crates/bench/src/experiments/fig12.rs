@@ -47,14 +47,16 @@ pub fn run(scale: Scale, early: bool) -> Vec<Row> {
     } else {
         scale.pick(
             vec![2000, 8000, 18_000],
-            vec![2000, 4000, 6000, 8000, 10_000, 12_000, 14_000, 16_000, 18_000],
+            vec![
+                2000, 4000, 6000, 8000, 10_000, 12_000, 14_000, 16_000, 18_000,
+            ],
         )
     };
     let tokens = scale.pick(1200, 4000);
     let mut rows = Vec::new();
     for e in expert_counts {
         let sim = TrainingSimulator::new(AffinityModelSpec::new(8, e));
-        let n_units = (e / 2).min(4).max(2);
+        let n_units = (e / 2).clamp(2, 4);
         let raw: Vec<f64> = iters
             .iter()
             .map(|&it| measure(&sim, it, n_units, tokens))
@@ -74,7 +76,10 @@ pub fn run(scale: Scale, early: bool) -> Vec<Row> {
 
 /// Print both phases.
 pub fn print(scale: Scale) {
-    for (early, title) in [(true, "Fig 12a (iterations 0-2000)"), (false, "Fig 12b (2000-18000)")] {
+    for (early, title) in [
+        (true, "Fig 12a (iterations 0-2000)"),
+        (false, "Fig 12b (2000-18000)"),
+    ] {
         println!("{title}: scaled expert affinity during training\n");
         let rows: Vec<Vec<String>> = run(scale, early)
             .iter()

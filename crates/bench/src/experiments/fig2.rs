@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn four_pairs_match_figure() {
         let maps = run(Scale::Quick);
-        let pairs: Vec<(usize, usize)> =
-            maps.iter().map(|h| (h.from_layer, h.to_layer)).collect();
+        let pairs: Vec<(usize, usize)> = maps.iter().map(|h| (h.from_layer, h.to_layer)).collect();
         assert_eq!(pairs, vec![(0, 1), (3, 4), (7, 8), (10, 11)]);
     }
 

@@ -65,7 +65,12 @@ pub fn print(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["gpus", "deepspeed-local", "affinity-local", "xGPU-comm-reduction"],
+            &[
+                "gpus",
+                "deepspeed-local",
+                "affinity-local",
+                "xGPU-comm-reduction"
+            ],
             &rows
         )
     );

@@ -78,7 +78,12 @@ mod tests {
     fn shares_sum_to_one() {
         for r in run(Scale::Quick) {
             let s = r.gating + r.alltoall + r.attention + r.expert_ffn;
-            assert!((s - 1.0).abs() < 1e-9, "{} nodes: shares sum {}", r.nodes, s);
+            assert!(
+                (s - 1.0).abs() < 1e-9,
+                "{} nodes: shares sum {}",
+                r.nodes,
+                s
+            );
         }
     }
 

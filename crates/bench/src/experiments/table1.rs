@@ -148,13 +148,7 @@ mod tests {
     #[test]
     fn exflow_achieves_smallest_volume() {
         let t = run(Scale::Quick);
-        let by_system = |s: System| {
-            t.rows
-                .iter()
-                .find(|r| r.system == s)
-                .unwrap()
-                .volume_top1
-        };
+        let by_system = |s: System| t.rows.iter().find(|r| r.system == s).unwrap().volume_top1;
         assert!(by_system(System::ExFlow) < by_system(System::DeepspeedMoe));
         assert!(by_system(System::ExFlow) < by_system(System::FasterMoe));
     }

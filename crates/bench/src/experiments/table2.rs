@@ -30,7 +30,14 @@ pub fn print(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["model", "base", "experts", "layers", "d_model", "total-params"],
+            &[
+                "model",
+                "base",
+                "experts",
+                "layers",
+                "d_model",
+                "total-params"
+            ],
             &rows
         )
     );

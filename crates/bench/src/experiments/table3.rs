@@ -51,10 +51,8 @@ pub fn run(scale: Scale) -> Vec<Column> {
             let name = corpus.name.clone();
             // Engine serving this corpus, but *placed* from the Pile.
             let engine = engine_with_corpus(corpus, scale);
-            let transferred = engine.run_with_placement(
-                ParallelismMode::ContextCoherentAffinity,
-                &pile_placement,
-            );
+            let transferred = engine
+                .run_with_placement(ParallelismMode::ContextCoherentAffinity, &pile_placement);
             // Reference: the corpus profiled on itself.
             let self_profiled = engine.run(ParallelismMode::ContextCoherentAffinity);
             Column {

@@ -116,9 +116,11 @@ mod tests {
     use super::*;
 
     fn rec(op: OpKind, start: f64, end: f64, intra: u64, inter: u64) -> CommRecord {
-        let mut sent = BytesByClass::default();
-        sent.intra_node = intra;
-        sent.inter_node = inter;
+        let sent = BytesByClass {
+            intra_node: intra,
+            inter_node: inter,
+            ..BytesByClass::default()
+        };
         CommRecord {
             op,
             rank: 0,

@@ -196,10 +196,7 @@ impl RankComm {
             return m;
         }
         loop {
-            let m = self
-                .rx
-                .recv()
-                .expect("peer disconnected mid-collective");
+            let m = self.rx.recv().expect("peer disconnected mid-collective");
             let mkey = (m.src, m.seq, m.step);
             if mkey == key {
                 return m;
@@ -235,7 +232,9 @@ impl RankComm {
             // (no message, no startup latency) — only charge real traffic.
             if !payload.is_empty() {
                 let class = self.cluster.link_class(self.rank, Rank(dst));
-                let t = self.cost.alltoall_transfer_time(class, payload.len() as u64);
+                let t = self
+                    .cost
+                    .alltoall_transfer_time(class, payload.len() as u64);
                 self.clock.advance(t);
                 sent.add(class, payload.len() as u64);
             }
@@ -293,9 +292,7 @@ impl RankComm {
                     .as_ref()
                     .expect("ring invariant: block present before forwarding")
                     .clone();
-                let t = self
-                    .cost
-                    .transfer_time(right_class, payload.len() as u64);
+                let t = self.cost.transfer_time(right_class, payload.len() as u64);
                 self.clock.advance(t);
                 sent.add(right_class, payload.len() as u64);
                 self.send(right, seq, step, payload);
@@ -359,10 +356,7 @@ mod tests {
     use super::*;
 
     fn world(nodes: usize, gpn: usize) -> CommWorld {
-        CommWorld::new(
-            ClusterSpec::new(nodes, gpn).unwrap(),
-            CostModel::wilkes3(),
-        )
+        CommWorld::new(ClusterSpec::new(nodes, gpn).unwrap(), CostModel::wilkes3())
     }
 
     #[test]

@@ -80,9 +80,7 @@ impl System {
         let l = params.l as f64;
         let k = k as f64;
         match self {
-            System::FasterMoe | System::TaMoe | System::DeepspeedMoe => {
-                k * 2.0 * g * n * l * p
-            }
+            System::FasterMoe | System::TaMoe | System::DeepspeedMoe => k * 2.0 * g * n * l * p,
             System::ExFlow => g * n * (k * l * p + g),
         }
     }
@@ -99,7 +97,11 @@ pub fn uniform_crossing_fraction(g: usize) -> f64 {
 mod tests {
     use super::*;
 
-    const PARAMS: VolumeParams = VolumeParams { g: 16, n: 64, l: 24 };
+    const PARAMS: VolumeParams = VolumeParams {
+        g: 16,
+        n: 64,
+        l: 24,
+    };
 
     #[test]
     fn deepspeed_doubles_topo_aware_only_via_p() {
@@ -150,7 +152,11 @@ mod tests {
     #[test]
     fn exflow_allgather_term_grows_with_g() {
         let small = VolumeParams { g: 4, n: 64, l: 24 };
-        let large = VolumeParams { g: 64, n: 64, l: 24 };
+        let large = VolumeParams {
+            g: 64,
+            n: 64,
+            l: 24,
+        };
         // At p* = 0 only the AllGather term remains: G^2 * N.
         let ex_small = System::ExFlow.volume(small, 0.0, 1);
         let ex_large = System::ExFlow.volume(large, 0.0, 1);
@@ -175,8 +181,7 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let set: std::collections::HashSet<_> =
-            System::ALL.iter().map(|s| s.label()).collect();
+        let set: std::collections::HashSet<_> = System::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(set.len(), 4);
     }
 }

@@ -174,7 +174,7 @@ impl InferenceEngine {
     pub fn from_config(cfg: EngineConfig) -> Self {
         let world = cfg.cluster.world_size();
         assert!(
-            cfg.model.n_experts % world == 0,
+            cfg.model.n_experts.is_multiple_of(world),
             "experts ({}) must divide across {} GPUs",
             cfg.model.n_experts,
             world
@@ -282,8 +282,7 @@ impl InferenceEngine {
             .collect();
 
         let world = CommWorld::new(cfg.cluster, cfg.link_cost);
-        let rank_results =
-            world.run(|comm| self.rank_loop(comm, mode, placement, &batches));
+        let rank_results = world.run(|comm| self.rank_loop(comm, mode, placement, &batches));
 
         let total_time = rank_results
             .iter()
@@ -332,10 +331,7 @@ impl InferenceEngine {
                 let mut rng = StdRng::seed_from_u64(
                     cfg.seed ^ (layer as u64) << 32 ^ (e as u64) << 8 ^ 0xe4e4,
                 );
-                experts.insert(
-                    (layer, e),
-                    Expert::random(sim_dim, sim_dim * 4, &mut rng),
-                );
+                experts.insert((layer, e), Expert::random(sim_dim, sim_dim * 4, &mut rng));
             }
         }
 
@@ -350,10 +346,7 @@ impl InferenceEngine {
         // AllGather time the cost model predicts.
         if mode.context_coherent() {
             let prompt_bytes = (g * cfg.prompt_len * frame) as u64;
-            let analytic = exflow_topology::CollectiveCostModel::new(
-                cfg.cluster,
-                cfg.link_cost,
-            );
+            let analytic = exflow_topology::CollectiveCostModel::new(cfg.cluster, cfg.link_cost);
             let t = analytic.allgatherv_time(&vec![prompt_bytes; comm.world_size()]);
             comm.advance(t);
             breakdown.allgather += t;
@@ -414,8 +407,7 @@ impl InferenceEngine {
                         outgoing[dst].push(copy);
                     }
                 }
-                let bufs: Vec<Vec<u8>> =
-                    outgoing.iter().map(|ts| encode(ts, frame)).collect();
+                let bufs: Vec<Vec<u8>> = outgoing.iter().map(|ts| encode(ts, frame)).collect();
                 // The Alltoall is a synchronization point: straggler wait
                 // at entry is attributed to `imbalance`, the collective's
                 // own cost to `alltoall`.
@@ -435,8 +427,7 @@ impl InferenceEngine {
                 // matmuls, advance the clock by the true-dim cost.
                 let mut by_expert: HashMap<usize, Vec<usize>> = HashMap::new();
                 for (idx, tok) in received.iter().enumerate() {
-                    let expert =
-                        batch.routes[tok.id as usize][layer][tok.slot as usize] as usize;
+                    let expert = batch.routes[tok.id as usize][layer][tok.slot as usize] as usize;
                     by_expert.entry(expert).or_default().push(idx);
                 }
                 for (expert_id, idxs) in &by_expert {
@@ -453,9 +444,9 @@ impl InferenceEngine {
                         received[i].emb.copy_from_slice(y.row(row));
                     }
                 }
-                let t_ffn =
-                    cfg.compute
-                        .expert_time(&cfg.model, received.len(), by_expert.len(), 1);
+                let t_ffn = cfg
+                    .compute
+                    .expert_time(&cfg.model, received.len(), by_expert.len(), 1);
                 comm.advance(t_ffn);
                 breakdown.expert_ffn += t_ffn;
 
@@ -467,8 +458,7 @@ impl InferenceEngine {
                         // Top-2: the primary copy's GPU is the meeting
                         // point. Secondary outputs travel there in a second
                         // (sparse) Alltoall and the copies are merged.
-                        let mut to_primary: Vec<Vec<Token>> =
-                            (0..w).map(|_| Vec::new()).collect();
+                        let mut to_primary: Vec<Vec<Token>> = (0..w).map(|_| Vec::new()).collect();
                         let mut primaries: Vec<Token> = Vec::new();
                         for tok in received.drain(..) {
                             if tok.slot == 0 {
@@ -500,16 +490,14 @@ impl InferenceEngine {
                         let home = tok.home as usize;
                         back[home].push(tok);
                     }
-                    let bufs: Vec<Vec<u8>> =
-                        back.iter().map(|ts| encode(ts, frame)).collect();
+                    let bufs: Vec<Vec<u8>> = back.iter().map(|ts| encode(ts, frame)).collect();
                     let t0 = comm.now();
                     comm.barrier();
                     breakdown.imbalance += comm.now() - t0;
                     let t1 = comm.now();
                     let returned = comm.all_to_all_v(bufs);
                     breakdown.alltoall += comm.now() - t1;
-                    let all: Vec<Token> =
-                        returned.iter().flat_map(|b| decode(b, frame)).collect();
+                    let all: Vec<Token> = returned.iter().flat_map(|b| decode(b, frame)).collect();
                     resident = if k == 1 {
                         all
                     } else {
@@ -557,10 +545,7 @@ const TOP2_WEIGHTS: (f32, f32) = (0.7, 0.3);
 /// Merge top-2 copies: each primary output is blended with its token's
 /// secondary output (when present on this rank after the return Alltoall).
 fn merge_topk(primaries: Vec<Token>, secondaries: Vec<Token>, _sim_dim: usize) -> Vec<Token> {
-    let mut sec: HashMap<u32, Vec<f32>> = secondaries
-        .into_iter()
-        .map(|t| (t.id, t.emb))
-        .collect();
+    let mut sec: HashMap<u32, Vec<f32>> = secondaries.into_iter().map(|t| (t.id, t.emb)).collect();
     primaries
         .into_iter()
         .map(|mut t| {
@@ -673,8 +658,7 @@ mod tests {
     fn custom_placement_is_respected() {
         let engine = tiny_engine(1, 4);
         let rr = engine.placement_for(ParallelismMode::Vanilla).clone();
-        let via_custom =
-            engine.run_with_placement(ParallelismMode::ContextCoherent, &rr);
+        let via_custom = engine.run_with_placement(ParallelismMode::ContextCoherent, &rr);
         let via_default = engine.run(ParallelismMode::ContextCoherent);
         assert_eq!(via_custom.dispatch, via_default.dispatch);
     }

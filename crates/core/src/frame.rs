@@ -54,7 +54,7 @@ pub fn encode(tokens: &[Token], frame: usize) -> Vec<u8> {
 /// Decode a buffer of `frame`-byte frames back into tokens.
 pub fn decode(buf: &[u8], frame: usize) -> Vec<Token> {
     assert!(
-        frame >= HEADER && buf.len() % frame == 0,
+        frame >= HEADER && buf.len().is_multiple_of(frame),
         "buffer is not a whole number of frames"
     );
     let mut out = Vec::with_capacity(buf.len() / frame);
@@ -65,7 +65,10 @@ pub fn decode(buf: &[u8], frame: usize) -> Vec<Token> {
         let domain = u32::from_le_bytes(buf[base + 8..base + 12].try_into().unwrap());
         let slot = u32::from_le_bytes(buf[base + 12..base + 16].try_into().unwrap());
         let len = u32::from_le_bytes(buf[base + 16..base + 20].try_into().unwrap()) as usize;
-        assert!(HEADER + 4 * len <= frame, "corrupt frame: embedding too long");
+        assert!(
+            HEADER + 4 * len <= frame,
+            "corrupt frame: embedding too long"
+        );
         let emb = (0..len)
             .map(|i| {
                 let off = base + HEADER + 4 * i;

@@ -125,13 +125,7 @@ mod tests {
     fn larger_factor_drops_less() {
         let spec = AffinityModelSpec::new(2, 8);
         let model = spec.build();
-        let batch = TokenBatch::sample(
-            &model,
-            &CorpusSpec::pile_proxy(spec.n_domains),
-            2000,
-            1,
-            3,
-        );
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(spec.n_domains), 2000, 1, 3);
         let experts: Vec<u16> = batch.routes.iter().map(|r| r[0][0]).collect();
         let tight = apply_capacity(&experts, 8, CapacityPolicy::Fixed { factor: 1.0 });
         let loose = apply_capacity(&experts, 8, CapacityPolicy::Fixed { factor: 1.5 });
@@ -145,13 +139,7 @@ mod tests {
         // training and the placement's balance assumption.
         let spec = AffinityModelSpec::new(2, 16);
         let model = spec.build();
-        let batch = TokenBatch::sample(
-            &model,
-            &CorpusSpec::pile_proxy(spec.n_domains),
-            4000,
-            1,
-            9,
-        );
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(spec.n_domains), 4000, 1, 9);
         let experts: Vec<u16> = batch.routes.iter().map(|r| r[0][0]).collect();
         let out = apply_capacity(&experts, 16, CapacityPolicy::Fixed { factor: 1.25 });
         assert!(

@@ -25,10 +25,12 @@ pub struct CorpusSpec {
 impl CorpusSpec {
     /// Build a corpus from explicit weights.
     pub fn new(name: impl Into<String>, domain_weights: Vec<f64>) -> Self {
-        assert!(!domain_weights.is_empty(), "corpus needs at least one domain");
         assert!(
-            domain_weights.iter().all(|&w| w >= 0.0)
-                && domain_weights.iter().sum::<f64>() > 0.0,
+            !domain_weights.is_empty(),
+            "corpus needs at least one domain"
+        );
+        assert!(
+            domain_weights.iter().all(|&w| w >= 0.0) && domain_weights.iter().sum::<f64>() > 0.0,
             "weights must be non-negative with positive sum"
         );
         CorpusSpec {

@@ -60,8 +60,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            table2().into_iter().map(|c| c.name).collect();
+        let names: std::collections::HashSet<_> = table2().into_iter().map(|c| c.name).collect();
         assert_eq!(names.len(), 7);
     }
 

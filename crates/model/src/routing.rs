@@ -153,10 +153,8 @@ impl RoutingModel {
             .map(|gap| {
                 let mut s = vec![0.0f64; e * e];
                 for i in 0..spec.n_permutations {
-                    let mut rng = StdRng::seed_from_u64(sub_seed(
-                        spec.seed,
-                        &[1, gap as u64, i as u64],
-                    ));
+                    let mut rng =
+                        StdRng::seed_from_u64(sub_seed(spec.seed, &[1, gap as u64, i as u64]));
                     let p = random_permutation(e, &mut rng);
                     for (row, &col) in p.iter().enumerate() {
                         s[row * e + col] += 1.0 / spec.n_permutations as f64;
@@ -266,8 +264,7 @@ impl RoutingModel {
         match &self.active {
             None => rng.gen_range(0..e),
             Some(mask) => {
-                let actives: Vec<usize> =
-                    (0..e).filter(|&i| mask[i]).collect();
+                let actives: Vec<usize> = (0..e).filter(|&i| mask[i]).collect();
                 actives[rng.gen_range(0..actives.len())]
             }
         }
@@ -456,13 +453,10 @@ mod tests {
                 counts[layer][e as usize] += 1;
             }
         }
-        for layer in 0..6 {
-            for &c in &counts[layer] {
+        for (layer, layer_counts) in counts.iter().enumerate() {
+            for &c in layer_counts {
                 let share = c as f64 / n as f64;
-                assert!(
-                    (share - 0.125).abs() < 0.04,
-                    "layer {layer} share {share}"
-                );
+                assert!((share - 0.125).abs() < 0.04, "layer {layer} share {share}");
             }
         }
     }
@@ -472,8 +466,8 @@ mod tests {
         let m = model(4, 2, 0.8);
         let mut rng = StdRng::seed_from_u64(11);
         let n = 60_000;
-        let mut joint = vec![0usize; 16];
-        let mut first = vec![0usize; 4];
+        let mut joint = [0usize; 16];
+        let mut first = [0usize; 4];
         for _ in 0..n {
             let p = m.sample_path(&mut rng, 0);
             joint[p[0] as usize * 4 + p[1] as usize] += 1;
@@ -522,17 +516,13 @@ mod tests {
     #[test]
     fn domains_share_core_structure() {
         // With domain_share=1.0 all domains have identical transitions.
-        let m = AffinityModelSpec::new(4, 8)
-            .with_domains(3, 1.0)
-            .build();
+        let m = AffinityModelSpec::new(4, 8).with_domains(3, 1.0).build();
         let t0 = m.transition(0, 0).to_vec();
         for d in 1..3 {
             assert_eq!(m.transition(d, 0), &t0[..]);
         }
         // With domain_share=0.0 they differ.
-        let m2 = AffinityModelSpec::new(4, 8)
-            .with_domains(3, 0.0)
-            .build();
+        let m2 = AffinityModelSpec::new(4, 8).with_domains(3, 0.0).build();
         assert_ne!(m2.transition(0, 0), m2.transition(1, 0));
     }
 

@@ -46,7 +46,7 @@ impl TrainingSimulator {
         // Deterministic shuffle: which experts win the early collapse.
         let mut rng = StdRng::seed_from_u64(base.seed ^ 0xacc0_7d3a);
         for i in (1..order.len()).rev() {
-            let j = (rand::Rng::gen_range(&mut rng, 0..=i)) as usize;
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
             order.swap(i, j);
         }
         TrainingSimulator {

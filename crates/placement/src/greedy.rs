@@ -16,7 +16,10 @@ use crate::placement::Placement;
 pub fn solve_greedy(objective: &Objective, n_units: usize) -> Placement {
     let e = objective.n_experts();
     let l = objective.n_layers();
-    assert!(e % n_units == 0, "experts must divide across units");
+    assert!(
+        e.is_multiple_of(n_units),
+        "experts must divide across units"
+    );
     let cap = e / n_units;
 
     let mut assign: Vec<Vec<usize>> = Vec::with_capacity(l);
@@ -30,8 +33,7 @@ pub fn solve_greedy(objective: &Objective, n_units: usize) -> Placement {
         // experts into expert p at layer `gap+1`, weighted by each source
         // expert's marginal share of tokens.
         let mut gain = vec![0.0f64; e * n_units];
-        for i in 0..e {
-            let u = prev[i];
+        for (i, &u) in prev.iter().enumerate() {
             let w = objective.row_weight(gap, i);
             if w == 0.0 {
                 continue;

@@ -172,10 +172,8 @@ impl Objective {
                 let up = placement.unit_of(layer + 1, p);
                 let p1 = m[e1 * e + p];
                 let p2 = m[e2 * e + p];
-                let before =
-                    w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
-                let after =
-                    w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
+                let before = w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
+                let after = w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
                 delta += after - before;
             }
         }
@@ -233,7 +231,7 @@ pub fn measure_trace_node_locality(
     placement: &Placement,
     gpus_per_node: usize,
 ) -> TraceLocality {
-    assert!(gpus_per_node >= 1 && placement.n_units() % gpus_per_node == 0);
+    assert!(gpus_per_node >= 1 && placement.n_units().is_multiple_of(gpus_per_node));
     let mut local = 0u64;
     let mut transitions = 0u64;
     for t in 0..trace.n_tokens() {
@@ -338,12 +336,9 @@ mod tests {
 
     #[test]
     fn trace_locality_counts_by_hand() {
-        let trace = RoutingTrace::new(
-            vec![vec![0, 1, 2], vec![3, 3, 3]],
-            4,
-        );
+        let trace = RoutingTrace::new(vec![vec![0, 1, 2], vec![3, 3, 3]], 4);
         let p = Placement::round_robin(3, 4, 2); // units: {0,1}, {2,3}
-        // Token 0: 0->1 local, 1->2 cross. Token 1: 3->3 local, 3->3 local.
+                                                 // Token 0: 0->1 local, 1->2 cross. Token 1: 3->3 local, 3->3 local.
         let loc = measure_trace_locality(&trace, &p);
         assert_eq!(loc.transitions, 4);
         assert_eq!(loc.local, 3);
@@ -356,7 +351,7 @@ mod tests {
         let p = Placement::round_robin(2, 4, 4); // 1 expert per GPU
         let gpu = measure_trace_locality(&trace, &p);
         let node = measure_trace_node_locality(&trace, &p, 2); // 2 GPUs/node
-        // 0->1 crosses GPU but stays on node; 0->3 crosses both.
+                                                               // 0->1 crosses GPU but stays on node; 0->3 crosses both.
         assert_eq!(gpu.local, 0);
         assert_eq!(node.local, 1);
         assert!(node.fraction() >= gpu.fraction());

@@ -21,8 +21,10 @@ impl Placement {
         assert!(!assign.is_empty(), "placement needs at least one layer");
         assert!(n_units >= 1);
         let e = assign[0].len();
-        assert!(e >= n_units && e % n_units == 0,
-            "experts ({e}) must be a positive multiple of units ({n_units})");
+        assert!(
+            e >= n_units && e.is_multiple_of(n_units),
+            "experts ({e}) must be a positive multiple of units ({n_units})"
+        );
         let cap = e / n_units;
         for (layer, row) in assign.iter().enumerate() {
             assert_eq!(row.len(), e, "layer {layer} has wrong expert count");
@@ -43,7 +45,7 @@ impl Placement {
     /// `i / capacity` at every layer — experts are packed contiguously by
     /// rank, with no awareness of inter-layer affinity.
     pub fn round_robin(n_layers: usize, n_experts: usize, n_units: usize) -> Self {
-        assert!(n_experts % n_units == 0);
+        assert!(n_experts.is_multiple_of(n_units));
         let cap = n_experts / n_units;
         let row: Vec<usize> = (0..n_experts).map(|i| i / cap).collect();
         Placement::new(vec![row; n_layers], n_units)
@@ -96,7 +98,11 @@ impl Placement {
 
     /// Map each unit through `f` (used by the staged solver to refine a
     /// node-level placement into a GPU-level one).
-    pub fn relabel<F: Fn(usize, usize, usize) -> usize>(&self, n_new_units: usize, f: F) -> Placement {
+    pub fn relabel<F: Fn(usize, usize, usize) -> usize>(
+        &self,
+        n_new_units: usize,
+        f: F,
+    ) -> Placement {
         let assign = self
             .assign
             .iter()
@@ -138,10 +144,7 @@ mod tests {
         assert_eq!(p.unit_of(0, 0), 1);
         assert_eq!(p.unit_of(0, 3), 0);
         // Re-validating through the constructor must not panic.
-        let _ = Placement::new(
-            (0..2).map(|l| p.layer(l).to_vec()).collect(),
-            2,
-        );
+        let _ = Placement::new((0..2).map(|l| p.layer(l).to_vec()).collect(), 2);
     }
 
     #[test]

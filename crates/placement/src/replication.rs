@@ -54,8 +54,11 @@ impl ReplicationPlan {
                 })
                 .collect();
             popularity.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let mut chosen: Vec<usize> =
-                popularity.into_iter().take(budget).map(|(e, _)| e).collect();
+            let mut chosen: Vec<usize> = popularity
+                .into_iter()
+                .take(budget)
+                .map(|(e, _)| e)
+                .collect();
             chosen.sort_unstable();
             replicated.push(chosen);
         }
@@ -157,17 +160,15 @@ mod tests {
         let (obj, trace) = instance(16, 6);
         let base = Placement::round_robin(6, 16, 4);
         let exflow = crate::local_search::solve_local_search(&obj, 4, 1, 0);
-        let exflow_local =
-            crate::objective::measure_trace_locality(&trace, &exflow).fraction();
-        let rep0 = ReplicationPlan::most_popular(&obj, base.clone(), 0)
-            .trace_local_fraction(&trace);
+        let exflow_local = crate::objective::measure_trace_locality(&trace, &exflow).fraction();
+        let rep0 =
+            ReplicationPlan::most_popular(&obj, base.clone(), 0).trace_local_fraction(&trace);
         assert!(
             exflow_local > rep0,
             "exflow {exflow_local} vs zero-budget replication {rep0}"
         );
         // Replication with large budget eventually wins (it spends memory).
-        let rep_full = ReplicationPlan::most_popular(&obj, base, 16)
-            .trace_local_fraction(&trace);
+        let rep_full = ReplicationPlan::most_popular(&obj, base, 16).trace_local_fraction(&trace);
         assert!(rep_full >= exflow_local);
     }
 

@@ -38,11 +38,9 @@ impl SolverKind {
 /// stochastic solvers; deterministic for fixed inputs.
 pub fn solve(objective: &Objective, n_units: usize, kind: SolverKind, seed: u64) -> Placement {
     match kind {
-        SolverKind::RoundRobin => Placement::round_robin(
-            objective.n_layers(),
-            objective.n_experts(),
-            n_units,
-        ),
+        SolverKind::RoundRobin => {
+            Placement::round_robin(objective.n_layers(), objective.n_experts(), n_units)
+        }
         SolverKind::Greedy => solve_greedy(objective, n_units),
         SolverKind::LocalSearch { restarts } => {
             solve_local_search(objective, n_units, restarts, seed)

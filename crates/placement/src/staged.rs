@@ -34,7 +34,7 @@ pub fn solve_staged(
     let n_nodes = cluster.n_nodes();
     let gpn = cluster.gpus_per_node();
     assert!(
-        e % cluster.world_size() == 0,
+        e.is_multiple_of(cluster.world_size()),
         "experts must divide across GPUs"
     );
 
@@ -56,8 +56,7 @@ pub fn solve_staged(
         let mut assign: Vec<Vec<usize>> = vec![vec![usize::MAX; e]; l];
         for node in 0..n_nodes {
             // Per-layer expert lists this node owns (each of size cap2).
-            let owned: Vec<Vec<usize>> =
-                (0..l).map(|j| node_level.experts_on(j, node)).collect();
+            let owned: Vec<Vec<usize>> = (0..l).map(|j| node_level.experts_on(j, node)).collect();
             let cap2 = owned[0].len();
             debug_assert!(owned.iter().all(|o| o.len() == cap2));
 
@@ -163,8 +162,7 @@ mod tests {
         let staged = solve_staged(&obj, &cluster, 2, 0);
         let rr = Placement::round_robin(8, 16, 4);
         let rr_node = measure_trace_node_locality(&trace, &rr, 2).fraction();
-        let st_node =
-            measure_trace_node_locality(&trace, &staged.gpu_level, 2).fraction();
+        let st_node = measure_trace_node_locality(&trace, &staged.gpu_level, 2).fraction();
         assert!(
             st_node > rr_node,
             "staged node locality {st_node} should beat round-robin {rr_node}"

@@ -170,10 +170,7 @@ mod tests {
     use super::*;
 
     fn model(nodes: usize, gpn: usize) -> CollectiveCostModel {
-        CollectiveCostModel::new(
-            ClusterSpec::new(nodes, gpn).unwrap(),
-            CostModel::wilkes3(),
-        )
+        CollectiveCostModel::new(ClusterSpec::new(nodes, gpn).unwrap(), CostModel::wilkes3())
     }
 
     fn uniform_matrix(w: usize, bytes: u64) -> Vec<Vec<u64>> {
@@ -232,8 +229,8 @@ mod tests {
     fn allgather_time_scales_with_world() {
         let small = model(1, 2);
         let big = model(2, 4);
-        let t_small = small.allgatherv_time(&vec![1 << 16; 2]);
-        let t_big = big.allgatherv_time(&vec![1 << 16; 8]);
+        let t_small = small.allgatherv_time(&[1 << 16; 2]);
+        let t_big = big.allgatherv_time(&[1 << 16; 8]);
         assert!(t_big > t_small);
     }
 

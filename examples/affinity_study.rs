@@ -53,11 +53,9 @@ fn main() {
     // Sample efficiency: how fast the estimate stabilizes (Fig. 13's
     // statistical underpinning).
     println!("\nestimation stability vs sample size:");
-    for pt in exflow::affinity::sampling::stability_curve(
-        &trace,
-        &[50, 500, 1000, 2000, 4000, 8000],
-        4,
-    ) {
+    for pt in
+        exflow::affinity::sampling::stability_curve(&trace, &[50, 500, 1000, 2000, 4000, 8000], 4)
+    {
         println!(
             "  {:>5} tokens   est. error {:.4}   transfer {:.3}",
             pt.n_tokens, pt.estimation_error, pt.transfer

@@ -71,8 +71,7 @@ fn main() {
     println!("\nzero-memory ExFlow placement vs Lina-style replication:");
     println!(
         "  exflow      : extra-copies/GPU = 0   locality = {:.1}%",
-        exflow::placement::objective::measure_trace_locality(&trace, &staged.gpu_level)
-            .fraction()
+        exflow::placement::objective::measure_trace_locality(&trace, &staged.gpu_level).fraction()
             * 100.0
     );
     for budget in [1usize, 2, 4] {

@@ -1,0 +1,69 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Provides the slice-iterator entry points this workspace uses with a
+//! sequential fallback: `par_*` methods return the corresponding standard
+//! iterators, so all adaptor chains (`enumerate`, `map`, `for_each`, `sum`)
+//! work unchanged and results are bit-identical to the parallel versions'
+//! intent. See `shims/README.md`.
+
+/// The rayon prelude: slice extension traits.
+pub mod prelude {
+    /// `par_iter`-style access for shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// `par_iter_mut`-style access for mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_iter_sums() {
+        let v = [1.5f32; 4];
+        let s: f32 = v.par_iter().map(|x| x * x).sum();
+        assert!((s - 9.0).abs() < 1e-6);
+    }
+}

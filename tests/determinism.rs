@@ -32,10 +32,7 @@ fn batches_and_placements_are_deterministic() {
         .map(|gap| model.mixture_transition(&[1.0; 4], gap))
         .collect();
     let objective = Objective::from_raw(raw, 16);
-    for kind in [
-        SolverKind::Greedy,
-        SolverKind::LocalSearch { restarts: 2 },
-    ] {
+    for kind in [SolverKind::Greedy, SolverKind::LocalSearch { restarts: 2 }] {
         let p1 = solve(&objective, 4, kind, 7);
         let p2 = solve(&objective, 4, kind, 7);
         assert_eq!(p1, p2, "{kind:?} not deterministic");

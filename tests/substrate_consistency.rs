@@ -44,12 +44,13 @@ fn simulated_alltoall_time_tracks_analytic_shape() {
         });
         times.into_iter().fold(0.0f64, f64::max)
     };
-    let analytic_for = |nodes: usize, gpn: usize| {
-        let cluster = ClusterSpec::new(nodes, gpn).unwrap();
-        let w = cluster.world_size();
-        CollectiveCostModel::new(cluster, CostModel::wilkes3())
-            .alltoallv_time(&vec![vec![1u64 << 14; w]; w])
-    };
+    let analytic_for =
+        |nodes: usize, gpn: usize| {
+            let cluster = ClusterSpec::new(nodes, gpn).unwrap();
+            let w = cluster.world_size();
+            CollectiveCostModel::new(cluster, CostModel::wilkes3())
+                .alltoallv_time(&vec![vec![1u64 << 14; w]; w])
+        };
     // Same world size, different hierarchy: 8 GPUs on 2 vs 8 nodes.
     let sim_fat = time_for(2, 4);
     let sim_thin = time_for(8, 1);
@@ -93,13 +94,7 @@ fn objective_expectation_equals_trace_measurement() {
     // sum organized differently).
     let spec = AffinityModelSpec::new(6, 8);
     let model = spec.build();
-    let batch = TokenBatch::sample(
-        &model,
-        &CorpusSpec::pile_proxy(spec.n_domains),
-        5000,
-        1,
-        8,
-    );
+    let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(spec.n_domains), 5000, 1, 8);
     let trace = RoutingTrace::from_batch(&batch, 8);
     let objective = Objective::from_affinities(&AffinityMatrix::consecutive(&trace));
     for units in [2usize, 4] {
