@@ -5,12 +5,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use exflow_bench::experiments::ablations;
 use exflow_bench::Scale;
 use exflow_placement::annealing::AnnealParams;
-use exflow_placement::{solve, SolverKind};
+use exflow_placement::{solve, solve_with, Parallelism, SolverKind};
 
 fn bench(c: &mut Criterion) {
     // One shared instance, timed per solver.
     let rows = ablations::run_solvers(Scale::Quick);
-    assert!(rows.len() == 4);
+    assert!(rows.len() == 5);
 
     let objective = {
         use exflow_affinity::{AffinityMatrix, RoutingTrace};
@@ -46,6 +46,15 @@ fn bench(c: &mut Criterion) {
                 0,
             )
         })
+    });
+    // The portfolio at 1 and 4 worker threads: same placement (the
+    // determinism contract), different wall time.
+    g.bench_function("portfolio_seq", |b| {
+        b.iter(|| solve(&objective, 4, SolverKind::portfolio(100), 0))
+    });
+    g.bench_function("portfolio_par4", |b| {
+        let kind = SolverKind::portfolio(100);
+        b.iter(|| solve_with(&objective, 4, &kind, 0, Parallelism::new(4)))
     });
     g.finish();
 }

@@ -1,0 +1,106 @@
+//! `bench_summary` — the fixed-seed solver micro-benchmark behind the
+//! repo's `BENCH_*.json` perf trajectory.
+//!
+//! Sweeps the Table II model zoo × the solver roster, timing the whole
+//! sweep at `--jobs 1` and at `--jobs N`, verifies every objective is
+//! bit-identical across the two widths, and writes the machine-readable
+//! summary JSON (schema documented in the README).
+//!
+//! ```text
+//! cargo run --release -p exflow-bench --bin bench_summary -- \
+//!     --quick --jobs 4 --out BENCH_PR2.json
+//! ```
+//!
+//! Exit codes: 0 on success, 1 if the determinism check fails or the
+//! output cannot be written, 2 on usage errors (consistent with `repro`).
+
+use exflow_bench::cli::parse_jobs;
+use exflow_bench::summary;
+use exflow_bench::Scale;
+
+struct Args {
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn print_usage() {
+    eprintln!("usage: bench_summary [--quick|--full] [--jobs N] [--seed S] [--out PATH]");
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        scale: Scale::Quick,
+        jobs: 4,
+        seed: 20_240_522,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--jobs" => {
+                let value = it.next().ok_or("missing value for --jobs")?;
+                args.jobs = parse_jobs(&value).map_err(|e| e.to_string())?;
+            }
+            "--seed" => {
+                let value = it.next().ok_or("missing value for --seed")?;
+                args.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value: {value}"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("missing value for --out")?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print_usage();
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    let summary = match summary::run(args.scale, args.jobs, args.seed) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!(
+        "sweep: {} rows, jobs=1 {:.0} ms, jobs={} {:.0} ms, speedup {:.2}x, objectives bit-identical",
+        summary.rows.len(),
+        summary.wall_ms_jobs1,
+        summary.jobs,
+        summary.wall_ms_jobs_n,
+        summary.speedup()
+    );
+
+    let json = summary.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write {path}: {err}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

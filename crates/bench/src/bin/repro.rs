@@ -3,39 +3,48 @@
 //! ```text
 //! cargo run --release -p exflow-bench --bin repro -- all
 //! cargo run --release -p exflow-bench --bin repro -- fig10
-//! cargo run --release -p exflow-bench --bin repro -- --quick table1 fig7
+//! cargo run --release -p exflow-bench --bin repro -- --quick --jobs 8 table1 fig7
 //! ```
 //!
+//! `--jobs N` fans experiment sweep points across N worker threads;
+//! artifacts are byte-identical for every N (only wall time changes).
+//!
 //! Exit codes: 0 on success, 1 if any artifact fails to regenerate,
-//! 2 on usage errors (no targets, unknown artifact name).
+//! 2 on usage errors (no targets, unknown artifact name, bad `--jobs`).
 
 use exflow_bench::cli::{self, Command};
+use exflow_bench::sweep::SweepPool;
 
 fn print_usage() {
-    eprintln!("usage: repro [--quick|--full] <artifact>... | all");
+    eprintln!("usage: repro [--quick|--full] [--jobs N] <artifact>... | all");
     eprintln!("artifacts: {}", cli::artifact_names().join(", "));
 }
 
 fn main() {
-    let (scale, targets) = match cli::parse(std::env::args().skip(1)) {
+    let (scale, jobs, targets) = match cli::parse(std::env::args().skip(1)) {
         Ok(Command::Help) => {
             print_usage();
             return;
         }
-        Ok(Command::Run { scale, targets }) => (scale, targets),
+        Ok(Command::Run {
+            scale,
+            jobs,
+            targets,
+        }) => (scale, jobs, targets),
         Err(err) => {
             eprintln!("error: {err}");
             print_usage();
             std::process::exit(2);
         }
     };
+    let pool = SweepPool::new(jobs);
     let mut ok = true;
     for target in targets {
         println!("==============================================================");
         let run = cli::runner(&target).expect("parse validates against the dispatch table");
         // Catch panics so one failing artifact doesn't abort the rest and
         // the documented exit code (1, not the panic's 101) is honored.
-        if std::panic::catch_unwind(|| run(scale)).is_err() {
+        if std::panic::catch_unwind(|| pool.install(|| run(scale))).is_err() {
             eprintln!("error: artifact {target} failed to regenerate");
             ok = false;
         }

@@ -10,6 +10,7 @@
 use crate::experiments::{
     ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, table1, table2, table3,
 };
+use crate::sweep::MAX_JOBS;
 use crate::Scale;
 
 /// A named artifact entry: `(name, runner)`.
@@ -60,6 +61,8 @@ pub enum Command {
     Run {
         /// Sweep size for every experiment.
         scale: Scale,
+        /// Worker threads for experiment sweeps (`--jobs N`, default 1).
+        jobs: usize,
         /// Validated artifact names, in execution order.
         targets: Vec<String>,
     },
@@ -72,6 +75,8 @@ pub enum UsageError {
     NoTargets,
     /// An argument named no known artifact or flag.
     UnknownArtifact(String),
+    /// `--jobs` got a missing, non-numeric, zero, or absurd value.
+    InvalidJobs(String),
 }
 
 impl std::fmt::Display for UsageError {
@@ -79,6 +84,9 @@ impl std::fmt::Display for UsageError {
         match self {
             UsageError::NoTargets => write!(f, "no artifacts requested"),
             UsageError::UnknownArtifact(name) => write!(f, "unknown artifact: {name}"),
+            UsageError::InvalidJobs(value) => {
+                write!(f, "invalid --jobs value: {value} (expected 1..={MAX_JOBS})")
+            }
         }
     }
 }
@@ -87,21 +95,43 @@ fn is_artifact(name: &str) -> bool {
     runner(name).is_some()
 }
 
-/// Parse CLI arguments (without the program name). Unknown artifacts are
-/// rejected here, up front, so a typo cannot burn minutes of sweep time
-/// before failing.
+/// Validate a `--jobs` value: an integer in `1..=MAX_JOBS`. `0` (which
+/// real tools treat as "auto") is rejected here on purpose — this
+/// workspace keeps widths explicit so runs are reproducible by
+/// construction — as are absurd widths that would spawn a thread storm.
+pub fn parse_jobs(value: &str) -> Result<usize, UsageError> {
+    match value.parse::<usize>() {
+        Ok(n) if (1..=MAX_JOBS).contains(&n) => Ok(n),
+        _ => Err(UsageError::InvalidJobs(value.to_string())),
+    }
+}
+
+/// Parse CLI arguments (without the program name). Unknown artifacts and
+/// bad `--jobs` values are rejected here, up front, so a typo cannot burn
+/// minutes of sweep time before failing.
 pub fn parse<I, S>(args: I) -> Result<Command, UsageError>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
     let mut scale = Scale::Full;
+    let mut jobs = 1usize;
     let mut targets: Vec<String> = Vec::new();
-    for arg in args {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
         match arg.as_ref() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "-h" | "--help" => return Ok(Command::Help),
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| UsageError::InvalidJobs("<missing>".to_string()))?;
+                jobs = parse_jobs(value.as_ref())?;
+            }
+            other if other.starts_with("--jobs=") => {
+                jobs = parse_jobs(&other["--jobs=".len()..])?;
+            }
             "all" => targets.extend(ARTIFACTS.iter().map(|&(name, _)| name.to_string())),
             other if is_artifact(other) => targets.push(other.to_string()),
             other => return Err(UsageError::UnknownArtifact(other.to_string())),
@@ -110,7 +140,11 @@ where
     if targets.is_empty() {
         return Err(UsageError::NoTargets);
     }
-    Ok(Command::Run { scale, targets })
+    Ok(Command::Run {
+        scale,
+        jobs,
+        targets,
+    })
 }
 
 #[cfg(test)]
@@ -124,17 +158,59 @@ mod tests {
             cmd,
             Command::Run {
                 scale: Scale::Quick,
+                jobs: 1,
                 targets: vec!["table2".to_string(), "fig6".to_string()],
             }
         );
     }
 
     #[test]
-    fn defaults_to_full_scale() {
+    fn defaults_to_full_scale_and_one_job() {
         match parse(["table1"]).unwrap() {
-            Command::Run { scale, .. } => assert_eq!(scale, Scale::Full),
+            Command::Run { scale, jobs, .. } => {
+                assert_eq!(scale, Scale::Full);
+                assert_eq!(jobs, 1);
+            }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_jobs_in_both_spellings() {
+        for args in [
+            vec!["--jobs", "4", "table1"],
+            vec!["--jobs=4", "table1"],
+            vec!["table1", "--jobs", "4"],
+        ] {
+            match parse(args.clone()).unwrap() {
+                Command::Run { jobs, .. } => assert_eq!(jobs, 4, "{args:?}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_jobs_values_are_usage_errors() {
+        // Zero, absurd, non-numeric, negative, and missing values all
+        // fail parse (the binary exits 2), never reaching any sweep.
+        for bad in ["0", "100000", "four", "-2", "4.5", ""] {
+            assert_eq!(
+                parse(["--jobs", bad, "table1"]),
+                Err(UsageError::InvalidJobs(bad.to_string())),
+                "--jobs {bad} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse(["table1", "--jobs"]),
+            Err(UsageError::InvalidJobs("<missing>".to_string()))
+        );
+        assert_eq!(
+            parse(["--jobs=0", "table1"]),
+            Err(UsageError::InvalidJobs("0".to_string()))
+        );
+        // The boundary itself is accepted.
+        assert!(parse_jobs(&crate::sweep::MAX_JOBS.to_string()).is_ok());
+        assert!(parse_jobs(&(crate::sweep::MAX_JOBS + 1).to_string()).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use exflow_topology::ClusterSpec;
 
 use crate::experiments::common::{cluster_for, with_layers};
 use crate::fmt::{f3, render_table, speedup};
+use crate::sweep::par_map;
 use crate::Scale;
 
 /// Solver-quality ablation: cross-mass achieved by each solver on the same
@@ -41,6 +42,7 @@ fn profiled_objective(e: usize, l: usize, tokens: usize, seed: u64) -> Objective
 }
 
 /// Compare every solver on one instance (MoE-16, 8 layers, 4 GPUs).
+/// Solvers fan across the installed sweep pool.
 pub fn run_solvers(scale: Scale) -> Vec<SolverRow> {
     let objective = profiled_objective(16, scale.pick(6, 12), scale.pick(2000, 6000), 5);
     let kinds: Vec<(&str, SolverKind)> = vec![
@@ -48,14 +50,12 @@ pub fn run_solvers(scale: Scale) -> Vec<SolverRow> {
         ("greedy-chain", SolverKind::Greedy),
         ("local-search", SolverKind::LocalSearch { restarts: 2 }),
         ("annealing", SolverKind::Annealing(AnnealParams::default())),
+        ("portfolio", SolverKind::portfolio(100)),
     ];
-    kinds
-        .into_iter()
-        .map(|(name, kind)| SolverRow {
-            solver: name.to_string(),
-            cross_mass: objective.cross_mass(&solve(&objective, 4, kind, 99)),
-        })
-        .collect()
+    par_map(kinds, |(name, kind)| SolverRow {
+        solver: name.to_string(),
+        cross_mass: objective.cross_mass(&solve(&objective, 4, kind, 99)),
+    })
 }
 
 /// Staged-vs-flat ablation: inter-node crossing mass of the staged
@@ -143,33 +143,31 @@ pub struct AffinitySweepRow {
     pub speedup: f64,
 }
 
-/// Sweep κ on MoE-16 / 8 GPUs.
+/// Sweep κ on MoE-16 / 8 GPUs. Grid points are independent fixed-seed
+/// engine runs, fanned across the installed sweep pool.
 pub fn run_affinity_sweep(scale: Scale) -> Vec<AffinitySweepRow> {
     let kappas: Vec<f64> = scale.pick(vec![0.0, 0.5, 0.9], vec![0.0, 0.25, 0.5, 0.75, 0.9]);
-    kappas
-        .into_iter()
-        .map(|kappa| {
-            let model = with_layers(moe_gpt_m(16), scale.pick(6, 24));
-            let spec = AffinityModelSpec::new(model.n_layers, model.n_experts).with_affinity(kappa);
-            let engine = InferenceEngine::builder(model, cluster_for(8))
-                .routing_spec(spec)
-                .requests_per_gpu(scale.pick(4, 8))
-                .prompt_len(8)
-                .n_iterations(2)
-                .profile_tokens(scale.pick(1500, 4000))
-                .placement_restarts(0)
-                .seed(20_240_404)
-                .build();
-            let ds = engine.run(ParallelismMode::Vanilla).throughput();
-            let aff = engine
-                .run(ParallelismMode::ContextCoherentAffinity)
-                .throughput();
-            AffinitySweepRow {
-                kappa,
-                speedup: aff / ds,
-            }
-        })
-        .collect()
+    par_map(kappas, |kappa| {
+        let model = with_layers(moe_gpt_m(16), scale.pick(6, 24));
+        let spec = AffinityModelSpec::new(model.n_layers, model.n_experts).with_affinity(kappa);
+        let engine = InferenceEngine::builder(model, cluster_for(8))
+            .routing_spec(spec)
+            .requests_per_gpu(scale.pick(4, 8))
+            .prompt_len(8)
+            .n_iterations(2)
+            .profile_tokens(scale.pick(1500, 4000))
+            .placement_restarts(0)
+            .seed(20_240_404)
+            .build();
+        let ds = engine.run(ParallelismMode::Vanilla).throughput();
+        let aff = engine
+            .run(ParallelismMode::ContextCoherentAffinity)
+            .throughput();
+        AffinitySweepRow {
+            kappa,
+            speedup: aff / ds,
+        }
+    })
 }
 
 /// Replication-baseline ablation (the paper's §VI comparison against
@@ -247,11 +245,11 @@ pub struct GatingRow {
     pub relative_throughput: f64,
 }
 
-/// Measure top-1 vs top-2 on MoE-8 / 8 GPUs.
+/// Measure top-1 vs top-2 on MoE-8 / 8 GPUs (one sweep task per gate).
 pub fn run_gating(scale: Scale) -> Vec<GatingRow> {
     use exflow_model::GateKind;
-    let mut rows = Vec::new();
-    for gate in [GateKind::Top1, GateKind::Top2] {
+    let per_gate = par_map(vec![GateKind::Top1, GateKind::Top2], |gate| {
+        let mut rows = Vec::new();
         // Top-2 context coherence needs depth to amortize its AllGather and
         // secondary-return costs, so this sweep keeps at least 12 layers.
         let model = with_layers(moe_gpt_m(16), scale.pick(12, 24)).with_gate(gate);
@@ -273,8 +271,9 @@ pub fn run_gating(scale: Scale) -> Vec<GatingRow> {
                 relative_throughput: r.throughput() / baseline.throughput(),
             });
         }
-    }
-    rows
+        rows
+    });
+    per_gate.into_iter().flatten().collect()
 }
 
 /// Print all ablations.

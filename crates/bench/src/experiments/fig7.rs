@@ -7,6 +7,7 @@ use exflow_model::presets::moe_gpt_m;
 
 use crate::experiments::common::{engine_for, with_layers};
 use crate::fmt::{pct, render_table};
+use crate::sweep::par_map;
 use crate::Scale;
 
 /// One GPU-count point.
@@ -22,30 +23,29 @@ pub struct Row {
     pub comm_reduction: f64,
 }
 
-/// Regenerate the sweep over expert-parallel sizes.
+/// Regenerate the sweep over expert-parallel sizes. GPU-count points are
+/// independent fixed-seed runs, so they fan across the installed sweep
+/// pool (`repro --jobs N`); output order and values are N-invariant.
 pub fn run(scale: Scale) -> Vec<Row> {
     let gpu_counts: Vec<usize> = scale.pick(vec![1, 4, 8], vec![1, 4, 8, 16, 32, 64]);
     let model = with_layers(moe_gpt_m(64), scale.pick(6, 24));
-    gpu_counts
-        .into_iter()
-        .map(|gpus| {
-            let engine = engine_for(model.clone(), gpus, scale);
-            let base = engine.run(ParallelismMode::ContextCoherent);
-            let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
-            let base_cross = 1.0 - base.dispatch.gpu_local_fraction();
-            let aff_cross = 1.0 - aff.dispatch.gpu_local_fraction();
-            Row {
-                gpus,
-                deepspeed_local: base.dispatch.gpu_local_fraction(),
-                affinity_local: aff.dispatch.gpu_local_fraction(),
-                comm_reduction: if base_cross == 0.0 {
-                    0.0
-                } else {
-                    1.0 - aff_cross / base_cross
-                },
-            }
-        })
-        .collect()
+    par_map(gpu_counts, |gpus| {
+        let engine = engine_for(model.clone(), gpus, scale);
+        let base = engine.run(ParallelismMode::ContextCoherent);
+        let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+        let base_cross = 1.0 - base.dispatch.gpu_local_fraction();
+        let aff_cross = 1.0 - aff.dispatch.gpu_local_fraction();
+        Row {
+            gpus,
+            deepspeed_local: base.dispatch.gpu_local_fraction(),
+            affinity_local: aff.dispatch.gpu_local_fraction(),
+            comm_reduction: if base_cross == 0.0 {
+                0.0
+            } else {
+                1.0 - aff_cross / base_cross
+            },
+        }
+    })
 }
 
 /// Print the series.

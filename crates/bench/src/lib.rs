@@ -19,6 +19,8 @@
 pub mod cli;
 pub mod experiments;
 pub mod fmt;
+pub mod summary;
+pub mod sweep;
 
 /// How big an experiment sweep to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,8 +13,8 @@ use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{
     ComputeCostModel, CorpusSpec, Expert, Matrix, ModelConfig, RoutingModel, TokenBatch,
 };
-use exflow_placement::staged::solve_staged;
-use exflow_placement::{Objective, Placement};
+use exflow_placement::staged::solve_staged_with;
+use exflow_placement::{Objective, Parallelism, Placement};
 use exflow_topology::{ClusterSpec, CostModel, Rank};
 
 use crate::frame::{decode, encode, frame_size, Token};
@@ -47,6 +47,10 @@ pub struct EngineConfig {
     pub profile_tokens: usize,
     /// Local-search restarts for the staged placement solve.
     pub placement_restarts: usize,
+    /// Worker threads for the placement solve. Per-engine (no global
+    /// state); results are bit-identical at any width, so this is purely
+    /// a build-latency knob. Defaults to sequential — engines opt in.
+    pub parallelism: Parallelism,
     /// Master seed.
     pub seed: u64,
 }
@@ -74,6 +78,7 @@ impl EngineBuilder {
                 n_iterations: 4,
                 profile_tokens: 2000,
                 placement_restarts: 1,
+                parallelism: Parallelism::single(),
                 seed: 7,
             },
         }
@@ -139,6 +144,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker threads for the placement solve (the solve is bit-identical
+    /// at any width, so this only changes build latency).
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.cfg.parallelism = par;
+        self
+    }
+
     /// Master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -199,7 +211,13 @@ impl InferenceEngine {
         let matrices = AffinityMatrix::consecutive(&profile_trace);
         let objective = Objective::from_affinities(&matrices);
 
-        let staged = solve_staged(&objective, &cfg.cluster, cfg.placement_restarts, cfg.seed);
+        let staged = solve_staged_with(
+            &objective,
+            &cfg.cluster,
+            cfg.placement_restarts,
+            cfg.seed,
+            cfg.parallelism,
+        );
         let round_robin = Placement::round_robin(cfg.model.n_layers, cfg.model.n_experts, world);
 
         InferenceEngine {
@@ -628,6 +646,36 @@ mod tests {
             exflow.throughput(),
             vanilla.throughput()
         );
+    }
+
+    #[test]
+    fn parallel_build_yields_identical_placements_and_reports() {
+        let build = |threads: usize| {
+            let mut model = moe_gpt_m(8);
+            model.n_layers = 6;
+            InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+                .requests_per_gpu(16)
+                .n_iterations(2)
+                .prompt_len(16)
+                .profile_tokens(1500)
+                .placement_restarts(4)
+                .parallelism(Parallelism::new(threads))
+                .seed(11)
+                .build()
+        };
+        let seq = build(1);
+        for threads in [2, 8] {
+            let par = build(threads);
+            assert_eq!(
+                par.placement_for(ParallelismMode::ContextCoherentAffinity),
+                seq.placement_for(ParallelismMode::ContextCoherentAffinity),
+                "{threads} threads diverged"
+            );
+            let a = seq.run(ParallelismMode::ContextCoherentAffinity);
+            let b = par.run(ParallelismMode::ContextCoherentAffinity);
+            assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+            assert_eq!(a.dispatch, b.dispatch);
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::greedy::solve_greedy;
-use crate::local_search::improve;
+use crate::local_search::{improve, random_placement};
 use crate::objective::Objective;
+use crate::parallel::{argmin_by_cost, split_seed, Parallelism};
 use crate::placement::Placement;
 
 /// Annealing schedule parameters.
@@ -21,6 +22,11 @@ pub struct AnnealParams {
     pub moves_per_temp: usize,
     /// Geometric cooling factor per step, in (0, 1).
     pub cooling: f64,
+    /// Independent annealing starts (>= 1). Start 0 is seeded from the
+    /// greedy chain, further starts from random placements; each start
+    /// gets its own derived RNG stream, so multi-start results are
+    /// bit-identical at any thread count and the best start wins.
+    pub n_starts: usize,
 }
 
 impl Default for AnnealParams {
@@ -30,25 +36,81 @@ impl Default for AnnealParams {
             t_end: 1e-4,
             moves_per_temp: 200,
             cooling: 0.9,
+            n_starts: 1,
         }
     }
 }
 
-/// Solve by simulated annealing, seeded from the greedy chain and finished
-/// with a hill-climbing polish. Deterministic in `seed`.
+impl AnnealParams {
+    /// This schedule with `n` independent starts.
+    pub fn with_starts(mut self, n: usize) -> Self {
+        assert!(n >= 1, "annealing needs at least one start");
+        self.n_starts = n;
+        self
+    }
+}
+
+/// Solve by simulated annealing (multi-start per `params.n_starts`),
+/// finished with a hill-climbing polish. Deterministic in `seed`.
+/// Sequential convenience wrapper around [`solve_annealing_with`].
 pub fn solve_annealing(
     objective: &Objective,
     n_units: usize,
     params: AnnealParams,
     seed: u64,
 ) -> Placement {
+    solve_annealing_with(objective, n_units, params, seed, Parallelism::single())
+}
+
+/// Multi-start simulated annealing with explicit parallelism. Start 0
+/// reproduces the classic greedy-seeded single run on the master seed's
+/// stream; starts `1..n_starts` anneal from random placements on
+/// [`split_seed`]-derived streams. The lowest final cross mass (earliest
+/// start on ties) wins, independent of thread count.
+pub fn solve_annealing_with(
+    objective: &Objective,
+    n_units: usize,
+    params: AnnealParams,
+    seed: u64,
+    par: Parallelism,
+) -> Placement {
     assert!(params.t_start > params.t_end && params.t_end > 0.0);
     assert!((0.0..1.0).contains(&params.cooling) && params.cooling > 0.0);
+    assert!(params.n_starts >= 1, "annealing needs at least one start");
+    let results = par.map_indexed(params.n_starts, |start| {
+        let (initial, mut rng) = if start == 0 {
+            (
+                solve_greedy(objective, n_units),
+                StdRng::seed_from_u64(seed),
+            )
+        } else {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, start as u64));
+            let initial = random_placement(
+                objective.n_layers(),
+                objective.n_experts(),
+                n_units,
+                &mut rng,
+            );
+            (initial, rng)
+        };
+        let placement = anneal_once(objective, initial, params, &mut rng);
+        (objective.cross_mass(&placement), placement)
+    });
+    argmin_by_cost(results).expect("n_starts >= 1 produces a placement")
+}
+
+/// One annealing run from `initial` over `rng`'s stream, with the final
+/// hill-climbing polish.
+fn anneal_once(
+    objective: &Objective,
+    initial: Placement,
+    params: AnnealParams,
+    rng: &mut StdRng,
+) -> Placement {
     let e = objective.n_experts();
     let l = objective.n_layers();
-    let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut current = solve_greedy(objective, n_units);
+    let mut current = initial;
     let mut current_cost = objective.cross_mass(&current);
     let mut best = current.clone();
     let mut best_cost = current_cost;
@@ -133,6 +195,36 @@ mod tests {
         let rr = Placement::round_robin(6, 8, 4);
         let annealed = solve_annealing(&obj, 4, AnnealParams::default(), 7);
         assert!(obj.cross_mass(&annealed) <= obj.cross_mass(&rr) + 1e-12);
+    }
+
+    #[test]
+    fn multi_start_is_thread_count_invariant() {
+        let obj = hard_objective(8, 4, 6);
+        let params = AnnealParams::default().with_starts(4);
+        let seq = solve_annealing_with(&obj, 4, params, 42, Parallelism::single());
+        for threads in [2, 8] {
+            let par = solve_annealing_with(&obj, 4, params, 42, Parallelism::new(threads));
+            assert_eq!(par, seq, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn more_starts_never_hurt() {
+        let obj = hard_objective(10, 5, 9);
+        let one = solve_annealing(&obj, 2, AnnealParams::default(), 3);
+        let four = solve_annealing(&obj, 2, AnnealParams::default().with_starts(4), 3);
+        assert!(obj.cross_mass(&four) <= obj.cross_mass(&one) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn zero_starts_rejected() {
+        let obj = hard_objective(4, 2, 4);
+        let params = AnnealParams {
+            n_starts: 0,
+            ..AnnealParams::default()
+        };
+        let _ = solve_annealing(&obj, 2, params, 0);
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //! * [`greedy`] — layer-by-layer chain construction;
 //! * [`local_search`] — pairwise-swap hill climbing with delta evaluation;
 //! * [`annealing`] — simulated annealing for rugged instances;
+//! * [`portfolio`] — race several solvers on worker threads, keep the best;
 //! * [`staged`] — the paper's two-stage node→GPU pipeline.
+//!
+//! All stochastic solvers take an optional [`parallel::Parallelism`]
+//! width (the `*_with` entry points): restarts, annealing starts,
+//! portfolio members, and staged per-node sub-solves fan across worker
+//! threads, with per-task `split_seed`-derived RNG streams and ordered
+//! reductions keeping results bit-identical at any thread count.
 //!
 //! [`objective::Objective`] scores placements (expected cross-unit
 //! transition mass) and [`objective::measure_trace_locality`] measures the
@@ -40,12 +47,16 @@ pub mod hungarian;
 pub mod io;
 pub mod local_search;
 pub mod objective;
+pub mod parallel;
 pub mod placement;
+pub mod portfolio;
 pub mod replication;
 pub mod solver;
 pub mod staged;
 
+pub use annealing::AnnealParams;
 pub use objective::Objective;
+pub use parallel::{split_seed, Parallelism};
 pub use placement::Placement;
-pub use solver::{solve, SolverKind};
-pub use staged::StagedPlacement;
+pub use solver::{solve, solve_with, SolverKind};
+pub use staged::{solve_staged_with, StagedPlacement};

@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::greedy::solve_greedy;
 use crate::objective::Objective;
+use crate::parallel::{argmin_by_cost, split_seed, Parallelism};
 use crate::placement::Placement;
 
 /// Improve `placement` in place by first-improvement swap passes until a
@@ -61,30 +62,44 @@ pub fn random_placement<R: Rng>(
 
 /// Multi-start local search: the greedy chain plus `restarts` random
 /// starts, each polished by swap passes; returns the best placement found.
+/// Sequential convenience wrapper around [`solve_local_search_with`].
 pub fn solve_local_search(
     objective: &Objective,
     n_units: usize,
     restarts: usize,
     seed: u64,
 ) -> Placement {
-    let mut best = solve_greedy(objective, n_units);
-    let mut best_cost = improve(objective, &mut best, 50);
+    solve_local_search_with(objective, n_units, restarts, seed, Parallelism::single())
+}
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..restarts {
-        let mut cand = random_placement(
-            objective.n_layers(),
-            objective.n_experts(),
-            n_units,
-            &mut rng,
-        );
+/// Multi-start local search with explicit parallelism. Every start —
+/// task 0 is the greedy chain, tasks `1..=restarts` are random restarts —
+/// draws from its own [`split_seed`]-derived RNG stream and is polished
+/// independently, so the result is bit-identical for every thread count;
+/// the best (cost, then earliest task) placement wins.
+pub fn solve_local_search_with(
+    objective: &Objective,
+    n_units: usize,
+    restarts: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Placement {
+    let results = par.map_indexed(restarts + 1, |task| {
+        let mut cand = if task == 0 {
+            solve_greedy(objective, n_units)
+        } else {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, task as u64));
+            random_placement(
+                objective.n_layers(),
+                objective.n_experts(),
+                n_units,
+                &mut rng,
+            )
+        };
         let cost = improve(objective, &mut cand, 50);
-        if cost < best_cost {
-            best_cost = cost;
-            best = cand;
-        }
-    }
-    best
+        (cost, cand)
+    });
+    argmin_by_cost(results).expect("the greedy task always produces a placement")
 }
 
 #[cfg(test)]
@@ -147,6 +162,20 @@ mod tests {
         let rr = Placement::round_robin(7, 16, 4);
         let solved = solve_local_search(&obj, 4, 2, 0);
         assert!(obj.cross_mass(&solved) < obj.cross_mass(&rr));
+    }
+
+    #[test]
+    fn parallel_restarts_match_sequential_bitwise() {
+        let obj = noisy_shift_objective(12, 5, 0.7);
+        let seq = solve_local_search_with(&obj, 4, 6, 9, Parallelism::single());
+        for threads in [2, 3, 8] {
+            let par = solve_local_search_with(&obj, 4, 6, 9, Parallelism::new(threads));
+            assert_eq!(par, seq, "{threads} threads diverged");
+            assert_eq!(
+                obj.cross_mass(&par).to_bits(),
+                obj.cross_mass(&seq).to_bits()
+            );
+        }
     }
 
     #[test]

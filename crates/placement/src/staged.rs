@@ -7,8 +7,9 @@
 
 use exflow_topology::ClusterSpec;
 
-use crate::local_search::solve_local_search;
+use crate::local_search::solve_local_search_with;
 use crate::objective::Objective;
+use crate::parallel::Parallelism;
 use crate::placement::Placement;
 
 /// Result of the two-stage optimization: the node-level placement from
@@ -22,12 +23,28 @@ pub struct StagedPlacement {
 }
 
 /// Run the staged solve. `restarts` controls the local-search effort of
-/// each stage; `seed` makes the whole pipeline deterministic.
+/// each stage; `seed` makes the whole pipeline deterministic. Sequential
+/// convenience wrapper around [`solve_staged_with`].
 pub fn solve_staged(
     objective: &Objective,
     cluster: &ClusterSpec,
     restarts: usize,
     seed: u64,
+) -> StagedPlacement {
+    solve_staged_with(objective, cluster, restarts, seed, Parallelism::single())
+}
+
+/// Run the staged solve with explicit parallelism. Stage 1 fans its
+/// restarts across the pool; stage 2's per-node sub-solves are mutually
+/// independent (each is a pure function of the stage-1 result and its own
+/// derived seed), so nodes are solved in parallel and the merged result
+/// is bit-identical for every thread count.
+pub fn solve_staged_with(
+    objective: &Objective,
+    cluster: &ClusterSpec,
+    restarts: usize,
+    seed: u64,
+    par: Parallelism,
 ) -> StagedPlacement {
     let e = objective.n_experts();
     let l = objective.n_layers();
@@ -42,7 +59,7 @@ pub fn solve_staged(
     let node_level = if n_nodes == 1 {
         Placement::new(vec![vec![0usize; e]; l], 1)
     } else {
-        solve_local_search(objective, n_nodes, restarts, seed)
+        solve_local_search_with(objective, n_nodes, restarts, seed, par)
     };
 
     // Stage 2: within each node, place its per-layer expert sets onto the
@@ -53,8 +70,9 @@ pub fn solve_staged(
         // GPUs == nodes: stage 1 already decided everything.
         node_level.clone()
     } else {
-        let mut assign: Vec<Vec<usize>> = vec![vec![usize::MAX; e]; l];
-        for node in 0..n_nodes {
+        // Each node's sub-solve reads only the immutable stage-1 result;
+        // fan nodes across the pool and merge in node order.
+        let per_node: Vec<Vec<Vec<(usize, usize)>>> = par.map_indexed(n_nodes, |node| {
             // Per-layer expert lists this node owns (each of size cap2).
             let owned: Vec<Vec<usize>> = (0..l).map(|j| node_level.experts_on(j, node)).collect();
             let cap2 = owned[0].len();
@@ -73,13 +91,34 @@ pub fn solve_staged(
                 })
                 .collect();
             let sub_obj = Objective::from_raw(sub_gaps, cap2);
-            let sub_placement =
-                solve_local_search(&sub_obj, gpn, restarts, seed ^ (node as u64 + 1));
+            // The node itself is the parallel grain here: its sub-solve
+            // runs sequentially on a seed derived exactly as before.
+            let sub_placement = solve_local_search_with(
+                &sub_obj,
+                gpn,
+                restarts,
+                seed ^ (node as u64 + 1),
+                Parallelism::single(),
+            );
 
-            for layer in 0..l {
-                for (local, &global) in owned[layer].iter().enumerate() {
-                    let gpu = sub_placement.unit_of(layer, local);
-                    assign[layer][global] = node * gpn + gpu;
+            (0..l)
+                .map(|layer| {
+                    owned[layer]
+                        .iter()
+                        .enumerate()
+                        .map(|(local, &global)| {
+                            (global, node * gpn + sub_placement.unit_of(layer, local))
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+
+        let mut assign: Vec<Vec<usize>> = vec![vec![usize::MAX; e]; l];
+        for node_assign in per_node {
+            for (layer, pairs) in node_assign.into_iter().enumerate() {
+                for (global, gpu) in pairs {
+                    assign[layer][global] = gpu;
                 }
             }
         }
@@ -176,5 +215,17 @@ mod tests {
         let a = solve_staged(&obj, &cluster, 1, 3);
         let b = solve_staged(&obj, &cluster, 1, 3);
         assert_eq!(a.gpu_level, b.gpu_level);
+    }
+
+    #[test]
+    fn staged_is_thread_count_invariant() {
+        let (obj, _) = build_instance(16, 6, 0.85);
+        let cluster = ClusterSpec::new(2, 2).unwrap();
+        let seq = solve_staged_with(&obj, &cluster, 2, 5, Parallelism::single());
+        for threads in [2, 8] {
+            let par = solve_staged_with(&obj, &cluster, 2, 5, Parallelism::new(threads));
+            assert_eq!(par.gpu_level, seq.gpu_level, "{threads} threads diverged");
+            assert_eq!(par.node_level, seq.node_level);
+        }
     }
 }

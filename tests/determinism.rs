@@ -33,8 +33,8 @@ fn batches_and_placements_are_deterministic() {
         .collect();
     let objective = Objective::from_raw(raw, 16);
     for kind in [SolverKind::Greedy, SolverKind::LocalSearch { restarts: 2 }] {
-        let p1 = solve(&objective, 4, kind, 7);
-        let p2 = solve(&objective, 4, kind, 7);
+        let p1 = solve(&objective, 4, kind.clone(), 7);
+        let p2 = solve(&objective, 4, kind.clone(), 7);
         assert_eq!(p1, p2, "{kind:?} not deterministic");
     }
 }

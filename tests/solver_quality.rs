@@ -20,12 +20,13 @@ fn fixed_instance() -> Objective {
     Objective::from_affinities(&AffinityMatrix::consecutive(&trace))
 }
 
-fn all_solvers() -> [SolverKind; 4] {
+fn all_solvers() -> [SolverKind; 5] {
     [
         SolverKind::Greedy,
         SolverKind::LocalSearch { restarts: 2 },
         SolverKind::Annealing(AnnealParams::default()),
         SolverKind::Exact,
+        SolverKind::portfolio(50),
     ]
 }
 
@@ -34,7 +35,7 @@ fn every_solver_at_least_matches_round_robin() {
     let obj = fixed_instance();
     let rr = obj.cross_mass(&solve(&obj, 2, SolverKind::RoundRobin, 11));
     for kind in all_solvers() {
-        let cost = obj.cross_mass(&solve(&obj, 2, kind, 11));
+        let cost = obj.cross_mass(&solve(&obj, 2, kind.clone(), 11));
         assert!(
             cost <= rr + 1e-9,
             "{kind:?} cost {cost} worse than round-robin {rr}"
@@ -47,7 +48,7 @@ fn exact_lower_bounds_the_heuristics() {
     let obj = fixed_instance();
     let opt = obj.cross_mass(&solve(&obj, 2, SolverKind::Exact, 11));
     for kind in all_solvers() {
-        let cost = obj.cross_mass(&solve(&obj, 2, kind, 11));
+        let cost = obj.cross_mass(&solve(&obj, 2, kind.clone(), 11));
         assert!(
             opt <= cost + 1e-9,
             "{kind:?} cost {cost} below optimum {opt}"
@@ -60,8 +61,8 @@ fn solve_is_deterministic_per_seed() {
     let obj = fixed_instance();
     let kinds = [SolverKind::RoundRobin].into_iter().chain(all_solvers());
     for kind in kinds {
-        let a = solve(&obj, 2, kind, 5);
-        let b = solve(&obj, 2, kind, 5);
+        let a = solve(&obj, 2, kind.clone(), 5);
+        let b = solve(&obj, 2, kind.clone(), 5);
         assert_eq!(a, b, "{kind:?} is not deterministic for a fixed seed");
     }
 }
