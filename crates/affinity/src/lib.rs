@@ -16,7 +16,10 @@
 //!   affinity, top-k conditional mass, row entropy, and the
 //!   placement-transfer scores of Table III;
 //! * supports [`sampling`] studies — how many tokens are needed before the
-//!   estimate stabilizes (Fig. 13).
+//!   estimate stabilizes (Fig. 13);
+//! * estimates [`SparseAffinity`] conditionals in CSR form for
+//!   large-expert instances (`E = 256/512`), where top-k routing leaves
+//!   the dense table overwhelmingly zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,9 @@ pub mod io;
 pub mod matrix;
 pub mod metrics;
 pub mod sampling;
+pub mod sparse;
 pub mod trace;
 
 pub use matrix::AffinityMatrix;
+pub use sparse::SparseAffinity;
 pub use trace::RoutingTrace;

@@ -1,0 +1,398 @@
+//! Sparse (CSR) affinity estimation — the large-expert counterpart of
+//! [`AffinityMatrix`].
+//!
+//! Top-k routing makes real affinity matrices overwhelmingly sparse: a
+//! profiling trace of `T` tokens can observe at most `T` distinct
+//! `(expert i, expert p)` transitions per layer gap, while the dense
+//! conditional table holds `E x E` cells. At the paper's scales (`E <= 64`)
+//! the dense [`AffinityMatrix`] is fine; at `E = 256` or `E = 512` the
+//! dense table is mostly zeros and both its memory and every `O(E^2)` pass
+//! over it are wasted. [`SparseAffinity`] estimates the same conditionals
+//! directly from a trace into CSR form — row-major, ascending columns —
+//! without ever materializing the `E x E` table.
+//!
+//! The estimate is **bit-identical** to the dense estimator: observed rows
+//! hold `count / row_total` at their observed successors, unobserved rows
+//! estimate uniform (maximum entropy, `1/E` at every column — those rows
+//! are stored explicitly so the two estimators define exactly the same
+//! matrix). `exflow-placement` builds its sparse objective backend from
+//! this type via `Objective::from_sparse_affinities`.
+
+use crate::matrix::AffinityMatrix;
+use crate::trace::RoutingTrace;
+
+/// CSR estimate of the conditional probability `P(expert p at to_layer |
+/// expert i at from_layer)` — the sparse twin of [`AffinityMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseAffinity {
+    n_experts: usize,
+    from_layer: usize,
+    to_layer: usize,
+    /// CSR row boundaries (`len == n_experts + 1`).
+    row_ptr: Vec<usize>,
+    /// Column (successor expert) of each stored entry, ascending per row.
+    cols: Vec<usize>,
+    /// Conditional probability of each stored entry.
+    probs: Vec<f64>,
+    /// Joint observation count of each stored entry (0 for the uniform
+    /// fill of unobserved rows).
+    counts: Vec<u64>,
+    /// Observations whose source expert was `i` (empirical marginal
+    /// numerators at the earlier layer).
+    row_counts: Vec<u64>,
+}
+
+impl SparseAffinity {
+    /// Estimate the affinity between `from_layer` and `to_layer` from a
+    /// trace (`to_layer > from_layer`), in CSR form. Defines exactly the
+    /// same matrix as [`AffinityMatrix::from_trace`] on the same trace.
+    pub fn from_trace(trace: &RoutingTrace, from_layer: usize, to_layer: usize) -> Self {
+        assert!(
+            from_layer < to_layer && to_layer < trace.n_layers(),
+            "need from_layer < to_layer < n_layers"
+        );
+        let e = trace.n_experts();
+        let pairs = trace.pair_counts(from_layer, to_layer);
+        let mut row_counts = vec![0u64; e];
+        for &((i, _), c) in &pairs {
+            row_counts[i as usize] += c;
+        }
+
+        let mut row_ptr = Vec::with_capacity(e + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::with_capacity(pairs.len());
+        let mut probs = Vec::with_capacity(pairs.len());
+        let mut counts = Vec::with_capacity(pairs.len());
+        let mut idx = 0usize;
+        for (i, &row_total) in row_counts.iter().enumerate() {
+            if row_total == 0 {
+                // Unobserved source expert: maximum-entropy estimate,
+                // stored explicitly to match the dense estimator cell for
+                // cell.
+                for p in 0..e {
+                    cols.push(p);
+                    probs.push(1.0 / e as f64);
+                    counts.push(0);
+                }
+            } else {
+                while idx < pairs.len() && pairs[idx].0 .0 as usize == i {
+                    let ((_, p), c) = pairs[idx];
+                    cols.push(p as usize);
+                    probs.push(c as f64 / row_total as f64);
+                    counts.push(c);
+                    idx += 1;
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+
+        SparseAffinity {
+            n_experts: e,
+            from_layer,
+            to_layer,
+            row_ptr,
+            cols,
+            probs,
+            counts,
+            row_counts,
+        }
+    }
+
+    /// Estimate affinity for every consecutive layer pair of a trace.
+    pub fn consecutive(trace: &RoutingTrace) -> Vec<SparseAffinity> {
+        (0..trace.n_layers().saturating_sub(1))
+            .map(|j| SparseAffinity::from_trace(trace, j, j + 1))
+            .collect()
+    }
+
+    /// Build directly from exact CSR probabilities — e.g. a routing
+    /// model's `transition_sparse` emission — the sparse analog of
+    /// [`AffinityMatrix::from_probs`]. Rows must sum to 1 with ascending
+    /// columns. Counts are zero (there are no observations), so an
+    /// objective built from this weights source experts uniformly, just
+    /// like the dense oracle path.
+    pub fn from_exact(
+        row_ptr: Vec<usize>,
+        cols: Vec<usize>,
+        probs: Vec<f64>,
+        n_experts: usize,
+        from_layer: usize,
+        to_layer: usize,
+    ) -> Self {
+        assert!(from_layer < to_layer, "need from_layer < to_layer");
+        assert_eq!(
+            row_ptr.len(),
+            n_experts + 1,
+            "row_ptr must have E + 1 bounds"
+        );
+        assert_eq!(cols.len(), probs.len());
+        for i in 0..n_experts {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            let s: f64 = probs[lo..hi].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {i} must sum to 1, got {s}");
+            assert!(
+                cols[lo..hi].windows(2).all(|w| w[0] < w[1]),
+                "row {i} columns must be strictly ascending"
+            );
+            assert!(cols[lo..hi].iter().all(|&p| p < n_experts));
+        }
+        let n_cells = cols.len();
+        SparseAffinity {
+            n_experts,
+            from_layer,
+            to_layer,
+            row_ptr,
+            cols,
+            probs,
+            counts: vec![0; n_cells],
+            row_counts: vec![0; n_experts],
+        }
+    }
+
+    /// Compress a dense [`AffinityMatrix`] by dropping its zero cells.
+    /// Round-trips with [`SparseAffinity::to_dense_probs`].
+    pub fn from_matrix(m: &AffinityMatrix) -> Self {
+        let e = m.n_experts();
+        let mut row_ptr = Vec::with_capacity(e + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut probs = Vec::new();
+        let mut counts = Vec::new();
+        let mut row_counts = Vec::with_capacity(e);
+        for i in 0..e {
+            for (p, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(p);
+                    probs.push(v);
+                    counts.push(m.count(i, p));
+                }
+            }
+            row_ptr.push(cols.len());
+            row_counts.push(m.row_count(i));
+        }
+        SparseAffinity {
+            n_experts: e,
+            from_layer: m.from_layer(),
+            to_layer: m.to_layer(),
+            row_ptr,
+            cols,
+            probs,
+            counts,
+            row_counts,
+        }
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// The earlier layer.
+    pub fn from_layer(&self) -> usize {
+        self.from_layer
+    }
+
+    /// The later layer.
+    pub fn to_layer(&self) -> usize {
+        self.to_layer
+    }
+
+    /// Number of stored (structurally nonzero) cells.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `nnz / E^2` — the fraction of the dense table actually stored.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.n_experts * self.n_experts) as f64
+    }
+
+    /// Stored entries of one conditional row: `(columns, probabilities)`,
+    /// columns ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.cols[lo..hi], &self.probs[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// `P(to = p | from = i)` (0 for cells not stored).
+    pub fn prob(&self, i: usize, p: usize) -> f64 {
+        let (cols, probs) = self.row(i);
+        match cols.binary_search(&p) {
+            Ok(k) => probs[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Observations whose source expert was `i`.
+    pub fn row_count(&self, i: usize) -> u64 {
+        self.row_counts[i]
+    }
+
+    /// Total observations folded into this estimate.
+    pub fn total_count(&self) -> u64 {
+        self.row_counts.iter().sum()
+    }
+
+    /// The raw CSR triplet `(row_ptr, cols, probs)` — consumed by the
+    /// placement objective's sparse backend.
+    pub fn csr(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.row_ptr, &self.cols, &self.probs)
+    }
+
+    /// Expand to the flattened row-major `E x E` probability table (test
+    /// and diagnostics helper; defeats the point at large `E`).
+    pub fn to_dense_probs(&self) -> Vec<f64> {
+        let e = self.n_experts;
+        let mut flat = vec![0.0f64; e * e];
+        for i in 0..e {
+            let (cols, probs) = self.row(i);
+            for (&p, &v) in cols.iter().zip(probs) {
+                flat[i * e + p] = v;
+            }
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exflow_model::routing::AffinityModelSpec;
+    use exflow_model::{CorpusSpec, TokenBatch};
+
+    fn trace() -> RoutingTrace {
+        RoutingTrace::new(
+            vec![vec![0, 1, 2], vec![0, 1, 0], vec![1, 2, 2], vec![1, 2, 1]],
+            3,
+        )
+    }
+
+    fn big_trace(e: usize, n: usize) -> RoutingTrace {
+        let model = AffinityModelSpec::new(4, e).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), n, 1, 77);
+        RoutingTrace::from_batch(&batch, e)
+    }
+
+    #[test]
+    fn matches_dense_estimator_cell_for_cell() {
+        let t = big_trace(16, 2000);
+        for gap in 0..3 {
+            let dense = AffinityMatrix::from_trace(&t, gap, gap + 1);
+            let sparse = SparseAffinity::from_trace(&t, gap, gap + 1);
+            for i in 0..16 {
+                for p in 0..16 {
+                    assert_eq!(
+                        sparse.prob(i, p).to_bits(),
+                        dense.prob(i, p).to_bits(),
+                        "gap {gap} cell ({i},{p})"
+                    );
+                }
+                assert_eq!(sparse.row_count(i), dense.row_count(i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_matrix_equals_from_trace() {
+        let t = big_trace(8, 500);
+        let via_dense = SparseAffinity::from_matrix(&AffinityMatrix::from_trace(&t, 0, 1));
+        let direct = SparseAffinity::from_trace(&t, 0, 1);
+        assert_eq!(via_dense, direct);
+    }
+
+    #[test]
+    fn from_exact_wraps_model_emission() {
+        // κ = 1 routing: the model's exact transitions are natively
+        // sparse; wrapping the CSR emission must reproduce every cell.
+        let m = AffinityModelSpec::new(3, 32).with_affinity(1.0).build();
+        let (row_ptr, cols, vals) = m.transition_sparse(1, 0);
+        let s = SparseAffinity::from_exact(row_ptr, cols, vals, 32, 0, 1);
+        let flat = m.transition(1, 0);
+        assert!(s.density() < 0.25, "κ=1 emission must be sparse");
+        for i in 0..32 {
+            for p in 0..32 {
+                assert_eq!(s.prob(i, p).to_bits(), flat[i * 32 + p].to_bits());
+            }
+        }
+        // No observations: objectives built from it weight uniformly.
+        assert_eq!(s.total_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn from_exact_rejects_non_stochastic_rows() {
+        let _ = SparseAffinity::from_exact(vec![0, 1, 2], vec![0, 1], vec![0.5, 0.9], 2, 0, 1);
+    }
+
+    #[test]
+    fn unobserved_rows_store_uniform() {
+        let s = SparseAffinity::from_trace(&trace(), 0, 1);
+        // Expert 2 never appears at layer 0: uniform row, all 3 cells.
+        assert_eq!(s.row_nnz(2), 3);
+        assert!((s.prob(2, 0) - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(s.row_count(2), 0);
+    }
+
+    #[test]
+    fn observed_rows_store_only_support() {
+        let s = SparseAffinity::from_trace(&trace(), 0, 1);
+        // From expert 0 both tokens go to expert 1: one stored cell.
+        assert_eq!(s.row_nnz(0), 1);
+        assert_eq!(s.prob(0, 1), 1.0);
+        assert_eq!(s.prob(0, 0), 0.0);
+    }
+
+    #[test]
+    fn density_shrinks_with_scale() {
+        // Same token budget, more experts: the stored fraction collapses.
+        let small = SparseAffinity::from_trace(&big_trace(8, 1500), 0, 1);
+        let large = SparseAffinity::from_trace(&big_trace(64, 1500), 0, 1);
+        assert!(large.density() < small.density());
+        assert!(large.nnz() <= 1500 + 64 * 64);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let t = big_trace(32, 800);
+        for s in SparseAffinity::consecutive(&t) {
+            for i in 0..32 {
+                let (_, probs) = s.row(i);
+                let total: f64 = probs.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "row {i} sums to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let t = big_trace(8, 300);
+        let m = AffinityMatrix::from_trace(&t, 1, 2);
+        let s = SparseAffinity::from_matrix(&m);
+        let flat = s.to_dense_probs();
+        for i in 0..8 {
+            for p in 0..8 {
+                assert_eq!(flat[i * 8 + p].to_bits(), m.prob(i, p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_covers_all_gaps() {
+        let ms = SparseAffinity::consecutive(&trace());
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].from_layer(), 0);
+        assert_eq!(ms[1].to_layer(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_layer < to_layer")]
+    fn backwards_layers_rejected() {
+        let _ = SparseAffinity::from_trace(&trace(), 1, 1);
+    }
+}

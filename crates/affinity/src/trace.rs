@@ -79,6 +79,24 @@ impl RoutingTrace {
         h
     }
 
+    /// Joint `(from_expert, to_expert)` observation counts between two
+    /// layers, sorted row-major (ascending source, then successor). This
+    /// is the sparse raw material [`crate::SparseAffinity`] estimates
+    /// from: at most `n_tokens` distinct pairs exist per gap, so large-`E`
+    /// ingestion never touches an `E x E` table.
+    pub fn pair_counts(&self, from_layer: usize, to_layer: usize) -> Vec<((u16, u16), u64)> {
+        assert!(
+            from_layer < to_layer && to_layer < self.n_layers,
+            "need from_layer < to_layer < n_layers"
+        );
+        let mut counts: std::collections::BTreeMap<(u16, u16), u64> =
+            std::collections::BTreeMap::new();
+        for p in &self.paths {
+            *counts.entry((p[from_layer], p[to_layer])).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// A trace containing only the first `n` tokens (sampling studies).
     pub fn truncated(&self, n: usize) -> RoutingTrace {
         assert!(n >= 1 && n <= self.paths.len());

@@ -1,32 +1,43 @@
 //! `bench_summary` — the fixed-seed solver micro-benchmark behind the
-//! repo's `BENCH_*.json` perf trajectory.
+//! repo's `BENCH_*.json` perf trajectory, and the CI perf-gate.
 //!
-//! Sweeps the Table II model zoo × the solver roster, timing the whole
-//! sweep at `--jobs 1` and at `--jobs N`, verifies every objective is
-//! bit-identical across the two widths, and writes the machine-readable
-//! summary JSON (schema documented in the README).
+//! Sweeps the Table II model zoo × the solver roster (timing the whole
+//! sweep at `--jobs 1` and at `--jobs N`, verified bit-identical across
+//! widths) plus the `table_sparse` large-expert sweep (dense vs CSR
+//! objective backend, verified identical across backends), and writes the
+//! machine-readable summary JSON (schema `exflow-bench-summary/v2`,
+//! documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out BENCH_PR2.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR3.json
 //! ```
 //!
-//! Exit codes: 0 on success, 1 if the determinism check fails or the
+//! With `--check BASELINE`, the fresh summary is compared against the
+//! committed baseline: any objective (`cross_mass`/`nnz`) mismatch is a
+//! hard failure, wall-time regressions beyond 25% are reported as
+//! warnings in the markdown printed to stdout (CI appends it to the job
+//! summary).
+//!
+//! Exit codes: 0 on success, 1 if a verification/gate check fails or the
 //! output cannot be written, 2 on usage errors (consistent with `repro`).
 
 use exflow_bench::cli::parse_jobs;
-use exflow_bench::summary;
 use exflow_bench::Scale;
+use exflow_bench::{gate, summary};
 
 struct Args {
     scale: Scale,
     jobs: usize,
     seed: u64,
     out: Option<String>,
+    check: Option<String>,
 }
 
 fn print_usage() {
-    eprintln!("usage: bench_summary [--quick|--full] [--jobs N] [--seed S] [--out PATH]");
+    eprintln!(
+        "usage: bench_summary [--quick|--full] [--jobs N] [--seed S] [--out PATH] [--check BASELINE]"
+    );
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -35,6 +46,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         jobs: 4,
         seed: 20_240_522,
         out: None,
+        check: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -54,6 +66,9 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--out" => {
                 args.out = Some(it.next().ok_or("missing value for --out")?);
+            }
+            "--check" => {
+                args.check = Some(it.next().ok_or("missing value for --check")?);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -91,6 +106,17 @@ fn main() {
         summary.wall_ms_jobs_n,
         summary.speedup()
     );
+    for row in &summary.sparse_rows {
+        eprintln!(
+            "table_sparse: {} nnz {} (density {:.4}), dense {:.1} ms vs sparse {:.1} ms ({:.1}x)",
+            row.preset,
+            row.nnz,
+            row.density,
+            row.wall_ms_dense,
+            row.wall_ms_sparse,
+            row.speedup()
+        );
+    }
 
     let json = summary.to_json();
     match &args.out {
@@ -102,5 +128,25 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("error: cannot read baseline {baseline_path}: {err}");
+                std::process::exit(1);
+            }
+        };
+        let report = gate::compare(&baseline, &json);
+        // Markdown on stdout: CI pipes it into the job summary.
+        print!("{}", report.to_markdown());
+        if !report.ok() {
+            eprintln!(
+                "error: perf-gate failed against {baseline_path} ({} drift(s))",
+                report.drifts.len()
+            );
+            std::process::exit(1);
+        }
     }
 }

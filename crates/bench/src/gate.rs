@@ -1,0 +1,397 @@
+//! The CI perf-gate: compare a fresh `BENCH_*.json` against the committed
+//! baseline.
+//!
+//! Objectives (`cross_mass`, `nnz`) are deterministic facts — they are
+//! printed with shortest round-trip formatting, so *string* inequality in
+//! the JSON is *bit* inequality of the value, and any mismatch is a hard
+//! failure (the baseline must be regenerated deliberately, never drift
+//! silently). Wall-clock numbers are machine-dependent measurements:
+//! regressions beyond [`WALL_REGRESSION_WARN`] only produce warnings for
+//! the job summary, because CI runners are noisy.
+//!
+//! The parser is deliberately minimal: it reads exactly the line-oriented
+//! JSON this workspace emits (`BenchSummary::to_json`), not arbitrary
+//! JSON — the workspace builds offline and carries no serde.
+
+/// Fractional wall-clock regression beyond which a warning is emitted
+/// (fresh > 1.25x baseline).
+pub const WALL_REGRESSION_WARN: f64 = 1.25;
+
+/// Wall measurements shorter than this (milliseconds) are never compared:
+/// at micro scale the noise floor dwarfs any real regression.
+pub const WALL_FLOOR_MS: f64 = 5.0;
+
+/// The sparse backend must beat dense by at least this factor on the
+/// `E = 512`, top-1 cell (the acceptance bar of the sparse backend).
+pub const MIN_SPARSE_SPEEDUP_512: f64 = 2.0;
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Hard failures: objective drift, schema/coverage mismatches, a
+    /// sparse backend slower than its acceptance bar.
+    pub drifts: Vec<String>,
+    /// Soft findings: wall-clock regressions beyond the noise allowance.
+    pub warnings: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (warnings allowed, drifts not).
+    pub fn ok(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    /// Render as markdown for the CI job summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if self.ok() {
+            out.push_str("### perf-gate: PASS\n\n");
+        } else {
+            out.push_str("### perf-gate: FAIL (objective drift)\n\n");
+            for d in &self.drifts {
+                out.push_str(&format!("- :x: {d}\n"));
+            }
+        }
+        if self.warnings.is_empty() {
+            out.push_str("No wall-time regressions beyond the noise allowance.\n");
+        } else {
+            for w in &self.warnings {
+                out.push_str(&format!("- :warning: {w}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Extract the value of `"key": <value>` from one JSON object line
+/// (string values lose their quotes).
+fn field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| {
+            if rest[..i].matches('"').count() % 2 == 1 {
+                false // inside a string value
+            } else {
+                c == ',' || c == '}'
+            }
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// The object lines of one `"key": [ ... ]` array section.
+fn rows_section<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
+    let pat = format!("\"{key}\": [");
+    let Some(start) = json.find(&pat) else {
+        return Vec::new();
+    };
+    json[start + pat.len()..]
+        .lines()
+        .map(str::trim)
+        .take_while(|l| !l.starts_with(']'))
+        .filter(|l| l.starts_with('{'))
+        .collect()
+}
+
+fn parse_ms(value: Option<String>) -> Option<f64> {
+    value.and_then(|v| v.parse().ok())
+}
+
+fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: Option<f64>) {
+    if let (Some(base), Some(fresh)) = (base, fresh) {
+        if base >= WALL_FLOOR_MS && fresh > WALL_REGRESSION_WARN * base {
+            warnings.push(format!(
+                "{what}: wall {fresh:.1} ms vs baseline {base:.1} ms ({:.0}% regression)",
+                (fresh / base - 1.0) * 100.0
+            ));
+        }
+    }
+}
+
+/// Compare a fresh summary JSON against the committed baseline JSON.
+/// Both must be `exflow-bench-summary/v2` documents produced by
+/// `BenchSummary::to_json`.
+pub fn compare(baseline: &str, fresh: &str) -> GateReport {
+    let mut report = GateReport::default();
+
+    let get_schema = |json: &str| {
+        json.lines()
+            .find(|l| l.trim_start().starts_with("\"schema\""))
+            .and_then(|l| field(l, "schema"))
+    };
+    if get_schema(baseline).as_deref() != Some("exflow-bench-summary/v2")
+        || get_schema(fresh).as_deref() != Some("exflow-bench-summary/v2")
+    {
+        report.drifts.push(
+            "schema mismatch: both documents must be exflow-bench-summary/v2 \
+             (regenerate the committed baseline with bench_summary)"
+                .to_string(),
+        );
+        return report;
+    }
+
+    // Table rows: keyed by (model, solver); cross_mass is bit-compared.
+    let key_of = |line: &str| {
+        (
+            field(line, "model").unwrap_or_default(),
+            field(line, "solver").unwrap_or_default(),
+        )
+    };
+    let base_rows = rows_section(baseline, "rows");
+    let fresh_rows = rows_section(fresh, "rows");
+    for b in &base_rows {
+        let key = key_of(b);
+        match fresh_rows.iter().find(|f| key_of(f) == key) {
+            None => report
+                .drifts
+                .push(format!("row {}/{} missing from fresh run", key.0, key.1)),
+            Some(f) => {
+                let (bc, fc) = (field(b, "cross_mass"), field(f, "cross_mass"));
+                if bc != fc {
+                    report.drifts.push(format!(
+                        "objective drift on {}/{}: baseline {} vs fresh {}",
+                        key.0,
+                        key.1,
+                        bc.unwrap_or_default(),
+                        fc.unwrap_or_default()
+                    ));
+                }
+                warn_wall(
+                    &mut report.warnings,
+                    &format!("{}/{}", key.0, key.1),
+                    parse_ms(field(b, "wall_ms")),
+                    parse_ms(field(f, "wall_ms")),
+                );
+            }
+        }
+    }
+    for f in &fresh_rows {
+        let key = key_of(f);
+        if !base_rows.iter().any(|b| key_of(b) == key) {
+            report.drifts.push(format!(
+                "row {}/{} not in baseline (regenerate the committed JSON)",
+                key.0, key.1
+            ));
+        }
+    }
+
+    // Sparse rows: keyed by preset; cross_mass and nnz are bit-compared.
+    let base_sparse = rows_section(baseline, "sparse_rows");
+    let fresh_sparse = rows_section(fresh, "sparse_rows");
+    for b in &base_sparse {
+        let preset = field(b, "preset").unwrap_or_default();
+        match fresh_sparse
+            .iter()
+            .find(|f| field(f, "preset").as_deref() == Some(preset.as_str()))
+        {
+            None => report
+                .drifts
+                .push(format!("sparse row {preset} missing from fresh run")),
+            Some(f) => {
+                for fact in ["cross_mass", "nnz"] {
+                    let (bv, fv) = (field(b, fact), field(f, fact));
+                    if bv != fv {
+                        report.drifts.push(format!(
+                            "{fact} drift on {preset}: baseline {} vs fresh {}",
+                            bv.unwrap_or_default(),
+                            fv.unwrap_or_default()
+                        ));
+                    }
+                }
+                warn_wall(
+                    &mut report.warnings,
+                    &format!("{preset} (dense)"),
+                    parse_ms(field(b, "wall_ms_dense")),
+                    parse_ms(field(f, "wall_ms_dense")),
+                );
+                warn_wall(
+                    &mut report.warnings,
+                    &format!("{preset} (sparse)"),
+                    parse_ms(field(b, "wall_ms_sparse")),
+                    parse_ms(field(f, "wall_ms_sparse")),
+                );
+            }
+        }
+    }
+    for f in &fresh_sparse {
+        let preset = field(f, "preset").unwrap_or_default();
+        if !base_sparse
+            .iter()
+            .any(|b| field(b, "preset").as_deref() == Some(preset.as_str()))
+        {
+            report
+                .drifts
+                .push(format!("sparse row {preset} not in baseline"));
+        }
+    }
+
+    // Acceptance bar: the sparse backend must hold its >= 2x win on the
+    // E=512 top-1 cell of the *fresh* run. This is algorithmic (not
+    // thread-parallel) speedup, so it holds on 1-core runners too.
+    for f in &fresh_sparse {
+        let preset = field(f, "preset").unwrap_or_default();
+        if field(f, "experts").as_deref() == Some("512") && field(f, "k").as_deref() == Some("1") {
+            let speedup: f64 = field(f, "speedup")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            if speedup < MIN_SPARSE_SPEEDUP_512 {
+                report.drifts.push(format!(
+                    "sparse backend speedup on {preset} is {speedup:.2}x, below the \
+                     {MIN_SPARSE_SPEEDUP_512:.1}x acceptance bar"
+                ));
+            }
+        }
+    }
+
+    // Whole-sweep walls.
+    let top_field = |json: &str, key: &str| {
+        json.lines()
+            .find(|l| l.trim_start().starts_with(&format!("\"{key}\"")))
+            .and_then(|l| field(l, key))
+            .and_then(|v| v.parse::<f64>().ok())
+    };
+    warn_wall(
+        &mut report.warnings,
+        "whole sweep (jobs=1)",
+        top_field(baseline, "wall_ms_jobs1"),
+        top_field(fresh, "wall_ms_jobs1"),
+    );
+    warn_wall(
+        &mut report.warnings,
+        "whole sweep (jobs=N)",
+        top_field(baseline, "wall_ms_jobsN"),
+        top_field(fresh, "wall_ms_jobsN"),
+    );
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{BenchRow, BenchSummary, SparseBenchRow};
+
+    fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
+        BenchSummary {
+            seed: 1,
+            scale: "quick".into(),
+            jobs: 4,
+            wall_ms_jobs1: wall,
+            wall_ms_jobs_n: wall / 2.0,
+            rows: vec![BenchRow {
+                model: "MoE-GPT-M/8e-24L".into(),
+                solver: "greedy".into(),
+                wall_ms: wall / 10.0,
+                cross_mass: cross,
+            }],
+            sparse_rows: vec![SparseBenchRow {
+                preset: "MoE-GPT-XXL/512e-24L-top1".into(),
+                n_experts: 512,
+                k: 1,
+                layers: 2,
+                nnz: 3000,
+                density: 0.011,
+                wall_ms_dense: sparse_wall_dense,
+                wall_ms_sparse: 10.0,
+                cross_mass: cross / 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let json = summary(0.25, 100.0, 100.0).to_json();
+        let report = compare(&json, &json);
+        assert!(report.ok(), "{:?}", report.drifts);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert!(report.to_markdown().contains("PASS"));
+    }
+
+    #[test]
+    fn objective_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0).to_json();
+        let fresh = summary(0.25000000001, 100.0, 100.0).to_json();
+        let report = compare(&base, &fresh);
+        assert!(!report.ok());
+        assert!(report.drifts[0].contains("objective drift"));
+        assert!(report.to_markdown().contains("FAIL"));
+    }
+
+    #[test]
+    fn one_ulp_of_drift_is_detected() {
+        let x = 0.1f64;
+        let bumped = f64::from_bits(x.to_bits() + 1);
+        let base = summary(x, 100.0, 100.0).to_json();
+        let fresh = summary(bumped, 100.0, 100.0).to_json();
+        assert!(!compare(&base, &fresh).ok(), "1-ulp drift must fail");
+    }
+
+    #[test]
+    fn wall_regression_only_warns() {
+        let base = summary(0.25, 100.0, 100.0).to_json();
+        let fresh = summary(0.25, 200.0, 100.0).to_json();
+        let report = compare(&base, &fresh);
+        assert!(report.ok());
+        assert!(
+            report.warnings.iter().any(|w| w.contains("whole sweep")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn wall_improvements_are_silent() {
+        let base = summary(0.25, 100.0, 100.0).to_json();
+        let fresh = summary(0.25, 50.0, 100.0).to_json();
+        let report = compare(&base, &fresh);
+        assert!(report.ok() && report.warnings.is_empty());
+    }
+
+    #[test]
+    fn nnz_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.sparse_rows[0].nnz += 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(report.drifts[0].contains("nnz drift"));
+    }
+
+    #[test]
+    fn slow_sparse_backend_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0).to_json();
+        // Dense wall 15 ms vs sparse 10 ms: only 1.5x on the 512 cell.
+        let fresh = summary(0.25, 100.0, 15.0).to_json();
+        let report = compare(&base, &fresh);
+        assert!(!report.ok());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("acceptance bar")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_rows_fail() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.rows[0].solver = "renamed".into();
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(report.drifts.iter().any(|d| d.contains("missing")));
+        assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
+    }
+
+    #[test]
+    fn v1_baseline_is_rejected() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let old = fresh.replace("exflow-bench-summary/v2", "exflow-bench-summary/v1");
+        let report = compare(&old, &fresh);
+        assert!(!report.ok());
+        assert!(report.drifts[0].contains("schema"));
+    }
+}

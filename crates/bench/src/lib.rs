@@ -19,6 +19,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod fmt;
+pub mod gate;
 pub mod summary;
 pub mod sweep;
 

@@ -1,30 +1,44 @@
 //! Machine-readable solver benchmark: the `BENCH_*.json` emitter that
-//! seeds the repo's performance trajectory.
+//! drives the repo's performance trajectory.
 //!
-//! The benchmark sweeps the Table II model zoo × the solver portfolio on
-//! fixed-seed profiled instances, recording wall milliseconds and the
-//! achieved objective (cross mass) per `SolverKind`. The whole sweep runs
-//! twice — once at `--jobs 1` and once at the requested width — and the
-//! emitter *verifies* that every objective is bit-identical across the two
-//! runs before reporting the parallel speedup: quality numbers in
-//! `BENCH_*.json` are deterministic facts, timing numbers are
-//! machine-dependent measurements, and the schema keeps them apart.
+//! Two sweeps feed the summary:
+//!
+//! * **Table II sweep** — the model zoo × the solver portfolio on
+//!   fixed-seed profiled instances, recording wall milliseconds and the
+//!   achieved objective (cross mass) per `SolverKind`. The whole sweep
+//!   runs twice — once at `--jobs 1` and once at the requested width —
+//!   and the emitter *verifies* that every objective is bit-identical
+//!   across the two runs before reporting the parallel speedup.
+//! * **`table_sparse` sweep** — the large-expert zoo (`E = 256/512`,
+//!   top-1 and top-2) solved once per objective backend (dense `E x E`
+//!   vs CSR), verifying the two produce identical placements and
+//!   bit-identical cross mass, and recording nnz/density plus the
+//!   dense-vs-sparse wall time per cell.
+//!
+//! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
+//! perf-gate compares them bit for bit against the committed baseline);
+//! timing numbers are machine-dependent measurements. The schema
+//! (`exflow-bench-summary/v2`) keeps them apart.
 
 use std::time::Instant;
 
-use exflow_affinity::{AffinityMatrix, RoutingTrace};
-use exflow_model::presets::table2;
+use exflow_affinity::{RoutingTrace, SparseAffinity};
+use exflow_model::presets::{large_zoo, table2};
 use exflow_model::routing::AffinityModelSpec;
-use exflow_model::{CorpusSpec, TokenBatch};
+use exflow_model::{CorpusSpec, ModelConfig, TokenBatch};
 use exflow_placement::annealing::AnnealParams;
-use exflow_placement::{solve_with, Objective, Parallelism, SolverKind};
+use exflow_placement::local_search::improve;
+use exflow_placement::{solve_with, GapBackend, Objective, Parallelism, Placement, SolverKind};
 
 use crate::sweep::{par_map, SweepPool};
 use crate::Scale;
 
-/// GPUs each instance is solved for (divides every Table II expert
-/// count).
+/// GPUs each Table II instance is solved for (divides every Table II
+/// expert count).
 const N_UNITS: usize = 4;
+
+/// GPUs each `table_sparse` instance is solved for (divides 256 and 512).
+const N_UNITS_LARGE: usize = 8;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -41,6 +55,43 @@ pub struct BenchRow {
     pub cross_mass: f64,
 }
 
+/// One `table_sparse` cell: a large-expert instance solved on both
+/// objective backends.
+#[derive(Debug, Clone)]
+pub struct SparseBenchRow {
+    /// Large-zoo preset name.
+    pub preset: String,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Gating fan-out the instance was sampled with.
+    pub k: usize,
+    /// Layers of the profiled instance (scaled down from the preset).
+    pub layers: usize,
+    /// Structural nonzeros across the instance's gap matrices
+    /// (backend-independent, deterministic).
+    pub nnz: usize,
+    /// `nnz` over the dense cell count.
+    pub density: f64,
+    /// Wall milliseconds of the local-search workload on the dense
+    /// backend.
+    pub wall_ms_dense: f64,
+    /// Wall milliseconds of the same workload on the CSR backend.
+    pub wall_ms_sparse: f64,
+    /// Final cross mass (bit-identical across backends — verified).
+    pub cross_mass: f64,
+}
+
+impl SparseBenchRow {
+    /// Dense wall over sparse wall: the sparse backend's algorithmic
+    /// speedup on this cell.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms_sparse <= 0.0 {
+            return 0.0;
+        }
+        self.wall_ms_dense / self.wall_ms_sparse
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -50,16 +101,21 @@ pub struct BenchSummary {
     pub scale: String,
     /// Parallel width of the timed parallel pass.
     pub jobs: usize,
-    /// Wall time of the whole sweep at `--jobs 1`, in milliseconds.
+    /// Wall time of the whole Table II sweep at `--jobs 1`, in
+    /// milliseconds.
     pub wall_ms_jobs1: f64,
-    /// Wall time of the whole sweep at `--jobs N`, in milliseconds.
+    /// Wall time of the whole Table II sweep at `--jobs N`, in
+    /// milliseconds.
     pub wall_ms_jobs_n: f64,
     /// Per-point measurements, in (model-major, solver-minor) grid order.
     pub rows: Vec<BenchRow>,
+    /// The `table_sparse` cells, in `large_zoo()` order.
+    pub sparse_rows: Vec<SparseBenchRow>,
 }
 
 impl BenchSummary {
-    /// Parallel speedup of the sweep (jobs=1 wall over jobs=N wall).
+    /// Parallel speedup of the Table II sweep (jobs=1 wall over jobs=N
+    /// wall).
     pub fn speedup(&self) -> f64 {
         if self.wall_ms_jobs_n <= 0.0 {
             return 0.0;
@@ -67,12 +123,15 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `BENCH_*.json` schema (see README). Hand-rolled:
-    /// the workspace builds offline, so no serde.
+    /// Serialize as the `exflow-bench-summary/v2` schema (see README).
+    /// Hand-rolled: the workspace builds offline, so no serde. Objectives
+    /// are printed with Rust's shortest round-trip float formatting, so
+    /// string equality in the JSON is bit equality of the f64 — what the
+    /// CI perf-gate compares.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(4096);
+        let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v1\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v2\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -89,7 +148,7 @@ impl BenchSummary {
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"model\": \"{}\", \"solver\": \"{}\", \"wall_ms\": {:.3}, \"cross_mass\": {:.9}}}{}\n",
+                "    {{\"model\": \"{}\", \"solver\": \"{}\", \"wall_ms\": {:.3}, \"cross_mass\": {}}}{}\n",
                 row.model,
                 row.solver,
                 row.wall_ms,
@@ -97,12 +156,30 @@ impl BenchSummary {
                 if i + 1 == self.rows.len() { "" } else { "," }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"sparse_rows\": [\n");
+        for (i, row) in self.sparse_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"preset\": \"{}\", \"experts\": {}, \"k\": {}, \"layers\": {}, \"nnz\": {}, \"density\": {:.6}, \"wall_ms_dense\": {:.3}, \"wall_ms_sparse\": {:.3}, \"speedup\": {:.3}, \"cross_mass\": {}}}{}\n",
+                row.preset,
+                row.n_experts,
+                row.k,
+                row.layers,
+                row.nnz,
+                row.density,
+                row.wall_ms_dense,
+                row.wall_ms_sparse,
+                row.speedup(),
+                row.cross_mass,
+                if i + 1 == self.sparse_rows.len() { "" } else { "," }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
 }
 
-/// The solver roster the benchmark times, sized by scale.
+/// The solver roster the Table II benchmark times, sized by scale.
 pub fn roster(scale: Scale) -> Vec<SolverKind> {
     vec![
         SolverKind::RoundRobin,
@@ -134,7 +211,7 @@ fn instance(n_experts: usize, n_layers: usize, scale: Scale, seed: u64) -> Objec
         seed,
     );
     let trace = RoutingTrace::from_batch(&batch, n_experts);
-    Objective::from_affinities(&AffinityMatrix::consecutive(&trace))
+    Objective::from_sparse_affinities(&SparseAffinity::consecutive(&trace))
 }
 
 /// One full sweep over models × solvers at the installed pool width.
@@ -166,11 +243,82 @@ fn sweep_once(
     (rows, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Measure one `table_sparse` cell: profile a large-expert instance,
+/// build the objective once per backend from the same CSR estimates, run
+/// the same bounded local-search workload on each, verify the results are
+/// identical, and report the two wall times.
+fn sparse_cell(cfg: &ModelConfig, scale: Scale, seed: u64) -> Result<SparseBenchRow, String> {
+    let e = cfg.n_experts;
+    let k = cfg.gate.k();
+    let layers = scale.pick(2, 3);
+    let tokens = scale.pick(3000, 10_000);
+    let spec = AffinityModelSpec::new(layers, e).with_seed(seed);
+    let routing = spec.build();
+    let batch = TokenBatch::sample(
+        &routing,
+        &CorpusSpec::pile_proxy(spec.n_domains),
+        tokens,
+        k,
+        seed,
+    );
+    let trace = RoutingTrace::from_batch(&batch, e);
+    let estimates = SparseAffinity::consecutive(&trace);
+
+    let run = |backend: GapBackend| {
+        let objective = Objective::from_sparse_affinities_with(&estimates, backend);
+        let mut placement = Placement::round_robin(layers, e, N_UNITS_LARGE);
+        let t = Instant::now();
+        // A bounded first-improvement polish: every step is swap_delta +
+        // cross_mass work, i.e. exactly the O(E^2)-vs-O(nnz) contrast the
+        // backends differ in. Pass count is fixed, so both backends do
+        // the same moves.
+        let cost = improve(&objective, &mut placement, scale.pick(1, 2));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        (objective, placement, cost, wall_ms)
+    };
+    let (obj_dense, place_dense, cost_dense, wall_dense) = run(GapBackend::Dense);
+    let (obj_sparse, place_sparse, cost_sparse, wall_sparse) = run(GapBackend::Sparse);
+
+    if place_dense != place_sparse || cost_dense.to_bits() != cost_sparse.to_bits() {
+        return Err(format!(
+            "backend divergence on {}: dense {} vs sparse {}",
+            cfg.name, cost_dense, cost_sparse
+        ));
+    }
+    debug_assert_eq!(obj_dense.nnz(), obj_sparse.nnz());
+
+    Ok(SparseBenchRow {
+        preset: cfg.name.clone(),
+        n_experts: e,
+        k,
+        layers,
+        nnz: obj_sparse.nnz(),
+        density: obj_sparse.density(),
+        wall_ms_dense: wall_dense,
+        wall_ms_sparse: wall_sparse,
+        cross_mass: cost_sparse,
+    })
+}
+
+/// The `table_sparse` sweep over the large-expert zoo. Cells run
+/// sequentially — they are timed, and contention would corrupt the
+/// dense-vs-sparse comparison. Errors if any cell's backends diverge.
+pub fn sparse_table(scale: Scale, seed: u64) -> Result<Vec<SparseBenchRow>, String> {
+    large_zoo()
+        .iter()
+        .map(|cfg| {
+            let stream = seed ^ ((cfg.n_experts as u64) << 20) ^ cfg.gate.k() as u64;
+            sparse_cell(cfg, scale, stream)
+        })
+        .collect()
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
-/// N`, verified bit-identical in quality, timed in both. Errors (instead
-/// of panicking) if any objective diverges across widths — that would
-/// mean the determinism contract is broken and the JSON must not be
-/// published.
+/// N` (verified bit-identical in quality, timed in both) plus the
+/// `table_sparse` dense-vs-sparse sweep (verified identical across
+/// backends). Errors (instead of panicking) if any verification fails —
+/// that would mean the determinism contract is broken and the JSON must
+/// not be published.
 pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String> {
     let kinds = roster(scale);
     let models = table2();
@@ -201,6 +349,8 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         }
     }
 
+    let sparse_rows = sparse_table(scale, seed)?;
+
     Ok(BenchSummary {
         seed,
         scale: match scale {
@@ -211,6 +361,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         wall_ms_jobs1: wall1,
         wall_ms_jobs_n: wall_n,
         rows: rows1,
+        sparse_rows,
     })
 }
 
@@ -241,6 +392,19 @@ mod tests {
                 );
             }
         }
+        // The sparse table covers the whole large zoo, each instance
+        // genuinely sparse at these token budgets.
+        assert_eq!(summary.sparse_rows.len(), large_zoo().len());
+        for row in &summary.sparse_rows {
+            assert!(row.nnz > 0);
+            assert!(
+                row.density < exflow_placement::SPARSE_DENSITY_THRESHOLD,
+                "{} density {} not sparse",
+                row.preset,
+                row.density
+            );
+            assert!(row.cross_mass.is_finite());
+        }
     }
 
     #[test]
@@ -257,15 +421,40 @@ mod tests {
                 wall_ms: 1.5,
                 cross_mass: 0.25,
             }],
+            sparse_rows: vec![SparseBenchRow {
+                preset: "MoE-GPT-XXL/256e-24L-top1".to_string(),
+                n_experts: 256,
+                k: 1,
+                layers: 2,
+                nnz: 2600,
+                density: 0.0397,
+                wall_ms_dense: 80.0,
+                wall_ms_sparse: 8.0,
+                cross_mass: 0.75,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v1\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v2\""));
         assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"speedup\": 10.000"));
+        assert!(json.contains("\"cross_mass\": 0.25"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced JSON:\n{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn cross_mass_round_trips_through_json() {
+        // Shortest round-trip formatting: parsing the printed value back
+        // recovers the exact bits, which is what lets the perf-gate
+        // compare objectives as strings.
+        for &x in &[0.1f64, 1.0 / 3.0, 2.7755575615628914e-17, 5.0] {
+            let printed = format!("{x}");
+            let back: f64 = printed.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{printed}");
+        }
     }
 }

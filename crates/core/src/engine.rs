@@ -7,14 +7,14 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use exflow_affinity::{AffinityMatrix, RoutingTrace};
+use exflow_affinity::{RoutingTrace, SparseAffinity};
 use exflow_collectives::{CommWorld, OpKind, RankComm};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{
     ComputeCostModel, CorpusSpec, Expert, Matrix, ModelConfig, RoutingModel, TokenBatch,
 };
 use exflow_placement::staged::solve_staged_with;
-use exflow_placement::{Objective, Parallelism, Placement};
+use exflow_placement::{GapBackend, Objective, Parallelism, Placement};
 use exflow_topology::{ClusterSpec, CostModel, Rank};
 
 use crate::frame::{decode, encode, frame_size, Token};
@@ -51,6 +51,11 @@ pub struct EngineConfig {
     /// state); results are bit-identical at any width, so this is purely
     /// a build-latency knob. Defaults to sequential — engines opt in.
     pub parallelism: Parallelism,
+    /// Storage backend for the profiled affinity objective. Evaluations
+    /// are bit-identical across backends, so like `parallelism` this is
+    /// purely a speed/memory knob; `Auto` picks CSR per gap once density
+    /// drops below the sparse threshold (the large-expert regime).
+    pub gap_backend: GapBackend,
     /// Master seed.
     pub seed: u64,
 }
@@ -79,6 +84,7 @@ impl EngineBuilder {
                 profile_tokens: 2000,
                 placement_restarts: 1,
                 parallelism: Parallelism::single(),
+                gap_backend: GapBackend::Auto,
                 seed: 7,
             },
         }
@@ -151,6 +157,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Storage backend for the affinity objective (bit-identical results
+    /// on either; `Auto` switches to CSR when the profiled matrices are
+    /// sparse enough).
+    pub fn gap_backend(mut self, backend: GapBackend) -> Self {
+        self.cfg.gap_backend = backend;
+        self
+    }
+
     /// Master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -208,8 +222,11 @@ impl InferenceEngine {
             cfg.seed ^ 0x0ff1_1e5e,
         );
         let profile_trace = RoutingTrace::from_batch(&profile_batch, cfg.model.n_experts);
-        let matrices = AffinityMatrix::consecutive(&profile_trace);
-        let objective = Objective::from_affinities(&matrices);
+        // Sparse-native ingestion: trace -> CSR estimates without ever
+        // materializing dense E x E tables (bit-identical to the dense
+        // estimator); `gap_backend` then picks the evaluation layout.
+        let estimates = SparseAffinity::consecutive(&profile_trace);
+        let objective = Objective::from_sparse_affinities_with(&estimates, cfg.gap_backend);
 
         let staged = solve_staged_with(
             &objective,
@@ -676,6 +693,33 @@ mod tests {
             assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
             assert_eq!(a.dispatch, b.dispatch);
         }
+    }
+
+    #[test]
+    fn gap_backend_is_a_pure_speed_knob() {
+        let build = |backend: GapBackend| {
+            let mut model = moe_gpt_m(8);
+            model.n_layers = 6;
+            InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+                .requests_per_gpu(16)
+                .n_iterations(2)
+                .prompt_len(16)
+                .profile_tokens(1500)
+                .gap_backend(backend)
+                .seed(11)
+                .build()
+        };
+        let dense = build(GapBackend::Dense);
+        let sparse = build(GapBackend::Sparse);
+        assert_eq!(
+            dense.placement_for(ParallelismMode::ContextCoherentAffinity),
+            sparse.placement_for(ParallelismMode::ContextCoherentAffinity),
+            "backends must solve to the same placement"
+        );
+        let a = dense.run(ParallelismMode::ContextCoherentAffinity);
+        let b = sparse.run(ParallelismMode::ContextCoherentAffinity);
+        assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+        assert_eq!(a.dispatch, b.dispatch);
     }
 
     #[test]

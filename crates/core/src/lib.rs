@@ -47,6 +47,6 @@ pub mod modes;
 pub mod report;
 
 pub use engine::{EngineBuilder, EngineConfig, InferenceEngine};
-pub use exflow_placement::Parallelism;
+pub use exflow_placement::{GapBackend, Parallelism};
 pub use modes::ParallelismMode;
 pub use report::{InferenceReport, OpBreakdown};

@@ -89,11 +89,11 @@ fn gap_cost(objective: &Objective, gap: usize, from: &[usize], to: &[usize]) -> 
         if w == 0.0 {
             continue;
         }
-        for (p, &to_unit) in to.iter().enumerate() {
-            if from_unit != to_unit {
-                cost += w * objective.gap_prob(gap, i, p);
+        objective.for_each_in_row(gap, i, |p, prob| {
+            if from_unit != to[p] {
+                cost += w * prob;
             }
-        }
+        });
     }
     cost
 }

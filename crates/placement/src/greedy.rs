@@ -38,9 +38,12 @@ pub fn solve_greedy(objective: &Objective, n_units: usize) -> Placement {
             if w == 0.0 {
                 continue;
             }
-            for p in 0..e {
-                gain[p * n_units + u] += w * objective.gap_prob(gap, i, p);
-            }
+            // Row iteration is O(nnz) on the sparse backend and skips
+            // zero cells on the dense one — either way the accumulated
+            // gains are bit-identical to the full dense loop.
+            objective.for_each_in_row(gap, i, |p, prob| {
+                gain[p * n_units + u] += w * prob;
+            });
         }
         // Slot expansion: slot s belongs to unit s / cap. Hungarian
         // minimizes, so negate the gain.

@@ -35,7 +35,13 @@
 //! [`objective::Objective`] scores placements (expected cross-unit
 //! transition mass) and [`objective::measure_trace_locality`] measures the
 //! realized locality of a placement on a concrete routing trace (the bars
-//! of the paper's Figs. 7–8).
+//! of the paper's Figs. 7–8). The objective stores each layer gap behind
+//! [`objective::GapStorage`] — dense `E x E` or CSR with a transposed
+//! companion index — selected by density ([`objective::GapBackend`]);
+//! evaluations are bit-identical across backends, so large-expert
+//! instances (`E = 256/512`, where top-k routing leaves the matrices
+//! overwhelmingly sparse) solve in `O(nnz)` instead of `O(E^2)` without
+//! changing any result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,7 +61,7 @@ pub mod solver;
 pub mod staged;
 
 pub use annealing::AnnealParams;
-pub use objective::Objective;
+pub use objective::{GapBackend, GapStorage, Objective, SPARSE_DENSITY_THRESHOLD};
 pub use parallel::{split_seed, Parallelism};
 pub use placement::Placement;
 pub use solver::{solve, solve_with, SolverKind};

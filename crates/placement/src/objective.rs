@@ -1,8 +1,160 @@
-//! The ILP objective (paper formula 8) and locality measurement.
+//! The ILP objective (paper formula 8) and locality measurement, with
+//! selectable dense / sparse (CSR) gap storage.
 
-use exflow_affinity::{AffinityMatrix, RoutingTrace};
+use exflow_affinity::{AffinityMatrix, RoutingTrace, SparseAffinity};
 
 use crate::placement::Placement;
+
+/// How [`Objective`] stores each layer gap's conditional matrix.
+///
+/// Both backends define exactly the same matrix, and every consumer
+/// (`cross_mass`, `swap_delta`, the solvers) is arranged so the two
+/// produce **bit-identical** results — the backend is purely a
+/// speed/memory choice. Dense work is `O(E^2)` per gap; sparse work is
+/// `O(nnz)`, which is what top-k routing leaves at `E = 256/512`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GapBackend {
+    /// Pick per gap: CSR when the gap's density is below
+    /// [`SPARSE_DENSITY_THRESHOLD`], dense otherwise.
+    #[default]
+    Auto,
+    /// Force the flattened row-major `E x E` layout for every gap.
+    Dense,
+    /// Force the CSR layout for every gap.
+    Sparse,
+}
+
+/// Density (`nnz / E^2`) below which [`GapBackend::Auto`] stores a gap as
+/// CSR. Below ~25% the CSR traversals win despite their index indirection;
+/// near-dense matrices are faster flat.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// A CSR layer-gap matrix with a transposed (CSC) companion index.
+///
+/// The CSR side serves row access (`cross_mass`, the outgoing half of
+/// `swap_delta`, greedy gain accumulation); the CSC side serves column
+/// access (the incoming half of `swap_delta`) in `O(col-nnz)` instead of
+/// `O(E)`. Entries are ascending within each row/column.
+#[derive(Debug, Clone)]
+pub struct SparseGap {
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    tvals: Vec<f64>,
+}
+
+impl SparseGap {
+    /// Build from CSR parts, deriving the CSC index (counting sort keeps
+    /// rows ascending within each column).
+    fn from_csr(n: usize, row_ptr: Vec<usize>, cols: Vec<usize>, vals: Vec<f64>) -> Self {
+        debug_assert_eq!(row_ptr.len(), n + 1);
+        debug_assert_eq!(cols.len(), vals.len());
+        let nnz = cols.len();
+        let mut col_ptr = vec![0usize; n + 1];
+        for &c in &cols {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut rows = vec![0usize; nnz];
+        let mut tvals = vec![0.0f64; nnz];
+        for i in 0..n {
+            for idx in row_ptr[i]..row_ptr[i + 1] {
+                let slot = cursor[cols[idx]];
+                cursor[cols[idx]] += 1;
+                rows[slot] = i;
+                tvals[slot] = vals[idx];
+            }
+        }
+        SparseGap {
+            row_ptr,
+            cols,
+            vals,
+            col_ptr,
+            rows,
+            tvals,
+        }
+    }
+
+    /// Compress a flattened row-major `E x E` matrix.
+    fn from_dense(flat: &[f64], n: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n {
+            for (p, &v) in flat[i * n..(i + 1) * n].iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(p);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        SparseGap::from_csr(n, row_ptr, cols, vals)
+    }
+
+    /// Stored entries of row `i`: `(columns, values)`, columns ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Stored entries of column `p`: `(rows, values)`, rows ascending.
+    #[inline]
+    pub fn col(&self, p: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.col_ptr[p], self.col_ptr[p + 1]);
+        (&self.rows[lo..hi], &self.tvals[lo..hi])
+    }
+
+    /// The value at `(i, p)` (0 for cells not stored).
+    pub fn get(&self, i: usize, p: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&p) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of stored cells.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// One layer gap's conditional matrix, in whichever layout the builder
+/// selected.
+#[derive(Debug, Clone)]
+pub enum GapStorage {
+    /// Flattened row-major `E x E` conditional probabilities.
+    Dense(Vec<f64>),
+    /// CSR (plus a CSC companion index) over the structural nonzeros.
+    Sparse(SparseGap),
+}
+
+impl GapStorage {
+    /// Whether this gap is stored as CSR.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, GapStorage::Sparse(_))
+    }
+}
+
+fn count_nnz(flat: &[f64]) -> usize {
+    flat.iter().filter(|&&v| v != 0.0).count()
+}
+
+fn pick_sparse(nnz: usize, e: usize, backend: GapBackend) -> bool {
+    match backend {
+        GapBackend::Dense => false,
+        GapBackend::Sparse => true,
+        GapBackend::Auto => (nnz as f64) < SPARSE_DENSITY_THRESHOLD * (e * e) as f64,
+    }
+}
 
 /// The placement objective: expected number of cross-unit transitions per
 /// token per forward pass, computed from consecutive-layer affinity
@@ -15,30 +167,49 @@ use crate::placement::Placement;
 /// `1/E`, but it stays correct for skewed checkpoints (early training,
 /// Fig. 12a) where a uniform weighting would dilute the objective with
 /// never-visited experts.
+///
+/// Gaps are stored behind [`GapStorage`]: dense `E x E` or CSR, selected
+/// by the builder ([`GapBackend`]); all evaluations are bit-identical
+/// across backends.
 #[derive(Debug, Clone)]
 pub struct Objective {
     n_experts: usize,
-    /// Flattened `E x E` conditional matrix per layer gap.
-    gaps: Vec<Vec<f64>>,
+    /// Per-gap conditional matrix (dense or CSR).
+    gaps: Vec<GapStorage>,
     /// Per-gap source-expert marginal weights (each sums to 1).
     weights: Vec<Vec<f64>>,
+    /// Per-gap structural nonzero count (backend-independent).
+    nnz: Vec<usize>,
 }
 
 impl Objective {
     /// Build from consecutive-layer affinity matrices (length `L - 1`,
     /// ordered by layer), weighting each row by its observed marginal.
+    /// Storage is selected per gap by [`GapBackend::Auto`].
     pub fn from_affinities(matrices: &[AffinityMatrix]) -> Self {
+        Self::from_affinities_with(matrices, GapBackend::Auto)
+    }
+
+    /// [`Objective::from_affinities`] with an explicit backend override.
+    pub fn from_affinities_with(matrices: &[AffinityMatrix], backend: GapBackend) -> Self {
         assert!(!matrices.is_empty(), "need at least one layer gap");
         let e = matrices[0].n_experts();
         let mut gaps = Vec::with_capacity(matrices.len());
         let mut weights = Vec::with_capacity(matrices.len());
+        let mut nnz = Vec::with_capacity(matrices.len());
         for m in matrices {
             assert_eq!(m.n_experts(), e, "matrices must agree on expert count");
             let mut flat = Vec::with_capacity(e * e);
             for i in 0..e {
                 flat.extend_from_slice(m.row(i));
             }
-            gaps.push(flat);
+            let gap_nnz = count_nnz(&flat);
+            gaps.push(if pick_sparse(gap_nnz, e, backend) {
+                GapStorage::Sparse(SparseGap::from_dense(&flat, e))
+            } else {
+                GapStorage::Dense(flat)
+            });
+            nnz.push(gap_nnz);
             let total: u64 = (0..e).map(|i| m.row_count(i)).sum();
             weights.push(if total == 0 {
                 vec![1.0 / e as f64; e]
@@ -52,22 +223,92 @@ impl Objective {
             n_experts: e,
             gaps,
             weights,
+            nnz,
+        }
+    }
+
+    /// Build from CSR affinity estimates without ever materializing the
+    /// dense `E x E` tables (the large-expert path). Defines the same
+    /// objective — bit for bit — as [`Objective::from_affinities`] on the
+    /// dense estimates of the same trace. Storage is selected per gap by
+    /// [`GapBackend::Auto`].
+    pub fn from_sparse_affinities(matrices: &[SparseAffinity]) -> Self {
+        Self::from_sparse_affinities_with(matrices, GapBackend::Auto)
+    }
+
+    /// [`Objective::from_sparse_affinities`] with an explicit backend
+    /// override (`Dense` expands the CSR estimates).
+    pub fn from_sparse_affinities_with(matrices: &[SparseAffinity], backend: GapBackend) -> Self {
+        assert!(!matrices.is_empty(), "need at least one layer gap");
+        let e = matrices[0].n_experts();
+        let mut gaps = Vec::with_capacity(matrices.len());
+        let mut weights = Vec::with_capacity(matrices.len());
+        let mut nnz = Vec::with_capacity(matrices.len());
+        for m in matrices {
+            assert_eq!(m.n_experts(), e, "matrices must agree on expert count");
+            let gap_nnz = m.nnz();
+            gaps.push(if pick_sparse(gap_nnz, e, backend) {
+                let (row_ptr, cols, vals) = m.csr();
+                GapStorage::Sparse(SparseGap::from_csr(
+                    e,
+                    row_ptr.to_vec(),
+                    cols.to_vec(),
+                    vals.to_vec(),
+                ))
+            } else {
+                GapStorage::Dense(m.to_dense_probs())
+            });
+            nnz.push(gap_nnz);
+            let total: u64 = (0..e).map(|i| m.row_count(i)).sum();
+            weights.push(if total == 0 {
+                vec![1.0 / e as f64; e]
+            } else {
+                (0..e)
+                    .map(|i| m.row_count(i) as f64 / total as f64)
+                    .collect()
+            });
+        }
+        Objective {
+            n_experts: e,
+            gaps,
+            weights,
+            nnz,
         }
     }
 
     /// Build from raw flattened transition matrices (each row-stochastic
     /// `E x E`), e.g. a routing model's exact transitions, with uniform
-    /// (balanced) source marginals.
+    /// (balanced) source marginals. An empty `gaps` list models a
+    /// single-layer (L = 1) instance with no transitions at all. Storage
+    /// is selected per gap by [`GapBackend::Auto`].
     pub fn from_raw(gaps: Vec<Vec<f64>>, n_experts: usize) -> Self {
-        assert!(!gaps.is_empty());
+        Self::from_raw_with(gaps, n_experts, GapBackend::Auto)
+    }
+
+    /// [`Objective::from_raw`] with an explicit backend override.
+    pub fn from_raw_with(gaps: Vec<Vec<f64>>, n_experts: usize, backend: GapBackend) -> Self {
+        assert!(n_experts >= 1);
         for g in &gaps {
             assert_eq!(g.len(), n_experts * n_experts);
         }
         let weights = vec![vec![1.0 / n_experts as f64; n_experts]; gaps.len()];
+        let nnz: Vec<usize> = gaps.iter().map(|g| count_nnz(g)).collect();
+        let gaps = gaps
+            .into_iter()
+            .zip(&nnz)
+            .map(|(flat, &gap_nnz)| {
+                if pick_sparse(gap_nnz, n_experts, backend) {
+                    GapStorage::Sparse(SparseGap::from_dense(&flat, n_experts))
+                } else {
+                    GapStorage::Dense(flat)
+                }
+            })
+            .collect();
         Objective {
             n_experts,
             gaps,
             weights,
+            nnz,
         }
     }
 
@@ -86,11 +327,45 @@ impl Objective {
         self.gaps.len() + 1
     }
 
+    /// The storage one gap was built into.
+    pub fn gap_storage(&self, gap: usize) -> &GapStorage {
+        &self.gaps[gap]
+    }
+
+    /// Whether `gap` is stored as CSR.
+    pub fn gap_is_sparse(&self, gap: usize) -> bool {
+        self.gaps[gap].is_sparse()
+    }
+
+    /// Structural nonzeros of one gap's conditional matrix
+    /// (backend-independent).
+    pub fn gap_nnz(&self, gap: usize) -> usize {
+        self.nnz[gap]
+    }
+
+    /// Structural nonzeros across all gaps.
+    pub fn nnz(&self) -> usize {
+        self.nnz.iter().sum()
+    }
+
+    /// `nnz` over the dense cell count (`gaps x E^2`); 0 for a gapless
+    /// (single-layer) objective.
+    pub fn density(&self) -> f64 {
+        if self.gaps.is_empty() {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.gaps.len() * self.n_experts * self.n_experts) as f64
+    }
+
     /// The conditional probability `P(expert p at layer gap+1 | expert i at
-    /// layer gap)` this objective was built from.
+    /// layer gap)` this objective was built from. `O(1)` dense,
+    /// `O(log row-nnz)` sparse.
     #[inline]
     pub fn gap_prob(&self, gap: usize, i: usize, p: usize) -> f64 {
-        self.gaps[gap][i * self.n_experts + p]
+        match &self.gaps[gap] {
+            GapStorage::Dense(m) => m[i * self.n_experts + p],
+            GapStorage::Sparse(s) => s.get(i, p),
+        }
     }
 
     /// The marginal weight of source expert `i` at layer `gap` (its share
@@ -100,25 +375,60 @@ impl Objective {
         self.weights[gap][i]
     }
 
+    /// Visit the structurally nonzero entries of one conditional row in
+    /// ascending column order: `f(p, P(p | i))`. `O(row-nnz)` sparse,
+    /// `O(E)` dense (zero cells are skipped either way — they cannot
+    /// change any sum this crate accumulates).
+    #[inline]
+    pub fn for_each_in_row<F: FnMut(usize, f64)>(&self, gap: usize, i: usize, mut f: F) {
+        let e = self.n_experts;
+        match &self.gaps[gap] {
+            GapStorage::Dense(m) => {
+                for (p, &v) in m[i * e..(i + 1) * e].iter().enumerate() {
+                    if v != 0.0 {
+                        f(p, v);
+                    }
+                }
+            }
+            GapStorage::Sparse(s) => {
+                let (cols, vals) = s.row(i);
+                for (&p, &v) in cols.iter().zip(vals) {
+                    f(p, v);
+                }
+            }
+        }
+    }
+
     /// Expected cross-unit transitions per token across the whole forward
-    /// pass (lower is better; range `[0, L-1]`).
+    /// pass (lower is better; range `[0, L-1]`). `O(nnz)` on sparse gaps.
     pub fn cross_mass(&self, placement: &Placement) -> f64 {
         assert_eq!(placement.n_layers(), self.n_layers());
         assert_eq!(placement.n_experts(), self.n_experts);
         let e = self.n_experts;
         let mut total = 0.0f64;
-        for (gap, matrix) in self.gaps.iter().enumerate() {
+        for (gap, storage) in self.gaps.iter().enumerate() {
             for i in 0..e {
                 let w = self.weights[gap][i];
                 if w == 0.0 {
                     continue;
                 }
                 let ui = placement.unit_of(gap, i);
-                let row = &matrix[i * e..(i + 1) * e];
                 let mut cross = 0.0f64;
-                for (p, &prob) in row.iter().enumerate() {
-                    if placement.unit_of(gap + 1, p) != ui {
-                        cross += prob;
+                match storage {
+                    GapStorage::Dense(m) => {
+                        for (p, &prob) in m[i * e..(i + 1) * e].iter().enumerate() {
+                            if placement.unit_of(gap + 1, p) != ui {
+                                cross += prob;
+                            }
+                        }
+                    }
+                    GapStorage::Sparse(s) => {
+                        let (cols, vals) = s.row(i);
+                        for (&p, &prob) in cols.iter().zip(vals) {
+                            if placement.unit_of(gap + 1, p) != ui {
+                                cross += prob;
+                            }
+                        }
                     }
                 }
                 total += w * cross;
@@ -129,14 +439,23 @@ impl Objective {
 
     /// Expected fraction of layer transitions that stay on their unit
     /// (`1 - cross_mass / (L-1)`; the quantity behind the paper's Fig. 7
-    /// bars).
+    /// bars). A single-layer model (no gaps) has no transitions to lose,
+    /// so everything is local: 1.0, not the `0/0` NaN the naive formula
+    /// yields.
     pub fn local_fraction(&self, placement: &Placement) -> f64 {
+        if self.n_gaps() == 0 {
+            assert_eq!(placement.n_layers(), self.n_layers());
+            assert_eq!(placement.n_experts(), self.n_experts);
+            return 1.0;
+        }
         1.0 - self.cross_mass(placement) / self.n_gaps() as f64
     }
 
     /// Change in [`Objective::cross_mass`] if `e1` and `e2` swapped units
-    /// at `layer` (negative = improvement). O(E) — the enabler for
-    /// large-instance local search.
+    /// at `layer` (negative = improvement). `O(E)` dense — the enabler for
+    /// large-instance local search — and `O(col-nnz + row-nnz)` sparse:
+    /// the incoming direction walks the CSC index of columns `e1`/`e2`,
+    /// the outgoing direction merges the CSR rows.
     pub fn swap_delta(&self, placement: &Placement, layer: usize, e1: usize, e2: usize) -> f64 {
         let e = self.n_experts;
         let u1 = placement.unit_of(layer, e1);
@@ -147,37 +466,98 @@ impl Objective {
         let mut delta = 0.0f64;
         // Incoming gap: transitions from layer-1 experts into e1/e2.
         if layer > 0 {
-            let m = &self.gaps[layer - 1];
-            let weights = &self.weights[layer - 1];
-            for i in 0..e {
-                let w = weights[i];
-                if w == 0.0 {
-                    continue;
+            let gap = layer - 1;
+            let weights = &self.weights[gap];
+            match &self.gaps[gap] {
+                GapStorage::Dense(m) => {
+                    for (i, &w) in weights.iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let ui = placement.unit_of(gap, i);
+                        let p1 = m[i * e + e1];
+                        let p2 = m[i * e + e2];
+                        let before = f64::from(u1 != ui) * p1 + f64::from(u2 != ui) * p2;
+                        let after = f64::from(u2 != ui) * p1 + f64::from(u1 != ui) * p2;
+                        delta += w * (after - before);
+                    }
                 }
-                let ui = placement.unit_of(layer - 1, i);
-                let p1 = m[i * e + e1];
-                let p2 = m[i * e + e2];
-                let before = f64::from(u1 != ui) * p1 + f64::from(u2 != ui) * p2;
-                let after = f64::from(u2 != ui) * p1 + f64::from(u1 != ui) * p2;
-                delta += w * (after - before);
+                GapStorage::Sparse(s) => {
+                    let (r1, v1) = s.col(e1);
+                    let (r2, v2) = s.col(e2);
+                    merge_indexed(r1, v1, r2, v2, |i, p1, p2| {
+                        let w = weights[i];
+                        if w == 0.0 {
+                            return;
+                        }
+                        let ui = placement.unit_of(gap, i);
+                        let before = f64::from(u1 != ui) * p1 + f64::from(u2 != ui) * p2;
+                        let after = f64::from(u2 != ui) * p1 + f64::from(u1 != ui) * p2;
+                        delta += w * (after - before);
+                    });
+                }
             }
         }
         // Outgoing gap: transitions from e1/e2 into layer+1 experts, each
         // row carrying its own marginal weight.
         if layer + 1 < self.n_layers() {
-            let m = &self.gaps[layer];
             let w1 = self.weights[layer][e1];
             let w2 = self.weights[layer][e2];
-            for p in 0..e {
-                let up = placement.unit_of(layer + 1, p);
-                let p1 = m[e1 * e + p];
-                let p2 = m[e2 * e + p];
-                let before = w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
-                let after = w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
-                delta += after - before;
+            match &self.gaps[layer] {
+                GapStorage::Dense(m) => {
+                    for p in 0..e {
+                        let up = placement.unit_of(layer + 1, p);
+                        let p1 = m[e1 * e + p];
+                        let p2 = m[e2 * e + p];
+                        let before = w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
+                        let after = w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
+                        delta += after - before;
+                    }
+                }
+                GapStorage::Sparse(s) => {
+                    let (c1, v1) = s.row(e1);
+                    let (c2, v2) = s.row(e2);
+                    merge_indexed(c1, v1, c2, v2, |p, p1, p2| {
+                        let up = placement.unit_of(layer + 1, p);
+                        let before = w1 * f64::from(up != u1) * p1 + w2 * f64::from(up != u2) * p2;
+                        let after = w1 * f64::from(up != u2) * p1 + w2 * f64::from(up != u1) * p2;
+                        delta += after - before;
+                    });
+                }
             }
         }
         delta
+    }
+}
+
+/// Walk two index-sorted sparse vectors in lockstep, calling
+/// `f(index, value_a, value_b)` for every index present in either (the
+/// absent side contributes 0.0). The indices f sees are strictly
+/// ascending — the same order the dense loops visit them in, which is
+/// what keeps sparse and dense accumulation bit-identical.
+#[inline]
+fn merge_indexed<F: FnMut(usize, f64, f64)>(
+    ia: &[usize],
+    va: &[f64],
+    ib: &[usize],
+    vb: &[f64],
+    mut f: F,
+) {
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < ia.len() || b < ib.len() {
+        let ka = if a < ia.len() { ia[a] } else { usize::MAX };
+        let kb = if b < ib.len() { ib[b] } else { usize::MAX };
+        if ka < kb {
+            f(ka, va[a], 0.0);
+            a += 1;
+        } else if kb < ka {
+            f(kb, 0.0, vb[b]);
+            b += 1;
+        } else {
+            f(ka, va[a], vb[b]);
+            a += 1;
+            b += 1;
+        }
     }
 }
 
@@ -269,6 +649,21 @@ mod tests {
         Objective::from_raw(vec![m; gaps], e)
     }
 
+    /// A dense-ish random row-stochastic matrix.
+    fn dense_matrix(e: usize) -> Vec<f64> {
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            for p in 0..e {
+                m[i * e + p] = ((i * 7 + p * 3) % 11) as f64 + 1.0;
+            }
+            let s: f64 = m[i * e..(i + 1) * e].iter().sum();
+            for p in 0..e {
+                m[i * e + p] /= s;
+            }
+        }
+        m
+    }
+
     #[test]
     fn identity_affinity_makes_round_robin_perfect() {
         let obj = identity_objective(8, 3);
@@ -295,32 +690,109 @@ mod tests {
     }
 
     #[test]
-    fn swap_delta_matches_recomputation() {
-        // Random-ish dense matrix; verify delta == full recompute diff.
-        let e = 6;
+    fn auto_selection_follows_the_density_threshold() {
+        // Identity: density 1/8 << threshold -> sparse.
+        let sparse = identity_objective(8, 2);
+        assert!(sparse.gap_is_sparse(0) && sparse.gap_is_sparse(1));
+        assert!((sparse.density() - 1.0 / 8.0).abs() < 1e-12);
+        // Fully dense random matrix: density 1.0 -> dense.
+        let dense = Objective::from_raw(vec![dense_matrix(6)], 6);
+        assert!(!dense.gap_is_sparse(0));
+        assert_eq!(dense.nnz(), 36);
+    }
+
+    #[test]
+    fn explicit_backend_overrides_auto() {
+        let m = dense_matrix(6);
+        let forced = Objective::from_raw_with(vec![m.clone()], 6, GapBackend::Sparse);
+        assert!(forced.gap_is_sparse(0));
+        let forced_dense = Objective::from_raw_with(vec![vec![0.0; 36]], 6, GapBackend::Dense);
+        assert!(!forced_dense.gap_is_sparse(0));
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_everything() {
+        let e = 8;
         let mut m = vec![0.0f64; e * e];
         for i in 0..e {
-            for p in 0..e {
-                m[i * e + p] = ((i * 7 + p * 3) % 11) as f64 + 1.0;
-            }
-            let s: f64 = m[i * e..(i + 1) * e].iter().sum();
-            for p in 0..e {
-                m[i * e + p] /= s;
-            }
+            m[i * e + (i + 1) % e] = 0.6;
+            m[i * e + (i + 3) % e] = 0.4;
         }
-        let obj = Objective::from_raw(vec![m.clone(), m], e);
-        let p = Placement::round_robin(3, e, 3);
+        let dense = Objective::from_raw_with(vec![m.clone(), m.clone()], e, GapBackend::Dense);
+        let sparse = Objective::from_raw_with(vec![m.clone(), m], e, GapBackend::Sparse);
+        let p = Placement::round_robin(3, e, 4);
+        assert_eq!(
+            dense.cross_mass(&p).to_bits(),
+            sparse.cross_mass(&p).to_bits()
+        );
         for layer in 0..3 {
             for e1 in 0..e {
                 for e2 in 0..e {
-                    let delta = obj.swap_delta(&p, layer, e1, e2);
-                    let mut q = p.clone();
-                    q.swap(layer, e1, e2);
-                    let full = obj.cross_mass(&q) - obj.cross_mass(&p);
-                    assert!(
-                        (delta - full).abs() < 1e-12,
-                        "layer {layer} swap({e1},{e2}): delta {delta} vs {full}"
+                    assert_eq!(
+                        dense.swap_delta(&p, layer, e1, e2).to_bits(),
+                        sparse.swap_delta(&p, layer, e1, e2).to_bits(),
+                        "swap({layer},{e1},{e2})"
                     );
+                    assert_eq!(
+                        dense.gap_prob(layer.min(1), e1, e2).to_bits(),
+                        sparse.gap_prob(layer.min(1), e1, e2).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_iteration_skips_zeros_in_column_order() {
+        let obj = shift_objective(6, 1);
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let mut m = vec![0.0f64; 36];
+            for i in 0..6 {
+                m[i * 6 + (i + 1) % 6] = 1.0;
+            }
+            let o = Objective::from_raw_with(vec![m], 6, backend);
+            let mut seen = Vec::new();
+            o.for_each_in_row(0, 2, |p, v| seen.push((p, v)));
+            assert_eq!(seen, vec![(3, 1.0)], "{backend:?}");
+        }
+        assert_eq!(obj.gap_nnz(0), 6);
+    }
+
+    #[test]
+    fn single_layer_objective_is_fully_local() {
+        // L = 1: no gaps, no transitions — the naive formula would be 0/0.
+        let obj = Objective::from_raw(vec![], 8);
+        assert_eq!(obj.n_layers(), 1);
+        assert_eq!(obj.n_gaps(), 0);
+        let p = Placement::round_robin(1, 8, 4);
+        assert_eq!(obj.cross_mass(&p), 0.0);
+        let f = obj.local_fraction(&p);
+        assert_eq!(f, 1.0, "single-layer locality must be 1.0, got {f}");
+        assert!(!f.is_nan());
+        assert_eq!(obj.density(), 0.0);
+    }
+
+    #[test]
+    fn swap_delta_matches_recomputation() {
+        // Random-ish dense matrix; verify delta == full recompute diff on
+        // both backends.
+        let e = 6;
+        let m = dense_matrix(e);
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let obj = Objective::from_raw_with(vec![m.clone(), m.clone()], e, backend);
+            let p = Placement::round_robin(3, e, 3);
+            for layer in 0..3 {
+                for e1 in 0..e {
+                    for e2 in 0..e {
+                        let delta = obj.swap_delta(&p, layer, e1, e2);
+                        let mut q = p.clone();
+                        q.swap(layer, e1, e2);
+                        let full = obj.cross_mass(&q) - obj.cross_mass(&p);
+                        assert!(
+                            (delta - full).abs() < 1e-12,
+                            "{backend:?} layer {layer} swap({e1},{e2}): delta {delta} vs {full}"
+                        );
+                    }
                 }
             }
         }
@@ -373,5 +845,29 @@ mod tests {
             (expected - measured).abs() < 0.02,
             "expected {expected} vs measured {measured}"
         );
+    }
+
+    #[test]
+    fn sparse_affinity_build_matches_dense_build_bitwise() {
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let model = AffinityModelSpec::new(4, 16).with_affinity(0.9).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 2500, 1, 21);
+        let trace = RoutingTrace::from_batch(&batch, 16);
+        let dense_mats = AffinityMatrix::consecutive(&trace);
+        let sparse_mats = SparseAffinity::consecutive(&trace);
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let a = Objective::from_affinities_with(&dense_mats, backend);
+            let b = Objective::from_sparse_affinities_with(&sparse_mats, backend);
+            assert_eq!(a.nnz(), b.nnz());
+            let p = Placement::round_robin(4, 16, 4);
+            assert_eq!(a.cross_mass(&p).to_bits(), b.cross_mass(&p).to_bits());
+            for i in 0..16 {
+                assert_eq!(a.row_weight(0, i).to_bits(), b.row_weight(0, i).to_bits());
+                for j in 0..16 {
+                    assert_eq!(a.gap_prob(1, i, j).to_bits(), b.gap_prob(1, i, j).to_bits());
+                }
+            }
+        }
     }
 }

@@ -78,14 +78,24 @@ pub fn solve_staged_with(
             let cap2 = owned[0].len();
             debug_assert!(owned.iter().all(|o| o.len() == cap2));
 
-            // Sub-objective over local indices 0..cap2 per layer.
+            // Sub-objective over local indices 0..cap2 per layer. Row
+            // iteration keeps extraction O(cap2 x row-nnz) on the sparse
+            // backend (per-cell `gap_prob` would binary-search every one
+            // of the cap2^2 cells); the copied values are identical
+            // either way.
             let sub_gaps: Vec<Vec<f64>> = (0..l - 1)
                 .map(|gap| {
+                    let mut local_next = vec![usize::MAX; e];
+                    for (lp, &gp) in owned[gap + 1].iter().enumerate() {
+                        local_next[gp] = lp;
+                    }
                     let mut m = vec![0.0f64; cap2 * cap2];
                     for (li, &gi) in owned[gap].iter().enumerate() {
-                        for (lp, &gp) in owned[gap + 1].iter().enumerate() {
-                            m[li * cap2 + lp] = objective.gap_prob(gap, gi, gp);
-                        }
+                        objective.for_each_in_row(gap, gi, |p, prob| {
+                            if local_next[p] != usize::MAX {
+                                m[li * cap2 + local_next[p]] = prob;
+                            }
+                        });
                     }
                     m
                 })

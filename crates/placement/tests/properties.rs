@@ -1,7 +1,9 @@
 //! Property-based tests for the placement solvers.
 
 use exflow_placement::objective::{measure_trace_locality, measure_trace_node_locality};
-use exflow_placement::{solve, Objective, Placement, SolverKind};
+use exflow_placement::{
+    solve, GapBackend, Objective, Placement, SolverKind, SPARSE_DENSITY_THRESHOLD,
+};
 use exflow_topology::ClusterSpec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -132,4 +134,115 @@ proptest! {
         let staged = exflow_placement::staged::solve_staged(&obj, &cluster, 1, seed);
         prop_assert!(staged.is_consistent(&cluster));
     }
+
+    #[test]
+    fn sparse_and_dense_backends_agree(
+        (e, u) in divisor_pairs(),
+        gaps in 1usize..4,
+        density_pct in 0usize..=100,
+        seed in 0u64..60,
+    ) {
+        // Random matrices across the whole density range: empty rows
+        // (density 0 keeps only the diagonal fallback below), genuinely
+        // sparse, and fully dense.
+        let obj_gaps = random_gaps_with_density(e, gaps, density_pct, seed);
+        let dense = Objective::from_raw_with(obj_gaps.clone(), e, GapBackend::Dense);
+        let sparse = Objective::from_raw_with(obj_gaps, e, GapBackend::Sparse);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let p = exflow_placement::local_search::random_placement(gaps + 1, e, u, &mut rng);
+        let (cd, cs) = (dense.cross_mass(&p), sparse.cross_mass(&p));
+        prop_assert!((cd - cs).abs() < 1e-12, "cross_mass {cd} vs {cs}");
+        prop_assert_eq!(cd.to_bits(), cs.to_bits());
+        for _ in 0..12 {
+            let layer = rng.gen_range(0..gaps + 1);
+            let e1 = rng.gen_range(0..e);
+            let e2 = rng.gen_range(0..e);
+            let dd = dense.swap_delta(&p, layer, e1, e2);
+            let ds = sparse.swap_delta(&p, layer, e1, e2);
+            prop_assert!((dd - ds).abs() < 1e-12, "swap_delta {dd} vs {ds}");
+            prop_assert_eq!(dd.to_bits(), ds.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_selection_threshold_round_trips(e in 5usize..12, seed in 0u64..40) {
+        // Just-under-threshold nnz must pick sparse, at-or-above dense.
+        // (e >= 5 guarantees an under-threshold matrix exists at all: each
+        // row needs at least one cell, and e/e^2 < 0.25 needs e > 4.)
+        let cells = e * e;
+        let under = ((SPARSE_DENSITY_THRESHOLD * cells as f64).ceil() as usize - 1).max(e);
+        let over = (SPARSE_DENSITY_THRESHOLD * cells as f64).ceil() as usize;
+        prop_assume!((under as f64) < SPARSE_DENSITY_THRESHOLD * cells as f64);
+        let build = |nnz: usize| {
+            let m = matrix_with_nnz(e, nnz, seed);
+            Objective::from_raw(vec![m], e)
+        };
+        let sparse = build(under);
+        prop_assert!(sparse.gap_is_sparse(0), "nnz {} of {} cells", under, cells);
+        prop_assert_eq!(sparse.nnz(), under);
+        if (over as f64) >= SPARSE_DENSITY_THRESHOLD * cells as f64 {
+            let dense = build(over);
+            prop_assert!(!dense.gap_is_sparse(0), "nnz {} of {} cells", over, cells);
+            prop_assert_eq!(dense.nnz(), over);
+        }
+    }
+}
+
+/// Random row-stochastic gaps where roughly `density_pct`% of off-diagonal
+/// cells are alive; rows that end up empty get a single diagonal cell, so
+/// 0% yields the identity (rows of one cell) and 100% is fully dense.
+fn random_gaps_with_density(e: usize, gaps: usize, density_pct: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..gaps)
+        .map(|_| {
+            let mut m = vec![0.0f64; e * e];
+            for i in 0..e {
+                let mut s = 0.0f64;
+                for p in 0..e {
+                    if rng.gen_range(0usize..100) < density_pct {
+                        let v: f64 = rng.gen_range(0.0..1.0f64) + 1e-3;
+                        m[i * e + p] = v;
+                        s += v;
+                    }
+                }
+                if s == 0.0 {
+                    m[i * e + i] = 1.0;
+                } else {
+                    for p in 0..e {
+                        m[i * e + p] /= s;
+                    }
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// A row-stochastic matrix with exactly `nnz` alive cells (`e <= nnz <=
+/// e*e`): every row gets one diagonal cell, the remainder spreads across
+/// the earliest off-diagonal slots, and a seeded shuffle decides ties.
+fn matrix_with_nnz(e: usize, nnz: usize, seed: u64) -> Vec<f64> {
+    assert!((e..=e * e).contains(&nnz));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extra_slots: Vec<(usize, usize)> = (0..e)
+        .flat_map(|i| (0..e).filter(move |&p| p != i).map(move |p| (i, p)))
+        .collect();
+    for k in (1..extra_slots.len()).rev() {
+        let j = rng.gen_range(0..=k);
+        extra_slots.swap(k, j);
+    }
+    let mut m = vec![0.0f64; e * e];
+    for i in 0..e {
+        m[i * e + i] = 1.0;
+    }
+    for &(i, p) in extra_slots.iter().take(nnz - e) {
+        m[i * e + p] = 1.0;
+    }
+    for i in 0..e {
+        let s: f64 = m[i * e..(i + 1) * e].iter().sum();
+        for p in 0..e {
+            m[i * e + p] /= s;
+        }
+    }
+    m
 }

@@ -67,7 +67,7 @@ pub mod strategy {
         }
     }
 
-    /// Box a strategy for use in heterogeneous unions ([`prop_oneof!`]).
+    /// Box a strategy for use in heterogeneous unions (`prop_oneof!`).
     pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
     where
         S: Strategy + 'static,
@@ -203,7 +203,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
