@@ -19,7 +19,11 @@
 //!   estimate stabilizes (Fig. 13);
 //! * estimates [`SparseAffinity`] conditionals in CSR form for
 //!   large-expert instances (`E = 256/512`), where top-k routing leaves
-//!   the dense table overwhelmingly zero.
+//!   the dense table overwhelmingly zero;
+//! * maintains a [`StreamingAffinity`] estimate online — exponentially
+//!   decayed ingestion of serving-window traces, frozen
+//!   [`AffinitySnapshot`]s for the placement solver, and the windowed
+//!   divergence signal the drift detector triggers re-placement on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +33,10 @@ pub mod matrix;
 pub mod metrics;
 pub mod sampling;
 pub mod sparse;
+pub mod streaming;
 pub mod trace;
 
 pub use matrix::AffinityMatrix;
 pub use sparse::SparseAffinity;
+pub use streaming::{AffinitySnapshot, StreamingAffinity};
 pub use trace::RoutingTrace;

@@ -23,6 +23,19 @@ use crate::trace::RoutingTrace;
 
 /// CSR estimate of the conditional probability `P(expert p at to_layer |
 /// expert i at from_layer)` — the sparse twin of [`AffinityMatrix`].
+///
+/// ```
+/// use exflow_affinity::{AffinityMatrix, RoutingTrace, SparseAffinity};
+///
+/// let trace = RoutingTrace::new(vec![vec![0, 1], vec![0, 1], vec![2, 0]], 3);
+/// let sparse = SparseAffinity::from_trace(&trace, 0, 1);
+/// let dense = AffinityMatrix::from_trace(&trace, 0, 1);
+/// // Same estimate, bit for bit — but only the support is stored
+/// // (expert 1's unobserved row keeps its explicit uniform fill).
+/// assert_eq!(sparse.prob(0, 1), dense.prob(0, 1));
+/// assert_eq!(sparse.prob(0, 1), 1.0); // both tokens from 0 went to 1
+/// assert_eq!(sparse.nnz(), 5);        // vs 9 dense cells
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseAffinity {
     n_experts: usize,

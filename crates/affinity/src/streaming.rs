@@ -1,0 +1,496 @@
+//! Streaming affinity estimation with exponential decay — the online
+//! counterpart of [`AffinityMatrix`](crate::AffinityMatrix) /
+//! [`SparseAffinity`](crate::SparseAffinity).
+//!
+//! The offline estimators consume one profiling trace and freeze. Under
+//! live traffic the routing distribution drifts, so the online serving
+//! mode instead maintains a *decayed* estimate: each serving window's
+//! routing decisions are folded in after multiplying all accumulated mass
+//! by a decay factor, making the estimate an exponentially weighted
+//! average over recent windows. Like the offline sparse path, ingestion is
+//! pair-count based (at most `n_tokens` distinct `(expert, successor)`
+//! pairs per window per gap) and never materializes an `E x E` table.
+//!
+//! Three consumers hang off the estimator:
+//!
+//! * [`StreamingAffinity::snapshot`] freezes the current estimate into an
+//!   [`AffinitySnapshot`] (per-gap CSR conditionals + source marginals) —
+//!   the form the placement objective builds from
+//!   (`Objective::from_snapshot` in `exflow-placement`, sharing the
+//!   dense/CSR gap duality);
+//! * [`StreamingAffinity::divergence`] measures how far the live estimate
+//!   has drifted from a reference snapshot (the one the current placement
+//!   was solved against) — the drift-detector signal;
+//! * the marginal/row accessors feed diagnostics.
+//!
+//! With `decay = 1.0` and a single window, the streaming estimate defines
+//! — bit for bit — the same conditionals and marginals as the offline
+//! estimators on the same trace (integer counts below 2^53 are exact in
+//! f64), so online and offline paths agree wherever they overlap.
+
+use std::collections::BTreeMap;
+
+use crate::trace::RoutingTrace;
+
+/// Exponentially decayed conditional-probability estimate over a stream of
+/// routing-trace windows.
+///
+/// ```
+/// use exflow_affinity::{RoutingTrace, StreamingAffinity};
+///
+/// // Two serving windows over 3 experts and 3 layers.
+/// let w0 = RoutingTrace::new(vec![vec![0, 1, 2], vec![0, 1, 2]], 3);
+/// let w1 = RoutingTrace::new(vec![vec![0, 2, 1], vec![0, 2, 1]], 3);
+///
+/// let mut est = StreamingAffinity::new(3, 3, 0.5);
+/// est.observe(&w0);
+/// let reference = est.snapshot();
+/// assert_eq!(est.divergence(&reference), 0.0); // nothing drifted yet
+///
+/// est.observe(&w1); // routing changed: 0 -> 2 now dominates 0 -> 1
+/// assert!(est.divergence(&reference) > 0.25);
+/// // Recent windows outweigh old ones: P(2|0) = 2/(2*0.5 + 2) = 2/3.
+/// let snap = est.snapshot();
+/// assert!((snap.prob(0, 0, 2) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingAffinity {
+    n_layers: usize,
+    n_experts: usize,
+    decay: f64,
+    windows_seen: u64,
+    /// Per gap: decayed joint mass of each observed `(from, to)` pair.
+    /// BTreeMap keeps iteration in row-major ascending order, which keeps
+    /// every downstream accumulation bit-deterministic.
+    gaps: Vec<BTreeMap<(u16, u16), f64>>,
+    /// Per gap: decayed mass of each source expert (row totals).
+    row_mass: Vec<Vec<f64>>,
+}
+
+impl StreamingAffinity {
+    /// An empty estimator for `n_layers` layers and `n_experts` experts.
+    /// `decay` is the multiplier applied to all accumulated mass before
+    /// each new window is folded in: `1.0` never forgets (the plain
+    /// running estimate), small values track only the recent past.
+    pub fn new(n_layers: usize, n_experts: usize, decay: f64) -> Self {
+        assert!(n_layers >= 1 && n_experts >= 1);
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
+        let n_gaps = n_layers - 1;
+        StreamingAffinity {
+            n_layers,
+            n_experts,
+            decay,
+            windows_seen: 0,
+            gaps: vec![BTreeMap::new(); n_gaps],
+            row_mass: vec![vec![0.0; n_experts]; n_gaps],
+        }
+    }
+
+    /// Fold one serving window into the estimate: decay everything
+    /// accumulated so far, then add the window's pair counts for every
+    /// consecutive layer gap.
+    pub fn observe(&mut self, window: &RoutingTrace) {
+        assert_eq!(window.n_layers(), self.n_layers, "window layer mismatch");
+        assert_eq!(window.n_experts(), self.n_experts, "window expert mismatch");
+        for gap in 0..self.n_gaps() {
+            if self.decay < 1.0 {
+                for v in self.gaps[gap].values_mut() {
+                    *v *= self.decay;
+                }
+                for m in self.row_mass[gap].iter_mut() {
+                    *m *= self.decay;
+                }
+            }
+            for ((i, p), c) in window.pair_counts(gap, gap + 1) {
+                *self.gaps[gap].entry((i, p)).or_insert(0.0) += c as f64;
+                self.row_mass[gap][i as usize] += c as f64;
+            }
+        }
+        self.windows_seen += 1;
+    }
+
+    /// Number of MoE layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// Number of layer gaps (`L - 1`).
+    pub fn n_gaps(&self) -> usize {
+        self.n_layers - 1
+    }
+
+    /// The decay multiplier.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Windows folded in so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Distinct `(from, to)` pairs ever observed at one gap.
+    pub fn gap_nnz(&self, gap: usize) -> usize {
+        self.gaps[gap].len()
+    }
+
+    /// Decayed mass of source expert `i` at `gap` (the numerator of its
+    /// marginal weight).
+    pub fn row_mass(&self, gap: usize, i: usize) -> f64 {
+        self.row_mass[gap][i]
+    }
+
+    /// Freeze the current estimate: per-gap CSR conditionals (rows with no
+    /// observed mass estimate uniform, stored explicitly like the offline
+    /// estimators) plus per-gap source-marginal weights.
+    pub fn snapshot(&self) -> AffinitySnapshot {
+        let e = self.n_experts;
+        let mut gaps = Vec::with_capacity(self.n_gaps());
+        let mut weights = Vec::with_capacity(self.n_gaps());
+        for gap in 0..self.n_gaps() {
+            let mass = &self.row_mass[gap];
+            let mut row_ptr = Vec::with_capacity(e + 1);
+            row_ptr.push(0usize);
+            let mut cols = Vec::new();
+            let mut probs = Vec::new();
+            let mut iter = self.gaps[gap].iter().peekable();
+            for (i, &row_total) in mass.iter().enumerate() {
+                if row_total <= 0.0 {
+                    // Unobserved (or fully decayed-away) source expert:
+                    // maximum-entropy estimate, stored explicitly.
+                    for p in 0..e {
+                        cols.push(p);
+                        probs.push(1.0 / e as f64);
+                    }
+                    // Skip any zero-mass residue of this row.
+                    while iter.next_if(|((r, _), _)| *r as usize == i).is_some() {}
+                } else {
+                    while let Some(((_, p), &v)) = iter.next_if(|((r, _), _)| *r as usize == i) {
+                        cols.push(*p as usize);
+                        probs.push(v / row_total);
+                    }
+                }
+                row_ptr.push(cols.len());
+            }
+            let total: f64 = mass.iter().sum();
+            weights.push(if total <= 0.0 {
+                vec![1.0 / e as f64; e]
+            } else {
+                mass.iter().map(|&m| m / total).collect()
+            });
+            gaps.push(SnapshotGap {
+                row_ptr,
+                cols,
+                probs,
+            });
+        }
+        AffinitySnapshot {
+            n_layers: self.n_layers,
+            n_experts: e,
+            gaps,
+            weights,
+        }
+    }
+
+    /// Windowed drift signal: the marginal-weighted mean total-variation
+    /// distance between the live conditionals and `reference`, averaged
+    /// over gaps —
+    /// `(1/G) Σ_gap Σ_i w_live(i) · ½ Σ_p |P_live(p|i) − P_ref(p|i)|`.
+    ///
+    /// Ranges over `[0, 1]`: 0 when nothing moved, 1 when every live row
+    /// puts all mass where the reference put none. Row weights come from
+    /// the *live* side (drift on experts that no longer receive traffic
+    /// should not trigger re-placement). A gapless (single-layer) model
+    /// has no transitions to drift, so the signal is 0.
+    pub fn divergence(&self, reference: &AffinitySnapshot) -> f64 {
+        assert_eq!(reference.n_layers, self.n_layers, "snapshot layer mismatch");
+        assert_eq!(
+            reference.n_experts, self.n_experts,
+            "snapshot expert mismatch"
+        );
+        if self.n_gaps() == 0 {
+            return 0.0;
+        }
+        let live = self.snapshot();
+        let mut total = 0.0f64;
+        for gap in 0..self.n_gaps() {
+            for i in 0..self.n_experts {
+                let w = live.weights[gap][i];
+                if w == 0.0 {
+                    continue;
+                }
+                let (lc, lp) = live.row(gap, i);
+                let (rc, rp) = reference.row(gap, i);
+                let mut tv = 0.0f64;
+                merge_rows(lc, lp, rc, rp, |_, a, b| tv += (a - b).abs());
+                total += w * 0.5 * tv;
+            }
+        }
+        total / self.n_gaps() as f64
+    }
+}
+
+/// One frozen gap: CSR conditionals, columns ascending per row.
+#[derive(Debug, Clone, PartialEq)]
+struct SnapshotGap {
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    probs: Vec<f64>,
+}
+
+/// A frozen [`StreamingAffinity`] estimate: per-gap CSR conditional
+/// matrices plus source-marginal weights. This is what placements are
+/// solved against in the online mode, and the reference the drift
+/// detector compares the live estimate to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinitySnapshot {
+    n_layers: usize,
+    n_experts: usize,
+    gaps: Vec<SnapshotGap>,
+    /// `weights[gap][i]`: marginal share of source expert `i` (sums to 1).
+    weights: Vec<Vec<f64>>,
+}
+
+impl AffinitySnapshot {
+    /// Number of MoE layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// Number of layer gaps (`L - 1`).
+    pub fn n_gaps(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Stored cells of one gap.
+    pub fn gap_nnz(&self, gap: usize) -> usize {
+        self.gaps[gap].cols.len()
+    }
+
+    /// The raw CSR triplet `(row_ptr, cols, probs)` of one gap — consumed
+    /// by the placement objective's builder.
+    pub fn gap_csr(&self, gap: usize) -> (&[usize], &[usize], &[f64]) {
+        let g = &self.gaps[gap];
+        (&g.row_ptr, &g.cols, &g.probs)
+    }
+
+    /// Source-marginal weights of one gap (each sums to 1).
+    pub fn gap_weights(&self, gap: usize) -> &[f64] {
+        &self.weights[gap]
+    }
+
+    /// Stored entries of one conditional row: `(columns, probabilities)`.
+    #[inline]
+    pub fn row(&self, gap: usize, i: usize) -> (&[usize], &[f64]) {
+        let g = &self.gaps[gap];
+        let (lo, hi) = (g.row_ptr[i], g.row_ptr[i + 1]);
+        (&g.cols[lo..hi], &g.probs[lo..hi])
+    }
+
+    /// `P(to = p | from = i)` at `gap` (0 for cells not stored).
+    pub fn prob(&self, gap: usize, i: usize, p: usize) -> f64 {
+        let (cols, probs) = self.row(gap, i);
+        match cols.binary_search(&p) {
+            Ok(k) => probs[k],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Walk two column-sorted sparse rows in lockstep, calling
+/// `f(col, value_a, value_b)` for every column present in either side (the
+/// absent side contributes 0.0), in strictly ascending column order.
+#[inline]
+fn merge_rows<F: FnMut(usize, f64, f64)>(
+    ca: &[usize],
+    va: &[f64],
+    cb: &[usize],
+    vb: &[f64],
+    mut f: F,
+) {
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < ca.len() || b < cb.len() {
+        let ka = if a < ca.len() { ca[a] } else { usize::MAX };
+        let kb = if b < cb.len() { cb[b] } else { usize::MAX };
+        if ka < kb {
+            f(ka, va[a], 0.0);
+            a += 1;
+        } else if kb < ka {
+            f(kb, 0.0, vb[b]);
+            b += 1;
+        } else {
+            f(ka, va[a], vb[b]);
+            a += 1;
+            b += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::AffinityMatrix;
+    use crate::sparse::SparseAffinity;
+    use exflow_model::routing::AffinityModelSpec;
+    use exflow_model::{CorpusSpec, TokenBatch};
+
+    fn sampled_trace(e: usize, l: usize, n: usize, seed: u64) -> RoutingTrace {
+        let model = AffinityModelSpec::new(l, e).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), n, 1, seed);
+        RoutingTrace::from_batch(&batch, e)
+    }
+
+    #[test]
+    fn single_window_matches_offline_estimators_bitwise() {
+        let t = sampled_trace(16, 4, 1200, 3);
+        let mut s = StreamingAffinity::new(4, 16, 1.0);
+        s.observe(&t);
+        let snap = s.snapshot();
+        for gap in 0..3 {
+            let dense = AffinityMatrix::from_trace(&t, gap, gap + 1);
+            let sparse = SparseAffinity::from_trace(&t, gap, gap + 1);
+            for i in 0..16 {
+                for p in 0..16 {
+                    assert_eq!(
+                        snap.prob(gap, i, p).to_bits(),
+                        dense.prob(i, p).to_bits(),
+                        "gap {gap} cell ({i},{p})"
+                    );
+                }
+            }
+            assert_eq!(snap.gap_nnz(gap), sparse.nnz());
+            // Marginal weights match the offline row-count shares.
+            let total: u64 = (0..16).map(|i| dense.row_count(i)).sum();
+            for i in 0..16 {
+                let offline = dense.row_count(i) as f64 / total as f64;
+                assert_eq!(snap.gap_weights(gap)[i].to_bits(), offline.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decay_weights_recent_windows_higher() {
+        // Window A: 0 -> 1 always. Window B: 0 -> 2 always.
+        let a = RoutingTrace::new(vec![vec![0, 1]; 4], 3);
+        let b = RoutingTrace::new(vec![vec![0, 2]; 4], 3);
+        let mut s = StreamingAffinity::new(2, 3, 0.25);
+        s.observe(&a);
+        s.observe(&b);
+        let snap = s.snapshot();
+        // Mass: 4 * 0.25 on (0,1), 4 on (0,2) -> P(2|0) = 4/5.
+        assert!((snap.prob(0, 0, 2) - 0.8).abs() < 1e-12);
+        assert!((snap.prob(0, 0, 1) - 0.2).abs() < 1e-12);
+        // decay = 1.0 would give a 50/50 split instead.
+        let mut flat = StreamingAffinity::new(2, 3, 1.0);
+        flat.observe(&a);
+        flat.observe(&b);
+        assert!((flat.snapshot().prob(0, 0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_rows_estimate_uniform() {
+        let t = RoutingTrace::new(vec![vec![0, 1]], 4);
+        let mut s = StreamingAffinity::new(2, 4, 0.5);
+        s.observe(&t);
+        let snap = s.snapshot();
+        for p in 0..4 {
+            assert!((snap.prob(0, 2, p) - 0.25).abs() < 1e-15);
+        }
+        // Uniform rows are stored explicitly, like the offline estimators.
+        assert_eq!(snap.row(0, 2).0.len(), 4);
+    }
+
+    #[test]
+    fn divergence_is_zero_against_own_snapshot() {
+        let t = sampled_trace(8, 5, 600, 9);
+        let mut s = StreamingAffinity::new(5, 8, 0.5);
+        s.observe(&t);
+        let snap = s.snapshot();
+        assert_eq!(s.divergence(&snap), 0.0);
+    }
+
+    #[test]
+    fn divergence_grows_with_drift_and_is_bounded() {
+        let a = RoutingTrace::new(vec![vec![0, 1], vec![1, 0]], 2);
+        let flipped = RoutingTrace::new(vec![vec![0, 0], vec![1, 1]], 2);
+        let mut s = StreamingAffinity::new(2, 2, 0.5);
+        s.observe(&a);
+        let reference = s.snapshot();
+        let mut last = 0.0;
+        for _ in 0..4 {
+            s.observe(&flipped);
+            let d = s.divergence(&reference);
+            assert!(d > last, "divergence must grow, got {d} after {last}");
+            assert!(d <= 1.0 + 1e-12);
+            last = d;
+        }
+        // Fully flipped routing approaches total variation 1.
+        assert!(last > 0.8, "fully flipped drift should near 1, got {last}");
+    }
+
+    #[test]
+    fn divergence_ignores_rows_without_live_traffic() {
+        // Reference: expert 0 -> 1. Live: only expert 2 routes (to 3);
+        // rows 0/1 keep decayed-away reference mass of zero weight.
+        let a = RoutingTrace::new(vec![vec![0, 1]], 4);
+        let b = RoutingTrace::new(vec![vec![2, 3]], 4);
+        let mut s = StreamingAffinity::new(2, 4, 0.5);
+        s.observe(&a);
+        let reference = s.snapshot();
+        s.observe(&b);
+        s.observe(&b);
+        // Row 0 drifted only by decay (same conditionals); row 2 moved
+        // from uniform to concentrated. Weighted by live mass, row 0's
+        // contribution shrinks as its weight decays.
+        let d = s.divergence(&reference);
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn gapless_model_never_drifts() {
+        let t = RoutingTrace::new(vec![vec![0], vec![1]], 2);
+        let mut s = StreamingAffinity::new(1, 2, 0.5);
+        s.observe(&t);
+        assert_eq!(s.n_gaps(), 0);
+        assert_eq!(s.divergence(&s.snapshot()), 0.0);
+    }
+
+    #[test]
+    fn observation_is_order_deterministic() {
+        let w0 = sampled_trace(8, 3, 300, 1);
+        let w1 = sampled_trace(8, 3, 300, 2);
+        let run = || {
+            let mut s = StreamingAffinity::new(3, 8, 0.7);
+            s.observe(&w0);
+            s.observe(&w1);
+            s.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0, 1]")]
+    fn zero_decay_rejected() {
+        let _ = StreamingAffinity::new(2, 4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window expert mismatch")]
+    fn mismatched_window_rejected() {
+        let mut s = StreamingAffinity::new(2, 4, 0.5);
+        s.observe(&RoutingTrace::new(vec![vec![0, 1]], 8));
+    }
+}

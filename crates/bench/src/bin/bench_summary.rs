@@ -3,21 +3,24 @@
 //!
 //! Sweeps the Table II model zoo × the solver roster (timing the whole
 //! sweep at `--jobs 1` and at `--jobs N`, verified bit-identical across
-//! widths) plus the `table_sparse` large-expert sweep (dense vs CSR
-//! objective backend, verified identical across backends), and writes the
-//! machine-readable summary JSON (schema `exflow-bench-summary/v2`,
+//! widths), the `table_sparse` large-expert sweep (dense vs CSR objective
+//! backend, verified identical across backends), and the `table_online`
+//! drift sweep (static vs oracle vs budgeted re-placement, verified
+//! invariant across thread counts and backends), and writes the
+//! machine-readable summary JSON (schema `exflow-bench-summary/v3`,
 //! documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR3.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR4.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline: any objective (`cross_mass`/`nnz`) mismatch is a
-//! hard failure, wall-time regressions beyond 25% are reported as
-//! warnings in the markdown printed to stdout (CI appends it to the job
-//! summary).
+//! committed baseline (v3, or the older v2 whose sections are compared
+//! as far as they go): any objective mismatch (`cross_mass`, `nnz`, the
+//! online cross counts) is a hard failure, wall-time regressions beyond
+//! 25% are reported as warnings in the markdown printed to stdout (CI
+//! appends it to the job summary).
 //!
 //! Exit codes: 0 on success, 1 if a verification/gate check fails or the
 //! output cannot be written, 2 on usage errors (consistent with `repro`).
@@ -115,6 +118,18 @@ fn main() {
             row.wall_ms_dense,
             row.wall_ms_sparse,
             row.speedup()
+        );
+    }
+    for row in &summary.online_rows {
+        eprintln!(
+            "table_online: {} cross static {} / oracle {} / budgeted {} (recovery {:.1}%), migrated {} MiB over {} re-plans",
+            row.scenario,
+            row.static_cross,
+            row.oracle_cross,
+            row.budgeted_cross,
+            row.recovery() * 100.0,
+            row.migrated_bytes >> 20,
+            row.replans
         );
     }
 

@@ -8,7 +8,8 @@
 //! the two cannot drift apart.
 
 use crate::experiments::{
-    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, table1, table2, table3,
+    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, online, table1, table2,
+    table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -32,6 +33,7 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("fig13", fig13::print),
     ("fig14", fig2::print_gaps),
     ("ablations", ablations::print),
+    ("table_online", online::print),
 ];
 
 /// Accepted aliases: the paper's Figs. 15/16 are gap-sweep variants of the

@@ -25,6 +25,11 @@ pub const WALL_FLOOR_MS: f64 = 5.0;
 /// `E = 512`, top-1 cell (the acceptance bar of the sparse backend).
 pub const MIN_SPARSE_SPEEDUP_512: f64 = 2.0;
 
+/// Budgeted incremental re-placement must recover at least this fraction
+/// of the oracle re-solve's cross-traffic reduction on every
+/// `table_online` scenario (the acceptance bar of the online subsystem).
+pub const MIN_ONLINE_RECOVERY: f64 = 0.8;
+
 /// Outcome of a baseline comparison.
 #[derive(Debug, Clone, Default)]
 pub struct GateReport {
@@ -113,8 +118,9 @@ fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: O
 }
 
 /// Compare a fresh summary JSON against the committed baseline JSON.
-/// Both must be `exflow-bench-summary/v2` documents produced by
-/// `BenchSummary::to_json`.
+/// The fresh document must be `exflow-bench-summary/v3`; the baseline may
+/// be v3 or the older v2 (whose sections are compared as far as they go —
+/// a v2 baseline simply has no `online_rows` to gate against).
 pub fn compare(baseline: &str, fresh: &str) -> GateReport {
     let mut report = GateReport::default();
 
@@ -123,11 +129,19 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
             .find(|l| l.trim_start().starts_with("\"schema\""))
             .and_then(|l| field(l, "schema"))
     };
-    if get_schema(baseline).as_deref() != Some("exflow-bench-summary/v2")
-        || get_schema(fresh).as_deref() != Some("exflow-bench-summary/v2")
-    {
+    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v3") {
         report.drifts.push(
-            "schema mismatch: both documents must be exflow-bench-summary/v2 \
+            "schema mismatch: the fresh document must be exflow-bench-summary/v3".to_string(),
+        );
+        return report;
+    }
+    let baseline_schema = get_schema(baseline);
+    if !matches!(
+        baseline_schema.as_deref(),
+        Some("exflow-bench-summary/v2") | Some("exflow-bench-summary/v3")
+    ) {
+        report.drifts.push(
+            "schema mismatch: the baseline must be exflow-bench-summary/v2 or /v3 \
              (regenerate the committed baseline with bench_summary)"
                 .to_string(),
         );
@@ -247,6 +261,88 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         }
     }
 
+    // Online rows: keyed by scenario; cross counts, migrated bytes, and
+    // the final cross mass are bit-compared. A v2 baseline has no online
+    // section, so coverage checks only apply when the baseline has one.
+    let base_online = rows_section(baseline, "online_rows");
+    let fresh_online = rows_section(fresh, "online_rows");
+    if baseline.contains("\"online_rows\": [") {
+        let scenario_of = |line: &str| field(line, "scenario").unwrap_or_default();
+        for b in &base_online {
+            let scenario = scenario_of(b);
+            match fresh_online.iter().find(|f| scenario_of(f) == scenario) {
+                None => report
+                    .drifts
+                    .push(format!("online row {scenario} missing from fresh run")),
+                Some(f) => {
+                    for fact in [
+                        "static_cross",
+                        "oracle_cross",
+                        "budgeted_cross",
+                        "migrated_bytes",
+                        "cross_mass",
+                    ] {
+                        let (bv, fv) = (field(b, fact), field(f, fact));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "{fact} drift on {scenario}: baseline {} vs fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for f in &fresh_online {
+            let scenario = scenario_of(f);
+            if !base_online.iter().any(|b| scenario_of(b) == scenario) {
+                report
+                    .drifts
+                    .push(format!("online row {scenario} not in baseline"));
+            }
+        }
+    }
+
+    // Acceptance bars of the online subsystem, checked on the fresh run
+    // regardless of baseline version: budgeted incremental re-placement
+    // must recover >= 80% of the oracle's cross-traffic reduction, and
+    // must never migrate more than its byte budget per re-plan.
+    for f in &fresh_online {
+        let scenario = field(f, "scenario").unwrap_or_default();
+        let num = |key: &str| field(f, key).and_then(|v| v.parse::<f64>().ok());
+        // Recompute recovery from the exact integer cross counts rather
+        // than trusting the 4-decimal-rounded `recovery` field (0.79997
+        // would serialize as "0.8000" and sneak past the bar).
+        if let (Some(stat), Some(oracle), Some(budgeted)) = (
+            num("static_cross"),
+            num("oracle_cross"),
+            num("budgeted_cross"),
+        ) {
+            let recovery = if stat <= oracle {
+                1.0
+            } else {
+                (stat - budgeted) / (stat - oracle)
+            };
+            if recovery < MIN_ONLINE_RECOVERY {
+                report.drifts.push(format!(
+                    "online recovery on {scenario} is {recovery:.4}, below the \
+                     {MIN_ONLINE_RECOVERY:.1} acceptance bar"
+                ));
+            }
+        }
+        if let (Some(migrated), Some(budget), Some(replans)) =
+            (num("migrated_bytes"), num("budget_bytes"), num("replans"))
+        {
+            if migrated > budget * replans {
+                report.drifts.push(format!(
+                    "online migration on {scenario} moved {migrated} bytes across \
+                     {replans} re-plans, over the {budget}-byte per-re-plan budget"
+                ));
+            }
+        }
+    }
+
     // Whole-sweep walls.
     let top_field = |json: &str, key: &str| {
         json.lines()
@@ -273,7 +369,7 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::summary::{BenchRow, BenchSummary, SparseBenchRow};
+    use crate::summary::{BenchRow, BenchSummary, OnlineBenchRow, SparseBenchRow};
 
     fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
         BenchSummary {
@@ -298,6 +394,20 @@ mod tests {
                 wall_ms_dense: sparse_wall_dense,
                 wall_ms_sparse: 10.0,
                 cross_mass: cross / 2.0,
+            }],
+            online_rows: vec![OnlineBenchRow {
+                scenario: "piecewise-2phase".into(),
+                n_experts: 16,
+                layers: 5,
+                windows: 6,
+                replan_every: 1,
+                budget_bytes: 1 << 28,
+                migrated_bytes: 3 << 27,
+                replans: 3,
+                static_cross: 5000,
+                oracle_cross: 3000,
+                budgeted_cross: 3200,
+                cross_mass: cross / 3.0,
             }],
         }
     }
@@ -389,9 +499,102 @@ mod tests {
     #[test]
     fn v1_baseline_is_rejected() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = fresh.replace("exflow-bench-summary/v2", "exflow-bench-summary/v1");
+        let old = fresh.replace("exflow-bench-summary/v3", "exflow-bench-summary/v1");
         let report = compare(&old, &fresh);
         assert!(!report.ok());
         assert!(report.drifts[0].contains("schema"));
+    }
+
+    /// Strip a v3 document down to the v2 schema (drop the online_rows
+    /// section and relabel).
+    fn as_v2(json: &str) -> String {
+        let start = json.find(",\n  \"online_rows\": [").unwrap();
+        let end = json.rfind("  ]\n}").unwrap();
+        let mut out = String::new();
+        out.push_str(&json[..start]);
+        out.push('\n');
+        out.push_str(&json[end + 4..]);
+        out.replace("exflow-bench-summary/v3", "exflow-bench-summary/v2")
+    }
+
+    #[test]
+    fn v2_baseline_is_still_accepted() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let old = as_v2(&fresh);
+        assert!(old.contains("exflow-bench-summary/v2"));
+        assert!(!old.contains("online_rows"));
+        let report = compare(&old, &fresh);
+        assert!(report.ok(), "{:?}", report.drifts);
+        // But objective drift in the shared sections still fails.
+        let drifted = summary(0.26, 100.0, 100.0).to_json();
+        assert!(!compare(&old, &drifted).ok());
+    }
+
+    #[test]
+    fn v2_fresh_document_is_rejected() {
+        let base = summary(0.25, 100.0, 100.0).to_json();
+        let fresh = as_v2(&base);
+        let report = compare(&base, &fresh);
+        assert!(!report.ok());
+        assert!(report.drifts[0].contains("must be exflow-bench-summary/v3"));
+    }
+
+    #[test]
+    fn online_cross_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.online_rows[0].budgeted_cross += 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("budgeted_cross drift")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn online_missing_scenario_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.online_rows[0].scenario = "renamed".into();
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(report.drifts.iter().any(|d| d.contains("missing")));
+        assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
+    }
+
+    #[test]
+    fn low_online_recovery_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        // static 5000, oracle 3000: budgeted 4000 recovers only 50%.
+        fresh.online_rows[0].budgeted_cross = 4000;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("acceptance bar")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn online_budget_violation_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.online_rows[0].migrated_bytes =
+            fresh.online_rows[0].budget_bytes * fresh.online_rows[0].replans as u64 + 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("per-re-plan budget")),
+            "{:?}",
+            report.drifts
+        );
     }
 }

@@ -14,21 +14,30 @@
 //!   vs CSR), verifying the two produce identical placements and
 //!   bit-identical cross mass, and recording nnz/density plus the
 //!   dense-vs-sparse wall time per cell.
+//! * **`table_online` sweep** — the non-stationary drift presets served
+//!   under three re-placement policies (static incumbent, oracle
+//!   re-solve, byte-budgeted incremental), recording realized cross-unit
+//!   transition counts, migrated bytes, and the recovery fraction —
+//!   verified bit-identical across thread counts and gap backends.
 //!
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v2`) keeps them apart.
+//! (`exflow-bench-summary/v3`) keeps them apart.
 
 use std::time::Instant;
 
-use exflow_affinity::{RoutingTrace, SparseAffinity};
-use exflow_model::presets::{large_zoo, table2};
+use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
+use exflow_model::presets::{large_zoo, moe_gpt_m, table2};
 use exflow_model::routing::AffinityModelSpec;
-use exflow_model::{CorpusSpec, ModelConfig, TokenBatch};
+use exflow_model::{CorpusSpec, DriftSchedule, ModelConfig, TokenBatch};
 use exflow_placement::annealing::AnnealParams;
-use exflow_placement::local_search::improve;
-use exflow_placement::{solve_with, GapBackend, Objective, Parallelism, Placement, SolverKind};
+use exflow_placement::local_search::{improve, solve_local_search_with};
+use exflow_placement::objective::measure_trace_locality;
+use exflow_placement::online::{solve_budgeted_toward, MigrationPlan};
+use exflow_placement::{
+    solve_with, split_seed, GapBackend, Objective, Parallelism, Placement, SolverKind,
+};
 
 use crate::sweep::{par_map, SweepPool};
 use crate::Scale;
@@ -39,6 +48,27 @@ const N_UNITS: usize = 4;
 
 /// GPUs each `table_sparse` instance is solved for (divides 256 and 512).
 const N_UNITS_LARGE: usize = 8;
+
+/// Experts per layer of every `table_online` scenario.
+const ONLINE_EXPERTS: usize = 16;
+
+/// GPUs each `table_online` scenario is placed across.
+const ONLINE_UNITS: usize = 4;
+
+/// Windows between re-plans in the `table_online` scenarios.
+const ONLINE_REPLAN_EVERY: usize = 1;
+
+/// Expert moves one `table_online` re-plan may migrate (the byte budget
+/// is this many expert weight payloads). An oracle re-solve after a full
+/// structure flip relocates most of the `E x L` expert slots; this budget
+/// is well under half of that.
+const ONLINE_BUDGET_MOVES: u64 = 40;
+
+/// Local-search restarts of the oracle re-solve.
+const ONLINE_ORACLE_RESTARTS: usize = 2;
+
+/// Decay of the streaming estimator in the online scenarios.
+const ONLINE_DECAY: f64 = 0.5;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -92,6 +122,52 @@ impl SparseBenchRow {
     }
 }
 
+/// One `table_online` cell: a drift scenario served under the three
+/// re-placement policies. Cross counts are realized cross-unit layer
+/// transitions summed over every serving window — integers, so any drift
+/// across thread counts or backends is unambiguous.
+#[derive(Debug, Clone)]
+pub struct OnlineBenchRow {
+    /// Drift preset name (`piecewise-2phase`, `smooth`, ...).
+    pub scenario: String,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// MoE layers.
+    pub layers: usize,
+    /// Serving windows.
+    pub windows: usize,
+    /// Windows between re-plans.
+    pub replan_every: usize,
+    /// Byte budget of one budgeted re-plan.
+    pub budget_bytes: u64,
+    /// Bytes the budgeted policy actually migrated, whole run.
+    pub migrated_bytes: u64,
+    /// Budgeted re-plans that moved at least one expert.
+    pub replans: usize,
+    /// Cross-unit transitions under the never-re-placed incumbent.
+    pub static_cross: u64,
+    /// Cross-unit transitions under from-scratch oracle re-solves.
+    pub oracle_cross: u64,
+    /// Cross-unit transitions under budgeted incremental re-placement.
+    pub budgeted_cross: u64,
+    /// Final cross mass of the budgeted placement on the live estimate
+    /// (bit-identical across backends — verified).
+    pub cross_mass: f64,
+}
+
+impl OnlineBenchRow {
+    /// Fraction of the oracle's cross-traffic reduction the budgeted
+    /// policy recovers: `(static - budgeted) / (static - oracle)`. 1.0
+    /// when the scenario gives the oracle nothing to improve.
+    pub fn recovery(&self) -> f64 {
+        if self.static_cross <= self.oracle_cross {
+            return 1.0;
+        }
+        (self.static_cross as f64 - self.budgeted_cross as f64)
+            / (self.static_cross as f64 - self.oracle_cross as f64)
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -111,6 +187,8 @@ pub struct BenchSummary {
     pub rows: Vec<BenchRow>,
     /// The `table_sparse` cells, in `large_zoo()` order.
     pub sparse_rows: Vec<SparseBenchRow>,
+    /// The `table_online` cells, in `DriftSchedule::presets` order.
+    pub online_rows: Vec<OnlineBenchRow>,
 }
 
 impl BenchSummary {
@@ -123,7 +201,7 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v2` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v3` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
     /// are printed with Rust's shortest round-trip float formatting, so
     /// string equality in the JSON is bit equality of the f64 — what the
@@ -131,7 +209,7 @@ impl BenchSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v2\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v3\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -172,6 +250,27 @@ impl BenchSummary {
                 row.speedup(),
                 row.cross_mass,
                 if i + 1 == self.sparse_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"online_rows\": [\n");
+        for (i, row) in self.online_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"experts\": {}, \"layers\": {}, \"windows\": {}, \"replan_every\": {}, \"budget_bytes\": {}, \"migrated_bytes\": {}, \"replans\": {}, \"static_cross\": {}, \"oracle_cross\": {}, \"budgeted_cross\": {}, \"recovery\": {:.4}, \"cross_mass\": {}}}{}\n",
+                row.scenario,
+                row.n_experts,
+                row.layers,
+                row.windows,
+                row.replan_every,
+                row.budget_bytes,
+                row.migrated_bytes,
+                row.replans,
+                row.static_cross,
+                row.oracle_cross,
+                row.budgeted_cross,
+                row.recovery(),
+                row.cross_mass,
+                if i + 1 == self.online_rows.len() { "" } else { "," }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -313,12 +412,198 @@ pub fn sparse_table(scale: Scale, seed: u64) -> Result<Vec<SparseBenchRow>, Stri
         .collect()
 }
 
+/// Sample one serving window's routing trace from a drift schedule.
+fn online_window_trace(
+    drift: &DriftSchedule,
+    window: usize,
+    tokens: usize,
+    seed: u64,
+) -> RoutingTrace {
+    let model = drift.model_at(window);
+    let batch = TokenBatch::sample(
+        model,
+        &CorpusSpec::pile_proxy(model.n_domains()),
+        tokens,
+        1,
+        split_seed(seed, window as u64),
+    );
+    RoutingTrace::from_batch(&batch, model.n_experts())
+}
+
+/// Serve one drift scenario under the three policies. Every solve is
+/// verified invariant: the oracle re-solve across thread counts
+/// (1 vs `jobs`), the budgeted re-solve and the final cross mass across
+/// gap backends. Cross counts are measured on the realized window traces.
+fn online_scenario(
+    drift: &DriftSchedule,
+    layers: usize,
+    window_tokens: usize,
+    jobs: usize,
+    seed: u64,
+) -> Result<OnlineBenchRow, String> {
+    let e = ONLINE_EXPERTS;
+    let bytes_per_expert = moe_gpt_m(e).expert_params() * 2;
+    let budget_bytes = ONLINE_BUDGET_MOVES * bytes_per_expert;
+    let windows = drift.n_windows();
+
+    // Profile window 0's routing and solve the shared initial placement —
+    // exactly what all three policies start from.
+    let mut streaming = StreamingAffinity::new(layers, e, ONLINE_DECAY);
+    streaming.observe(&online_window_trace(drift, 0, window_tokens, seed ^ 0x0ff1));
+    let initial = solve_local_search_with(
+        &Objective::from_snapshot(&streaming.snapshot()),
+        ONLINE_UNITS,
+        ONLINE_ORACLE_RESTARTS,
+        seed,
+        Parallelism::single(),
+    );
+    let static_placement = initial.clone();
+    let mut oracle_placement = initial.clone();
+    let mut budgeted_placement = initial;
+
+    let (mut static_cross, mut oracle_cross, mut budgeted_cross) = (0u64, 0u64, 0u64);
+    let mut migrated_bytes = 0u64;
+    let mut replans = 0usize;
+
+    for window in 0..windows {
+        let trace = online_window_trace(drift, window, window_tokens, seed);
+        for (placement, acc) in [
+            (&static_placement, &mut static_cross),
+            (&oracle_placement, &mut oracle_cross),
+            (&budgeted_placement, &mut budgeted_cross),
+        ] {
+            let loc = measure_trace_locality(&trace, placement);
+            *acc += loc.transitions - loc.local;
+        }
+        streaming.observe(&trace);
+
+        if (window + 1).is_multiple_of(ONLINE_REPLAN_EVERY) && window + 1 < windows {
+            let snapshot = streaming.snapshot();
+            // Oracle: from-scratch re-solve on the live estimate,
+            // thread-count invariance verified.
+            let live = Objective::from_snapshot(&snapshot);
+            let sequential = solve_local_search_with(
+                &live,
+                ONLINE_UNITS,
+                ONLINE_ORACLE_RESTARTS,
+                split_seed(seed, 0x0c0de ^ window as u64),
+                Parallelism::single(),
+            );
+            let parallel = solve_local_search_with(
+                &live,
+                ONLINE_UNITS,
+                ONLINE_ORACLE_RESTARTS,
+                split_seed(seed, 0x0c0de ^ window as u64),
+                Parallelism::new(jobs),
+            );
+            if sequential != parallel {
+                return Err(format!(
+                    "{}: oracle re-solve diverged across thread counts at window {window}",
+                    drift.name()
+                ));
+            }
+            oracle_placement = sequential;
+
+            // Budgeted incremental: walk toward the same oracle-quality
+            // solution under the byte budget (the budget caps migration
+            // traffic, not solver compute). Gap-backend invariance is
+            // verified on the walk.
+            let max_moves = budget_bytes / bytes_per_expert;
+            let dense = solve_budgeted_toward(
+                &Objective::from_snapshot_with(&snapshot, GapBackend::Dense),
+                &budgeted_placement,
+                &oracle_placement,
+                max_moves,
+            );
+            let sparse = solve_budgeted_toward(
+                &Objective::from_snapshot_with(&snapshot, GapBackend::Sparse),
+                &budgeted_placement,
+                &oracle_placement,
+                max_moves,
+            );
+            if dense != sparse {
+                return Err(format!(
+                    "{}: budgeted re-solve diverged across gap backends at window {window}",
+                    drift.name()
+                ));
+            }
+            let plan = MigrationPlan::between(&budgeted_placement, &dense, bytes_per_expert);
+            if plan.total_bytes() > budget_bytes {
+                return Err(format!(
+                    "{}: re-plan at window {window} migrated {} bytes over the {} budget",
+                    drift.name(),
+                    plan.total_bytes(),
+                    budget_bytes
+                ));
+            }
+            if !plan.is_empty() {
+                migrated_bytes += plan.total_bytes();
+                replans += 1;
+            }
+            budgeted_placement = dense;
+        }
+    }
+
+    // The reported objective: the budgeted placement scored on the final
+    // live estimate, bit-compared across backends.
+    let snapshot = streaming.snapshot();
+    let cm_dense =
+        Objective::from_snapshot_with(&snapshot, GapBackend::Dense).cross_mass(&budgeted_placement);
+    let cm_sparse = Objective::from_snapshot_with(&snapshot, GapBackend::Sparse)
+        .cross_mass(&budgeted_placement);
+    if cm_dense.to_bits() != cm_sparse.to_bits() {
+        return Err(format!(
+            "{}: final cross mass diverged across gap backends: dense {cm_dense} vs sparse {cm_sparse}",
+            drift.name()
+        ));
+    }
+
+    Ok(OnlineBenchRow {
+        scenario: drift.name().to_string(),
+        n_experts: e,
+        layers,
+        windows,
+        replan_every: ONLINE_REPLAN_EVERY,
+        budget_bytes,
+        migrated_bytes,
+        replans,
+        static_cross,
+        oracle_cross,
+        budgeted_cross,
+        cross_mass: cm_dense,
+    })
+}
+
+/// The `table_online` sweep over the drift presets: static incumbent vs
+/// oracle re-solve vs byte-budgeted incremental re-placement. Errors
+/// (instead of panicking) if any invariance check fails.
+pub fn online_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<OnlineBenchRow>, String> {
+    let layers = scale.pick(5, 7);
+    let windows = scale.pick(12, 16);
+    let window_tokens = scale.pick(1500, 4000);
+    let spec = AffinityModelSpec::new(layers, ONLINE_EXPERTS).with_seed(seed ^ 0x07_11_13);
+    DriftSchedule::presets(&spec, windows)
+        .iter()
+        .enumerate()
+        .map(|(i, drift)| {
+            online_scenario(
+                drift,
+                layers,
+                window_tokens,
+                jobs,
+                split_seed(seed, 0xd1f7 ^ i as u64),
+            )
+        })
+        .collect()
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
-/// N` (verified bit-identical in quality, timed in both) plus the
+/// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
-/// backends). Errors (instead of panicking) if any verification fails —
-/// that would mean the determinism contract is broken and the JSON must
-/// not be published.
+/// backends), and the `table_online` drift sweep (verified invariant
+/// across thread counts and backends). Errors (instead of panicking) if
+/// any verification fails — that would mean the determinism contract is
+/// broken and the JSON must not be published.
 pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String> {
     let kinds = roster(scale);
     let models = table2();
@@ -350,6 +635,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
     }
 
     let sparse_rows = sparse_table(scale, seed)?;
+    let online_rows = online_table(scale, jobs, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -362,6 +648,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         wall_ms_jobs_n: wall_n,
         rows: rows1,
         sparse_rows,
+        online_rows,
     })
 }
 
@@ -408,6 +695,42 @@ mod tests {
     }
 
     #[test]
+    fn online_table_recovers_oracle_reduction_within_budget() {
+        let rows = online_table(Scale::Quick, 2, 7).expect("invariance must hold");
+        assert_eq!(rows.len(), 3, "one row per drift preset");
+        for row in &rows {
+            assert!(row.replans > 0, "{}: no re-plans fired", row.scenario);
+            assert!(
+                row.migrated_bytes <= row.budget_bytes * row.replans as u64,
+                "{}: migrated {} over {} re-plans of budget {}",
+                row.scenario,
+                row.migrated_bytes,
+                row.replans,
+                row.budget_bytes
+            );
+            // Drift must genuinely hurt the static incumbent, and both
+            // adaptive policies must beat it.
+            assert!(
+                row.oracle_cross < row.static_cross,
+                "{}: oracle {} vs static {}",
+                row.scenario,
+                row.oracle_cross,
+                row.static_cross
+            );
+            assert!(row.budgeted_cross < row.static_cross);
+            // The acceptance bar: budgeted incremental re-placement
+            // recovers >= 80% of the oracle's cross-traffic reduction.
+            assert!(
+                row.recovery() >= 0.8,
+                "{}: recovery {:.3} below the 0.8 bar",
+                row.scenario,
+                row.recovery()
+            );
+            assert!(row.cross_mass.is_finite());
+        }
+    }
+
+    #[test]
     fn json_has_schema_and_balanced_braces() {
         let summary = BenchSummary {
             seed: 1,
@@ -432,12 +755,28 @@ mod tests {
                 wall_ms_sparse: 8.0,
                 cross_mass: 0.75,
             }],
+            online_rows: vec![OnlineBenchRow {
+                scenario: "piecewise-2phase".to_string(),
+                n_experts: 16,
+                layers: 5,
+                windows: 6,
+                replan_every: 1,
+                budget_bytes: 16 << 24,
+                migrated_bytes: 10 << 24,
+                replans: 3,
+                static_cross: 5000,
+                oracle_cross: 3000,
+                budgeted_cross: 3400,
+                cross_mass: 1.25,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v2\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v3\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
+        assert!(json.contains("\"recovery\": 0.8000"));
+        assert!(json.contains("\"budgeted_cross\": 3400"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -7,19 +7,65 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use exflow_affinity::{RoutingTrace, SparseAffinity};
-use exflow_collectives::{CommWorld, OpKind, RankComm};
+use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
+use exflow_collectives::{CommRecord, CommWorld, OpKind, RankComm};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{
-    ComputeCostModel, CorpusSpec, Expert, Matrix, ModelConfig, RoutingModel, TokenBatch,
+    ComputeCostModel, CorpusSpec, DriftSchedule, Expert, Matrix, ModelConfig, RoutingModel,
+    TokenBatch,
 };
+use exflow_placement::online::{solve_budgeted, MigrationPlan};
 use exflow_placement::staged::solve_staged_with;
 use exflow_placement::{GapBackend, Objective, Parallelism, Placement};
+use exflow_topology::collective_cost::BytesByClass;
 use exflow_topology::{ClusterSpec, CostModel, Rank};
 
 use crate::frame::{decode, encode, frame_size, Token};
 use crate::modes::ParallelismMode;
-use crate::report::{DispatchStats, InferenceReport, OpBreakdown};
+use crate::report::{
+    DispatchStats, InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent,
+};
+
+/// Knobs of the online serving mode (`InferenceEngine::run_online`):
+/// when to check for routing drift, how much drift justifies a re-plan,
+/// and how many bytes of expert weights one re-plan may migrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Serving windows between drift checks (the re-plan cadence).
+    pub replan_every: usize,
+    /// Windowed divergence above which a re-plan fires. `f64::INFINITY`
+    /// disables re-placement entirely (the static-placement baseline).
+    pub drift_threshold: f64,
+    /// Byte budget of one re-plan: expert-weight bytes migrated per
+    /// re-plan never exceed this. `u64::MAX` is the oracle end of the
+    /// spectrum (migrate whatever the re-solve wants).
+    pub migration_budget_bytes: u64,
+    /// Exponential decay the streaming affinity estimator applies before
+    /// folding in each new window (1.0 never forgets).
+    pub decay: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            replan_every: 1,
+            drift_threshold: 0.05,
+            migration_budget_bytes: u64::MAX,
+            decay: 0.5,
+        }
+    }
+}
+
+impl OnlineConfig {
+    fn validate(&self) {
+        assert!(self.replan_every >= 1, "replan cadence must be >= 1");
+        assert!(self.drift_threshold >= 0.0, "drift threshold must be >= 0");
+        assert!(
+            self.decay > 0.0 && self.decay <= 1.0,
+            "decay must be in (0, 1]"
+        );
+    }
+}
 
 /// Full configuration of an engine instance.
 #[derive(Debug, Clone)]
@@ -56,6 +102,10 @@ pub struct EngineConfig {
     /// purely a speed/memory knob; `Auto` picks CSR per gap once density
     /// drops below the sparse threshold (the large-expert regime).
     pub gap_backend: GapBackend,
+    /// Online serving knobs (consulted only by
+    /// [`InferenceEngine::run_online`]): re-plan cadence, drift threshold,
+    /// migration byte budget, and estimator decay.
+    pub online: OnlineConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -85,6 +135,7 @@ impl EngineBuilder {
                 placement_restarts: 1,
                 parallelism: Parallelism::single(),
                 gap_backend: GapBackend::Auto,
+                online: OnlineConfig::default(),
                 seed: 7,
             },
         }
@@ -162,6 +213,13 @@ impl EngineBuilder {
     /// sparse enough).
     pub fn gap_backend(mut self, backend: GapBackend) -> Self {
         self.cfg.gap_backend = backend;
+        self
+    }
+
+    /// Online serving knobs (see [`OnlineConfig`]).
+    pub fn online(mut self, online: OnlineConfig) -> Self {
+        online.validate();
+        self.cfg.online = online;
         self
     }
 
@@ -295,29 +353,50 @@ impl InferenceEngine {
         mode: ParallelismMode,
         placement: &Placement,
     ) -> InferenceReport {
+        let batches = self.serving_batches(&self.routing, 0);
+        self.run_with_batches(mode, placement, &batches, 0)
+    }
+
+    /// Serving batches for one window: fresh routes per generation
+    /// iteration, from seed streams disjoint from the profiling seed (and
+    /// from every other window's streams).
+    fn serving_batches(&self, routing: &RoutingModel, window: usize) -> Vec<TokenBatch> {
         let cfg = &self.cfg;
         let w = cfg.cluster.world_size();
-        assert_eq!(placement.n_units(), w, "placement must cover every GPU");
-        assert_eq!(placement.n_layers(), cfg.model.n_layers);
-
-        // Serving batches: fresh routes per generation iteration, from a
-        // seed disjoint from the profiling seed.
-        let batches: Vec<TokenBatch> = (0..cfg.n_iterations)
+        (0..cfg.n_iterations)
             .map(|iter| {
+                let global_iter = (window * cfg.n_iterations + iter) as u64;
                 TokenBatch::sample(
-                    &self.routing,
+                    routing,
                     &cfg.corpus,
                     w * cfg.requests_per_gpu,
                     cfg.model.gate.k(),
                     cfg.seed
                         .wrapping_mul(0x9e37_79b9)
-                        .wrapping_add(iter as u64 + 1),
+                        .wrapping_add(global_iter + 1),
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Execute one serving run over explicit batches. `ctx_offset` shifts
+    /// the per-iteration context length (tokens generated in earlier
+    /// windows of an online run are part of every later context).
+    fn run_with_batches(
+        &self,
+        mode: ParallelismMode,
+        placement: &Placement,
+        batches: &[TokenBatch],
+        ctx_offset: usize,
+    ) -> InferenceReport {
+        let cfg = &self.cfg;
+        let w = cfg.cluster.world_size();
+        assert_eq!(placement.n_units(), w, "placement must cover every GPU");
+        assert_eq!(placement.n_layers(), cfg.model.n_layers);
 
         let world = CommWorld::new(cfg.cluster, cfg.link_cost);
-        let rank_results = world.run(|comm| self.rank_loop(comm, mode, placement, &batches));
+        let rank_results =
+            world.run(|comm| self.rank_loop(comm, mode, placement, batches, ctx_offset));
 
         let total_time = rank_results
             .iter()
@@ -335,11 +414,156 @@ impl InferenceEngine {
             mode,
             total_time,
             breakdown,
-            tokens_processed: (w * cfg.requests_per_gpu * cfg.n_iterations) as u64,
+            tokens_processed: (w * cfg.requests_per_gpu * batches.len()) as u64,
             dispatch,
             alltoall_bytes: world.stats().totals(OpKind::Alltoall).sent,
             allgather_bytes: world.stats().totals(OpKind::AllGather).sent,
         }
+    }
+
+    /// Online serving: execute one window per entry of `drift`'s schedule,
+    /// maintaining a streaming affinity estimate of the live traffic and
+    /// incrementally re-placing experts when the estimate drifts from the
+    /// one the current placement was solved against.
+    ///
+    /// Per window: serve `EngineConfig::n_iterations` generation
+    /// iterations from the window's routing model, fold the realized
+    /// routing paths into the decayed [`StreamingAffinity`] estimate, and
+    /// compute the drift signal. Every `OnlineConfig::replan_every`
+    /// windows, if the drift exceeds `OnlineConfig::drift_threshold` (and
+    /// `mode` uses affinity placement at all), a budgeted incremental
+    /// re-placement runs from the incumbent — at most
+    /// `OnlineConfig::migration_budget_bytes` of expert weights move — and
+    /// the resulting [`MigrationPlan`] is executed over the simulated
+    /// collectives before the next window starts. The whole run is a pure
+    /// function of (config, drift schedule): bit-identical at any
+    /// parallelism width, and cadence-invariant whenever no re-plan fires.
+    pub fn run_online(&self, mode: ParallelismMode, drift: &DriftSchedule) -> OnlineReport {
+        let cfg = &self.cfg;
+        let oc = cfg.online;
+        oc.validate();
+        let e = cfg.model.n_experts;
+        let shape = drift.model_at(0);
+        assert_eq!(shape.n_layers(), cfg.model.n_layers, "drift layer mismatch");
+        assert_eq!(shape.n_experts(), e, "drift expert mismatch");
+        assert_eq!(
+            shape.n_domains(),
+            cfg.corpus.domain_weights.len(),
+            "drift domain mismatch"
+        );
+        let bytes_per_expert = (cfg.model.expert_params() * 2).max(1);
+
+        // The incumbent placement was solved against the offline profile
+        // estimate; seed the streaming estimator with the same trace so
+        // the first reference snapshot is exactly what the incumbent knows.
+        let mut streaming = StreamingAffinity::new(cfg.model.n_layers, e, oc.decay);
+        streaming.observe(&self.profile_trace);
+        let mut reference = streaming.snapshot();
+        let mut placement = self.placement_for(mode).clone();
+
+        let mut windows = Vec::with_capacity(drift.n_windows());
+        let mut drifts = Vec::with_capacity(drift.n_windows());
+        let mut replans = Vec::new();
+        let mut migrations = MigrationStats::default();
+
+        for window in 0..drift.n_windows() {
+            let batches = self.serving_batches(drift.model_at(window), window);
+            let report =
+                self.run_with_batches(mode, &placement, &batches, window * cfg.n_iterations);
+
+            // Online profiling is free: the engine already knows every
+            // serving token's expert path.
+            let paths: Vec<Vec<u16>> = batches.iter().flat_map(TokenBatch::top1_paths).collect();
+            streaming.observe(&RoutingTrace::new(paths, e));
+            let drift_now = streaming.divergence(&reference);
+            windows.push(report);
+            drifts.push(drift_now);
+
+            // A re-plan after the final window would charge migration
+            // time and bytes that no subsequent traffic benefits from.
+            let due = (window + 1) % oc.replan_every == 0 && window + 1 < drift.n_windows();
+            if due && drift_now > oc.drift_threshold && mode.uses_affinity() {
+                let live = streaming.snapshot();
+                let objective = Objective::from_snapshot_with(&live, cfg.gap_backend);
+                let max_moves = oc.migration_budget_bytes / bytes_per_expert;
+                let next = solve_budgeted(&objective, &placement, max_moves);
+                let plan = MigrationPlan::between(&placement, &next, bytes_per_expert);
+                debug_assert!(plan.total_bytes() <= oc.migration_budget_bytes);
+                if !plan.is_empty() {
+                    let (time, bytes) = self.execute_migrations(&plan);
+                    migrations.replans += 1;
+                    migrations.experts_moved += plan.n_moves() as u64;
+                    migrations.bytes.merge(&bytes);
+                    migrations.time += time;
+                    replans.push(ReplanEvent {
+                        window,
+                        drift: drift_now,
+                        experts_moved: plan.n_moves() as u64,
+                        bytes_moved: plan.total_bytes(),
+                        migration_time: time,
+                    });
+                    placement = next;
+                }
+                // Whether or not anything moved, the live estimate is now
+                // what the incumbent placement has been (re-)optimized
+                // for; re-anchor the drift reference to it.
+                reference = live;
+            }
+        }
+
+        OnlineReport {
+            mode,
+            windows,
+            drift: drifts,
+            replans,
+            migrations,
+        }
+    }
+
+    /// Execute a migration plan over the simulated collectives: each rank
+    /// serializes its outgoing expert transfers (and absorbs its incoming
+    /// ones) on the α–β cost model at full link bandwidth, then a barrier
+    /// holds the fleet until the slowest endpoint finishes — the same
+    /// busiest-endpoint bound `CollectiveCostModel::exchange_time` prices.
+    /// Weight payloads are charged analytically (precedent: the context
+    /// AllGather of prompt tokens), since the simulation never inspects
+    /// their contents. Returns the completion time and bytes by class.
+    fn execute_migrations(&self, plan: &MigrationPlan) -> (f64, BytesByClass) {
+        let cfg = &self.cfg;
+        let matrix = plan.send_matrix(cfg.cluster.world_size());
+        let world = CommWorld::new(cfg.cluster, cfg.link_cost);
+        let finish = world.run(|comm| {
+            let me = comm.rank().0;
+            let start = comm.now();
+            let mut sent = BytesByClass::default();
+            let mut send_time = 0.0f64;
+            for (dst, &bytes) in matrix[me].iter().enumerate() {
+                if bytes > 0 {
+                    let class = cfg.cluster.link_class(Rank(me), Rank(dst));
+                    send_time += cfg.link_cost.transfer_time(class, bytes);
+                    sent.add(class, bytes);
+                }
+            }
+            let mut recv_time = 0.0f64;
+            for (src, row) in matrix.iter().enumerate() {
+                if row[me] > 0 {
+                    let class = cfg.cluster.link_class(Rank(src), Rank(me));
+                    recv_time += cfg.link_cost.transfer_time(class, row[me]);
+                }
+            }
+            comm.advance(send_time.max(recv_time));
+            comm.barrier();
+            comm.record(CommRecord {
+                op: OpKind::Migration,
+                rank: me,
+                start,
+                end: comm.now(),
+                sent,
+            });
+            comm.now()
+        });
+        let time = finish.into_iter().fold(0.0f64, f64::max);
+        (time, world.stats().totals(OpKind::Migration).sent)
     }
 
     /// The per-rank SPMD body.
@@ -349,6 +573,7 @@ impl InferenceEngine {
         mode: ParallelismMode,
         placement: &Placement,
         batches: &[TokenBatch],
+        ctx_offset: usize,
     ) -> RankResult {
         let cfg = &self.cfg;
         let me = comm.rank().0;
@@ -389,7 +614,7 @@ impl InferenceEngine {
 
         let k = cfg.model.gate.k();
         for (iter, batch) in batches.iter().enumerate() {
-            let ctx_len = cfg.prompt_len + iter;
+            let ctx_len = cfg.prompt_len + ctx_offset + iter;
 
             // This rank's requests each contribute one in-flight token.
             let mut resident: Vec<Token> = (0..w * g)
@@ -760,6 +985,120 @@ mod tests {
     fn indivisible_expert_count_rejected() {
         let model = moe_gpt_m(8);
         let _ = InferenceEngine::builder(model, ClusterSpec::new(3, 1).unwrap()).build();
+    }
+
+    fn online_engine(threads: usize) -> InferenceEngine {
+        let mut model = moe_gpt_m(8);
+        model.n_layers = 5;
+        InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+            .requests_per_gpu(32)
+            .n_iterations(2)
+            .prompt_len(8)
+            .profile_tokens(800)
+            .parallelism(Parallelism::new(threads))
+            .online(OnlineConfig {
+                replan_every: 1,
+                drift_threshold: 0.08,
+                migration_budget_bytes: u64::MAX,
+                decay: 0.3,
+            })
+            .seed(11)
+            .build()
+    }
+
+    fn online_drift(engine: &InferenceEngine, windows: usize) -> DriftSchedule {
+        DriftSchedule::piecewise(&engine.config().routing_spec, 2, windows)
+    }
+
+    #[test]
+    fn online_adaptation_beats_static_placement_under_drift() {
+        let engine = online_engine(1);
+        let drift = online_drift(&engine, 6);
+        let adaptive = engine.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        // Static baseline: infinite threshold never re-plans.
+        let mut static_cfg = engine.config().clone();
+        static_cfg.online.drift_threshold = f64::INFINITY;
+        let static_engine = InferenceEngine::from_config(static_cfg);
+        let fixed = static_engine.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        assert!(
+            adaptive.migrations.replans > 0,
+            "drift must trigger re-plans"
+        );
+        assert_eq!(fixed.migrations.replans, 0);
+        assert!(
+            adaptive.dispatch().gpu_local_fraction() > fixed.dispatch().gpu_local_fraction(),
+            "adaptive {} vs static {}",
+            adaptive.dispatch().gpu_local_fraction(),
+            fixed.dispatch().gpu_local_fraction()
+        );
+    }
+
+    #[test]
+    fn online_drift_signal_spikes_at_the_phase_boundary() {
+        let engine = online_engine(1);
+        let drift = online_drift(&engine, 6);
+        let report = engine.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        assert_eq!(report.drift.len(), 6);
+        // The phase flips after window 2 (6 windows, 2 phases): the
+        // signal at window 3 dwarfs the in-phase sampling noise before it.
+        assert!(
+            report.drift[3] > 1.75 * report.drift[1],
+            "boundary {} vs in-phase {}",
+            report.drift[3],
+            report.drift[1]
+        );
+        // Migration accounting is internally consistent.
+        let moved: u64 = report.replans.iter().map(|r| r.experts_moved).sum();
+        assert_eq!(moved, report.migrations.experts_moved);
+        assert_eq!(
+            report.migrations.bytes.total(),
+            report.replans.iter().map(|r| r.bytes_moved).sum::<u64>()
+        );
+        assert!(report.total_time() > 0.0 && report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn online_budget_caps_bytes_per_replan() {
+        let engine = online_engine(1);
+        let bytes_per_expert = engine.config().model.expert_params() * 2;
+        let budget = 4 * bytes_per_expert;
+        let mut cfg = engine.config().clone();
+        cfg.online.migration_budget_bytes = budget;
+        let capped = InferenceEngine::from_config(cfg);
+        let drift = online_drift(&capped, 6);
+        let report = capped.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        assert!(report.migrations.replans > 0);
+        for replan in &report.replans {
+            assert!(
+                replan.bytes_moved <= budget,
+                "re-plan at window {} moved {} bytes over the {} budget",
+                replan.window,
+                replan.bytes_moved,
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn online_runs_are_thread_count_invariant() {
+        let seq = online_engine(1);
+        let drift = online_drift(&seq, 4);
+        let a = seq.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        for threads in [2, 8] {
+            let par = online_engine(threads);
+            let b = par.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+            assert_eq!(a, b, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn online_without_affinity_mode_never_migrates() {
+        let engine = online_engine(1);
+        let drift = online_drift(&engine, 4);
+        let report = engine.run_online(ParallelismMode::ContextCoherent, &drift);
+        assert_eq!(report.migrations.replans, 0);
+        assert!(report.replans.is_empty());
+        assert_eq!(report.migrations.bytes.total(), 0);
     }
 
     fn top2_engine(nodes: usize, gpn: usize) -> InferenceEngine {

@@ -23,6 +23,14 @@
 //! reports deterministic virtual-time breakdowns per operator — the
 //! quantities behind the paper's Figs. 6–10.
 //!
+//! Beyond the paper's offline setting, the engine also serves
+//! **non-stationary** traffic: [`InferenceEngine::run_online`] maintains a
+//! decayed streaming affinity estimate of the live routing, detects drift
+//! against the estimate the current placement was solved for, and executes
+//! budgeted incremental re-placements (expert-weight migrations priced on
+//! the cluster's links) between serving windows — configured by
+//! [`OnlineConfig`] via `EngineConfig::online`.
+//!
 //! ```
 //! use exflow_core::{InferenceEngine, ParallelismMode};
 //! use exflow_model::presets::moe_gpt_m;
@@ -46,7 +54,7 @@ pub mod frame;
 pub mod modes;
 pub mod report;
 
-pub use engine::{EngineBuilder, EngineConfig, InferenceEngine};
+pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig};
 pub use exflow_placement::{GapBackend, Parallelism};
 pub use modes::ParallelismMode;
-pub use report::{InferenceReport, OpBreakdown};
+pub use report::{InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent};

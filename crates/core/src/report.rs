@@ -152,6 +152,91 @@ impl InferenceReport {
     }
 }
 
+/// Aggregate expert-weight migration accounting for an online run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrationStats {
+    /// Re-plan events that moved at least one expert.
+    pub replans: u64,
+    /// Expert relocations executed, summed over re-plans.
+    pub experts_moved: u64,
+    /// Migrated bytes, bucketed by link class.
+    pub bytes: BytesByClass,
+    /// Virtual time spent migrating (the serving pipeline stalls for it).
+    pub time: f64,
+}
+
+/// One re-plan decision that actually migrated experts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanEvent {
+    /// Serving window after which the re-plan fired (0-based).
+    pub window: usize,
+    /// Drift signal (windowed divergence) that triggered it.
+    pub drift: f64,
+    /// Experts relocated by this re-plan.
+    pub experts_moved: u64,
+    /// Bytes of expert weights migrated.
+    pub bytes_moved: u64,
+    /// Virtual time the migration exchange took.
+    pub migration_time: f64,
+}
+
+/// Result of one online serving run (`InferenceEngine::run_online`): the
+/// per-window inference reports plus the drift trajectory and every
+/// migration the incremental re-placement engine executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Mode that produced this report.
+    pub mode: ParallelismMode,
+    /// One report per serving window, in window order.
+    pub windows: Vec<InferenceReport>,
+    /// Drift signal after each window (same length as `windows`).
+    pub drift: Vec<f64>,
+    /// Re-plans that moved experts, in firing order.
+    pub replans: Vec<ReplanEvent>,
+    /// Aggregate migration accounting.
+    pub migrations: MigrationStats,
+}
+
+impl OnlineReport {
+    /// Total virtual time: serving windows plus migration stalls.
+    pub fn total_time(&self) -> f64 {
+        self.windows.iter().map(|w| w.total_time).sum::<f64>() + self.migrations.time
+    }
+
+    /// Tokens generated across all windows.
+    pub fn tokens_processed(&self) -> u64 {
+        self.windows.iter().map(|w| w.tokens_processed).sum()
+    }
+
+    /// End-to-end throughput including migration stalls.
+    pub fn throughput(&self) -> f64 {
+        let t = self.total_time();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.tokens_processed() as f64 / t
+        }
+    }
+
+    /// Dispatch locality counters merged over all windows.
+    pub fn dispatch(&self) -> DispatchStats {
+        let mut d = DispatchStats::default();
+        for w in &self.windows {
+            d.merge(&w.dispatch);
+        }
+        d
+    }
+
+    /// Alltoall bytes sent, merged over all windows.
+    pub fn alltoall_bytes(&self) -> BytesByClass {
+        let mut b = BytesByClass::default();
+        for w in &self.windows {
+            b.merge(&w.alltoall_bytes);
+        }
+        b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

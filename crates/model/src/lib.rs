@@ -21,6 +21,9 @@
 //!   conditional-probability structure the paper's Fig. 2 heatmaps show;
 //! * [`corpus`] — domain-mixture token streams standing in for Pile / C4 /
 //!   Dolma / Yelp (Table III);
+//! * [`drift`] — non-stationary routing schedules (piecewise-phase and
+//!   smoothly-interpolating drift presets) feeding the online serving
+//!   mode's streaming-affinity and re-placement machinery;
 //! * [`training`] — a gating-evolution simulator reproducing the training
 //!   dynamics of Figs. 11–12 (early expert collapse, rebalancing, steady
 //!   affinity growth).
@@ -32,6 +35,7 @@ pub mod capacity;
 pub mod config;
 pub mod corpus;
 pub mod cost;
+pub mod drift;
 pub mod expert;
 pub mod presets;
 pub mod routing;
@@ -41,6 +45,7 @@ pub mod training;
 pub use config::{GateKind, ModelConfig};
 pub use corpus::{CorpusSpec, TokenBatch};
 pub use cost::ComputeCostModel;
+pub use drift::{DriftKind, DriftSchedule};
 pub use expert::Expert;
 pub use routing::{AffinityModelSpec, RoutingModel};
 pub use tensor::Matrix;

@@ -279,6 +279,42 @@ impl RoutingModel {
             .count()
     }
 
+    /// Convex interpolation towards `other`: every domain/gap transition
+    /// matrix becomes `(1 - alpha) * self + alpha * other`. Both models
+    /// must share a shape (layers, experts, domains). The blend of two
+    /// row-stochastic (indeed doubly stochastic) matrices is again doubly
+    /// stochastic, so load balance survives interpolation — this is the
+    /// primitive behind the smooth routing-drift presets in
+    /// [`crate::drift`]. Any active-expert restriction is dropped (drift
+    /// models serve fully-trained checkpoints).
+    pub fn interpolate(&self, other: &RoutingModel, alpha: f64) -> RoutingModel {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert_eq!(self.spec.n_layers, other.spec.n_layers, "layer mismatch");
+        assert_eq!(self.spec.n_experts, other.spec.n_experts, "expert mismatch");
+        assert_eq!(self.spec.n_domains, other.spec.n_domains, "domain mismatch");
+        let transitions = self
+            .transitions
+            .iter()
+            .zip(&other.transitions)
+            .map(|(da, db)| {
+                da.iter()
+                    .zip(db)
+                    .map(|(ga, gb)| {
+                        ga.iter()
+                            .zip(gb)
+                            .map(|(&a, &b)| (1.0 - alpha) * a + alpha * b)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        RoutingModel {
+            spec: self.spec.clone(),
+            transitions,
+            active: None,
+        }
+    }
+
     /// Domain-mixture transition matrix for `gap`, weighted by `weights`
     /// (will be normalized; length must equal `n_domains`).
     pub fn mixture_transition(&self, weights: &[f64], gap: usize) -> Vec<f64> {
@@ -605,6 +641,39 @@ mod tests {
         let blend = m.mixture_transition(&[1.0, 1.0, 1.0, 1.0], 0);
         let s: f64 = blend[..4].iter().sum();
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_endpoints_and_stochasticity() {
+        let a = model(8, 4, 0.9);
+        let b = AffinityModelSpec::new(4, 8)
+            .with_affinity(0.9)
+            .with_seed(0xd1f7)
+            .build();
+        let at0 = a.interpolate(&b, 0.0);
+        let at1 = a.interpolate(&b, 1.0);
+        assert_eq!(at0.transition(0, 0), a.transition(0, 0));
+        assert_eq!(at1.transition(0, 0), b.transition(0, 0));
+        let mid = a.interpolate(&b, 0.5);
+        for gap in 0..3 {
+            let t = mid.transition(0, gap);
+            for row in 0..8 {
+                let s: f64 = t[row * 8..(row + 1) * 8].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row {row} sums to {s}");
+            }
+            // Doubly stochastic too: columns also sum to 1.
+            for col in 0..8 {
+                let s: f64 = (0..8).map(|r| t[r * 8 + col]).sum();
+                assert!((s - 1.0).abs() < 1e-9, "col {col} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn interpolation_rejects_bad_alpha() {
+        let a = model(8, 4, 0.9);
+        let _ = a.interpolate(&a, 1.5);
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * [`local_search`] — pairwise-swap hill climbing with delta evaluation;
 //! * [`annealing`] — simulated annealing for rugged instances;
 //! * [`portfolio`] — race several solvers on worker threads, keep the best;
-//! * [`staged`] — the paper's two-stage node→GPU pipeline.
+//! * [`staged`] — the paper's two-stage node→GPU pipeline;
+//! * [`online`] — warm-started and byte-budgeted incremental re-placement
+//!   from an incumbent, plus the [`MigrationPlan`] pricing expert moves
+//!   against `exflow-topology`'s α–β link costs (the online serving mode).
 //!
 //! All stochastic solvers take an optional [`parallel::Parallelism`]
 //! width (the `*_with` entry points): restarts, annealing starts,
@@ -53,6 +56,7 @@ pub mod hungarian;
 pub mod io;
 pub mod local_search;
 pub mod objective;
+pub mod online;
 pub mod parallel;
 pub mod placement;
 pub mod portfolio;
@@ -62,6 +66,10 @@ pub mod staged;
 
 pub use annealing::AnnealParams;
 pub use objective::{GapBackend, GapStorage, Objective, SPARSE_DENSITY_THRESHOLD};
+pub use online::{
+    solve_budgeted, solve_budgeted_toward, solve_warm_start, ExpertMove, MigrationPlan,
+    PricedMigration,
+};
 pub use parallel::{split_seed, Parallelism};
 pub use placement::Placement;
 pub use solver::{solve, solve_with, SolverKind};

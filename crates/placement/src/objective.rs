@@ -1,7 +1,7 @@
 //! The ILP objective (paper formula 8) and locality measurement, with
 //! selectable dense / sparse (CSR) gap storage.
 
-use exflow_affinity::{AffinityMatrix, RoutingTrace, SparseAffinity};
+use exflow_affinity::{AffinityMatrix, AffinitySnapshot, RoutingTrace, SparseAffinity};
 
 use crate::placement::Placement;
 
@@ -267,6 +267,54 @@ impl Objective {
                     .map(|i| m.row_count(i) as f64 / total as f64)
                     .collect()
             });
+        }
+        Objective {
+            n_experts: e,
+            gaps,
+            weights,
+            nnz,
+        }
+    }
+
+    /// Build from a frozen [`AffinitySnapshot`] of the online streaming
+    /// estimator — the re-placement path of the online serving mode.
+    /// Conditional rows come in CSR form and source marginals come from
+    /// the snapshot's decayed row mass, so a snapshot of a single
+    /// undecayed window defines the same objective — bit for bit — as
+    /// [`Objective::from_sparse_affinities`] on that window's trace.
+    /// Storage is selected per gap by [`GapBackend::Auto`].
+    pub fn from_snapshot(snapshot: &AffinitySnapshot) -> Self {
+        Self::from_snapshot_with(snapshot, GapBackend::Auto)
+    }
+
+    /// [`Objective::from_snapshot`] with an explicit backend override
+    /// (`Dense` expands the CSR rows).
+    pub fn from_snapshot_with(snapshot: &AffinitySnapshot, backend: GapBackend) -> Self {
+        let e = snapshot.n_experts();
+        let mut gaps = Vec::with_capacity(snapshot.n_gaps());
+        let mut weights = Vec::with_capacity(snapshot.n_gaps());
+        let mut nnz = Vec::with_capacity(snapshot.n_gaps());
+        for gap in 0..snapshot.n_gaps() {
+            let (row_ptr, cols, probs) = snapshot.gap_csr(gap);
+            let gap_nnz = cols.len();
+            gaps.push(if pick_sparse(gap_nnz, e, backend) {
+                GapStorage::Sparse(SparseGap::from_csr(
+                    e,
+                    row_ptr.to_vec(),
+                    cols.to_vec(),
+                    probs.to_vec(),
+                ))
+            } else {
+                let mut flat = vec![0.0f64; e * e];
+                for i in 0..e {
+                    for idx in row_ptr[i]..row_ptr[i + 1] {
+                        flat[i * e + cols[idx]] = probs[idx];
+                    }
+                }
+                GapStorage::Dense(flat)
+            });
+            nnz.push(gap_nnz);
+            weights.push(snapshot.gap_weights(gap).to_vec());
         }
         Objective {
             n_experts: e,
@@ -845,6 +893,41 @@ mod tests {
             (expected - measured).abs() < 0.02,
             "expected {expected} vs measured {measured}"
         );
+    }
+
+    #[test]
+    fn snapshot_build_matches_offline_build_bitwise() {
+        use exflow_affinity::StreamingAffinity;
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let model = AffinityModelSpec::new(4, 16).with_affinity(0.9).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 2500, 1, 21);
+        let trace = RoutingTrace::from_batch(&batch, 16);
+        // One undecayed window == the offline estimate.
+        let mut streaming = StreamingAffinity::new(4, 16, 1.0);
+        streaming.observe(&trace);
+        let offline = Objective::from_sparse_affinities(&SparseAffinity::consecutive(&trace));
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let online = Objective::from_snapshot_with(&streaming.snapshot(), backend);
+            assert_eq!(online.nnz(), offline.nnz());
+            let p = Placement::round_robin(4, 16, 4);
+            assert_eq!(
+                online.cross_mass(&p).to_bits(),
+                offline.cross_mass(&p).to_bits()
+            );
+            for i in 0..16 {
+                assert_eq!(
+                    online.row_weight(1, i).to_bits(),
+                    offline.row_weight(1, i).to_bits()
+                );
+                for j in 0..16 {
+                    assert_eq!(
+                        online.gap_prob(2, i, j).to_bits(),
+                        offline.gap_prob(2, i, j).to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

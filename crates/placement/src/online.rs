@@ -1,0 +1,499 @@
+//! Incremental re-placement for the online serving mode: warm-started and
+//! byte-budgeted solves from an incumbent placement, plus the
+//! [`MigrationPlan`] that prices the resulting expert moves.
+//!
+//! Offline, ExFlow solves placements from scratch; online, a from-scratch
+//! re-solve would discard the incumbent and migrate almost every expert.
+//! Following the budgeted-re-optimization view of the interval-subset-sum
+//! line of work (Diao et al., arXiv:1704.06928), re-placement is instead
+//! treated as an *incremental* problem: start from the incumbent, apply
+//! the highest-gain balanced swaps first, and stop when the migration
+//! budget — bytes of expert weights moved between GPUs — is exhausted.
+//! Every function here is sequential and deterministic, so online runs
+//! stay bit-identical at any thread count by construction.
+//!
+//! Moves are priced against the cluster's α–β link costs
+//! (`exflow-topology`): a migration is a bulk point-to-point exchange at
+//! full link bandwidth, not a derated Alltoall.
+
+use exflow_topology::collective_cost::{BytesByClass, CollectiveCostModel};
+use exflow_topology::{ClusterSpec, CostModel, Rank};
+
+use crate::greedy::solve_greedy;
+use crate::local_search::improve;
+use crate::objective::Objective;
+use crate::placement::Placement;
+
+/// Warm-start solve: polish the incumbent in place with first-improvement
+/// swap passes (no restarts, no randomness). The cheap end of the
+/// re-placement spectrum — returns a placement at least as good as the
+/// incumbent, typically after moving only the experts the drift actually
+/// affected.
+pub fn solve_warm_start(
+    objective: &Objective,
+    incumbent: &Placement,
+    max_passes: usize,
+) -> Placement {
+    let mut placement = incumbent.clone();
+    improve(objective, &mut placement, max_passes);
+    placement
+}
+
+/// Experts whose unit differs between two placements (the net migration
+/// size of jumping from `a` to `b`).
+fn net_moves(a: &Placement, b: &Placement) -> u64 {
+    let mut n = 0u64;
+    for layer in 0..a.n_layers() {
+        for expert in 0..a.n_experts() {
+            if a.unit_of(layer, expert) != b.unit_of(layer, expert) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Best-improvement swap descent from the incumbent: repeatedly apply the
+/// most negative [`Objective::swap_delta`] (scanning `(layer, e1, e2)` in
+/// ascending order with strict first-wins ties) while the *net* diff from
+/// the incumbent stays within `max_moves`. The descent path does not
+/// depend on the budget — a larger budget only walks further — so the
+/// result improves monotonically with the budget.
+fn budgeted_descent(objective: &Objective, incumbent: &Placement, max_moves: u64) -> Placement {
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    let mut placement = incumbent.clone();
+    loop {
+        let mut best: Option<(f64, usize, usize, usize)> = None;
+        for layer in 0..l {
+            for e1 in 0..e {
+                for e2 in (e1 + 1)..e {
+                    let delta = objective.swap_delta(&placement, layer, e1, e2);
+                    if delta < -1e-12 && best.is_none_or(|(b, _, _, _)| delta < b) {
+                        best = Some((delta, layer, e1, e2));
+                    }
+                }
+            }
+        }
+        let Some((_, layer, e1, e2)) = best else {
+            break;
+        };
+        let mut next = placement.clone();
+        next.swap(layer, e1, e2);
+        if net_moves(incumbent, &next) > max_moves {
+            break;
+        }
+        placement = next;
+    }
+    placement
+}
+
+/// Budgeted walk from the incumbent *toward* an unconstrained target:
+/// repeatedly apply the lowest-delta swap that moves some mismatched
+/// expert onto its target unit, stopping when aligned or when the next
+/// step would exceed the budget, and return the lowest-cost placement
+/// visited. The walk escapes the incumbent's basin (individual aligning
+/// swaps may cost mass that later swaps win back), which pure descent
+/// cannot do after the routing structure changes wholesale.
+fn budgeted_toward(
+    objective: &Objective,
+    incumbent: &Placement,
+    target: &Placement,
+    max_moves: u64,
+) -> Placement {
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    let mut placement = incumbent.clone();
+    let mut best = (objective.cross_mass(&placement), placement.clone());
+    loop {
+        // The lowest-delta swap that puts a mismatched expert where the
+        // target wants it. The displaced partner must itself be
+        // mismatched (one always exists on a wanted unit while any
+        // mismatch remains — the target is balanced), so every swap
+        // strictly shrinks the mismatch count and the walk terminates.
+        let mut pick: Option<(f64, usize, usize, usize)> = None;
+        for layer in 0..l {
+            for e1 in 0..e {
+                let want = target.unit_of(layer, e1);
+                if placement.unit_of(layer, e1) == want {
+                    continue;
+                }
+                for e2 in 0..e {
+                    if e2 != e1
+                        && placement.unit_of(layer, e2) == want
+                        && target.unit_of(layer, e2) != want
+                    {
+                        let delta = objective.swap_delta(&placement, layer, e1, e2);
+                        if pick.is_none_or(|(b, _, _, _)| delta < b) {
+                            pick = Some((delta, layer, e1, e2));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((_, layer, e1, e2)) = pick else {
+            break;
+        };
+        let mut next = placement.clone();
+        next.swap(layer, e1, e2);
+        if net_moves(incumbent, &next) > max_moves {
+            break;
+        }
+        placement = next;
+        let cost = objective.cross_mass(&placement);
+        if cost < best.0 {
+            best = (cost, placement.clone());
+        }
+    }
+    best.1
+}
+
+/// Budgeted incremental re-placement: starting from the incumbent, spend
+/// at most `max_moves` *net* expert relocations (what a
+/// [`MigrationPlan`] between incumbent and result would migrate) to
+/// reduce the objective as much as possible.
+///
+/// The budget caps *migration traffic*, not solver compute, so the
+/// target of the walk may be as good a solution as the caller can
+/// afford to compute. This convenience entry point builds a
+/// deterministic from-scratch target (greedy chain + swap polish, no
+/// randomness) and delegates to [`solve_budgeted_toward`]; callers that
+/// already hold a stronger solution — e.g. an oracle re-solve — should
+/// pass it to [`solve_budgeted_toward`] directly.
+pub fn solve_budgeted(objective: &Objective, incumbent: &Placement, max_moves: u64) -> Placement {
+    let mut target = solve_greedy(objective, incumbent.n_units());
+    improve(objective, &mut target, 50);
+    solve_budgeted_toward(objective, incumbent, &target, max_moves)
+}
+
+/// Budgeted incremental re-placement toward an explicit unconstrained
+/// target. Two deterministic strategies race:
+///
+/// * **descent** — best-improvement swaps from the incumbent (cheap
+///   polish; ideal when drift only perturbed the structure);
+/// * **toward-target** — walk the incumbent toward `target`
+///   best-gain-first, keeping the cheapest placement visited within
+///   budget (escapes the stale basin after a regime change).
+///
+/// The cheaper result wins (descent on ties). Both walks are
+/// budget-independent paths that a larger budget merely extends, so the
+/// returned cost improves monotonically with `max_moves`, and
+/// `max_moves = 0` returns the incumbent unchanged.
+pub fn solve_budgeted_toward(
+    objective: &Objective,
+    incumbent: &Placement,
+    target: &Placement,
+    max_moves: u64,
+) -> Placement {
+    let descent = budgeted_descent(objective, incumbent, max_moves);
+    let toward = budgeted_toward(objective, incumbent, target, max_moves);
+    if objective.cross_mass(&toward) < objective.cross_mass(&descent) {
+        toward
+    } else {
+        descent
+    }
+}
+
+/// One expert relocation: `expert` at `layer` moves from unit `from` to
+/// unit `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpertMove {
+    /// The MoE layer of the moving expert.
+    pub layer: usize,
+    /// The moving expert's id.
+    pub expert: usize,
+    /// Unit (GPU) that currently holds the weights.
+    pub from: usize,
+    /// Unit (GPU) that will hold them after the migration.
+    pub to: usize,
+}
+
+/// The set of expert moves that turns one placement into another, with
+/// the byte accounting and α–β pricing the online engine budgets against.
+///
+/// ```
+/// use exflow_placement::online::{solve_budgeted, MigrationPlan};
+/// use exflow_placement::{Objective, Placement};
+/// use exflow_topology::{ClusterSpec, CostModel};
+///
+/// // Shift affinity (expert i routes to i+1) on 2 layers, 4 experts.
+/// let mut gap = vec![0.0; 16];
+/// for i in 0..4 { gap[i * 4 + (i + 1) % 4] = 1.0; }
+/// let objective = Objective::from_raw(vec![gap], 4);
+/// let incumbent = Placement::round_robin(2, 4, 2);
+///
+/// // Re-place under a budget of at most 2 expert moves (one swap).
+/// let next = solve_budgeted(&objective, &incumbent, 2);
+/// let plan = MigrationPlan::between(&incumbent, &next, 1 << 20);
+/// assert!(plan.n_moves() <= 2);
+/// assert!(plan.total_bytes() <= 2 << 20);
+/// assert!(objective.cross_mass(&next) < objective.cross_mass(&incumbent));
+///
+/// // Moves are priced against the cluster's link costs.
+/// let cluster = ClusterSpec::new(1, 2).unwrap();
+/// let priced = plan.priced(&cluster, &CostModel::wilkes3());
+/// assert_eq!(priced.bytes.total(), plan.total_bytes());
+/// assert!(priced.time > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Bytes of weights one expert move transfers.
+    pub bytes_per_expert: u64,
+    /// Every expert that changes units, in (layer, expert) order.
+    pub moves: Vec<ExpertMove>,
+}
+
+impl MigrationPlan {
+    /// Diff two placements of identical shape into the moves that turn
+    /// `old` into `new`. `bytes_per_expert` is the wire size of one
+    /// expert's weights (`2 * d_model * d_ff` parameters at 2 bytes each
+    /// for the fp16 models the paper serves).
+    pub fn between(old: &Placement, new: &Placement, bytes_per_expert: u64) -> Self {
+        assert_eq!(old.n_layers(), new.n_layers(), "layer mismatch");
+        assert_eq!(old.n_experts(), new.n_experts(), "expert mismatch");
+        assert_eq!(old.n_units(), new.n_units(), "unit mismatch");
+        let mut moves = Vec::new();
+        for layer in 0..old.n_layers() {
+            for expert in 0..old.n_experts() {
+                let from = old.unit_of(layer, expert);
+                let to = new.unit_of(layer, expert);
+                if from != to {
+                    moves.push(ExpertMove {
+                        layer,
+                        expert,
+                        from,
+                        to,
+                    });
+                }
+            }
+        }
+        MigrationPlan {
+            bytes_per_expert,
+            moves,
+        }
+    }
+
+    /// Number of expert relocations.
+    pub fn n_moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether no expert moves at all.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Total bytes of expert weights crossing GPUs.
+    pub fn total_bytes(&self) -> u64 {
+        self.moves.len() as u64 * self.bytes_per_expert
+    }
+
+    /// The `world x world` send matrix of this plan: entry `[src][dst]`
+    /// holds the bytes `src` ships to `dst`.
+    pub fn send_matrix(&self, world_size: usize) -> Vec<Vec<u64>> {
+        let mut matrix = vec![vec![0u64; world_size]; world_size];
+        for m in &self.moves {
+            assert!(
+                m.from < world_size && m.to < world_size,
+                "move endpoints must be ranks of the cluster"
+            );
+            matrix[m.from][m.to] += self.bytes_per_expert;
+        }
+        matrix
+    }
+
+    /// Price the plan on a concrete cluster: per-link-class byte totals
+    /// and the completion time of the full-bandwidth point-to-point
+    /// exchange under the α–β cost model.
+    pub fn priced(&self, cluster: &ClusterSpec, cost: &CostModel) -> PricedMigration {
+        let model = CollectiveCostModel::new(*cluster, *cost);
+        let matrix = self.send_matrix(cluster.world_size());
+        let mut bytes = BytesByClass::default();
+        for (src, row) in matrix.iter().enumerate() {
+            for (dst, &b) in row.iter().enumerate() {
+                if b > 0 {
+                    bytes.add(cluster.link_class(Rank(src), Rank(dst)), b);
+                }
+            }
+        }
+        PricedMigration {
+            time: model.exchange_time(&matrix),
+            bytes,
+        }
+    }
+}
+
+/// A [`MigrationPlan`] priced on a concrete cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricedMigration {
+    /// Completion time of the exchange, seconds of virtual time.
+    pub time: f64,
+    /// Bytes moved, bucketed by link class.
+    pub bytes: BytesByClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shift affinity with a uniform leak: optimum differs from
+    /// round-robin, so re-placement has work to do.
+    fn objective(e: usize, gaps: usize, kappa: f64) -> Objective {
+        let u = 1.0 / e as f64;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            for p in 0..e {
+                let s = f64::from(p == (i + 3) % e);
+                m[i * e + p] = kappa * s + (1.0 - kappa) * u;
+            }
+        }
+        Objective::from_raw(vec![m; gaps], e)
+    }
+
+    #[test]
+    fn zero_budget_returns_incumbent_unchanged() {
+        let obj = objective(8, 3, 0.8);
+        let incumbent = Placement::round_robin(4, 8, 4);
+        for budget in [0u64, 1] {
+            let p = solve_budgeted(&obj, &incumbent, budget);
+            assert_eq!(p, incumbent, "budget {budget} must not move anything");
+            assert!(MigrationPlan::between(&incumbent, &p, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn budget_caps_moves_exactly() {
+        let obj = objective(16, 4, 0.9);
+        let incumbent = Placement::round_robin(5, 16, 4);
+        for budget in [2u64, 4, 8, 16] {
+            let p = solve_budgeted(&obj, &incumbent, budget);
+            let plan = MigrationPlan::between(&incumbent, &p, 1);
+            assert!(
+                plan.n_moves() as u64 <= budget,
+                "budget {budget}: {} moves",
+                plan.n_moves()
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_cost_is_monotone_in_budget() {
+        let obj = objective(16, 4, 0.9);
+        let incumbent = Placement::round_robin(5, 16, 4);
+        let mut last = obj.cross_mass(&incumbent);
+        for budget in [0u64, 2, 6, 12, 24, 1000] {
+            let cost = obj.cross_mass(&solve_budgeted(&obj, &incumbent, budget));
+            assert!(
+                cost <= last + 1e-12,
+                "budget {budget}: cost {cost} worse than {last}"
+            );
+            last = cost;
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_matches_from_scratch_quality() {
+        let obj = objective(8, 3, 0.85);
+        let incumbent = Placement::round_robin(4, 8, 2);
+        let p = solve_budgeted(&obj, &incumbent, u64::MAX);
+        // At least as good as the from-scratch greedy + polish target it
+        // races against (the toward-walk visits the target itself), and
+        // strictly better than the stale incumbent.
+        let mut target = solve_greedy(&obj, 2);
+        improve(&obj, &mut target, 50);
+        let cost = obj.cross_mass(&p);
+        assert!(cost <= obj.cross_mass(&target) + 1e-12);
+        assert!(cost < obj.cross_mass(&incumbent));
+    }
+
+    #[test]
+    fn warm_start_never_worsens_and_is_deterministic() {
+        let obj = objective(12, 5, 0.8);
+        let incumbent = Placement::round_robin(6, 12, 4);
+        let a = solve_warm_start(&obj, &incumbent, 50);
+        let b = solve_warm_start(&obj, &incumbent, 50);
+        assert_eq!(a, b);
+        assert!(obj.cross_mass(&a) <= obj.cross_mass(&incumbent) + 1e-12);
+    }
+
+    #[test]
+    fn budgeted_beats_warm_start_budget_for_budget_or_ties() {
+        // Best-improvement spends a tight budget on the steepest swaps;
+        // with the same unlimited budget both reach swap-local optima.
+        let obj = objective(16, 4, 0.9);
+        let incumbent = Placement::round_robin(5, 16, 4);
+        let budgeted = solve_budgeted(&obj, &incumbent, u64::MAX);
+        let warm = solve_warm_start(&obj, &incumbent, usize::MAX);
+        for p in [&budgeted, &warm] {
+            assert!(obj.cross_mass(p) < obj.cross_mass(&incumbent));
+        }
+    }
+
+    #[test]
+    fn plan_between_lists_exactly_the_diff() {
+        let old = Placement::round_robin(2, 4, 2);
+        let mut new = old.clone();
+        new.swap(1, 0, 2);
+        let plan = MigrationPlan::between(&old, &new, 100);
+        assert_eq!(plan.n_moves(), 2);
+        assert_eq!(plan.total_bytes(), 200);
+        assert_eq!(
+            plan.moves,
+            vec![
+                ExpertMove {
+                    layer: 1,
+                    expert: 0,
+                    from: 0,
+                    to: 1
+                },
+                ExpertMove {
+                    layer: 1,
+                    expert: 2,
+                    from: 1,
+                    to: 0
+                },
+            ]
+        );
+        let matrix = plan.send_matrix(2);
+        assert_eq!(matrix[0][1], 100);
+        assert_eq!(matrix[1][0], 100);
+    }
+
+    #[test]
+    fn pricing_charges_link_classes_correctly() {
+        let cluster = ClusterSpec::new(2, 2).unwrap();
+        let cost = CostModel::wilkes3();
+        let old = Placement::round_robin(1, 8, 4);
+        // Intra-node swap: experts 0 and 2 trade GPUs 0 and 1 (same node).
+        let mut intra = old.clone();
+        intra.swap(0, 0, 2);
+        let p_intra = MigrationPlan::between(&old, &intra, 1 << 20).priced(&cluster, &cost);
+        assert_eq!(p_intra.bytes.intra_node, 2 << 20);
+        assert_eq!(p_intra.bytes.inter_node, 0);
+        // Inter-node swap: experts 0 and 4 trade GPUs 0 and 2.
+        let mut inter = old.clone();
+        inter.swap(0, 0, 4);
+        let p_inter = MigrationPlan::between(&old, &inter, 1 << 20).priced(&cluster, &cost);
+        assert_eq!(p_inter.bytes.inter_node, 2 << 20);
+        assert!(p_inter.time > p_intra.time, "inter-node moves cost more");
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let cluster = ClusterSpec::new(1, 4).unwrap();
+        let p = Placement::round_robin(3, 8, 4);
+        let plan = MigrationPlan::between(&p, &p, 1 << 20);
+        assert!(plan.is_empty());
+        let priced = plan.priced(&cluster, &CostModel::wilkes3());
+        assert_eq!(priced.time, 0.0);
+        assert_eq!(priced.bytes.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit mismatch")]
+    fn mismatched_placements_rejected() {
+        let a = Placement::round_robin(2, 8, 4);
+        let b = Placement::round_robin(2, 8, 2);
+        let _ = MigrationPlan::between(&a, &b, 1);
+    }
+}

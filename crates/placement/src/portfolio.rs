@@ -40,6 +40,20 @@ pub fn default_roster(budget_ms: u64) -> Vec<SolverKind> {
 /// and return the best placement found. Member `i` runs sequentially on
 /// stream `split_seed(seed, i)`; the members themselves are the parallel
 /// grain, fanned across `par.threads` workers.
+///
+/// ```
+/// use exflow_placement::{solve, Objective, Placement, SolverKind};
+///
+/// // Shift affinity: expert i at layer j routes to expert i+1 at j+1.
+/// let mut gap = vec![0.0; 36];
+/// for i in 0..6 { gap[i * 6 + (i + 1) % 6] = 1.0; }
+/// let objective = Objective::from_raw(vec![gap; 2], 6);
+///
+/// // Race the budget-sized default roster; the best member wins.
+/// let best = solve(&objective, 2, SolverKind::portfolio(50), 7);
+/// let round_robin = Placement::round_robin(3, 6, 2);
+/// assert!(objective.cross_mass(&best) < objective.cross_mass(&round_robin));
+/// ```
 pub fn solve_portfolio(
     objective: &Objective,
     n_units: usize,

@@ -28,6 +28,24 @@ impl ReplicationPlan {
     /// Replicate, at every layer, the `budget` experts that receive the
     /// most tokens (the "expert popularity" heuristic). The marginal comes
     /// from the objective's row weights.
+    ///
+    /// ```
+    /// use exflow_placement::replication::ReplicationPlan;
+    /// use exflow_placement::{Objective, Placement};
+    ///
+    /// // Identity affinity over 4 experts: every expert equally popular.
+    /// let mut gap = vec![0.0; 16];
+    /// for i in 0..4 { gap[i * 4 + i] = 1.0; }
+    /// let objective = Objective::from_raw(vec![gap], 4);
+    /// let base = Placement::round_robin(2, 4, 2);
+    ///
+    /// let plan = ReplicationPlan::most_popular(&objective, base, 1);
+    /// // One expert replicated everywhere at each of the 2 layers ...
+    /// assert_eq!(plan.extra_copies_per_gpu(), 2);
+    /// // ... so it is available on every GPU, not just its owner.
+    /// let expert = plan.replicated[0][0];
+    /// assert!(plan.available_on(0, expert, 0) && plan.available_on(0, expert, 1));
+    /// ```
     pub fn most_popular(objective: &Objective, base: Placement, budget: usize) -> Self {
         let e = objective.n_experts();
         assert!(budget <= e, "cannot replicate more experts than exist");
@@ -41,6 +59,10 @@ impl ReplicationPlan {
                 .map(|expert| {
                     let p = if layer < objective.n_gaps() {
                         objective.row_weight(layer, expert)
+                    } else if objective.n_gaps() == 0 {
+                        // Gapless single-layer instance: no routing
+                        // information — every expert is equally popular.
+                        1.0 / e as f64
                     } else {
                         // Successor mass into the last layer.
                         (0..e)
@@ -80,6 +102,10 @@ impl ReplicationPlan {
 
     /// Fraction of a trace's layer transitions that can be served without
     /// leaving the current unit, counting replicas as local.
+    ///
+    /// A gapless single-layer trace has no transitions to lose, so the
+    /// fraction is 1.0 — agreeing with `Objective::local_fraction` on the
+    /// same L = 1 instance (the naive `0 / 0` ratio would report 0).
     pub fn trace_local_fraction(&self, trace: &RoutingTrace) -> f64 {
         assert_eq!(trace.n_layers(), self.base.n_layers());
         let mut local = 0u64;
@@ -98,7 +124,10 @@ impl ReplicationPlan {
                 }
             }
         }
-        local as f64 / total.max(1) as f64
+        if total == 0 {
+            return 1.0;
+        }
+        local as f64 / total as f64
     }
 }
 
@@ -183,6 +212,27 @@ mod tests {
                     assert!(plan.available_on(layer, expert, unit));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn single_layer_trace_agrees_with_objective_local_fraction() {
+        // Regression: PR 3 fixed the L = 1 edge case in
+        // Objective::local_fraction (0/0 -> 1.0) but left this path
+        // returning 0. Both views of a gapless instance must agree: with
+        // no transitions, nothing can leave its unit.
+        let trace = RoutingTrace::new(vec![vec![0], vec![3], vec![1]], 4);
+        let base = Placement::round_robin(1, 4, 2);
+        let obj = Objective::from_raw(vec![], 4);
+        let expected = obj.local_fraction(&base);
+        assert_eq!(expected, 1.0);
+        for budget in [0usize, 2, 4] {
+            let plan = ReplicationPlan::most_popular(&obj, base.clone(), budget);
+            let measured = plan.trace_local_fraction(&trace);
+            assert_eq!(
+                measured, expected,
+                "budget {budget}: trace fraction {measured} vs objective {expected}"
+            );
         }
     }
 

@@ -146,6 +146,42 @@ impl CollectiveCostModel {
         total
     }
 
+    /// Estimated completion time of a bulk point-to-point exchange where
+    /// rank `i` sends `send_bytes[i][j]` bytes to rank `j` at **full link
+    /// bandwidth** (no Alltoall derate).
+    ///
+    /// This prices expert-weight migration during online re-placement:
+    /// unlike token dispatch, a migration is a handful of large,
+    /// schedule-friendly transfers (NCCL send/recv pairs, not an incast
+    /// Alltoall), so each link runs at line rate. The completion model is
+    /// the same linear pairwise-exchange bound as
+    /// [`CollectiveCostModel::alltoallv_time`]: sends serialize per source,
+    /// receives serialize per destination, and the exchange completes when
+    /// the busiest endpoint is done. Self-sends (an expert "moving" within
+    /// its GPU) cost a local memcpy.
+    pub fn exchange_time(&self, send_bytes: &[Vec<u64>]) -> f64 {
+        let w = self.cluster.world_size();
+        assert_eq!(send_bytes.len(), w, "send matrix must be world-size rows");
+        let mut max_send = 0.0f64;
+        let mut recv_time = vec![0.0f64; w];
+        for (i, row) in send_bytes.iter().enumerate() {
+            assert_eq!(row.len(), w, "send matrix must be world-size columns");
+            let mut send = 0.0f64;
+            for (j, &bytes) in row.iter().enumerate() {
+                if bytes == 0 {
+                    continue;
+                }
+                let class = self.cluster.link_class(Rank(i), Rank(j));
+                let t = self.cost.transfer_time(class, bytes);
+                send += t;
+                recv_time[j] += t;
+            }
+            max_send = max_send.max(send);
+        }
+        let max_recv = recv_time.iter().copied().fold(0.0f64, f64::max);
+        max_send.max(max_recv)
+    }
+
     /// Byte accounting for a ring AllGatherV.
     pub fn allgatherv_bytes(&self, contrib_bytes: &[u64]) -> BytesByClass {
         let w = self.cluster.world_size();
@@ -248,5 +284,37 @@ mod tests {
     fn alltoall_rejects_bad_matrix() {
         let m = model(1, 2);
         let _ = m.alltoallv_time(&uniform_matrix(3, 1));
+    }
+
+    #[test]
+    fn exchange_runs_at_full_bandwidth() {
+        // Same matrix priced as a migration exchange vs an Alltoall: the
+        // exchange never pays the Alltoall bandwidth derate, so it is at
+        // least as fast on every topology with derated classes.
+        let m = model(2, 2);
+        let mat = uniform_matrix(4, 1 << 20);
+        assert!(m.exchange_time(&mat) < m.alltoallv_time(&mat));
+        // On a derate-free model the two bounds coincide.
+        let flat = CollectiveCostModel::new(
+            ClusterSpec::new(2, 2).unwrap(),
+            CostModel::uniform(1e-6, 1e9),
+        );
+        assert_eq!(flat.exchange_time(&mat), flat.alltoallv_time(&mat));
+    }
+
+    #[test]
+    fn exchange_of_nothing_is_free() {
+        let m = model(2, 2);
+        assert_eq!(m.exchange_time(&uniform_matrix(4, 0)), 0.0);
+    }
+
+    #[test]
+    fn exchange_prefers_intranode_moves() {
+        let m = model(2, 2);
+        let mut intra = vec![vec![0u64; 4]; 4];
+        intra[0][1] = 1 << 22;
+        let mut inter = vec![vec![0u64; 4]; 4];
+        inter[0][2] = 1 << 22;
+        assert!(m.exchange_time(&inter) > m.exchange_time(&intra));
     }
 }

@@ -1,4 +1,10 @@
 //! Facade crate: re-exports the whole ExFlow suite.
+//!
+//! The workspace architecture (crate map, data flow, determinism
+//! invariants, online serving mode) is documented below, straight from
+//! `ARCHITECTURE.md` — the rustdoc build (`-D warnings` in CI) keeps it
+//! compiling and link-checked.
+#![doc = include_str!("../ARCHITECTURE.md")]
 #![forbid(unsafe_code)]
 pub use exflow_affinity as affinity;
 pub use exflow_collectives as collectives;
