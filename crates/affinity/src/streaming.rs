@@ -308,6 +308,44 @@ impl AffinitySnapshot {
             Err(_) => 0.0,
         }
     }
+
+    /// Per-expert popularity at one *layer* (not gap): the marginal share
+    /// of traffic each expert receives there, summing to 1.
+    ///
+    /// For every layer with an outgoing gap this is that gap's source
+    /// marginal ([`AffinitySnapshot::gap_weights`]); the last layer has no
+    /// outgoing gap, so its popularity is the successor mass flowing *into*
+    /// it (`Σ_i w(i) · P(p|i)` over the final gap). A gapless single-layer
+    /// snapshot carries no routing information, so every expert is equally
+    /// popular. This is the popularity signal replication policies rank
+    /// experts by (the "expert popularity" heuristic of the paper's §VI
+    /// replication baseline), available online without rebuilding an
+    /// objective.
+    pub fn layer_popularity(&self, layer: usize) -> Vec<f64> {
+        assert!(layer < self.n_layers, "layer out of range");
+        let e = self.n_experts;
+        if self.gaps.is_empty() {
+            return vec![1.0 / e as f64; e];
+        }
+        if layer < self.n_gaps() {
+            return self.weights[layer].clone();
+        }
+        // Successor mass into the last layer, accumulated in ascending
+        // (source, column) order so the sums are bit-deterministic.
+        let gap = self.n_gaps() - 1;
+        let mut mass = vec![0.0f64; e];
+        for i in 0..e {
+            let w = self.weights[gap][i];
+            if w == 0.0 {
+                continue;
+            }
+            let (cols, probs) = self.row(gap, i);
+            for (&p, &v) in cols.iter().zip(probs) {
+                mass[p] += w * v;
+            }
+        }
+        mass
+    }
 }
 
 /// Walk two column-sorted sparse rows in lockstep, calling
@@ -411,6 +449,26 @@ mod tests {
         }
         // Uniform rows are stored explicitly, like the offline estimators.
         assert_eq!(snap.row(0, 2).0.len(), 4);
+    }
+
+    #[test]
+    fn layer_popularity_sums_to_one_and_matches_marginals() {
+        let t = sampled_trace(8, 4, 900, 5);
+        let mut s = StreamingAffinity::new(4, 8, 1.0);
+        s.observe(&t);
+        let snap = s.snapshot();
+        for layer in 0..4 {
+            let pop = snap.layer_popularity(layer);
+            let sum: f64 = pop.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "layer {layer} sums to {sum}");
+            if layer < snap.n_gaps() {
+                assert_eq!(pop, snap.gap_weights(layer).to_vec());
+            }
+        }
+        // A gapless snapshot has no routing information: uniform.
+        let mut g = StreamingAffinity::new(1, 4, 0.5);
+        g.observe(&RoutingTrace::new(vec![vec![0]], 4));
+        assert_eq!(g.snapshot().layer_popularity(0), vec![0.25; 4]);
     }
 
     #[test]

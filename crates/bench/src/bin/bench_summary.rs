@@ -4,23 +4,25 @@
 //! Sweeps the Table II model zoo × the solver roster (timing the whole
 //! sweep at `--jobs 1` and at `--jobs N`, verified bit-identical across
 //! widths), the `table_sparse` large-expert sweep (dense vs CSR objective
-//! backend, verified identical across backends), and the `table_online`
+//! backend, verified identical across backends), the `table_online`
 //! drift sweep (static vs oracle vs budgeted re-placement, verified
-//! invariant across thread counts and backends), and writes the
-//! machine-readable summary JSON (schema `exflow-bench-summary/v3`,
-//! documented in the README).
+//! invariant across thread counts and backends), and the
+//! `table_replication_online` sweep (static vs owner-moves-only vs the
+//! joint replica + owner-move policy under the joint budget, verified
+//! invariant across backends), and writes the machine-readable summary
+//! JSON (schema `exflow-bench-summary/v4`, documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR4.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR5.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline (v3, or the older v2 whose sections are compared
+//! committed baseline (v4, or the older v3 whose sections are compared
 //! as far as they go): any objective mismatch (`cross_mass`, `nnz`, the
-//! online cross counts) is a hard failure, wall-time regressions beyond
-//! 25% are reported as warnings in the markdown printed to stdout (CI
-//! appends it to the job summary).
+//! online/replication cross counts) is a hard failure, wall-time
+//! regressions beyond 25% are reported as warnings in the markdown
+//! printed to stdout (CI appends it to the job summary).
 //!
 //! Exit codes: 0 on success, 1 if a verification/gate check fails or the
 //! output cannot be written, 2 on usage errors (consistent with `repro`).
@@ -130,6 +132,21 @@ fn main() {
             row.recovery() * 100.0,
             row.migrated_bytes >> 20,
             row.replans
+        );
+    }
+
+    for row in &summary.replication_online_rows {
+        eprintln!(
+            "table_replication_online: {} cross static {} / owner {} / joint {} (recovery {:.1}% vs {:.1}%), replicas +{}/-{}, {} extra copies",
+            row.scenario,
+            row.static_cross,
+            row.owner_cross,
+            row.joint_cross,
+            row.owner_recovery() * 100.0,
+            row.joint_recovery() * 100.0,
+            row.replicas_added,
+            row.replicas_dropped,
+            row.extra_copies
         );
     }
 

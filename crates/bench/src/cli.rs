@@ -8,8 +8,8 @@
 //! the two cannot drift apart.
 
 use crate::experiments::{
-    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, online, table1, table2,
-    table3,
+    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, online,
+    replication_online, table1, table2, table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -34,6 +34,7 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("fig14", fig2::print_gaps),
     ("ablations", ablations::print),
     ("table_online", online::print),
+    ("table_replication_online", replication_online::print),
 ];
 
 /// Accepted aliases: the paper's Figs. 15/16 are gap-sweep variants of the

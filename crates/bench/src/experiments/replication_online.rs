@@ -1,0 +1,83 @@
+//! `table_replication_online` — the replication-aware online mode: static
+//! incumbent vs owner-moves-only re-placement vs the joint replica +
+//! owner-move policy, at equal migration bytes, on the drift presets of
+//! `exflow_model::drift` (plus one `large_zoo()` sparse instance).
+//!
+//! This quantifies the trade-off the paper's Table I frames offline —
+//! ExFlow's zero-replica placement vs replication's extra memory — in the
+//! online setting: when migration traffic is scarce, how much locality
+//! does a bounded per-GPU replica memory budget buy on top of the same
+//! migration bytes?
+
+use crate::fmt::{pct, render_table};
+use crate::summary::{replication_online_table, ReplicationOnlineRow};
+use crate::Scale;
+
+/// Regenerate the table rows (delegates to the `bench_summary` sweep so
+/// the printed numbers are exactly the gated ones).
+pub fn run(scale: Scale) -> Vec<ReplicationOnlineRow> {
+    replication_online_table(scale, 20_240_522).expect("replication sweep invariance must hold")
+}
+
+/// Print the table.
+pub fn print(scale: Scale) {
+    println!("table_replication_online: joint replica + owner-move re-placement under drift");
+    println!("(cross = realized cross-GPU layer transitions, lower is better; recovery =");
+    println!(" share of the static incumbent's cross traffic a policy eliminated; owner");
+    println!(" and joint spend identical migration bytes — joint also holds <= `slots`");
+    println!(" replica payloads per GPU)\n");
+    let rows = run(scale);
+    let headers = vec![
+        "scenario",
+        "windows",
+        "static",
+        "owner",
+        "joint",
+        "owner rec",
+        "joint rec",
+        "slots",
+        "extra",
+        "replicas +/-",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.windows.to_string(),
+                r.static_cross.to_string(),
+                r.owner_cross.to_string(),
+                r.joint_cross.to_string(),
+                pct(r.owner_recovery()),
+                pct(r.joint_recovery()),
+                r.replica_slots.to_string(),
+                r.extra_copies.to_string(),
+                format!("+{}/-{}", r.replicas_added, r.replicas_dropped),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_policy_dominates_owner_moves_at_equal_bytes() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 4);
+        assert!(
+            rows.iter().any(|r| r.joint_cross < r.owner_cross),
+            "the replica memory budget must buy locality somewhere"
+        );
+        for r in &rows {
+            assert!(
+                r.joint_cross <= r.owner_cross,
+                "{}: joint must never lose at equal migration bytes",
+                r.scenario
+            );
+            assert!(r.extra_copies <= r.replica_slots, "{}", r.scenario);
+        }
+    }
+}

@@ -118,9 +118,10 @@ fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: O
 }
 
 /// Compare a fresh summary JSON against the committed baseline JSON.
-/// The fresh document must be `exflow-bench-summary/v3`; the baseline may
-/// be v3 or the older v2 (whose sections are compared as far as they go —
-/// a v2 baseline simply has no `online_rows` to gate against).
+/// The fresh document must be `exflow-bench-summary/v4`; the baseline may
+/// be v4 or the older v3 (whose sections are compared as far as they go —
+/// a v3 baseline simply has no `replication_online_rows` to gate
+/// against).
 pub fn compare(baseline: &str, fresh: &str) -> GateReport {
     let mut report = GateReport::default();
 
@@ -129,19 +130,19 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
             .find(|l| l.trim_start().starts_with("\"schema\""))
             .and_then(|l| field(l, "schema"))
     };
-    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v3") {
+    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v4") {
         report.drifts.push(
-            "schema mismatch: the fresh document must be exflow-bench-summary/v3".to_string(),
+            "schema mismatch: the fresh document must be exflow-bench-summary/v4".to_string(),
         );
         return report;
     }
     let baseline_schema = get_schema(baseline);
     if !matches!(
         baseline_schema.as_deref(),
-        Some("exflow-bench-summary/v2") | Some("exflow-bench-summary/v3")
+        Some("exflow-bench-summary/v3") | Some("exflow-bench-summary/v4")
     ) {
         report.drifts.push(
-            "schema mismatch: the baseline must be exflow-bench-summary/v2 or /v3 \
+            "schema mismatch: the baseline must be exflow-bench-summary/v3 or /v4 \
              (regenerate the committed baseline with bench_summary)"
                 .to_string(),
         );
@@ -343,6 +344,107 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         }
     }
 
+    // Replication-online rows: keyed by scenario; cross counts, replica
+    // churn, migrated bytes, and the final cross mass are bit-compared. A
+    // v3 baseline has no such section, so coverage checks only apply when
+    // the baseline has one.
+    let base_rep = rows_section(baseline, "replication_online_rows");
+    let fresh_rep = rows_section(fresh, "replication_online_rows");
+    if baseline.contains("\"replication_online_rows\": [") {
+        let scenario_of = |line: &str| field(line, "scenario").unwrap_or_default();
+        for b in &base_rep {
+            let scenario = scenario_of(b);
+            match fresh_rep.iter().find(|f| scenario_of(f) == scenario) {
+                None => report
+                    .drifts
+                    .push(format!("replication row {scenario} missing from fresh run")),
+                Some(f) => {
+                    for fact in [
+                        "static_cross",
+                        "owner_cross",
+                        "joint_cross",
+                        "owner_migrated_bytes",
+                        "joint_migrated_bytes",
+                        "replicas_added",
+                        "replicas_dropped",
+                        "extra_copies",
+                        "cross_mass",
+                    ] {
+                        let (bv, fv) = (field(b, fact), field(f, fact));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "{fact} drift on {scenario}: baseline {} vs fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for f in &fresh_rep {
+            let scenario = scenario_of(f);
+            if !base_rep.iter().any(|b| scenario_of(b) == scenario) {
+                report
+                    .drifts
+                    .push(format!("replication row {scenario} not in baseline"));
+            }
+        }
+    }
+
+    // Acceptance bars of the replication-aware online subsystem, checked
+    // on the fresh run regardless of baseline version: the joint policy
+    // must respect both budget axes on every scenario (replica memory in
+    // slots, migration bytes per re-plan), never lose to owner-moves-only
+    // in realized cross traffic, and strictly beat it on at least one
+    // scenario — that is the memory-for-migration-bytes trade-off the
+    // subsystem exists to buy.
+    let mut joint_dominates_somewhere = fresh_rep.is_empty();
+    for f in &fresh_rep {
+        let scenario = field(f, "scenario").unwrap_or_default();
+        let num = |key: &str| field(f, key).and_then(|v| v.parse::<f64>().ok());
+        if let (Some(extra), Some(slots)) = (num("extra_copies"), num("replica_slots")) {
+            if extra > slots {
+                report.drifts.push(format!(
+                    "replication memory on {scenario}: {extra} extra copies over the \
+                     {slots}-slot per-GPU budget"
+                ));
+            }
+        }
+        for policy in ["owner", "joint"] {
+            if let (Some(migrated), Some(budget), Some(replans)) = (
+                num(&format!("{policy}_migrated_bytes")),
+                num("budget_bytes"),
+                num(&format!("{policy}_replans")),
+            ) {
+                if migrated > budget * replans {
+                    report.drifts.push(format!(
+                        "replication migration ({policy}) on {scenario} moved {migrated} bytes \
+                         across {replans} re-plans, over the {budget}-byte per-re-plan budget"
+                    ));
+                }
+            }
+        }
+        if let (Some(owner), Some(joint)) = (num("owner_cross"), num("joint_cross")) {
+            if joint > owner {
+                report.drifts.push(format!(
+                    "replication on {scenario}: joint policy crossed {joint} vs owner-moves-only \
+                     {owner} at equal migration bytes"
+                ));
+            }
+            if joint < owner {
+                joint_dominates_somewhere = true;
+            }
+        }
+    }
+    if !joint_dominates_somewhere {
+        report.drifts.push(
+            "replication: the joint policy beats owner-moves-only on no scenario \
+             (the replica memory budget bought nothing)"
+                .to_string(),
+        );
+    }
+
     // Whole-sweep walls.
     let top_field = |json: &str, key: &str| {
         json.lines()
@@ -369,7 +471,9 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::summary::{BenchRow, BenchSummary, OnlineBenchRow, SparseBenchRow};
+    use crate::summary::{
+        BenchRow, BenchSummary, OnlineBenchRow, ReplicationOnlineRow, SparseBenchRow,
+    };
 
     fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
         BenchSummary {
@@ -408,6 +512,27 @@ mod tests {
                 oracle_cross: 3000,
                 budgeted_cross: 3200,
                 cross_mass: cross / 3.0,
+            }],
+            replication_online_rows: vec![ReplicationOnlineRow {
+                scenario: "piecewise-2phase/E16".into(),
+                n_experts: 16,
+                layers: 5,
+                units: 4,
+                windows: 10,
+                replan_every: 1,
+                budget_bytes: 1 << 26,
+                replica_slots: 8,
+                owner_migrated_bytes: 3 << 25,
+                joint_migrated_bytes: 1 << 26,
+                owner_replans: 2,
+                joint_replans: 2,
+                replicas_added: 5,
+                replicas_dropped: 1,
+                extra_copies: 4,
+                static_cross: 5000,
+                owner_cross: 3600,
+                joint_cross: 3100,
+                cross_mass: cross / 4.0,
             }],
         }
     }
@@ -499,30 +624,30 @@ mod tests {
     #[test]
     fn v1_baseline_is_rejected() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = fresh.replace("exflow-bench-summary/v3", "exflow-bench-summary/v1");
+        let old = fresh.replace("exflow-bench-summary/v4", "exflow-bench-summary/v1");
         let report = compare(&old, &fresh);
         assert!(!report.ok());
         assert!(report.drifts[0].contains("schema"));
     }
 
-    /// Strip a v3 document down to the v2 schema (drop the online_rows
-    /// section and relabel).
-    fn as_v2(json: &str) -> String {
-        let start = json.find(",\n  \"online_rows\": [").unwrap();
+    /// Strip a v4 document down to the v3 schema (drop the
+    /// replication_online_rows section and relabel).
+    fn as_v3(json: &str) -> String {
+        let start = json.find(",\n  \"replication_online_rows\": [").unwrap();
         let end = json.rfind("  ]\n}").unwrap();
         let mut out = String::new();
         out.push_str(&json[..start]);
         out.push('\n');
         out.push_str(&json[end + 4..]);
-        out.replace("exflow-bench-summary/v3", "exflow-bench-summary/v2")
+        out.replace("exflow-bench-summary/v4", "exflow-bench-summary/v3")
     }
 
     #[test]
-    fn v2_baseline_is_still_accepted() {
+    fn v3_baseline_is_still_accepted() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = as_v2(&fresh);
-        assert!(old.contains("exflow-bench-summary/v2"));
-        assert!(!old.contains("online_rows"));
+        let old = as_v3(&fresh);
+        assert!(old.contains("exflow-bench-summary/v3"));
+        assert!(!old.contains("replication_online_rows"));
         let report = compare(&old, &fresh);
         assert!(report.ok(), "{:?}", report.drifts);
         // But objective drift in the shared sections still fails.
@@ -531,12 +656,98 @@ mod tests {
     }
 
     #[test]
-    fn v2_fresh_document_is_rejected() {
+    fn v3_fresh_document_is_rejected() {
         let base = summary(0.25, 100.0, 100.0).to_json();
-        let fresh = as_v2(&base);
+        let fresh = as_v3(&base);
         let report = compare(&base, &fresh);
         assert!(!report.ok());
-        assert!(report.drifts[0].contains("must be exflow-bench-summary/v3"));
+        assert!(report.drifts[0].contains("must be exflow-bench-summary/v4"));
+    }
+
+    #[test]
+    fn replication_cross_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replication_online_rows[0].joint_cross -= 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("joint_cross drift")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn replication_memory_violation_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replication_online_rows[0].extra_copies =
+            fresh.replication_online_rows[0].replica_slots + 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("slot per-GPU budget") || d.contains("-slot per-GPU budget")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn replication_migration_violation_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replication_online_rows[0].joint_migrated_bytes = fresh.replication_online_rows[0]
+            .budget_bytes
+            * fresh.replication_online_rows[0].joint_replans as u64
+            + 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("replication migration (joint)")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn joint_policy_losing_to_owner_moves_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replication_online_rows[0].joint_cross =
+            fresh.replication_online_rows[0].owner_cross + 100;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("at equal migration bytes")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn joint_policy_tying_everywhere_fails_the_domination_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replication_online_rows[0].joint_cross = fresh.replication_online_rows[0].owner_cross;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("the replica memory budget bought nothing")),
+            "{:?}",
+            report.drifts
+        );
     }
 
     #[test]

@@ -19,11 +19,18 @@
 //!   re-solve, byte-budgeted incremental), recording realized cross-unit
 //!   transition counts, migrated bytes, and the recovery fraction —
 //!   verified bit-identical across thread counts and gap backends.
+//! * **`table_replication_online` sweep** — the same drift presets (at
+//!   `E = 16` and one `E = 256` sparse instance) under static /
+//!   owner-moves-only / joint replication-aware re-placement: at equal
+//!   migration bytes, the joint policy may additionally spend a per-GPU
+//!   replica memory budget, and the sweep records cross counts, replica
+//!   churn, and budget compliance — verified invariant across gap
+//!   backends.
 //!
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v3`) keeps them apart.
+//! (`exflow-bench-summary/v4`) keeps them apart.
 
 use std::time::Instant;
 
@@ -32,11 +39,15 @@ use exflow_model::presets::{large_zoo, moe_gpt_m, table2};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{CorpusSpec, DriftSchedule, ModelConfig, TokenBatch};
 use exflow_placement::annealing::AnnealParams;
+use exflow_placement::greedy::solve_greedy;
 use exflow_placement::local_search::{improve, solve_local_search_with};
 use exflow_placement::objective::measure_trace_locality;
-use exflow_placement::online::{solve_budgeted_toward, MigrationPlan};
+use exflow_placement::online::{
+    solve_budgeted, solve_budgeted_replicated, solve_budgeted_toward, MigrationPlan,
+};
 use exflow_placement::{
-    solve_with, split_seed, GapBackend, Objective, Parallelism, Placement, SolverKind,
+    replicated_cross_mass, solve_with, split_seed, GapBackend, Objective, Parallelism, Placement,
+    ReplicationBudget, ReplicationPlan, SolverKind,
 };
 
 use crate::sweep::{par_map, SweepPool};
@@ -69,6 +80,17 @@ const ONLINE_ORACLE_RESTARTS: usize = 2;
 
 /// Decay of the streaming estimator in the online scenarios.
 const ONLINE_DECAY: f64 = 0.5;
+
+/// Expert moves one `table_replication_online` re-plan may migrate (joint
+/// and owner-moves-only policies get exactly this many payloads of
+/// migration traffic, so the comparison is at equal bytes). Deliberately
+/// tighter than `ONLINE_BUDGET_MOVES`: the joint mode's edge is what it
+/// buys when migration traffic is scarce.
+const REPLICATION_BUDGET_MOVES: u64 = 16;
+
+/// Extra replica payloads each GPU may hold in the joint policy (the
+/// `replica_memory_bytes` axis of the joint budget, in expert payloads).
+const REPLICATION_SLOTS: u64 = 8;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -168,6 +190,82 @@ impl OnlineBenchRow {
     }
 }
 
+/// One `table_replication_online` cell: a drift scenario served under
+/// three re-placement policies — static incumbent, owner-moves-only
+/// (migration budget spent exclusively on relocations), and the joint
+/// replica + owner-move policy (same migration budget, plus a per-GPU
+/// replica memory budget). Cross counts are realized cross-unit layer
+/// transitions on the window traces — the joint policy's counts honor
+/// replica availability (`ReplicationPlan::trace_locality`).
+#[derive(Debug, Clone)]
+pub struct ReplicationOnlineRow {
+    /// Scenario label: drift preset plus the instance size
+    /// (`piecewise-2phase/E16`, ...).
+    pub scenario: String,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// MoE layers.
+    pub layers: usize,
+    /// GPUs the instance is placed across.
+    pub units: usize,
+    /// Serving windows.
+    pub windows: usize,
+    /// Windows between re-plans.
+    pub replan_every: usize,
+    /// Migration byte budget of one re-plan (identical for both adaptive
+    /// policies).
+    pub budget_bytes: u64,
+    /// Per-GPU replica memory budget of the joint policy, in expert
+    /// payloads.
+    pub replica_slots: u64,
+    /// Bytes the owner-moves-only policy migrated, whole run.
+    pub owner_migrated_bytes: u64,
+    /// Bytes the joint policy migrated (owner moves + replica fan-out).
+    pub joint_migrated_bytes: u64,
+    /// Owner-policy re-plans that moved at least one expert.
+    pub owner_replans: usize,
+    /// Joint-policy re-plans that changed anything.
+    pub joint_replans: usize,
+    /// Replica copies the joint policy created, whole run.
+    pub replicas_added: u64,
+    /// Replica copies the joint policy retired, whole run.
+    pub replicas_dropped: u64,
+    /// Worst-case extra replica copies any GPU holds at the end of the
+    /// joint run (must stay within `replica_slots`).
+    pub extra_copies: u64,
+    /// Cross-unit transitions under the never-re-placed incumbent.
+    pub static_cross: u64,
+    /// Cross-unit transitions under owner-moves-only re-placement.
+    pub owner_cross: u64,
+    /// Cross-unit transitions under the joint policy.
+    pub joint_cross: u64,
+    /// Final replication-aware cross mass of the joint plan on the live
+    /// estimate (bit-identical across backends — verified).
+    pub cross_mass: f64,
+}
+
+impl ReplicationOnlineRow {
+    /// Fraction of the static incumbent's cross traffic a policy
+    /// eliminated: `(static - cross) / static` (0 when the static run had
+    /// none).
+    fn locality_recovery(&self, cross: u64) -> f64 {
+        if self.static_cross == 0 {
+            return 0.0;
+        }
+        (self.static_cross as f64 - cross as f64) / self.static_cross as f64
+    }
+
+    /// Locality recovery of the owner-moves-only policy.
+    pub fn owner_recovery(&self) -> f64 {
+        self.locality_recovery(self.owner_cross)
+    }
+
+    /// Locality recovery of the joint policy.
+    pub fn joint_recovery(&self) -> f64 {
+        self.locality_recovery(self.joint_cross)
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -189,6 +287,9 @@ pub struct BenchSummary {
     pub sparse_rows: Vec<SparseBenchRow>,
     /// The `table_online` cells, in `DriftSchedule::presets` order.
     pub online_rows: Vec<OnlineBenchRow>,
+    /// The `table_replication_online` cells: the 3 drift presets at
+    /// `E = 16`, then one `large_zoo()` sparse instance.
+    pub replication_online_rows: Vec<ReplicationOnlineRow>,
 }
 
 impl BenchSummary {
@@ -201,7 +302,7 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v3` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v4` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
     /// are printed with Rust's shortest round-trip float formatting, so
     /// string equality in the JSON is bit equality of the f64 — what the
@@ -209,7 +310,7 @@ impl BenchSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v3\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v4\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -271,6 +372,39 @@ impl BenchSummary {
                 row.recovery(),
                 row.cross_mass,
                 if i + 1 == self.online_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"replication_online_rows\": [\n");
+        for (i, row) in self.replication_online_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"experts\": {}, \"layers\": {}, \"units\": {}, \"windows\": {}, \"replan_every\": {}, \"budget_bytes\": {}, \"replica_slots\": {}, \"owner_migrated_bytes\": {}, \"joint_migrated_bytes\": {}, \"owner_replans\": {}, \"joint_replans\": {}, \"replicas_added\": {}, \"replicas_dropped\": {}, \"extra_copies\": {}, \"static_cross\": {}, \"owner_cross\": {}, \"joint_cross\": {}, \"owner_recovery\": {:.4}, \"joint_recovery\": {:.4}, \"cross_mass\": {}}}{}\n",
+                row.scenario,
+                row.n_experts,
+                row.layers,
+                row.units,
+                row.windows,
+                row.replan_every,
+                row.budget_bytes,
+                row.replica_slots,
+                row.owner_migrated_bytes,
+                row.joint_migrated_bytes,
+                row.owner_replans,
+                row.joint_replans,
+                row.replicas_added,
+                row.replicas_dropped,
+                row.extra_copies,
+                row.static_cross,
+                row.owner_cross,
+                row.joint_cross,
+                row.owner_recovery(),
+                row.joint_recovery(),
+                row.cross_mass,
+                if i + 1 == self.replication_online_rows.len() {
+                    ""
+                } else {
+                    ","
+                }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -597,6 +731,216 @@ pub fn online_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<OnlineBe
         .collect()
 }
 
+/// Serve one drift scenario under static / owner-moves-only / joint
+/// replication-aware re-placement. Both adaptive policies get the same
+/// per-re-plan migration byte budget; the joint policy additionally gets
+/// `replica_slots` expert payloads of per-GPU replica memory. Every joint
+/// re-solve and the final cross mass are verified invariant across gap
+/// backends, and both policies are verified budget-compliant. Cross
+/// counts are measured on the realized window traces.
+#[allow(clippy::too_many_arguments)]
+fn replication_scenario(
+    drift: &DriftSchedule,
+    e: usize,
+    units: usize,
+    layers: usize,
+    replan_every: usize,
+    window_tokens: usize,
+    seed: u64,
+) -> Result<ReplicationOnlineRow, String> {
+    let bytes_per_expert = moe_gpt_m(e).expert_params() * 2;
+    let budget_bytes = REPLICATION_BUDGET_MOVES * bytes_per_expert;
+    let joint_budget = ReplicationBudget {
+        replica_memory_bytes: REPLICATION_SLOTS * bytes_per_expert,
+        migration_budget_bytes: budget_bytes,
+    };
+    let windows = drift.n_windows();
+    let scenario = format!("{}/E{e}", drift.name());
+
+    // Profile window 0 and solve the shared initial placement (greedy +
+    // bounded polish: deterministic and cheap enough for E = 256).
+    let mut streaming = StreamingAffinity::new(layers, e, ONLINE_DECAY);
+    streaming.observe(&online_window_trace(drift, 0, window_tokens, seed ^ 0x0ff1));
+    let initial = {
+        let objective = Objective::from_snapshot(&streaming.snapshot());
+        let mut p = solve_greedy(&objective, units);
+        improve(&objective, &mut p, 10);
+        p
+    };
+    let static_placement = initial.clone();
+    let mut owner_placement = initial.clone();
+    let mut joint_plan = ReplicationPlan {
+        base: initial,
+        replicated: vec![Vec::new(); layers],
+    };
+
+    let (mut static_cross, mut owner_cross, mut joint_cross) = (0u64, 0u64, 0u64);
+    let (mut owner_migrated, mut joint_migrated) = (0u64, 0u64);
+    let (mut owner_replans, mut joint_replans) = (0usize, 0usize);
+    let (mut replicas_added, mut replicas_dropped) = (0u64, 0u64);
+
+    for window in 0..windows {
+        let trace = online_window_trace(drift, window, window_tokens, seed);
+        for (placement, acc) in [
+            (&static_placement, &mut static_cross),
+            (&owner_placement, &mut owner_cross),
+        ] {
+            let loc = measure_trace_locality(&trace, placement);
+            *acc += loc.transitions - loc.local;
+        }
+        let loc = joint_plan.trace_locality(&trace);
+        joint_cross += loc.transitions - loc.local;
+        streaming.observe(&trace);
+
+        if (window + 1).is_multiple_of(replan_every) && window + 1 < windows {
+            let snapshot = streaming.snapshot();
+            let dense = Objective::from_snapshot_with(&snapshot, GapBackend::Dense);
+            let sparse = Objective::from_snapshot_with(&snapshot, GapBackend::Sparse);
+
+            // Owner-moves-only: the whole migration budget buys
+            // relocations.
+            let owner_next = solve_budgeted(&dense, &owner_placement, REPLICATION_BUDGET_MOVES);
+            if owner_next != solve_budgeted(&sparse, &owner_placement, REPLICATION_BUDGET_MOVES) {
+                return Err(format!(
+                    "{scenario}: owner re-solve diverged across gap backends at window {window}"
+                ));
+            }
+            let plan = MigrationPlan::between(&owner_placement, &owner_next, bytes_per_expert);
+            if plan.total_bytes() > budget_bytes {
+                return Err(format!(
+                    "{scenario}: owner re-plan at window {window} migrated {} bytes over the {budget_bytes} budget",
+                    plan.total_bytes()
+                ));
+            }
+            if !plan.is_empty() {
+                owner_migrated += plan.total_bytes();
+                owner_replans += 1;
+            }
+            owner_placement = owner_next;
+
+            // Joint: replica adds/drops race owner moves under the same
+            // migration budget plus the replica memory budget.
+            let joint_next =
+                solve_budgeted_replicated(&dense, &joint_plan, bytes_per_expert, &joint_budget);
+            if joint_next
+                != solve_budgeted_replicated(&sparse, &joint_plan, bytes_per_expert, &joint_budget)
+            {
+                return Err(format!(
+                    "{scenario}: joint re-solve diverged across gap backends at window {window}"
+                ));
+            }
+            let plan =
+                MigrationPlan::between_replicated(&joint_plan, &joint_next, bytes_per_expert);
+            if plan.total_bytes() > budget_bytes {
+                return Err(format!(
+                    "{scenario}: joint re-plan at window {window} migrated {} bytes over the {budget_bytes} budget",
+                    plan.total_bytes()
+                ));
+            }
+            if joint_next.extra_copies_per_gpu() as u64 > REPLICATION_SLOTS {
+                return Err(format!(
+                    "{scenario}: joint re-plan at window {window} holds {} extra copies over the {REPLICATION_SLOTS}-slot memory budget",
+                    joint_next.extra_copies_per_gpu()
+                ));
+            }
+            if !plan.is_empty() {
+                joint_migrated += plan.total_bytes();
+                joint_replans += 1;
+                replicas_added += plan.n_replica_adds() as u64;
+                replicas_dropped += plan.n_replica_drops() as u64;
+            }
+            joint_plan = joint_next;
+        }
+    }
+
+    // The reported objective: the joint plan scored on the final live
+    // estimate, bit-compared across backends.
+    let snapshot = streaming.snapshot();
+    let cm_dense = replicated_cross_mass(
+        &Objective::from_snapshot_with(&snapshot, GapBackend::Dense),
+        &joint_plan,
+    );
+    let cm_sparse = replicated_cross_mass(
+        &Objective::from_snapshot_with(&snapshot, GapBackend::Sparse),
+        &joint_plan,
+    );
+    if cm_dense.to_bits() != cm_sparse.to_bits() {
+        return Err(format!(
+            "{scenario}: final replicated cross mass diverged across gap backends: dense {cm_dense} vs sparse {cm_sparse}"
+        ));
+    }
+
+    Ok(ReplicationOnlineRow {
+        scenario,
+        n_experts: e,
+        layers,
+        units,
+        windows,
+        replan_every,
+        budget_bytes,
+        replica_slots: REPLICATION_SLOTS,
+        owner_migrated_bytes: owner_migrated,
+        joint_migrated_bytes: joint_migrated,
+        owner_replans,
+        joint_replans,
+        replicas_added,
+        replicas_dropped,
+        extra_copies: joint_plan.extra_copies_per_gpu() as u64,
+        static_cross,
+        owner_cross,
+        joint_cross,
+        cross_mass: cm_dense,
+    })
+}
+
+/// The `table_replication_online` sweep: the 3 drift presets at `E = 16`,
+/// then one `large_zoo()` sparse instance (`E = 256`, top-1) where the
+/// CSR objective backend carries the re-solves. Errors (instead of
+/// panicking) if any invariance or budget check fails.
+pub fn replication_online_table(
+    scale: Scale,
+    seed: u64,
+) -> Result<Vec<ReplicationOnlineRow>, String> {
+    let layers = scale.pick(5, 7);
+    let windows = scale.pick(10, 14);
+    let window_tokens = scale.pick(1500, 4000);
+    let spec = AffinityModelSpec::new(layers, ONLINE_EXPERTS).with_seed(seed ^ 0x05_17_19);
+    let mut rows: Vec<ReplicationOnlineRow> = DriftSchedule::presets(&spec, windows)
+        .iter()
+        .enumerate()
+        .map(|(i, drift)| {
+            replication_scenario(
+                drift,
+                ONLINE_EXPERTS,
+                ONLINE_UNITS,
+                layers,
+                ONLINE_REPLAN_EVERY,
+                window_tokens,
+                split_seed(seed, 0x5e71 ^ i as u64),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+
+    // One large sparse instance: E = 256 top-1 from the large zoo, few
+    // windows (each re-solve walks a 256-expert swap neighborhood).
+    let large = &large_zoo()[0];
+    let large_layers = 2;
+    let large_windows = scale.pick(4, 6);
+    let large_spec =
+        AffinityModelSpec::new(large_layers, large.n_experts).with_seed(seed ^ 0x23_29_31);
+    let large_drift = DriftSchedule::piecewise(&large_spec, 2, large_windows);
+    rows.push(replication_scenario(
+        &large_drift,
+        large.n_experts,
+        N_UNITS_LARGE,
+        large_layers,
+        1,
+        scale.pick(2000, 6000),
+        split_seed(seed, 0x5e71 ^ 0xbeef),
+    )?);
+    Ok(rows)
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
 /// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
@@ -636,6 +980,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
 
     let sparse_rows = sparse_table(scale, seed)?;
     let online_rows = online_table(scale, jobs, seed)?;
+    let replication_online_rows = replication_online_table(scale, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -649,6 +994,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         rows: rows1,
         sparse_rows,
         online_rows,
+        replication_online_rows,
     })
 }
 
@@ -731,6 +1077,52 @@ mod tests {
     }
 
     #[test]
+    fn replication_online_table_joint_dominates_within_budgets() {
+        let rows = replication_online_table(Scale::Quick, 7).expect("invariance must hold");
+        assert_eq!(rows.len(), 4, "3 presets at E=16 plus one large instance");
+        assert_eq!(rows[3].n_experts, large_zoo()[0].n_experts);
+        let mut dominated = false;
+        for row in &rows {
+            assert!(
+                row.joint_replans > 0,
+                "{}: no joint re-plans fired",
+                row.scenario
+            );
+            // Budget compliance on both axes, both policies.
+            assert!(row.extra_copies <= row.replica_slots, "{}", row.scenario);
+            assert!(
+                row.owner_migrated_bytes <= row.budget_bytes * row.owner_replans as u64,
+                "{}",
+                row.scenario
+            );
+            assert!(
+                row.joint_migrated_bytes <= row.budget_bytes * row.joint_replans as u64,
+                "{}",
+                row.scenario
+            );
+            // Both adaptive policies beat the static incumbent, and the
+            // joint policy never loses to owner-moves-only.
+            assert!(row.owner_cross < row.static_cross, "{}", row.scenario);
+            assert!(row.joint_cross < row.static_cross, "{}", row.scenario);
+            assert!(
+                row.joint_cross <= row.owner_cross,
+                "{}: joint {} worse than owner-only {}",
+                row.scenario,
+                row.joint_cross,
+                row.owner_cross
+            );
+            if row.joint_cross < row.owner_cross {
+                dominated = true;
+            }
+            assert!(row.cross_mass.is_finite());
+        }
+        assert!(
+            dominated,
+            "joint policy must strictly beat owner-moves-only somewhere"
+        );
+    }
+
+    #[test]
     fn json_has_schema_and_balanced_braces() {
         let summary = BenchSummary {
             seed: 1,
@@ -769,14 +1161,39 @@ mod tests {
                 budgeted_cross: 3400,
                 cross_mass: 1.25,
             }],
+            replication_online_rows: vec![ReplicationOnlineRow {
+                scenario: "piecewise-2phase/E16".to_string(),
+                n_experts: 16,
+                layers: 5,
+                windows: 10,
+                units: 4,
+                replan_every: 1,
+                budget_bytes: 16 << 24,
+                replica_slots: 8,
+                owner_migrated_bytes: 9 << 24,
+                joint_migrated_bytes: 8 << 24,
+                owner_replans: 4,
+                joint_replans: 4,
+                replicas_added: 6,
+                replicas_dropped: 2,
+                extra_copies: 4,
+                static_cross: 5000,
+                owner_cross: 3600,
+                joint_cross: 3100,
+                cross_mass: 1.5,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v3\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v4\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
         assert!(json.contains("\"recovery\": 0.8000"));
         assert!(json.contains("\"budgeted_cross\": 3400"));
+        assert!(json.contains("\"joint_cross\": 3100"));
+        // (5000 - 3600) / 5000 and (5000 - 3100) / 5000, 4 decimals.
+        assert!(json.contains("\"owner_recovery\": 0.2800"));
+        assert!(json.contains("\"joint_recovery\": 0.3800"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

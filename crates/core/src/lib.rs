@@ -55,6 +55,6 @@ pub mod modes;
 pub mod report;
 
 pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig};
-pub use exflow_placement::{GapBackend, Parallelism};
+pub use exflow_placement::{GapBackend, Parallelism, ReplicationBudget, ReplicationPlan};
 pub use modes::ParallelismMode;
 pub use report::{InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent};

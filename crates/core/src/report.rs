@@ -155,17 +155,24 @@ impl InferenceReport {
 /// Aggregate expert-weight migration accounting for an online run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MigrationStats {
-    /// Re-plan events that moved at least one expert.
+    /// Re-plan events that moved at least one expert (or churned a
+    /// replica).
     pub replans: u64,
     /// Expert relocations executed, summed over re-plans.
     pub experts_moved: u64,
+    /// Replica copies created, summed over re-plans (each fans out to
+    /// every non-owner GPU).
+    pub replicas_added: u64,
+    /// Replica copies retired, summed over re-plans (free).
+    pub replicas_dropped: u64,
     /// Migrated bytes, bucketed by link class.
     pub bytes: BytesByClass,
     /// Virtual time spent migrating (the serving pipeline stalls for it).
     pub time: f64,
 }
 
-/// One re-plan decision that actually migrated experts.
+/// One re-plan decision that actually migrated experts or churned
+/// replicas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplanEvent {
     /// Serving window after which the re-plan fired (0-based).
@@ -174,8 +181,15 @@ pub struct ReplanEvent {
     pub drift: f64,
     /// Experts relocated by this re-plan.
     pub experts_moved: u64,
-    /// Bytes of expert weights migrated.
+    /// Replica copies created by this re-plan.
+    pub replicas_added: u64,
+    /// Replica copies retired by this re-plan.
+    pub replicas_dropped: u64,
+    /// Bytes of expert weights migrated (owner moves + replica fan-out).
     pub bytes_moved: u64,
+    /// The migration byte budget this re-plan ran under (after drift
+    /// scaling and rollover, if enabled) — `bytes_moved` never exceeds it.
+    pub budget_bytes: u64,
     /// Virtual time the migration exchange took.
     pub migration_time: f64,
 }
@@ -195,6 +209,10 @@ pub struct OnlineReport {
     pub replans: Vec<ReplanEvent>,
     /// Aggregate migration accounting.
     pub migrations: MigrationStats,
+    /// Worst-case extra replica copies any GPU holds at the end of the
+    /// run (the `ReplicationPlan::extra_copies_per_gpu` convention; 0
+    /// when replication is disabled).
+    pub final_extra_copies: u64,
 }
 
 impl OnlineReport {

@@ -67,10 +67,11 @@ pub mod staged;
 pub use annealing::AnnealParams;
 pub use objective::{GapBackend, GapStorage, Objective, SPARSE_DENSITY_THRESHOLD};
 pub use online::{
-    solve_budgeted, solve_budgeted_toward, solve_warm_start, ExpertMove, MigrationPlan,
-    PricedMigration,
+    solve_budgeted, solve_budgeted_replicated, solve_budgeted_toward, solve_warm_start, ExpertMove,
+    MigrationPlan, PricedMigration, ReplicaAdd,
 };
 pub use parallel::{split_seed, Parallelism};
 pub use placement::Placement;
+pub use replication::{replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan};
 pub use solver::{solve, solve_with, SolverKind};
 pub use staged::{solve_staged_with, StagedPlacement};

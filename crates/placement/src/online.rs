@@ -23,6 +23,9 @@ use crate::greedy::solve_greedy;
 use crate::local_search::improve;
 use crate::objective::Objective;
 use crate::placement::Placement;
+use crate::replication::{
+    replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan,
+};
 
 /// Warm-start solve: polish the incumbent in place with first-improvement
 /// swap passes (no restarts, no randomness). The cheap end of the
@@ -194,6 +197,132 @@ pub fn solve_budgeted_toward(
     }
 }
 
+/// Rank `(layer, expert)` replica candidates best-first under the total
+/// order both selection sites share: gain descending (`f64::total_cmp`),
+/// then layer ascending, then expert ascending. One comparator, used by
+/// [`trim_to_slots`] and [`solve_budgeted_replicated`] alike, so candidate
+/// A's trimmed incumbent and candidate B's desired set can never rank
+/// replicas inconsistently.
+fn sort_by_gain(entries: &mut [(usize, usize)], gains: &[Vec<f64>]) {
+    entries.sort_by(|a, b| {
+        gains[b.0][b.1]
+            .total_cmp(&gains[a.0][a.1])
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+}
+
+/// Budget-trimmed replica selection: keep at most `slots` replicated
+/// experts (summed over layers), preferring the highest `gains` scores
+/// under the total order (gain desc, layer asc, expert asc).
+fn trim_to_slots(replicated: &[Vec<usize>], gains: &[Vec<f64>], slots: usize) -> Vec<Vec<usize>> {
+    let total: usize = replicated.iter().map(Vec::len).sum();
+    if total <= slots {
+        return replicated.to_vec();
+    }
+    let mut entries: Vec<(usize, usize)> = replicated
+        .iter()
+        .enumerate()
+        .flat_map(|(l, r)| r.iter().map(move |&x| (l, x)))
+        .collect();
+    sort_by_gain(&mut entries, gains);
+    entries.truncate(slots);
+    let mut out = vec![Vec::new(); replicated.len()];
+    for (l, x) in entries {
+        out[l].push(x);
+    }
+    for r in &mut out {
+        r.sort_unstable();
+    }
+    out
+}
+
+/// Replication-aware budgeted re-plan: starting from an incumbent
+/// [`ReplicationPlan`], spend a joint budget — replica memory per GPU plus
+/// migration bytes — on whichever mix of **replica adds/drops** and
+/// **owner moves** reduces the replication-aware objective
+/// ([`replicated_cross_mass`]) the most. Two deterministic candidates
+/// race:
+///
+/// * **owner-moves-only** — the full migration budget goes to
+///   [`solve_budgeted`] on the base placement; the incumbent's replica set
+///   is kept (trimmed to the memory budget if it shrank);
+/// * **replica-first** — replica candidates are ranked by
+///   [`replica_gains`] (the incoming cross mass a replica would absorb,
+///   driven by the snapshot marginals baked into the objective's row
+///   weights) in the budgeted-subset-selection style of the
+///   interval-subset-sum line of work (Diao et al., arXiv:1704.06928):
+///   the top `replica_memory_bytes / bytes_per_expert` scorers with
+///   positive gain form the desired set; incumbent replicas that fell out
+///   are dropped (free), new ones are added best-gain-first while the
+///   migration budget covers their fan-out (`n_units - 1` payloads each),
+///   and whatever bytes remain fund owner-move descent.
+///
+/// The candidate with the lower [`replicated_cross_mass`] wins
+/// (owner-moves-only on ties — the conservative choice that never spends
+/// memory without a measured win). Both candidates respect both budget
+/// axes by construction: extra copies per GPU never exceed
+/// `replica_memory_bytes / bytes_per_expert` and a
+/// [`MigrationPlan::between_replicated`] diff against the incumbent never
+/// exceeds `migration_budget_bytes`. Everything is sequential and
+/// deterministic, so online runs stay bit-identical at any thread count.
+pub fn solve_budgeted_replicated(
+    objective: &Objective,
+    incumbent: &ReplicationPlan,
+    bytes_per_expert: u64,
+    budget: &ReplicationBudget,
+) -> ReplicationPlan {
+    let bpe = bytes_per_expert.max(1);
+    let slots = usize::try_from(budget.replica_memory_bytes / bpe).unwrap_or(usize::MAX);
+    let units = incumbent.base.n_units();
+    let fan_out_bytes = (units as u64 - 1) * bpe;
+    let gains = replica_gains(objective, &incumbent.base);
+
+    // Candidate A: owner moves only, replicas carried over (trimmed if the
+    // memory budget no longer covers them — drops are free).
+    let owner_moves = budget.migration_budget_bytes / bpe;
+    let cand_a = ReplicationPlan {
+        base: solve_budgeted(objective, &incumbent.base, owner_moves),
+        replicated: trim_to_slots(&incumbent.replicated, &gains, slots),
+    };
+
+    // Candidate B: replica-first. Desired set = the `slots` best positive
+    // gains; diff against the incumbent decides what ships.
+    let e = objective.n_experts();
+    let mut ranked: Vec<(usize, usize)> = (0..incumbent.base.n_layers())
+        .flat_map(|l| (0..e).map(move |x| (l, x)))
+        .filter(|&(l, x)| gains[l][x] > 0.0)
+        .collect();
+    sort_by_gain(&mut ranked, &gains);
+    ranked.truncate(slots);
+    let mut replicated = vec![Vec::new(); incumbent.base.n_layers()];
+    let mut migration_left = budget.migration_budget_bytes;
+    for (l, x) in ranked {
+        if incumbent.replicated[l].contains(&x) {
+            // Already everywhere: keeping it is free.
+            replicated[l].push(x);
+        } else if fan_out_bytes == 0 {
+            replicated[l].push(x);
+        } else if migration_left >= fan_out_bytes {
+            migration_left -= fan_out_bytes;
+            replicated[l].push(x);
+        }
+    }
+    for r in &mut replicated {
+        r.sort_unstable();
+    }
+    let cand_b = ReplicationPlan {
+        base: solve_budgeted(objective, &incumbent.base, migration_left / bpe),
+        replicated,
+    };
+
+    if replicated_cross_mass(objective, &cand_b) < replicated_cross_mass(objective, &cand_a) {
+        cand_b
+    } else {
+        cand_a
+    }
+}
+
 /// One expert relocation: `expert` at `layer` moves from unit `from` to
 /// unit `to`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,6 +335,21 @@ pub struct ExpertMove {
     pub from: usize,
     /// Unit (GPU) that will hold them after the migration.
     pub to: usize,
+}
+
+/// One replica creation: `expert` at `layer` is copied from its owner
+/// `from` to every unit in `to` (all units but the owner), so it becomes
+/// available everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaAdd {
+    /// The MoE layer of the replicated expert.
+    pub layer: usize,
+    /// The replicated expert's id.
+    pub expert: usize,
+    /// Unit (GPU) that owns the weights and sources the fan-out.
+    pub from: usize,
+    /// Units receiving a copy (every unit except `from`).
+    pub to: Vec<usize>,
 }
 
 /// The set of expert moves that turns one placement into another, with
@@ -239,8 +383,20 @@ pub struct ExpertMove {
 pub struct MigrationPlan {
     /// Bytes of weights one expert move transfers.
     pub bytes_per_expert: u64,
-    /// Every expert that changes units, in (layer, expert) order.
+    /// Every expert that changes units *and* must ship weights, in
+    /// (layer, expert) order.
     pub moves: Vec<ExpertMove>,
+    /// Owner relocations of experts that were already replicated
+    /// everywhere: the destination holds a copy, so these are bookkeeping
+    /// — zero bytes, but still a placement change the plan must surface
+    /// (an "empty" plan must mean *nothing* changed).
+    pub free_moves: Vec<ExpertMove>,
+    /// Every replica creation, in (layer, expert) order. Each fans the
+    /// expert's weights out from its owner to every other unit.
+    pub replica_adds: Vec<ReplicaAdd>,
+    /// Every replica retirement, in (layer, expert) order. Dropping a
+    /// replica frees memory but ships nothing.
+    pub replica_drops: Vec<(usize, usize)>,
 }
 
 impl MigrationPlan {
@@ -270,26 +426,99 @@ impl MigrationPlan {
         MigrationPlan {
             bytes_per_expert,
             moves,
+            free_moves: Vec::new(),
+            replica_adds: Vec::new(),
+            replica_drops: Vec::new(),
         }
     }
 
-    /// Number of expert relocations.
+    /// Diff two [`ReplicationPlan`]s into the migration that turns `old`
+    /// into `new`: owner moves, replica adds, and replica drops.
+    ///
+    /// Pricing follows the replica semantics:
+    ///
+    /// * an owner move of an expert that was replicated everywhere in
+    ///   `old` is **free** — the destination already holds a copy, so the
+    ///   relocation is bookkeeping, not traffic (such moves land in
+    ///   `free_moves`, never in the send matrix);
+    /// * a **replica add** ships the expert from its (new) owner to every
+    ///   other unit — `n_units - 1` payloads;
+    /// * a **replica drop** is free.
+    pub fn between_replicated(
+        old: &ReplicationPlan,
+        new: &ReplicationPlan,
+        bytes_per_expert: u64,
+    ) -> Self {
+        let mut plan = MigrationPlan::between(&old.base, &new.base, bytes_per_expert);
+        let (free, priced) = std::mem::take(&mut plan.moves)
+            .into_iter()
+            .partition(|m| old.replicated[m.layer].contains(&m.expert));
+        plan.free_moves = free;
+        plan.moves = priced;
+        let units = new.base.n_units();
+        for layer in 0..new.base.n_layers() {
+            for &expert in &new.replicated[layer] {
+                if !old.replicated[layer].contains(&expert) {
+                    let from = new.base.unit_of(layer, expert);
+                    plan.replica_adds.push(ReplicaAdd {
+                        layer,
+                        expert,
+                        from,
+                        to: (0..units).filter(|&u| u != from).collect(),
+                    });
+                }
+            }
+            for &expert in &old.replicated[layer] {
+                if !new.replicated[layer].contains(&expert) {
+                    plan.replica_drops.push((layer, expert));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Number of *priced* expert relocations (free moves and replica
+    /// adds/drops not included).
     pub fn n_moves(&self) -> usize {
         self.moves.len()
     }
 
-    /// Whether no expert moves at all.
-    pub fn is_empty(&self) -> bool {
-        self.moves.is_empty()
+    /// Number of owner relocations of any kind, priced or free.
+    pub fn n_relocations(&self) -> usize {
+        self.moves.len() + self.free_moves.len()
     }
 
-    /// Total bytes of expert weights crossing GPUs.
+    /// Number of replica creations.
+    pub fn n_replica_adds(&self) -> usize {
+        self.replica_adds.len()
+    }
+
+    /// Number of replica retirements.
+    pub fn n_replica_drops(&self) -> usize {
+        self.replica_drops.len()
+    }
+
+    /// Whether the plan changes nothing at all — no owner relocations
+    /// (priced or free), no replica churn. Callers use this to decide
+    /// whether a re-plan happened, so a zero-byte plan that still changes
+    /// the placement must *not* be empty.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+            && self.free_moves.is_empty()
+            && self.replica_adds.is_empty()
+            && self.replica_drops.is_empty()
+    }
+
+    /// Total bytes of expert weights crossing GPUs: one payload per owner
+    /// move plus the full fan-out of every replica add (drops are free).
     pub fn total_bytes(&self) -> u64 {
-        self.moves.len() as u64 * self.bytes_per_expert
+        let fan_out: u64 = self.replica_adds.iter().map(|a| a.to.len() as u64).sum();
+        (self.moves.len() as u64 + fan_out) * self.bytes_per_expert
     }
 
     /// The `world x world` send matrix of this plan: entry `[src][dst]`
-    /// holds the bytes `src` ships to `dst`.
+    /// holds the bytes `src` ships to `dst` (owner moves plus replica
+    /// fan-out).
     pub fn send_matrix(&self, world_size: usize) -> Vec<Vec<u64>> {
         let mut matrix = vec![vec![0u64; world_size]; world_size];
         for m in &self.moves {
@@ -298,6 +527,13 @@ impl MigrationPlan {
                 "move endpoints must be ranks of the cluster"
             );
             matrix[m.from][m.to] += self.bytes_per_expert;
+        }
+        for a in &self.replica_adds {
+            assert!(a.from < world_size, "replica owner must be a rank");
+            for &dst in &a.to {
+                assert!(dst < world_size, "replica fan-out must target ranks");
+                matrix[a.from][dst] += self.bytes_per_expert;
+            }
         }
         matrix
     }
@@ -495,5 +731,164 @@ mod tests {
         let a = Placement::round_robin(2, 8, 4);
         let b = Placement::round_robin(2, 8, 2);
         let _ = MigrationPlan::between(&a, &b, 1);
+    }
+
+    fn bare(base: Placement) -> ReplicationPlan {
+        let l = base.n_layers();
+        ReplicationPlan {
+            base,
+            replicated: vec![Vec::new(); l],
+        }
+    }
+
+    #[test]
+    fn replicated_diff_prices_adds_and_frees_drops() {
+        let base = Placement::round_robin(2, 4, 2);
+        let old = ReplicationPlan {
+            base: base.clone(),
+            replicated: vec![vec![1], vec![]],
+        };
+        let new = ReplicationPlan {
+            base: base.clone(),
+            replicated: vec![vec![], vec![2]],
+        };
+        let plan = MigrationPlan::between_replicated(&old, &new, 100);
+        assert_eq!(plan.n_moves(), 0);
+        assert_eq!(plan.n_replica_adds(), 1);
+        assert_eq!(plan.n_replica_drops(), 1);
+        assert_eq!(plan.replica_drops, vec![(0, 1)]);
+        // Expert 2 at layer 1 is owned by unit 1: one payload to unit 0.
+        assert_eq!(plan.total_bytes(), 100);
+        let matrix = plan.send_matrix(2);
+        assert_eq!(matrix[1][0], 100);
+        assert_eq!(matrix[0][1], 0);
+        assert!(!plan.is_empty());
+        // Drops alone still make the plan non-empty but ship nothing.
+        let drop_only = MigrationPlan::between_replicated(&old, &bare(base), 100);
+        assert!(!drop_only.is_empty());
+        assert_eq!(drop_only.total_bytes(), 0);
+    }
+
+    #[test]
+    fn moves_of_replicated_experts_are_free() {
+        let base = Placement::round_robin(1, 4, 2);
+        let mut moved = base.clone();
+        moved.swap(0, 0, 2); // experts 0 and 2 trade units
+        let old = ReplicationPlan {
+            base,
+            replicated: vec![vec![0]],
+        };
+        let new = ReplicationPlan {
+            base: moved,
+            replicated: vec![vec![0]],
+        };
+        let plan = MigrationPlan::between_replicated(&old, &new, 100);
+        // Expert 0 was replicated everywhere: its relocation ships
+        // nothing. Expert 2 pays one payload.
+        assert_eq!(plan.n_moves(), 1);
+        assert_eq!(plan.moves[0].expert, 2);
+        assert_eq!(plan.free_moves.len(), 1);
+        assert_eq!(plan.free_moves[0].expert, 0);
+        assert_eq!(plan.n_relocations(), 2);
+        assert_eq!(plan.total_bytes(), 100);
+        // A plan whose only change is free moves of replicated experts
+        // ships zero bytes but is NOT empty — the placement did change,
+        // and callers key re-plan accounting off emptiness.
+        let both = ReplicationPlan {
+            base: old.base.clone(),
+            replicated: vec![vec![0, 2]],
+        };
+        let mut moved_base = old.base.clone();
+        moved_base.swap(0, 0, 2);
+        let moved = ReplicationPlan {
+            base: moved_base,
+            replicated: vec![vec![0, 2]],
+        };
+        let free_only = MigrationPlan::between_replicated(&both, &moved, 100);
+        assert_eq!(free_only.total_bytes(), 0);
+        assert_eq!(free_only.n_moves(), 0);
+        assert_eq!(free_only.n_relocations(), 2);
+        assert!(!free_only.is_empty());
+        assert_eq!(free_only.send_matrix(2), vec![vec![0; 2]; 2]);
+    }
+
+    #[test]
+    fn joint_solve_respects_both_budget_axes() {
+        let obj = objective(16, 4, 0.9);
+        let incumbent = bare(Placement::round_robin(5, 16, 4));
+        for (mem_slots, move_slots) in [(0u64, 4u64), (4, 0), (4, 8), (8, 16)] {
+            let budget = ReplicationBudget {
+                replica_memory_bytes: mem_slots * 10,
+                migration_budget_bytes: move_slots * 10,
+            };
+            let next = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+            let extra = next.extra_copies_per_gpu() as u64;
+            assert!(
+                extra <= mem_slots,
+                "({mem_slots},{move_slots}): {extra} extra copies over budget"
+            );
+            let plan = MigrationPlan::between_replicated(&incumbent, &next, 10);
+            assert!(
+                plan.total_bytes() <= budget.migration_budget_bytes,
+                "({mem_slots},{move_slots}): {} bytes over budget",
+                plan.total_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn joint_solve_never_loses_to_owner_moves_only() {
+        let obj = objective(16, 4, 0.9);
+        let incumbent = bare(Placement::round_robin(5, 16, 4));
+        for move_slots in [4u64, 8, 24] {
+            let bytes = move_slots * 10;
+            let owner_only = solve_budgeted(&obj, &incumbent.base, move_slots);
+            let owner_cost = obj.cross_mass(&owner_only);
+            let joint = solve_budgeted_replicated(
+                &obj,
+                &incumbent,
+                10,
+                &ReplicationBudget {
+                    replica_memory_bytes: 6 * 10,
+                    migration_budget_bytes: bytes,
+                },
+            );
+            let joint_cost = replicated_cross_mass(&obj, &joint);
+            assert!(
+                joint_cost <= owner_cost + 1e-12,
+                "moves {move_slots}: joint {joint_cost} vs owner-only {owner_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_memory_budget_reduces_to_owner_moves() {
+        let obj = objective(12, 3, 0.85);
+        let incumbent = bare(Placement::round_robin(4, 12, 4));
+        let budget = ReplicationBudget {
+            replica_memory_bytes: 0,
+            migration_budget_bytes: 8 * 10,
+        };
+        let next = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+        assert!(next.replicated.iter().all(Vec::is_empty));
+        assert_eq!(next.base, solve_budgeted(&obj, &incumbent.base, 8));
+    }
+
+    #[test]
+    fn joint_solve_is_deterministic_and_drops_stale_replicas() {
+        let obj = objective(16, 4, 0.9);
+        // Incumbent replicates two experts the drifted objective gives no
+        // incoming cross mass... pick experts and verify drop behavior on
+        // a shrunken memory budget.
+        let mut incumbent = bare(Placement::round_robin(5, 16, 4));
+        incumbent.replicated[2] = vec![3, 7];
+        let budget = ReplicationBudget {
+            replica_memory_bytes: 10, // one slot
+            migration_budget_bytes: 6 * 10,
+        };
+        let a = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+        let b = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+        assert_eq!(a, b, "joint solve must be deterministic");
+        assert!(a.extra_copies_per_gpu() <= 1);
     }
 }

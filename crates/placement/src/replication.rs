@@ -9,10 +9,27 @@
 //! cost, versus ExFlow's zero-replica global optimization. This module
 //! implements the baseline so the trade-off can be measured.
 
-use exflow_affinity::RoutingTrace;
+use exflow_affinity::{AffinitySnapshot, RoutingTrace};
 
-use crate::objective::Objective;
+use crate::objective::{Objective, TraceLocality};
 use crate::placement::Placement;
+
+/// Joint resource budget of one replication-aware online re-plan: how many
+/// bytes of replica copies each GPU may hold, and how many bytes of expert
+/// weights the re-plan may ship (owner moves plus replica fan-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationBudget {
+    /// Per-GPU byte budget for *extra* replica copies, under the
+    /// [`ReplicationPlan::extra_copies_per_gpu`] convention (a copy on the
+    /// owner GPU is the original and costs nothing). `0` disables
+    /// replication entirely (owner moves only).
+    pub replica_memory_bytes: u64,
+    /// Byte budget of the migration traffic one re-plan may generate.
+    /// A replica add ships the expert from its owner to every other unit;
+    /// a replica drop (and an owner move of an already-replicated expert)
+    /// is free.
+    pub migration_budget_bytes: u64,
+}
 
 /// A replication plan on top of a base placement: per layer, the experts
 /// replicated onto *every* GPU.
@@ -39,51 +56,90 @@ impl ReplicationPlan {
     /// let objective = Objective::from_raw(vec![gap], 4);
     /// let base = Placement::round_robin(2, 4, 2);
     ///
-    /// let plan = ReplicationPlan::most_popular(&objective, base, 1);
-    /// // One expert replicated everywhere at each of the 2 layers ...
+    /// let plan = ReplicationPlan::most_popular(&objective, base.clone(), 1);
+    /// // One expert replicated everywhere at each of the 2 layers; only
+    /// // the non-owner GPU stores an extra copy, so the worst-case extra
+    /// // memory is 2 expert payloads (one per layer).
     /// assert_eq!(plan.extra_copies_per_gpu(), 2);
-    /// // ... so it is available on every GPU, not just its owner.
+    /// // ... and it is available on every GPU, not just its owner.
     /// let expert = plan.replicated[0][0];
     /// assert!(plan.available_on(0, expert, 0) && plan.available_on(0, expert, 1));
+    ///
+    /// // Replicating *everything* costs each GPU only the experts it does
+    /// // not already own: 2 extra per layer here, not 4.
+    /// let full = ReplicationPlan::most_popular(&objective, base, 4);
+    /// assert_eq!(full.extra_copies_per_gpu(), 4);
     /// ```
     pub fn most_popular(objective: &Objective, base: Placement, budget: usize) -> Self {
         let e = objective.n_experts();
-        assert!(budget <= e, "cannot replicate more experts than exist");
         let l = base.n_layers();
-        let mut replicated = Vec::with_capacity(l);
-        for layer in 0..l {
-            // Popularity of an expert at `layer` = its marginal share.
-            // Row weights exist per gap; the last layer reuses the
-            // incoming gap's successor mass.
-            let mut popularity: Vec<(usize, f64)> = (0..e)
-                .map(|expert| {
-                    let p = if layer < objective.n_gaps() {
-                        objective.row_weight(layer, expert)
-                    } else if objective.n_gaps() == 0 {
-                        // Gapless single-layer instance: no routing
-                        // information — every expert is equally popular.
-                        1.0 / e as f64
-                    } else {
-                        // Successor mass into the last layer.
-                        (0..e)
-                            .map(|i| {
-                                objective.row_weight(layer - 1, i)
-                                    * objective.gap_prob(layer - 1, i, expert)
-                            })
-                            .sum()
-                    };
-                    (expert, p)
-                })
-                .collect();
-            popularity.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let mut chosen: Vec<usize> = popularity
-                .into_iter()
-                .take(budget)
-                .map(|(e, _)| e)
-                .collect();
-            chosen.sort_unstable();
-            replicated.push(chosen);
-        }
+        // Popularity of an expert at `layer` = its marginal share. Row
+        // weights exist per gap; the last layer reuses the incoming gap's
+        // successor mass.
+        let popularity: Vec<Vec<f64>> = (0..l)
+            .map(|layer| {
+                (0..e)
+                    .map(|expert| {
+                        if layer < objective.n_gaps() {
+                            objective.row_weight(layer, expert)
+                        } else if objective.n_gaps() == 0 {
+                            // Gapless single-layer instance: no routing
+                            // information — every expert is equally popular.
+                            1.0 / e as f64
+                        } else {
+                            (0..e)
+                                .map(|i| {
+                                    objective.row_weight(layer - 1, i)
+                                        * objective.gap_prob(layer - 1, i, expert)
+                                })
+                                .sum()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::from_popularity(&popularity, base, budget)
+    }
+
+    /// [`ReplicationPlan::most_popular`] driven by a frozen streaming
+    /// estimate instead of an offline objective: popularity per layer is
+    /// [`AffinitySnapshot::layer_popularity`], so the online serving mode
+    /// can rank replica candidates without rebuilding a placement
+    /// objective first.
+    pub fn most_popular_from_snapshot(
+        snapshot: &AffinitySnapshot,
+        base: Placement,
+        budget: usize,
+    ) -> Self {
+        let popularity: Vec<Vec<f64>> = (0..base.n_layers())
+            .map(|layer| snapshot.layer_popularity(layer))
+            .collect();
+        Self::from_popularity(&popularity, base, budget)
+    }
+
+    /// Replicate, at every layer, the `budget` experts with the highest
+    /// `popularity[layer][expert]` score. Selection uses a *total* order —
+    /// popularity descending, expert index ascending on ties — so NaN
+    /// scores (a degenerate estimate) and exact ties resolve
+    /// deterministically instead of panicking or leaning on sort
+    /// stability. (Under `f64::total_cmp`, NaN orders above every finite
+    /// popularity, so NaN-scored experts are selected first — and
+    /// deterministically — rather than poisoning the sort.)
+    pub fn from_popularity(popularity: &[Vec<f64>], base: Placement, budget: usize) -> Self {
+        let e = base.n_experts();
+        assert!(budget <= e, "cannot replicate more experts than exist");
+        assert_eq!(popularity.len(), base.n_layers(), "layer mismatch");
+        let replicated = popularity
+            .iter()
+            .map(|scores| {
+                assert_eq!(scores.len(), e, "expert mismatch");
+                let mut ranked: Vec<usize> = (0..e).collect();
+                ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+                let mut chosen: Vec<usize> = ranked.into_iter().take(budget).collect();
+                chosen.sort_unstable();
+                chosen
+            })
+            .collect();
         ReplicationPlan { base, replicated }
     }
 
@@ -93,42 +149,149 @@ impl ReplicationPlan {
         self.base.unit_of(layer, expert) == unit || self.replicated[layer].contains(&expert)
     }
 
-    /// Extra expert copies this plan stores per GPU, summed over layers —
-    /// the "Extra Memory" column of the paper's Table I, in units of one
-    /// expert's parameters.
+    /// Worst-case *extra* expert copies any one GPU stores, summed over
+    /// layers — the "Extra Memory" column of the paper's Table I, in units
+    /// of one expert's parameters.
+    ///
+    /// Convention (Table-I-consistent): a replicated expert's copy on its
+    /// *owner* GPU is the original, not an extra — only the copies on the
+    /// other GPUs cost memory. Different GPUs own different replicated
+    /// experts, so the per-GPU extra counts differ; the reported number is
+    /// the maximum over GPUs, i.e. the memory headroom every GPU must
+    /// provision to hold the plan.
     pub fn extra_copies_per_gpu(&self) -> usize {
-        self.replicated.iter().map(|r| r.len()).sum()
+        let units = self.base.n_units();
+        (0..units)
+            .map(|unit| {
+                self.replicated
+                    .iter()
+                    .enumerate()
+                    .map(|(layer, r)| {
+                        r.iter()
+                            .filter(|&&e| self.base.unit_of(layer, e) != unit)
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Realized locality of this plan on a concrete trace, counting
+    /// replicas as local: the replication-aware counterpart of
+    /// [`measure_trace_locality`](crate::objective::measure_trace_locality).
+    ///
+    /// A token's "current unit" follows its served experts: a transition is
+    /// local when the next expert is available (owned or replicated) on the
+    /// token's unit; otherwise the token moves to the next expert's owner.
+    /// While *every* expert served so far was replicated everywhere, the
+    /// token's unit is unconstrained — the scheduler may have started it on
+    /// whichever GPU serves the next expert — so those transitions count as
+    /// local and the first non-replicated expert pins the token to its
+    /// owner. (Seeding the unit with the layer-0 *owner* instead, as this
+    /// method once did, wrongly charged a cross-unit hop to tokens whose
+    /// first expert was replicated everywhere.)
+    pub fn trace_locality(&self, trace: &RoutingTrace) -> TraceLocality {
+        assert_eq!(trace.n_layers(), self.base.n_layers());
+        let mut local = 0u64;
+        let mut transitions = 0u64;
+        for t in 0..trace.n_tokens() {
+            let first = trace.expert_at(t, 0);
+            let mut unit = if self.replicated[0].contains(&first) {
+                None
+            } else {
+                Some(self.base.unit_of(0, first))
+            };
+            for j in 1..trace.n_layers() {
+                let expert = trace.expert_at(t, j);
+                transitions += 1;
+                match unit {
+                    None => {
+                        // Unpinned: the token can be co-located with any
+                        // expert, so the hop is free; a non-replicated
+                        // expert pins it.
+                        local += 1;
+                        if !self.replicated[j].contains(&expert) {
+                            unit = Some(self.base.unit_of(j, expert));
+                        }
+                    }
+                    Some(u) if self.available_on(j, expert, u) => local += 1,
+                    Some(_) => unit = Some(self.base.unit_of(j, expert)),
+                }
+            }
+        }
+        TraceLocality { transitions, local }
     }
 
     /// Fraction of a trace's layer transitions that can be served without
-    /// leaving the current unit, counting replicas as local.
+    /// leaving the current unit, counting replicas as local (see
+    /// [`ReplicationPlan::trace_locality`] for the exact semantics).
     ///
     /// A gapless single-layer trace has no transitions to lose, so the
     /// fraction is 1.0 — agreeing with `Objective::local_fraction` on the
     /// same L = 1 instance (the naive `0 / 0` ratio would report 0).
     pub fn trace_local_fraction(&self, trace: &RoutingTrace) -> f64 {
-        assert_eq!(trace.n_layers(), self.base.n_layers());
-        let mut local = 0u64;
-        let mut total = 0u64;
-        for t in 0..trace.n_tokens() {
-            // A token's "current unit" follows its served experts: if the
-            // expert was replicated, the token stays where it was.
-            let mut unit = self.base.unit_of(0, trace.expert_at(t, 0));
-            for j in 1..trace.n_layers() {
-                let expert = trace.expert_at(t, j);
-                total += 1;
-                if self.available_on(j, expert, unit) {
-                    local += 1;
-                } else {
-                    unit = self.base.unit_of(j, expert);
-                }
-            }
-        }
-        if total == 0 {
-            return 1.0;
-        }
-        local as f64 / total as f64
+        self.trace_locality(trace).fraction()
     }
+}
+
+/// Expected cross-unit transition mass a replica add would absorb, per
+/// `(layer, expert)`: the mass flowing *into* `expert` at `layer` from
+/// source experts placed on a different unit. A replica everywhere turns
+/// exactly those incoming hops local, so this is the marginal value of
+/// replicating that expert (layer 0 has no incoming gap — its entries are
+/// 0). Accumulation visits cells in ascending `(gap, source, column)`
+/// order and skips structural zeros, so the scores are bit-identical
+/// across dense/CSR gap backends.
+pub fn replica_gains(objective: &Objective, base: &Placement) -> Vec<Vec<f64>> {
+    assert_eq!(base.n_layers(), objective.n_layers());
+    assert_eq!(base.n_experts(), objective.n_experts());
+    let e = objective.n_experts();
+    let mut gains = vec![vec![0.0f64; e]; base.n_layers()];
+    for gap in 0..objective.n_gaps() {
+        for i in 0..e {
+            let w = objective.row_weight(gap, i);
+            if w == 0.0 {
+                continue;
+            }
+            let from = base.unit_of(gap, i);
+            objective.for_each_in_row(gap, i, |p, prob| {
+                if base.unit_of(gap + 1, p) != from {
+                    gains[gap + 1][p] += w * prob;
+                }
+            });
+        }
+    }
+    gains
+}
+
+/// Expected cross-unit transitions per token under a replication plan:
+/// [`Objective::cross_mass`] minus the mass absorbed by replicas (a hop
+/// into an expert replicated everywhere is local wherever the token
+/// sits). First-order model: a token that used a replica is assumed to
+/// continue from the replicated expert's *owner* for the next gap, mirroring
+/// the owner-marginal view the objective itself takes. Lower is better;
+/// equals `cross_mass` exactly when no expert is replicated.
+pub fn replicated_cross_mass(objective: &Objective, plan: &ReplicationPlan) -> f64 {
+    assert_eq!(plan.base.n_layers(), objective.n_layers());
+    assert_eq!(plan.base.n_experts(), objective.n_experts());
+    let e = objective.n_experts();
+    let mut total = 0.0f64;
+    for gap in 0..objective.n_gaps() {
+        for i in 0..e {
+            let w = objective.row_weight(gap, i);
+            if w == 0.0 {
+                continue;
+            }
+            let from = plan.base.unit_of(gap, i);
+            objective.for_each_in_row(gap, i, |p, prob| {
+                if plan.base.unit_of(gap + 1, p) != from && !plan.replicated[gap + 1].contains(&p) {
+                    total += w * prob;
+                }
+            });
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -162,7 +325,53 @@ mod tests {
         let base = Placement::round_robin(5, 8, 4);
         let plan = ReplicationPlan::most_popular(&obj, base, 8);
         assert!((plan.trace_local_fraction(&trace) - 1.0).abs() < 1e-12);
-        assert_eq!(plan.extra_copies_per_gpu(), 40);
+        // Each GPU owns 2 of the 8 experts per layer, so full replication
+        // costs it the other 6 per layer — owner copies are not "extra".
+        assert_eq!(plan.extra_copies_per_gpu(), 30);
+    }
+
+    #[test]
+    fn extra_copies_exclude_owner_copies() {
+        let (obj, _) = instance(8, 2);
+        let base = Placement::round_robin(2, 8, 4);
+        // One replicated expert per layer: its owner GPU stores nothing
+        // extra, every other GPU stores one copy per layer.
+        let plan = ReplicationPlan::most_popular(&obj, base.clone(), 1);
+        assert_eq!(plan.extra_copies_per_gpu(), 2);
+        // Hand-built plan replicating a different owner's expert per
+        // layer: experts 0 (unit 0) and 7 (unit 3). Units 1 and 2 store
+        // both extras; units 0 and 3 store one each. Worst case: 2.
+        let plan = ReplicationPlan {
+            base,
+            replicated: vec![vec![0], vec![7]],
+        };
+        assert_eq!(plan.extra_copies_per_gpu(), 2);
+    }
+
+    #[test]
+    fn popularity_sort_is_total_and_breaks_ties_by_index() {
+        // NaN popularity (a degenerate affinity estimate) must not panic,
+        // and exact ties must resolve by ascending expert index.
+        let e = 4;
+        let mut gap = vec![f64::NAN; e * e];
+        for i in 0..e {
+            gap[i * e + i] = 1.0;
+        }
+        let obj = Objective::from_raw(vec![gap], e);
+        let base = Placement::round_robin(2, e, 2);
+        let plan = ReplicationPlan::most_popular(&obj, base.clone(), 2);
+        // Layer-0 popularity is the uniform marginal (all tied): lowest
+        // indices win. Layer-1 popularity is NaN-tainted successor mass:
+        // selection stays deterministic either way.
+        assert_eq!(plan.replicated[0], vec![0, 1]);
+        assert_eq!(plan.replicated[1].len(), 2);
+        let again = ReplicationPlan::most_popular(&obj, base.clone(), 2);
+        assert_eq!(plan, again, "NaN selection must be deterministic");
+
+        // Explicit popularity: tie on 0.4 between experts 1 and 3.
+        let pop = vec![vec![0.1, 0.4, 0.1, 0.4]; 2];
+        let tied = ReplicationPlan::from_popularity(&pop, base, 1);
+        assert_eq!(tied.replicated, vec![vec![1], vec![1]]);
     }
 
     #[test]
@@ -213,6 +422,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn replicated_first_expert_does_not_charge_the_start() {
+        // Token path: expert 0 (layer 0, replicated everywhere) -> expert
+        // 3 (layer 1, owned by unit 1). The scheduler can start the token
+        // on unit 1, so the single transition is local. The old seeding
+        // (pin to expert 0's owner, unit 0) wrongly counted it cross-unit.
+        let base = Placement::round_robin(2, 4, 2);
+        let plan = ReplicationPlan {
+            base: base.clone(),
+            replicated: vec![vec![0], vec![]],
+        };
+        let trace = RoutingTrace::new(vec![vec![0, 3]], 4);
+        assert_eq!(plan.trace_local_fraction(&trace), 1.0);
+        let loc = plan.trace_locality(&trace);
+        assert_eq!((loc.local, loc.transitions), (1, 1));
+        // Once pinned (layer 1's expert is not replicated), later hops are
+        // charged normally: 3 (unit 1) -> 0 (unit 0) is cross.
+        let base3 = Placement::round_robin(3, 4, 2);
+        let plan3 = ReplicationPlan {
+            base: base3,
+            replicated: vec![vec![0], vec![], vec![]],
+        };
+        let t3 = RoutingTrace::new(vec![vec![0, 3, 0]], 4);
+        let loc3 = plan3.trace_locality(&t3);
+        assert_eq!((loc3.local, loc3.transitions), (1, 2));
+        // A fully-replicated prefix stays unpinned across layers.
+        let all = ReplicationPlan {
+            base: Placement::round_robin(3, 4, 2),
+            replicated: vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![]],
+        };
+        let loc_all = all.trace_locality(&RoutingTrace::new(vec![vec![0, 3, 1]], 4));
+        assert_eq!((loc_all.local, loc_all.transitions), (2, 2));
+    }
+
+    #[test]
+    fn replica_gains_score_incoming_cross_mass() {
+        // Shift affinity: expert i always routes to i + 1 (mod 4).
+        let e = 4;
+        let mut gap = vec![0.0; e * e];
+        for i in 0..e {
+            gap[i * e + (i + 1) % e] = 1.0;
+        }
+        let obj = Objective::from_raw(vec![gap], e);
+        let base = Placement::round_robin(2, e, 2);
+        let gains = replica_gains(&obj, &base);
+        // Layer 0 has no incoming gap.
+        assert_eq!(gains[0], vec![0.0; e]);
+        // Units: {0,1} on GPU 0, {2,3} on GPU 1. Cross hops: 1 -> 2 and
+        // 3 -> 0, each with marginal 1/4.
+        assert_eq!(gains[1], vec![0.25, 0.0, 0.25, 0.0]);
+        // Replicating expert 2 at layer 1 absorbs exactly its gain.
+        let plan = ReplicationPlan {
+            base: base.clone(),
+            replicated: vec![vec![], vec![2]],
+        };
+        let absorbed = obj.cross_mass(&base) - replicated_cross_mass(&obj, &plan);
+        assert!((absorbed - 0.25).abs() < 1e-12);
+        // No replicas: replicated_cross_mass is exactly cross_mass.
+        let bare = ReplicationPlan {
+            base: base.clone(),
+            replicated: vec![vec![], vec![]],
+        };
+        assert_eq!(
+            replicated_cross_mass(&obj, &bare).to_bits(),
+            obj.cross_mass(&base).to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_popularity_matches_objective_popularity() {
+        use exflow_affinity::StreamingAffinity;
+        let (_, trace) = instance(8, 4);
+        let mut s = StreamingAffinity::new(4, 8, 1.0);
+        s.observe(&trace);
+        let snap = s.snapshot();
+        let obj = crate::objective::Objective::from_snapshot(&snap);
+        let base = Placement::round_robin(4, 8, 4);
+        let a = ReplicationPlan::most_popular(&obj, base.clone(), 3);
+        let b = ReplicationPlan::most_popular_from_snapshot(&snap, base, 3);
+        assert_eq!(a, b, "snapshot and objective popularity must agree");
     }
 
     #[test]

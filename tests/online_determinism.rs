@@ -1,7 +1,8 @@
 //! Workspace-level online-determinism gate: an online serving run with
 //! fixed seeds is a pure function of (config, drift schedule) — bit
-//! identical across parallelism widths, and identical across re-plan
-//! cadences whenever the cadence never actually fires a migration.
+//! identical across parallelism widths and gap backends (with or without
+//! replication-aware re-planning), and identical across re-plan cadences
+//! whenever the cadence never actually fires a migration.
 
 use exflow::core::{InferenceEngine, OnlineConfig, ParallelismMode};
 use exflow::model::drift::DriftSchedule;
@@ -31,6 +32,27 @@ fn adaptive() -> OnlineConfig {
         drift_threshold: 0.08,
         migration_budget_bytes: u64::MAX,
         decay: 0.3,
+        ..OnlineConfig::default()
+    }
+}
+
+/// Replication-aware variant: a joint budget tight enough that replica
+/// adds, drops, and owner moves all compete, plus rollover and
+/// drift-scaled budgets so every new budgeting path is exercised.
+fn replicated() -> OnlineConfig {
+    let bytes_per_expert = {
+        let mut model = moe_gpt_m(8);
+        model.n_layers = 5;
+        model.expert_params() * 2
+    };
+    OnlineConfig {
+        replan_every: 1,
+        drift_threshold: 0.08,
+        migration_budget_bytes: 12 * bytes_per_expert,
+        decay: 0.3,
+        replica_memory_bytes: 4 * bytes_per_expert,
+        budget_rollover: true,
+        scale_budget_by_drift: true,
     }
 }
 
@@ -82,6 +104,7 @@ fn cadence_is_unobservable_when_no_migration_fires() {
         drift_threshold: f64::INFINITY,
         migration_budget_bytes: u64::MAX,
         decay: 0.3,
+        ..OnlineConfig::default()
     };
     let reference_engine = engine(1, quiet(1), GapBackend::Auto);
     let schedule = drift(&reference_engine);
@@ -94,6 +117,43 @@ fn cadence_is_unobservable_when_no_migration_fires() {
             .run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
         assert_eq!(report, reference, "cadence {cadence} leaked into the run");
     }
+}
+
+#[test]
+fn replication_aware_runs_are_bit_identical_at_1_2_and_8_threads() {
+    let seq = engine(1, replicated(), GapBackend::Auto);
+    let schedule = drift(&seq);
+    let baseline = seq.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    // The scenario must exercise the replication pipeline for the
+    // invariance to mean anything: replicas actually churn.
+    assert!(baseline.migrations.replans > 0);
+    assert!(
+        baseline.migrations.replicas_added > 0,
+        "the joint budget must buy at least one replica"
+    );
+    for threads in [2, 8] {
+        let par = engine(threads, replicated(), GapBackend::Auto);
+        let report = par.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+        assert_eq!(report, baseline, "{threads} threads diverged");
+        assert_eq!(
+            report.total_time().to_bits(),
+            baseline.total_time().to_bits()
+        );
+        for (a, b) in report.drift.iter().zip(&baseline.drift) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn replication_aware_runs_are_gap_backend_invariant() {
+    let dense = engine(1, replicated(), GapBackend::Dense);
+    let schedule = drift(&dense);
+    let a = dense.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let sparse = engine(1, replicated(), GapBackend::Sparse);
+    let b = sparse.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    assert!(a.migrations.replans > 0);
+    assert_eq!(a, b, "gap backends diverged on a replication-aware run");
 }
 
 #[test]
