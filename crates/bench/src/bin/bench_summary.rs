@@ -9,20 +9,25 @@
 //! invariant across thread counts and backends), and the
 //! `table_replication_online` sweep (static vs owner-moves-only vs the
 //! joint replica + owner-move policy under the joint budget, verified
-//! invariant across backends), and writes the machine-readable summary
-//! JSON (schema `exflow-bench-summary/v4`, documented in the README).
+//! invariant across backends), and the `table_serving` request-level
+//! sweep (static vs budgeted-online vs replication-aware placements under
+//! Poisson/diurnal/flash-crowd arrivals, verified invariant across thread
+//! counts and backends), and writes the machine-readable summary JSON
+//! (schema `exflow-bench-summary/v5`, documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR5.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR6.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline (v4, or the older v3 whose sections are compared
-//! as far as they go): any objective mismatch (`cross_mass`, `nnz`, the
-//! online/replication cross counts) is a hard failure, wall-time
-//! regressions beyond 25% are reported as warnings in the markdown
-//! printed to stdout (CI appends it to the job summary).
+//! committed baseline (v5, or an older v3/v4 whose sections are compared
+//! as far as they go — the skew is called out in an informational note):
+//! any objective mismatch (`cross_mass`, `nnz`, the online/replication
+//! cross counts, the serving latency quantiles) or a fresh serving row
+//! whose adaptive p99 is worse than the static incumbent's is a hard
+//! failure, wall-time regressions beyond 25% are reported as warnings in
+//! the markdown printed to stdout (CI appends it to the job summary).
 //!
 //! Exit codes: 0 on success, 1 if a verification/gate check fails or the
 //! output cannot be written, 2 on usage errors (consistent with `repro`).
@@ -147,6 +152,19 @@ fn main() {
             row.replicas_added,
             row.replicas_dropped,
             row.extra_copies
+        );
+    }
+
+    for row in &summary.serving_rows {
+        eprintln!(
+            "table_serving: {} p99 static {:.1} us / online {:.1} us ({:.2}x) / repl {:.1} us ({:.2}x), {} re-plans",
+            row.arrival,
+            row.static_p99 * 1e6,
+            row.online_p99 * 1e6,
+            row.p99_speedup(row.online_p99),
+            row.repl_p99 * 1e6,
+            row.p99_speedup(row.repl_p99),
+            row.online_replans
         );
     }
 

@@ -9,7 +9,7 @@
 
 use crate::experiments::{
     ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, online,
-    replication_online, table1, table2, table3,
+    replication_online, serving, table1, table2, table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -35,6 +35,7 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("ablations", ablations::print),
     ("table_online", online::print),
     ("table_replication_online", replication_online::print),
+    ("table_serving", serving::print),
 ];
 
 /// Accepted aliases: the paper's Figs. 15/16 are gap-sweep variants of the

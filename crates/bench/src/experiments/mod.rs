@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod online;
 pub mod replication_online;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

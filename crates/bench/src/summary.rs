@@ -27,16 +27,27 @@
 //!   churn, and budget compliance — verified invariant across gap
 //!   backends.
 //!
+//! * **`table_serving` sweep** — the request-level serving front-end:
+//!   Poisson / diurnal / flash-crowd arrival processes served under
+//!   static, budgeted-online, and replication-aware placements, recording
+//!   p50/p95/p99 request latency, goodput, re-plan counts, and migrated
+//!   bytes per cell — verified bit-identical across thread counts and
+//!   gap backends.
+//!
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v4`) keeps them apart.
+//! (`exflow-bench-summary/v5`) keeps them apart.
 
 use std::time::Instant;
 
 use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
+use exflow_core::{
+    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, ServingConfig, ServingReport,
+};
 use exflow_model::presets::{large_zoo, moe_gpt_m, table2};
 use exflow_model::routing::AffinityModelSpec;
+use exflow_model::ArrivalProcess;
 use exflow_model::{CorpusSpec, DriftSchedule, ModelConfig, TokenBatch};
 use exflow_placement::annealing::AnnealParams;
 use exflow_placement::greedy::solve_greedy;
@@ -49,6 +60,7 @@ use exflow_placement::{
     replicated_cross_mass, solve_with, split_seed, GapBackend, Objective, Parallelism, Placement,
     ReplicationBudget, ReplicationPlan, SolverKind,
 };
+use exflow_topology::{ClusterSpec, CostModel, LinkCost};
 
 use crate::sweep::{par_map, SweepPool};
 use crate::Scale;
@@ -91,6 +103,61 @@ const REPLICATION_BUDGET_MOVES: u64 = 16;
 /// Extra replica payloads each GPU may hold in the joint policy (the
 /// `replica_memory_bytes` axis of the joint budget, in expert payloads).
 const REPLICATION_SLOTS: u64 = 8;
+
+/// Experts per layer of every `table_serving` scenario (small enough
+/// that each decode step's engine pass stays cheap: the sweep runs
+/// hundreds of them).
+const SERVING_EXPERTS: usize = 16;
+
+/// Batch-size cap of the serving scenarios (also the occupancy the
+/// arrival rates are calibrated against).
+const SERVING_MAX_BATCH: usize = 32;
+
+/// FFN inner dimension of the serving model's experts. Much narrower
+/// than the GPT convention (`4 * d_model`): serving cells live in the
+/// paper's communication-bounded regime (Fig. 9d), where dispatch
+/// Alltoalls — the thing placement quality controls — are a large
+/// share of step time, and expert payloads (hence migration stalls)
+/// are small.
+const SERVING_D_FF: usize = 128;
+
+/// Decode steps (generated tokens) per request.
+const SERVING_DECODE_STEPS: usize = 4;
+
+/// Serving windows the virtual horizon divides into (drift checks fire
+/// at window boundaries).
+const SERVING_WINDOWS: usize = 6;
+
+/// Offered load as a fraction of full-batch service capacity, measured
+/// against the *profiled* placement on *profiled* traffic. Live drifted
+/// traffic serves slower than that calibration, so the static incumbent
+/// runs saturated and its queue backs up into the latency tail, while a
+/// re-placed server recovers enough service rate to stay stable.
+const SERVING_UTILIZATION: f64 = 0.96;
+
+/// Inter-node line rate of the serving cells' cluster, bytes/s. A
+/// quarter of the wilkes3 preset's 50 GB/s: the serving story plays out
+/// in the paper's communication-bounded regime (Fig. 9d), where the
+/// dispatch locality a placement buys — or loses, as traffic drifts —
+/// moves the effective service rate, and queueing near saturation
+/// amplifies that into the latency tail.
+const SERVING_INTER_NODE_BW: f64 = 12.5e9;
+
+/// Expert moves one serving re-plan may migrate, in expert payloads.
+/// Migration stalls the server, so the budget trades re-placement
+/// quality against tail-latency spikes; the serving model's narrow
+/// experts ([`SERVING_D_FF`]) keep one full-budget stall small.
+const SERVING_BUDGET_MOVES: u64 = 16;
+
+/// Extra replica payloads per GPU in the replication-aware serving
+/// policy.
+const SERVING_REPLICA_SLOTS: u64 = 4;
+
+/// Drift threshold of the serving re-placement policies.
+const SERVING_DRIFT_THRESHOLD: f64 = 0.08;
+
+/// Streaming-estimator decay of the serving scenarios.
+const SERVING_DECAY: f64 = 0.3;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -266,6 +333,72 @@ impl ReplicationOnlineRow {
     }
 }
 
+/// One `table_serving` cell: one arrival process (Poisson / diurnal /
+/// flash-crowd) served end-to-end through the request-level front-end
+/// (`InferenceEngine::run_serving`) under three placement policies —
+/// static incumbent, budgeted-online re-placement, and replication-aware
+/// re-placement. Latencies, goodput, and offered load are virtual-time
+/// facts (bit-identical across thread counts and gap backends — verified
+/// in-sweep); all three policies see the *same* arrival sample and
+/// routing draws, so the tails differ only through placement quality and
+/// migration stalls.
+#[derive(Debug, Clone)]
+pub struct ServingBenchRow {
+    /// Arrival-process label (`poisson`, `diurnal`, `flash-crowd`).
+    pub arrival: String,
+    /// Requests served per cell.
+    pub requests: usize,
+    /// Decode steps (generated tokens) per request.
+    pub decode_steps: usize,
+    /// Serving windows of the drift schedule.
+    pub windows: usize,
+    /// Batch-size cap of the continuous-batching policy.
+    pub max_batch: usize,
+    /// Requests per unit virtual time the arrival process offered.
+    pub offered_load: f64,
+    /// p50 request latency under the static incumbent.
+    pub static_p50: f64,
+    /// p95 request latency under the static incumbent.
+    pub static_p95: f64,
+    /// p99 request latency under the static incumbent.
+    pub static_p99: f64,
+    /// Completed requests per unit virtual time, static incumbent.
+    pub static_goodput: f64,
+    /// p50 request latency under budgeted-online re-placement.
+    pub online_p50: f64,
+    /// p95 request latency under budgeted-online re-placement.
+    pub online_p95: f64,
+    /// p99 request latency under budgeted-online re-placement.
+    pub online_p99: f64,
+    /// Completed requests per unit virtual time, budgeted-online.
+    pub online_goodput: f64,
+    /// Re-plans the budgeted-online policy executed.
+    pub online_replans: u64,
+    /// Bytes the budgeted-online policy migrated, whole run.
+    pub online_migrated_bytes: u64,
+    /// p50 request latency under replication-aware re-placement.
+    pub repl_p50: f64,
+    /// p95 request latency under replication-aware re-placement.
+    pub repl_p95: f64,
+    /// p99 request latency under replication-aware re-placement.
+    pub repl_p99: f64,
+    /// Completed requests per unit virtual time, replication-aware.
+    pub repl_goodput: f64,
+    /// Replica copies the replication-aware policy created, whole run.
+    pub repl_replicas_added: u64,
+}
+
+impl ServingBenchRow {
+    /// Static p99 over a policy's p99: > 1 exactly when the adaptive
+    /// policy improves the latency tail over never re-placing.
+    pub fn p99_speedup(&self, p99: f64) -> f64 {
+        if p99 <= 0.0 {
+            return 0.0;
+        }
+        self.static_p99 / p99
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -290,6 +423,8 @@ pub struct BenchSummary {
     /// The `table_replication_online` cells: the 3 drift presets at
     /// `E = 16`, then one `large_zoo()` sparse instance.
     pub replication_online_rows: Vec<ReplicationOnlineRow>,
+    /// The `table_serving` cells, one per arrival process.
+    pub serving_rows: Vec<ServingBenchRow>,
 }
 
 impl BenchSummary {
@@ -302,15 +437,15 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v4` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v5` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
-    /// are printed with Rust's shortest round-trip float formatting, so
-    /// string equality in the JSON is bit equality of the f64 — what the
-    /// CI perf-gate compares.
+    /// and serving latencies are printed with Rust's shortest round-trip
+    /// float formatting, so string equality in the JSON is bit equality
+    /// of the f64 — what the CI perf-gate compares.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v4\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v5\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -405,6 +540,35 @@ impl BenchSummary {
                 } else {
                     ","
                 }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"serving_rows\": [\n");
+        for (i, row) in self.serving_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"arrival\": \"{}\", \"requests\": {}, \"decode_steps\": {}, \"windows\": {}, \"max_batch\": {}, \"offered_load\": {}, \"static_p50\": {}, \"static_p95\": {}, \"static_p99\": {}, \"static_goodput\": {}, \"online_p50\": {}, \"online_p95\": {}, \"online_p99\": {}, \"online_goodput\": {}, \"online_replans\": {}, \"online_migrated_bytes\": {}, \"repl_p50\": {}, \"repl_p95\": {}, \"repl_p99\": {}, \"repl_goodput\": {}, \"repl_replicas_added\": {}}}{}\n",
+                row.arrival,
+                row.requests,
+                row.decode_steps,
+                row.windows,
+                row.max_batch,
+                row.offered_load,
+                row.static_p50,
+                row.static_p95,
+                row.static_p99,
+                row.static_goodput,
+                row.online_p50,
+                row.online_p95,
+                row.online_p99,
+                row.online_goodput,
+                row.online_replans,
+                row.online_migrated_bytes,
+                row.repl_p50,
+                row.repl_p95,
+                row.repl_p99,
+                row.repl_goodput,
+                row.repl_replicas_added,
+                if i + 1 == self.serving_rows.len() { "" } else { "," }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -941,6 +1105,193 @@ pub fn replication_online_table(
     Ok(rows)
 }
 
+/// Build one serving engine. All policies share the model, cluster, and
+/// master seed, so the profiled incumbent placement — and, downstream,
+/// the arrival sample and per-request routing draws of `run_serving` —
+/// are identical across policies; only the re-placement behavior differs.
+fn serving_engine(
+    layers: usize,
+    online: OnlineConfig,
+    threads: usize,
+    backend: GapBackend,
+    seed: u64,
+) -> InferenceEngine {
+    let mut model = moe_gpt_m(SERVING_EXPERTS);
+    model.n_layers = layers;
+    model.d_ff = SERVING_D_FF;
+    let cost = CostModel::new(
+        LinkCost::from_latency_bandwidth(0.3e-6, 1.5e12),
+        LinkCost::from_latency_bandwidth(1.0e-6, 300.0e9),
+        LinkCost::from_latency_bandwidth(3.5e-6, SERVING_INTER_NODE_BW),
+    )
+    .with_alltoall_efficiency([1.0, 0.5, 0.16]);
+    InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+        .link_cost(cost)
+        .requests_per_gpu(SERVING_MAX_BATCH / 4)
+        .prompt_len(4)
+        .profile_tokens(800)
+        .parallelism(Parallelism::new(threads))
+        .gap_backend(backend)
+        .online(online)
+        .seed(seed ^ 0x5e_4b_1e)
+        .build()
+}
+
+/// The `table_serving` sweep: Poisson, diurnal, and flash-crowd arrival
+/// processes served through the request-level front-end under static /
+/// budgeted-online / replication-aware placements. The arrival rate is
+/// calibrated against a probed step time
+/// (`InferenceEngine::probe_step_time`) so the cell runs at
+/// `SERVING_UTILIZATION` (96%) of full-batch capacity regardless of model
+/// shape. Errors (instead of panicking) if the budgeted-online report is
+/// not bit-identical at `jobs` solver threads or on the CSR gap backend,
+/// or if any report fails its sanity bars.
+pub fn serving_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<ServingBenchRow>, String> {
+    let layers = scale.pick(4, 5);
+    let n_requests = scale.pick(1400, 1800);
+    let mode = ParallelismMode::ContextCoherentAffinity;
+
+    let bytes_per_expert = {
+        let mut model = moe_gpt_m(SERVING_EXPERTS);
+        model.n_layers = layers;
+        model.d_ff = SERVING_D_FF;
+        model.expert_params() * 2
+    };
+    let static_oc = OnlineConfig {
+        drift_threshold: f64::INFINITY,
+        decay: SERVING_DECAY,
+        ..OnlineConfig::default()
+    };
+    let online_oc = OnlineConfig {
+        replan_every: 2,
+        drift_threshold: SERVING_DRIFT_THRESHOLD,
+        migration_budget_bytes: SERVING_BUDGET_MOVES * bytes_per_expert,
+        decay: SERVING_DECAY,
+        ..OnlineConfig::default()
+    };
+    let repl_oc = OnlineConfig {
+        migration_budget_bytes: SERVING_BUDGET_MOVES / 2 * bytes_per_expert,
+        replica_memory_bytes: SERVING_REPLICA_SLOTS * bytes_per_expert,
+        ..online_oc
+    };
+
+    let static_eng = serving_engine(layers, static_oc, 1, GapBackend::Dense, seed);
+    let online_eng = serving_engine(layers, online_oc, 1, GapBackend::Dense, seed);
+    let repl_eng = serving_engine(layers, repl_oc, 1, GapBackend::Dense, seed);
+    // Invariance witnesses: the same budgeted-online policy at the
+    // requested solver width and on the CSR objective backend.
+    let wide_eng = serving_engine(layers, online_oc, jobs.max(2), GapBackend::Dense, seed);
+    let sparse_eng = serving_engine(layers, online_oc, 1, GapBackend::Sparse, seed);
+
+    let drift = DriftSchedule::piecewise(&static_eng.config().routing_spec, 2, SERVING_WINDOWS);
+
+    // Calibrate absolute arrival rates against the probed full-batch step
+    // time: `rate` fills SERVING_UTILIZATION of the cell's token-serving
+    // capacity, and the horizon is how long that rate takes to deliver
+    // every request.
+    let step = static_eng.probe_step_time(mode, SERVING_MAX_BATCH);
+    if step <= 0.0 {
+        return Err(format!("probed step time {step} must be positive"));
+    }
+    let rate =
+        SERVING_UTILIZATION * SERVING_MAX_BATCH as f64 / (SERVING_DECODE_STEPS as f64 * step);
+    let horizon = n_requests as f64 / rate;
+    // The flash crowd compresses the same mean load: a quiet base rate
+    // with a 4x spike over 10% of the horizon.
+    let arrivals = [
+        ArrivalProcess::poisson(rate),
+        ArrivalProcess::diurnal(rate, 0.5, horizon / 2.0),
+        ArrivalProcess::flash_crowd(rate / 1.3, 4.0, 0.7 * horizon, 0.1 * horizon),
+    ];
+
+    let mut rows = Vec::with_capacity(arrivals.len());
+    for arrival in arrivals {
+        let cfg = ServingConfig {
+            arrival,
+            n_requests,
+            decode_steps: SERVING_DECODE_STEPS,
+            batch: BatchPolicy::SizeOrWait {
+                max_size: SERVING_MAX_BATCH,
+                max_wait: 2.0 * step,
+            },
+            window_duration: horizon / SERVING_WINDOWS as f64,
+        };
+        let name = cfg.arrival.name().to_string();
+        let stat: ServingReport = static_eng.run_serving(mode, &drift, &cfg);
+        let online = online_eng.run_serving(mode, &drift, &cfg);
+        let repl = repl_eng.run_serving(mode, &drift, &cfg);
+
+        let wide = wide_eng.run_serving(mode, &drift, &cfg);
+        if wide != online {
+            return Err(format!(
+                "{name}: serving report diverged across solver widths (1 vs {})",
+                jobs.max(2)
+            ));
+        }
+        let sparse = sparse_eng.run_serving(mode, &drift, &cfg);
+        if sparse != online {
+            return Err(format!(
+                "{name}: serving report diverged across gap backends"
+            ));
+        }
+
+        for (policy, r) in [
+            ("static", &stat),
+            ("online", &online),
+            ("replicated", &repl),
+        ] {
+            if r.n_requests() != n_requests {
+                return Err(format!(
+                    "{name}/{policy}: served {} of {n_requests} requests",
+                    r.n_requests()
+                ));
+            }
+            if r.goodput() > r.offered_load {
+                return Err(format!(
+                    "{name}/{policy}: goodput {} exceeds offered load {}",
+                    r.goodput(),
+                    r.offered_load
+                ));
+            }
+            if r.offered_load.to_bits() != stat.offered_load.to_bits() {
+                return Err(format!(
+                    "{name}/{policy}: policies saw different arrival samples"
+                ));
+            }
+        }
+        if online.migrations.replans == 0 {
+            return Err(format!(
+                "{name}: piecewise drift fired no budgeted-online re-plans"
+            ));
+        }
+
+        rows.push(ServingBenchRow {
+            arrival: name,
+            requests: n_requests,
+            decode_steps: SERVING_DECODE_STEPS,
+            windows: SERVING_WINDOWS,
+            max_batch: SERVING_MAX_BATCH,
+            offered_load: stat.offered_load,
+            static_p50: stat.p50(),
+            static_p95: stat.p95(),
+            static_p99: stat.p99(),
+            static_goodput: stat.goodput(),
+            online_p50: online.p50(),
+            online_p95: online.p95(),
+            online_p99: online.p99(),
+            online_goodput: online.goodput(),
+            online_replans: online.migrations.replans,
+            online_migrated_bytes: online.migrations.bytes.total(),
+            repl_p50: repl.p50(),
+            repl_p95: repl.p95(),
+            repl_p99: repl.p99(),
+            repl_goodput: repl.goodput(),
+            repl_replicas_added: repl.migrations.replicas_added,
+        });
+    }
+    Ok(rows)
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
 /// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
@@ -981,6 +1332,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
     let sparse_rows = sparse_table(scale, seed)?;
     let online_rows = online_table(scale, jobs, seed)?;
     let replication_online_rows = replication_online_table(scale, seed)?;
+    let serving_rows = serving_table(scale, jobs, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -995,6 +1347,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         sparse_rows,
         online_rows,
         replication_online_rows,
+        serving_rows,
     })
 }
 
@@ -1123,6 +1476,45 @@ mod tests {
     }
 
     #[test]
+    fn serving_table_online_policies_protect_the_tail() {
+        let rows = serving_table(Scale::Quick, 2, 20_240_522).expect("invariance must hold");
+        assert_eq!(rows.len(), 3, "one row per arrival process");
+        for row in &rows {
+            assert!(row.online_replans > 0, "{}: no re-plans", row.arrival);
+            assert!(row.online_migrated_bytes > 0, "{}", row.arrival);
+            for (p50, p95, p99) in [
+                (row.static_p50, row.static_p95, row.static_p99),
+                (row.online_p50, row.online_p95, row.online_p99),
+                (row.repl_p50, row.repl_p95, row.repl_p99),
+            ] {
+                assert!(
+                    p50 <= p95 && p95 <= p99 && p50 > 0.0,
+                    "{}: non-monotone percentiles {p50}/{p95}/{p99}",
+                    row.arrival
+                );
+            }
+            // The acceptance bar the perf-gate enforces: at equal budget,
+            // adaptive re-placement never worsens the latency tail over
+            // the static incumbent — the migration stalls it pays are won
+            // back by faster post-drift steps.
+            assert!(
+                row.online_p99 <= row.static_p99,
+                "{}: online p99 {} worse than static {}",
+                row.arrival,
+                row.online_p99,
+                row.static_p99
+            );
+            assert!(
+                row.repl_p99 <= row.static_p99,
+                "{}: replicated p99 {} worse than static {}",
+                row.arrival,
+                row.repl_p99,
+                row.static_p99
+            );
+        }
+    }
+
+    #[test]
     fn json_has_schema_and_balanced_braces() {
         let summary = BenchSummary {
             seed: 1,
@@ -1182,9 +1574,32 @@ mod tests {
                 joint_cross: 3100,
                 cross_mass: 1.5,
             }],
+            serving_rows: vec![ServingBenchRow {
+                arrival: "flash-crowd".to_string(),
+                requests: 48,
+                decode_steps: 2,
+                windows: 6,
+                max_batch: 8,
+                offered_load: 0.125,
+                static_p50: 20.0,
+                static_p95: 44.0,
+                static_p99: 52.0,
+                static_goodput: 0.115,
+                online_p50: 18.0,
+                online_p95: 34.0,
+                online_p99: 40.0,
+                online_goodput: 0.12,
+                online_replans: 2,
+                online_migrated_bytes: 9 << 20,
+                repl_p50: 17.5,
+                repl_p95: 33.0,
+                repl_p99: 39.0,
+                repl_goodput: 0.121,
+                repl_replicas_added: 3,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v4\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v5\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
@@ -1194,6 +1609,10 @@ mod tests {
         // (5000 - 3600) / 5000 and (5000 - 3100) / 5000, 4 decimals.
         assert!(json.contains("\"owner_recovery\": 0.2800"));
         assert!(json.contains("\"joint_recovery\": 0.3800"));
+        // Serving latencies print with shortest round-trip formatting.
+        assert!(json.contains("\"arrival\": \"flash-crowd\""));
+        assert!(json.contains("\"static_p99\": 52"));
+        assert!(json.contains("\"online_goodput\": 0.12,"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

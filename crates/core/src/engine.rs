@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
+use exflow_affinity::{AffinitySnapshot, RoutingTrace, SparseAffinity, StreamingAffinity};
 use exflow_collectives::{CommRecord, CommWorld, OpKind, RankComm};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{
@@ -89,7 +89,32 @@ impl OnlineConfig {
     /// `drift_now`, given `carry` bytes rolled over from earlier re-plans.
     /// Pure arithmetic on the config toggles, so re-plan sizing is
     /// deterministic and unit-testable.
-    fn budget_for(&self, drift_now: f64, carry: u64) -> u64 {
+    ///
+    /// With `scale_budget_by_drift` the budget grows linearly in the
+    /// measured drift and the full budget unlocks at twice the firing
+    /// threshold; `budget_rollover` then tops the result up with whatever
+    /// earlier re-plans left unspent:
+    ///
+    /// ```
+    /// use exflow_core::OnlineConfig;
+    ///
+    /// let oc = OnlineConfig {
+    ///     drift_threshold: 0.05,
+    ///     migration_budget_bytes: 1000,
+    ///     scale_budget_by_drift: true,
+    ///     budget_rollover: true,
+    ///     ..OnlineConfig::default()
+    /// };
+    /// // Firing exactly at the threshold unlocks half the budget.
+    /// assert_eq!(oc.budget_for(0.05, 0), 500);
+    /// // At 2x the threshold the budget is fully unlocked, and 100
+    /// // rolled-over bytes ride on top.
+    /// assert_eq!(oc.budget_for(0.10, 100), 1100);
+    /// // Without the scaling toggle the budget is flat.
+    /// let flat = OnlineConfig { scale_budget_by_drift: false, ..oc };
+    /// assert_eq!(flat.budget_for(0.05, 0), 1000);
+    /// ```
+    pub fn budget_for(&self, drift_now: f64, carry: u64) -> u64 {
         let base = if self.scale_budget_by_drift {
             // Linear in drift, capped at the configured budget; the full
             // budget unlocks at twice the firing threshold. `as`-casts
@@ -446,8 +471,11 @@ impl InferenceEngine {
 
     /// Execute one serving run over explicit batches. `ctx_offset` shifts
     /// the per-iteration context length (tokens generated in earlier
-    /// windows of an online run are part of every later context).
-    fn run_with_batches(
+    /// windows of an online run are part of every later context). Batches
+    /// may be any size: tokens spread round-robin over the ranks, so the
+    /// request-level serving loop (`crate::serving`) can feed it
+    /// continuous-batching pools of whatever occupancy the queue yields.
+    pub(crate) fn run_with_batches(
         &self,
         mode: ParallelismMode,
         placement: &Placement,
@@ -481,7 +509,7 @@ impl InferenceEngine {
             mode,
             total_time,
             breakdown,
-            tokens_processed: (w * cfg.requests_per_gpu * batches.len()) as u64,
+            tokens_processed: batches.iter().map(|b| b.len() as u64).sum(),
             dispatch,
             alltoall_bytes: world.stats().totals(OpKind::Alltoall).sent,
             allgather_bytes: world.stats().totals(OpKind::AllGather).sent,
@@ -533,7 +561,6 @@ impl InferenceEngine {
             cfg.corpus.domain_weights.len(),
             "drift domain mismatch"
         );
-        let bytes_per_expert = (cfg.model.expert_params() * 2).max(1);
 
         // The incumbent placement was solved against the offline profile
         // estimate; seed the streaming estimator with the same trace so
@@ -573,62 +600,16 @@ impl InferenceEngine {
             let due = (window + 1) % oc.replan_every == 0 && window + 1 < drift.n_windows();
             if due && drift_now > oc.drift_threshold && mode.uses_affinity() {
                 let live = streaming.snapshot();
-                let objective = Objective::from_snapshot_with(&live, cfg.gap_backend);
-                let budget_now = oc.budget_for(drift_now, carry);
-                // Replicas only pay off where dispatch can serve from
-                // them; context-coherent top-2 ignores them (see
-                // `run_with_replication`), so spending the joint budget
-                // there would buy memory and migration time for nothing —
-                // fall through to plain owner moves instead.
-                let replicas_usable = cfg.model.gate.k() == 1 || !mode.context_coherent();
-                let plan = if oc.replica_memory_bytes > 0 && replicas_usable {
-                    let incumbent = ReplicationPlan {
-                        base: placement.clone(),
-                        replicated: replicated.clone(),
-                    };
-                    let next = solve_budgeted_replicated(
-                        &objective,
-                        &incumbent,
-                        bytes_per_expert,
-                        &ReplicationBudget {
-                            replica_memory_bytes: oc.replica_memory_bytes,
-                            migration_budget_bytes: budget_now,
-                        },
-                    );
-                    let plan =
-                        MigrationPlan::between_replicated(&incumbent, &next, bytes_per_expert);
-                    placement = next.base;
-                    replicated = next.replicated;
-                    plan
-                } else {
-                    let max_moves = budget_now / bytes_per_expert;
-                    let next = solve_budgeted(&objective, &placement, max_moves);
-                    let plan = MigrationPlan::between(&placement, &next, bytes_per_expert);
-                    placement = next;
-                    plan
-                };
-                debug_assert!(plan.total_bytes() <= budget_now);
-                if oc.budget_rollover {
-                    carry = budget_now.saturating_sub(plan.total_bytes());
-                }
-                if !plan.is_empty() {
-                    let (time, bytes) = self.execute_migrations(&plan);
-                    migrations.replans += 1;
-                    migrations.experts_moved += plan.n_relocations() as u64;
-                    migrations.replicas_added += plan.n_replica_adds() as u64;
-                    migrations.replicas_dropped += plan.n_replica_drops() as u64;
-                    migrations.bytes.merge(&bytes);
-                    migrations.time += time;
-                    replans.push(ReplanEvent {
-                        window,
-                        drift: drift_now,
-                        experts_moved: plan.n_relocations() as u64,
-                        replicas_added: plan.n_replica_adds() as u64,
-                        replicas_dropped: plan.n_replica_drops() as u64,
-                        bytes_moved: plan.total_bytes(),
-                        budget_bytes: budget_now,
-                        migration_time: time,
-                    });
+                if let Some(exec) = self.replan_step(
+                    mode,
+                    drift_now,
+                    &live,
+                    &mut placement,
+                    &mut replicated,
+                    &mut carry,
+                ) {
+                    migrations.absorb(&exec);
+                    replans.push(exec.event(window, drift_now));
                 }
                 // Whether or not anything moved, the live estimate is now
                 // what the incumbent placement has been (re-)optimized
@@ -657,6 +638,78 @@ impl InferenceEngine {
         }
     }
 
+    /// One budgeted re-plan against the live affinity estimate, shared by
+    /// the windowed online loop and the request-level serving loop: build
+    /// the objective from `live`, size the budget from the drift magnitude
+    /// and rollover carry, race replica-aware vs owner-move solving under
+    /// it, commit the winning placement into `placement`/`replicated`,
+    /// and execute the migration plan over the simulated collectives.
+    /// Returns `None` when the plan is empty (nothing moved, no time
+    /// charged); the rollover carry updates either way.
+    pub(crate) fn replan_step(
+        &self,
+        mode: ParallelismMode,
+        drift_now: f64,
+        live: &AffinitySnapshot,
+        placement: &mut Placement,
+        replicated: &mut Vec<Vec<usize>>,
+        carry: &mut u64,
+    ) -> Option<ReplanExec> {
+        let cfg = &self.cfg;
+        let oc = cfg.online;
+        let bytes_per_expert = (cfg.model.expert_params() * 2).max(1);
+        let objective = Objective::from_snapshot_with(live, cfg.gap_backend);
+        let budget_now = oc.budget_for(drift_now, *carry);
+        // Replicas only pay off where dispatch can serve from them;
+        // context-coherent top-2 ignores them (see
+        // `run_with_replication`), so spending the joint budget there
+        // would buy memory and migration time for nothing — fall through
+        // to plain owner moves instead.
+        let replicas_usable = cfg.model.gate.k() == 1 || !mode.context_coherent();
+        let plan = if oc.replica_memory_bytes > 0 && replicas_usable {
+            let incumbent = ReplicationPlan {
+                base: placement.clone(),
+                replicated: replicated.clone(),
+            };
+            let next = solve_budgeted_replicated(
+                &objective,
+                &incumbent,
+                bytes_per_expert,
+                &ReplicationBudget {
+                    replica_memory_bytes: oc.replica_memory_bytes,
+                    migration_budget_bytes: budget_now,
+                },
+            );
+            let plan = MigrationPlan::between_replicated(&incumbent, &next, bytes_per_expert);
+            *placement = next.base;
+            *replicated = next.replicated;
+            plan
+        } else {
+            let max_moves = budget_now / bytes_per_expert;
+            let next = solve_budgeted(&objective, placement, max_moves);
+            let plan = MigrationPlan::between(placement, &next, bytes_per_expert);
+            *placement = next;
+            plan
+        };
+        debug_assert!(plan.total_bytes() <= budget_now);
+        if oc.budget_rollover {
+            *carry = budget_now.saturating_sub(plan.total_bytes());
+        }
+        if plan.is_empty() {
+            return None;
+        }
+        let (time, bytes) = self.execute_migrations(&plan);
+        Some(ReplanExec {
+            experts_moved: plan.n_relocations() as u64,
+            replicas_added: plan.n_replica_adds() as u64,
+            replicas_dropped: plan.n_replica_drops() as u64,
+            bytes_moved: plan.total_bytes(),
+            budget_bytes: budget_now,
+            migration_time: time,
+            bytes,
+        })
+    }
+
     /// Execute a migration plan over the simulated collectives: each rank
     /// serializes its outgoing expert transfers (and absorbs its incoming
     /// ones) on the α–β cost model at full link bandwidth, then a barrier
@@ -665,7 +718,7 @@ impl InferenceEngine {
     /// Weight payloads are charged analytically (precedent: the context
     /// AllGather of prompt tokens), since the simulation never inspects
     /// their contents. Returns the completion time and bytes by class.
-    fn execute_migrations(&self, plan: &MigrationPlan) -> (f64, BytesByClass) {
+    pub(crate) fn execute_migrations(&self, plan: &MigrationPlan) -> (f64, BytesByClass) {
         let cfg = &self.cfg;
         let matrix = plan.send_matrix(cfg.cluster.world_size());
         let world = CommWorld::new(cfg.cluster, cfg.link_cost);
@@ -716,7 +769,6 @@ impl InferenceEngine {
         let cfg = &self.cfg;
         let me = comm.rank().0;
         let w = comm.world_size();
-        let g = cfg.requests_per_gpu;
         let sim_dim = cfg.model.sim_dim;
         let frame = frame_size(cfg.model.token_bytes(), sim_dim);
         let my_node = cfg.cluster.node_of(Rank(me));
@@ -759,9 +811,18 @@ impl InferenceEngine {
         // is charged analytically: every rank advances by the same ring
         // AllGather time the cost model predicts.
         if mode.context_coherent() {
-            let prompt_bytes = (g * cfg.prompt_len * frame) as u64;
+            // Tokens are resident round-robin by id, so rank `r` holds
+            // `ceil`-or-`floor` of `n / w` of them; every rank computes the
+            // same contribution vector and hence the same analytic time.
+            let n_tokens = batches.first().map_or(0, TokenBatch::len);
+            let contribs: Vec<u64> = (0..w)
+                .map(|r| {
+                    let mine = n_tokens / w + usize::from(r < n_tokens % w);
+                    (mine * cfg.prompt_len * frame) as u64
+                })
+                .collect();
             let analytic = exflow_topology::CollectiveCostModel::new(cfg.cluster, cfg.link_cost);
-            let t = analytic.allgatherv_time(&vec![prompt_bytes; comm.world_size()]);
+            let t = analytic.allgatherv_time(&contribs);
             comm.advance(t);
             breakdown.allgather += t;
         }
@@ -769,8 +830,9 @@ impl InferenceEngine {
         for (iter, batch) in batches.iter().enumerate() {
             let ctx_len = cfg.prompt_len + ctx_offset + iter;
 
-            // This rank's requests each contribute one in-flight token.
-            let mut resident: Vec<Token> = (0..w * g)
+            // This rank's requests each contribute one in-flight token;
+            // tokens spread round-robin over ranks, whatever the batch size.
+            let mut resident: Vec<Token> = (0..batch.len())
                 .filter(|id| id % w == me)
                 .map(|id| {
                     let mut rng = StdRng::seed_from_u64(
@@ -954,6 +1016,46 @@ struct RankResult {
     breakdown: OpBreakdown,
     dispatch: DispatchStats,
     final_clock: f64,
+}
+
+/// Everything one executed re-plan changed, for the caller's accounting
+/// (shared by `run_online` and the serving front-end's event loop).
+pub(crate) struct ReplanExec {
+    pub(crate) experts_moved: u64,
+    pub(crate) replicas_added: u64,
+    pub(crate) replicas_dropped: u64,
+    pub(crate) bytes_moved: u64,
+    pub(crate) budget_bytes: u64,
+    pub(crate) migration_time: f64,
+    pub(crate) bytes: BytesByClass,
+}
+
+impl ReplanExec {
+    /// The [`ReplanEvent`] this execution records at `window`.
+    pub(crate) fn event(&self, window: usize, drift: f64) -> ReplanEvent {
+        ReplanEvent {
+            window,
+            drift,
+            experts_moved: self.experts_moved,
+            replicas_added: self.replicas_added,
+            replicas_dropped: self.replicas_dropped,
+            bytes_moved: self.bytes_moved,
+            budget_bytes: self.budget_bytes,
+            migration_time: self.migration_time,
+        }
+    }
+}
+
+impl MigrationStats {
+    /// Fold one executed re-plan into the running totals.
+    pub(crate) fn absorb(&mut self, exec: &ReplanExec) {
+        self.replans += 1;
+        self.experts_moved += exec.experts_moved;
+        self.replicas_added += exec.replicas_added;
+        self.replicas_dropped += exec.replicas_dropped;
+        self.bytes.merge(&exec.bytes);
+        self.time += exec.migration_time;
+    }
 }
 
 /// Gate mixing weights for top-2 (primary, secondary). The paper's models

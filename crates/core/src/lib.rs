@@ -31,6 +31,15 @@
 //! the cluster's links) between serving windows — configured by
 //! [`OnlineConfig`] via `EngineConfig::online`.
 //!
+//! On top of that sits the **request-level serving front-end**
+//! ([`serving`]): [`InferenceEngine::run_serving`] drives a deterministic
+//! discrete-event loop over a seeded arrival process
+//! (`exflow_model::arrival`), queues requests, assembles decode batches
+//! under a pluggable [`BatchPolicy`] with continuous batching, and reports
+//! p50/p95/p99 request latency, goodput, queue-depth and batch-occupancy
+//! trajectories in a [`ServingReport`] — with the online mode's
+//! drift-triggered re-placement interleaved into serving time.
+//!
 //! ```
 //! use exflow_core::{InferenceEngine, ParallelismMode};
 //! use exflow_model::presets::moe_gpt_m;
@@ -53,8 +62,12 @@ pub mod engine;
 pub mod frame;
 pub mod modes;
 pub mod report;
+pub mod serving;
 
 pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig};
 pub use exflow_placement::{GapBackend, Parallelism, ReplicationBudget, ReplicationPlan};
 pub use modes::ParallelismMode;
-pub use report::{InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent};
+pub use report::{
+    InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent, ServingReport,
+};
+pub use serving::{BatchPolicy, ServingConfig, MIGRATION_CONTENTION};

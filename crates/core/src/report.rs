@@ -167,7 +167,9 @@ pub struct MigrationStats {
     pub replicas_dropped: u64,
     /// Migrated bytes, bucketed by link class.
     pub bytes: BytesByClass,
-    /// Virtual time spent migrating (the serving pipeline stalls for it).
+    /// Virtual time the weight copies occupy the links: the windowed
+    /// online mode stalls for it, the request-level serving loop overlaps
+    /// it with decode steps (contention-priced).
     pub time: f64,
 }
 
@@ -255,6 +257,147 @@ impl OnlineReport {
     }
 }
 
+/// Result of one request-level serving run
+/// (`InferenceEngine::run_serving`): per-request tail latency, queueing
+/// and batching trajectories, plus the same drift/re-plan accounting the
+/// windowed online mode reports.
+///
+/// Latency percentiles are nearest-rank over the sorted per-request
+/// latencies, so `p50() <= p95() <= p99()` holds by construction:
+///
+/// ```
+/// use exflow_core::ServingReport;
+///
+/// let r = ServingReport {
+///     latencies: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+///     ..ServingReport::default()
+/// };
+/// assert_eq!(r.percentile(50.0), 5.0);
+/// assert_eq!(r.p95(), 10.0);
+/// assert!(r.p50() <= r.p95() && r.p95() <= r.p99());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Mode that produced this report.
+    pub mode: ParallelismMode,
+    /// Per-request latency (completion minus arrival time), sorted
+    /// ascending.
+    pub latencies: Vec<f64>,
+    /// Offered load: requests divided by the span of the arrival process
+    /// (how fast traffic *wanted* to be served).
+    pub offered_load: f64,
+    /// Virtual time of the last request completion.
+    pub makespan: f64,
+    /// Queue-depth trajectory: `(virtual time, waiting requests)` sampled
+    /// at every arrival and batch admission.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Batch-occupancy histogram: `batch_occupancy[s]` counts decode
+    /// steps that ran with `s` requests in flight (index 0 stays 0).
+    pub batch_occupancy: Vec<u64>,
+    /// Decode steps executed (batches fed through the dispatch path).
+    pub steps: u64,
+    /// Virtual time the server spent actually stepping, including any
+    /// migration-contention surcharge but excluding idle waits for
+    /// arrivals; `busy / makespan` is the realized server utilization.
+    pub busy: f64,
+    /// Dispatch locality counters summed over every decode step.
+    pub dispatch: DispatchStats,
+    /// Drift signal at each serving-window boundary the run crossed.
+    pub drift: Vec<f64>,
+    /// Re-plans that moved experts, in firing order (`window` is the
+    /// serving window that ended when the re-plan fired).
+    pub replans: Vec<ReplanEvent>,
+    /// Aggregate migration accounting; weight copies overlap with
+    /// serving but contend for links and defer the new plan's benefit,
+    /// so re-placement cost still shows up in the latency tail.
+    pub migrations: MigrationStats,
+}
+
+impl Default for ServingReport {
+    fn default() -> Self {
+        ServingReport {
+            mode: ParallelismMode::Vanilla,
+            latencies: Vec::new(),
+            offered_load: 0.0,
+            makespan: 0.0,
+            queue_depth: Vec::new(),
+            batch_occupancy: Vec::new(),
+            steps: 0,
+            busy: 0.0,
+            dispatch: DispatchStats::default(),
+            drift: Vec::new(),
+            replans: Vec::new(),
+            migrations: MigrationStats::default(),
+        }
+    }
+}
+
+impl ServingReport {
+    /// Requests served.
+    pub fn n_requests(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Nearest-rank latency percentile; `p` in `[0, 100]`. Monotone in
+    /// `p` because `latencies` is sorted.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let n = self.latencies.len();
+        if n == 0 {
+            return 0.0;
+        }
+        debug_assert!(self.latencies.windows(2).all(|w| w[0] <= w[1]));
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.latencies[rank.clamp(1, n) - 1]
+    }
+
+    /// Median request latency.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile request latency.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile request latency (the tail the gate watches).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Goodput: completed requests per virtual second of makespan. Always
+    /// at most `offered_load`, since the last completion trails the last
+    /// arrival.
+    pub fn goodput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.latencies.len() as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean requests in flight per executed decode step.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let steps: u64 = self.batch_occupancy.iter().sum();
+        if steps == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .batch_occupancy
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        weighted as f64 / steps as f64
+    }
+
+    /// Deepest the waiting queue ever got.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +467,42 @@ mod tests {
         };
         assert_eq!(r.throughput(), 50.0);
         assert_eq!(r.comm_time(), 4.0);
+    }
+
+    #[test]
+    fn serving_percentiles_are_nearest_rank_and_monotone() {
+        let r = ServingReport {
+            latencies: (1..=100).map(f64::from).collect(),
+            makespan: 50.0,
+            ..ServingReport::default()
+        };
+        assert_eq!(r.n_requests(), 100);
+        assert_eq!(r.percentile(0.0), 1.0);
+        assert_eq!(r.p50(), 50.0);
+        assert_eq!(r.p95(), 95.0);
+        assert_eq!(r.p99(), 99.0);
+        assert_eq!(r.percentile(100.0), 100.0);
+        assert_eq!(r.goodput(), 2.0);
+    }
+
+    #[test]
+    fn empty_serving_report_is_all_zero() {
+        let r = ServingReport::default();
+        assert_eq!(r.percentile(99.0), 0.0);
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.mean_batch_occupancy(), 0.0);
+        assert_eq!(r.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn occupancy_and_queue_summaries() {
+        let r = ServingReport {
+            batch_occupancy: vec![0, 2, 0, 0, 6],
+            queue_depth: vec![(0.0, 1), (1.0, 5), (2.0, 0)],
+            ..ServingReport::default()
+        };
+        // (1*2 + 4*6) / 8 = 3.25
+        assert!((r.mean_batch_occupancy() - 3.25).abs() < 1e-12);
+        assert_eq!(r.max_queue_depth(), 5);
     }
 }

@@ -1,0 +1,696 @@
+//! Request-level serving front-end: a deterministic discrete-event loop
+//! over an arrival process, with per-request queueing and continuous
+//! batching, feeding assembled decode batches through the engine's
+//! dispatch/collectives path.
+//!
+//! Where [`InferenceEngine::run_online`] consumes pre-aggregated windows
+//! of traffic, [`InferenceEngine::run_serving`] consumes *requests*: each
+//! arrives at a timestamp drawn from a seeded
+//! [`ArrivalProcess`], waits in a
+//! FIFO queue until the [`BatchPolicy`] opens a batch, then generates
+//! `decode_steps` tokens — one engine pass per step — under continuous
+//! batching (finished requests leave the in-flight pool at step
+//! boundaries, queued ones top it up). Virtual serving time advances by
+//! each pass's simulated `total_time`, so queueing delay, batching
+//! efficiency, and placement quality all land in the same clock.
+//!
+//! Drift handling composes exactly like the windowed mode: virtual time
+//! is divided into serving windows of `window_duration`; when the clock
+//! crosses a boundary, the realized expert paths folded into the decayed
+//! streaming estimate produce a drift signal, and an over-threshold
+//! signal triggers the same budgeted re-plan (`replan_step`) the online
+//! loop uses. The migration itself overlaps with serving: expert weights
+//! stream over the interconnect in the background while decode steps
+//! keep running on the *old* placement, and the new placement activates
+//! only once the copy lands. Overlap is not free — steps that run while
+//! a copy is in flight share links with it and pay a
+//! [`MIGRATION_CONTENTION`] surcharge — so re-placement cost still
+//! surfaces in the latency tail, as contention plus deferred benefit
+//! rather than a dead stop.
+//!
+//! The whole run is a pure function of `(config, drift schedule, serving
+//! config)`: the event queue orders events by `(time, sequence)` with
+//! total-order float comparison, every random draw comes from a seeded
+//! stream, and the engine passes themselves are bit-identical at any
+//! thread width — so [`ServingReport`]s are too.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use exflow_affinity::{RoutingTrace, StreamingAffinity};
+use exflow_model::arrival::ArrivalProcess;
+use exflow_model::{DriftSchedule, TokenBatch};
+use exflow_placement::Placement;
+
+use crate::engine::InferenceEngine;
+use crate::modes::ParallelismMode;
+use crate::report::{DispatchStats, MigrationStats, ServingReport};
+
+/// Fractional slowdown of a decode step that overlaps a background
+/// weight copy: the copy streams over the same links the step's
+/// collectives use, so an in-flight step takes `1 + MIGRATION_CONTENTION`
+/// times its uncontended duration until the copy lands.
+pub const MIGRATION_CONTENTION: f64 = 0.25;
+
+/// How the serving loop opens a fresh batch from the waiting queue.
+///
+/// Once a batch is in flight, continuous batching applies regardless of
+/// policy: at every decode-step boundary, queued requests top the pool
+/// back up to `max_size` and finished requests leave. The policy only
+/// gates *opening* a batch when the server sits idle.
+///
+/// ```
+/// use exflow_core::BatchPolicy;
+///
+/// let p = BatchPolicy::SizeOrWait { max_size: 4, max_wait: 2.0 };
+/// assert!(p.ready(4, 0.0)); // a full batch closes immediately
+/// assert!(p.ready(1, 2.0)); // the oldest request hit the wait cap
+/// assert!(!p.ready(3, 1.0)); // otherwise keep accumulating
+///
+/// // Greedy never holds a request back.
+/// assert!(BatchPolicy::Greedy { max_size: 4 }.ready(1, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Open once `max_size` requests are queued **or** the oldest queued
+    /// request has waited `max_wait` virtual seconds, whichever first.
+    SizeOrWait {
+        /// Most requests one decode batch holds.
+        max_size: usize,
+        /// Longest the oldest queued request waits before a partial
+        /// batch opens anyway.
+        max_wait: f64,
+    },
+    /// Open as soon as any request is queued (max_wait = 0): lowest
+    /// queueing delay, worst batch occupancy.
+    Greedy {
+        /// Most requests one decode batch holds.
+        max_size: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// The batch-size cap.
+    pub fn max_size(&self) -> usize {
+        match *self {
+            BatchPolicy::SizeOrWait { max_size, .. } | BatchPolicy::Greedy { max_size } => max_size,
+        }
+    }
+
+    /// Should an idle server open a batch, given `queued` waiting
+    /// requests whose oldest has waited `oldest_wait`?
+    pub fn ready(&self, queued: usize, oldest_wait: f64) -> bool {
+        if queued == 0 {
+            return false;
+        }
+        match *self {
+            BatchPolicy::SizeOrWait { max_size, max_wait } => {
+                queued >= max_size || oldest_wait >= max_wait
+            }
+            BatchPolicy::Greedy { .. } => true,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.max_size() >= 1, "batch size cap must be >= 1");
+        if let BatchPolicy::SizeOrWait { max_wait, .. } = *self {
+            assert!(
+                max_wait >= 0.0 && max_wait.is_finite(),
+                "max_wait must be finite and >= 0"
+            );
+        }
+    }
+}
+
+/// Configuration of one [`InferenceEngine::run_serving`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Seeded arrival process generating request timestamps (rates are in
+    /// requests per virtual second — calibrate against
+    /// [`InferenceEngine::probe_step_time`]).
+    pub arrival: ArrivalProcess,
+    /// Requests to serve.
+    pub n_requests: usize,
+    /// Tokens each request generates (decode steps it occupies a batch
+    /// slot for).
+    pub decode_steps: usize,
+    /// Batch-assembly policy.
+    pub batch: BatchPolicy,
+    /// Length of one serving window in virtual seconds: drift checks and
+    /// re-plans happen when the clock crosses window boundaries, mirroring
+    /// the windowed online mode's cadence.
+    pub window_duration: f64,
+}
+
+impl ServingConfig {
+    fn validate(&self) {
+        assert!(self.n_requests >= 1, "need at least one request");
+        assert!(self.decode_steps >= 1, "need at least one decode step");
+        assert!(
+            self.window_duration > 0.0 && self.window_duration.is_finite(),
+            "window duration must be positive and finite"
+        );
+        self.batch.validate();
+    }
+}
+
+/// One request's lifecycle state inside the event loop.
+struct Request {
+    arrival: f64,
+    domain: usize,
+    /// `routes[step][layer]` = gated experts of the token this request
+    /// generates at `step`.
+    routes: Vec<Vec<Vec<u16>>>,
+    steps_done: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Request `i` joins the queue.
+    Arrival(usize),
+    /// Request `i`'s `max_wait` expired (no-op if it already started).
+    WaitDeadline(usize),
+    /// The in-flight batch finished its current decode step.
+    StepDone,
+}
+
+/// Event-queue entry: ordered by `(time, seq)` — total-order float
+/// comparison, then insertion sequence — so the pop order is a pure
+/// function of the pushes.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time).is_eq() && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Min-heap of events with a monotone insertion sequence for ties.
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+impl InferenceEngine {
+    /// Virtual time of one full-occupancy decode step: a single batch of
+    /// `batch_size` tokens through `mode`'s placement at prompt-length
+    /// context. Serving scenarios calibrate arrival rates and batch waits
+    /// against this (e.g. an offered load of `0.8 * batch_size /
+    /// (decode_steps * probe)` requests per virtual second keeps a
+    /// size-`batch_size` server at 80% utilization).
+    pub fn probe_step_time(&self, mode: ParallelismMode, batch_size: usize) -> f64 {
+        assert!(batch_size >= 1, "probe batch must hold at least one token");
+        let cfg = self.config();
+        let batch = TokenBatch::sample(
+            self.routing(),
+            &cfg.corpus,
+            batch_size,
+            cfg.model.gate.k(),
+            cfg.seed ^ 0x5e_41_9e,
+        );
+        let no_replicas = vec![Vec::new(); cfg.model.n_layers];
+        self.run_with_batches(mode, self.placement_for(mode), &no_replicas, &[batch], 0)
+            .total_time
+    }
+
+    /// Serve `serving.n_requests` requests arriving per
+    /// `serving.arrival` under continuous batching, interleaving the
+    /// online mode's drift-triggered budgeted re-placement with serving
+    /// time. See the [module docs](crate::serving) for the event-loop
+    /// semantics; the result is bit-identical at any thread width.
+    pub fn run_serving(
+        &self,
+        mode: ParallelismMode,
+        drift: &DriftSchedule,
+        serving: &ServingConfig,
+    ) -> ServingReport {
+        serving.validate();
+        let cfg = self.config();
+        let oc = cfg.online;
+        let e = cfg.model.n_experts;
+        let shape = drift.model_at(0);
+        assert_eq!(shape.n_layers(), cfg.model.n_layers, "drift layer mismatch");
+        assert_eq!(shape.n_experts(), e, "drift expert mismatch");
+        assert_eq!(
+            shape.n_domains(),
+            cfg.corpus.domain_weights.len(),
+            "drift domain mismatch"
+        );
+
+        let n = serving.n_requests;
+        let max_size = serving.batch.max_size();
+        let window_of = |t: f64| -> usize {
+            ((t / serving.window_duration) as usize).min(drift.n_windows() - 1)
+        };
+
+        // Seeded traffic: arrival timestamps from the arrival process,
+        // then each request's domain and full decode route from the
+        // routing model of the window it arrives in (its own seed stream,
+        // disjoint from profiling and from the windowed mode's).
+        let arrivals = serving.arrival.sample(n, cfg.seed ^ 0xac71_0e55);
+        let k = cfg.model.gate.k();
+        let mut requests: Vec<Request> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5e59,
+                );
+                let model = drift.model_at(window_of(t));
+                let domain = cfg.corpus.sample_domain(&mut rng);
+                let routes = (0..serving.decode_steps)
+                    .map(|_| model.sample_route(&mut rng, domain, k))
+                    .collect();
+                Request {
+                    arrival: t,
+                    domain,
+                    routes,
+                    steps_done: 0,
+                }
+            })
+            .collect();
+
+        // Streaming estimator and re-plan state, exactly as run_online
+        // seeds them.
+        let mut streaming = StreamingAffinity::new(cfg.model.n_layers, e, oc.decay);
+        streaming.observe(self.profile_trace());
+        let mut reference = streaming.snapshot();
+        let mut placement = self.placement_for(mode).clone();
+        let mut replicated: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.n_layers];
+        let mut carry = 0u64;
+        let mut cur_window = 0usize;
+        let mut pending_paths: Vec<Vec<u16>> = Vec::new();
+        let mut drifts = Vec::new();
+        let mut replans = Vec::new();
+        let mut migrations = MigrationStats::default();
+
+        // Event loop state.
+        let mut events = EventQueue::new();
+        for (i, &t) in arrivals.iter().enumerate() {
+            events.push(t, EventKind::Arrival(i));
+        }
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut in_flight: Vec<usize> = Vec::new();
+        let mut stepping = false;
+        // An in-flight background weight copy: `(lands_at, placement,
+        // replicas)` — the *stale* plan steps keep using until the copy
+        // completes. `placement`/`replicated` already hold the new plan.
+        let mut copying: Option<(f64, Placement, Vec<Vec<usize>>)> = None;
+        let mut latencies: Vec<f64> = Vec::with_capacity(n);
+        let mut makespan = 0.0f64;
+        let mut queue_depth: Vec<(f64, usize)> = Vec::new();
+        let mut occupancy = vec![0u64; max_size + 1];
+        let mut steps = 0u64;
+        let mut busy = 0.0f64;
+        let mut dispatch = DispatchStats::default();
+
+        while let Some(ev) = events.pop() {
+            let clock = ev.time;
+            match ev.kind {
+                EventKind::Arrival(i) => {
+                    queue.push_back(i);
+                    queue_depth.push((clock, queue.len()));
+                    if let BatchPolicy::SizeOrWait { max_wait, .. } = serving.batch {
+                        events.push(clock + max_wait, EventKind::WaitDeadline(i));
+                    }
+                }
+                // Deadlines carry no state of their own; they exist to
+                // re-run the batch-opening check below.
+                EventKind::WaitDeadline(_) => {}
+                EventKind::StepDone => {
+                    stepping = false;
+                    // Completions and per-step realized paths.
+                    let mut still = Vec::with_capacity(in_flight.len());
+                    for &i in &in_flight {
+                        let req = &mut requests[i];
+                        let path = req.routes[req.steps_done]
+                            .iter()
+                            .map(|slots| slots[0])
+                            .collect();
+                        pending_paths.push(path);
+                        req.steps_done += 1;
+                        if req.steps_done == serving.decode_steps {
+                            latencies.push(clock - req.arrival);
+                            makespan = makespan.max(clock);
+                        } else {
+                            still.push(i);
+                        }
+                    }
+                    in_flight = still;
+
+                    // Window boundaries crossed while this step ran: fold
+                    // the accumulated paths into the estimate once, then
+                    // evaluate each ended window's drift/re-plan exactly
+                    // as the windowed loop would.
+                    let wnow = window_of(clock);
+                    if wnow > cur_window && !pending_paths.is_empty() {
+                        streaming
+                            .observe(&RoutingTrace::new(std::mem::take(&mut pending_paths), e));
+                    }
+                    while cur_window < wnow {
+                        let ended = cur_window;
+                        cur_window += 1;
+                        let drift_now = streaming.divergence(&reference);
+                        drifts.push(drift_now);
+                        let due = (ended + 1).is_multiple_of(oc.replan_every)
+                            && ended + 1 < drift.n_windows();
+                        if due && drift_now > oc.drift_threshold && mode.uses_affinity() {
+                            let live = streaming.snapshot();
+                            let stale = (placement.clone(), replicated.clone());
+                            if let Some(exec) = self.replan_step(
+                                mode,
+                                drift_now,
+                                &live,
+                                &mut placement,
+                                &mut replicated,
+                                &mut carry,
+                            ) {
+                                // The weight exchange streams in the
+                                // background: steps keep running on the
+                                // stale plan (with link contention) and
+                                // the new plan activates when the copy
+                                // lands. A copy still in flight keeps its
+                                // stale plan active and queues this one
+                                // behind it.
+                                let (start, sp, sr) = match copying.take() {
+                                    Some((done, sp, sr)) if done > clock => (done, sp, sr),
+                                    _ => (clock, stale.0, stale.1),
+                                };
+                                copying = Some((start + exec.migration_time, sp, sr));
+                                migrations.absorb(&exec);
+                                replans.push(exec.event(ended, drift_now));
+                            }
+                            reference = live;
+                        }
+                    }
+                }
+            }
+
+            // After every event: try to open/continue a batch.
+            if stepping {
+                continue;
+            }
+            if in_flight.is_empty() {
+                // Opening a fresh batch is the policy's call.
+                match queue.front() {
+                    None => continue,
+                    Some(&head) => {
+                        let oldest_wait = clock - requests[head].arrival;
+                        if !serving.batch.ready(queue.len(), oldest_wait) {
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Continuous batching: top the pool up to the cap.
+            while in_flight.len() < max_size {
+                match queue.pop_front() {
+                    Some(i) => in_flight.push(i),
+                    None => break,
+                }
+            }
+            queue_depth.push((clock, queue.len()));
+
+            // One decode step of the pool through the engine: each
+            // in-flight request contributes the token of its current step.
+            let batch = TokenBatch {
+                routes: in_flight
+                    .iter()
+                    .map(|&i| requests[i].routes[requests[i].steps_done].clone())
+                    .collect(),
+                domains: in_flight.iter().map(|&i| requests[i].domain).collect(),
+            };
+            let ctx_offset = in_flight
+                .iter()
+                .map(|&i| requests[i].steps_done)
+                .max()
+                .unwrap_or(0);
+            if let Some((done, _, _)) = &copying {
+                if clock >= *done {
+                    copying = None;
+                }
+            }
+            let (active_p, active_r) = match &copying {
+                Some((_, sp, sr)) => (sp, sr),
+                None => (&placement, &replicated),
+            };
+            let report = self.run_with_batches(mode, active_p, active_r, &[batch], ctx_offset);
+            let step_time = if copying.is_some() {
+                report.total_time * (1.0 + MIGRATION_CONTENTION)
+            } else {
+                report.total_time
+            };
+            occupancy[in_flight.len()] += 1;
+            steps += 1;
+            busy += step_time;
+            dispatch.merge(&report.dispatch);
+            stepping = true;
+            events.push(clock + step_time, EventKind::StepDone);
+        }
+
+        debug_assert_eq!(latencies.len(), n, "every request must complete");
+        latencies.sort_by(f64::total_cmp);
+        let last_arrival = arrivals.last().copied().unwrap_or(0.0);
+        let offered_load = if last_arrival > 0.0 {
+            n as f64 / last_arrival
+        } else {
+            f64::INFINITY
+        };
+
+        ServingReport {
+            mode,
+            latencies,
+            offered_load,
+            makespan,
+            queue_depth,
+            batch_occupancy: occupancy,
+            steps,
+            busy,
+            dispatch,
+            drift: drifts,
+            replans,
+            migrations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exflow_model::presets::moe_gpt_m;
+    use exflow_topology::ClusterSpec;
+
+    use crate::engine::OnlineConfig;
+
+    fn engine(online: OnlineConfig) -> InferenceEngine {
+        let mut model = moe_gpt_m(8);
+        model.n_layers = 4;
+        InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+            .requests_per_gpu(8)
+            .prompt_len(8)
+            .profile_tokens(800)
+            .online(online)
+            .seed(11)
+            .build()
+    }
+
+    fn adaptive() -> OnlineConfig {
+        OnlineConfig {
+            replan_every: 1,
+            drift_threshold: 0.08,
+            migration_budget_bytes: u64::MAX,
+            decay: 0.3,
+            ..OnlineConfig::default()
+        }
+    }
+
+    fn static_cfg() -> OnlineConfig {
+        OnlineConfig {
+            drift_threshold: f64::INFINITY,
+            decay: 0.3,
+            ..OnlineConfig::default()
+        }
+    }
+
+    fn scenario(e: &InferenceEngine, mode: ParallelismMode) -> (DriftSchedule, ServingConfig) {
+        let schedule = DriftSchedule::piecewise(&e.config().routing_spec, 2, 6);
+        let step = e.probe_step_time(mode, 8);
+        assert!(step > 0.0);
+        let n_requests = 40;
+        let decode_steps = 2;
+        let rate = 0.8 * 8.0 / (decode_steps as f64 * step);
+        let horizon = n_requests as f64 / rate;
+        let cfg = ServingConfig {
+            arrival: ArrivalProcess::poisson(rate),
+            n_requests,
+            decode_steps,
+            batch: BatchPolicy::SizeOrWait {
+                max_size: 8,
+                max_wait: 2.0 * step,
+            },
+            window_duration: horizon / 6.0,
+        };
+        (schedule, cfg)
+    }
+
+    #[test]
+    fn serves_every_request_and_reports_sane_metrics() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(adaptive());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let r = eng.run_serving(mode, &schedule, &cfg);
+        assert_eq!(r.n_requests(), cfg.n_requests);
+        assert!(r.latencies.iter().all(|&l| l > 0.0));
+        assert!(r.p50() <= r.p95() && r.p95() <= r.p99());
+        assert!(r.goodput() > 0.0);
+        assert!(r.goodput() <= r.offered_load);
+        assert!(r.makespan > 0.0);
+        assert!(r.steps > 0);
+        // Step count is bounded by the one-token-per-request-per-step
+        // arithmetic.
+        let total_tokens = (cfg.n_requests * cfg.decode_steps) as u64;
+        assert!(r.steps >= total_tokens / 8);
+        assert!(r.steps <= total_tokens);
+        assert_eq!(
+            r.batch_occupancy.iter().sum::<u64>(),
+            r.steps,
+            "every step lands in the occupancy histogram"
+        );
+        assert_eq!(r.batch_occupancy[0], 0, "no empty batches");
+        assert!(r.mean_batch_occupancy() > 1.0);
+        assert_eq!(
+            r.batch_occupancy
+                .iter()
+                .enumerate()
+                .map(|(s, &c)| s as u64 * c)
+                .sum::<u64>(),
+            total_tokens,
+            "occupancy-weighted steps account for every token"
+        );
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(adaptive());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let a = eng.run_serving(mode, &schedule, &cfg);
+        let b = eng.run_serving(mode, &schedule, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drifted_traffic_triggers_replans_that_overlap_with_serving() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(adaptive());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let r = eng.run_serving(mode, &schedule, &cfg);
+        assert!(
+            r.migrations.replans > 0,
+            "piecewise drift must fire at least one re-plan"
+        );
+        assert!(r.migrations.time > 0.0);
+        assert!(!r.drift.is_empty());
+        assert!(r.replans.iter().all(|ev| ev.bytes_moved <= ev.budget_bytes));
+    }
+
+    #[test]
+    fn static_baseline_never_replans() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let r = eng.run_serving(mode, &schedule, &cfg);
+        assert_eq!(r.migrations.replans, 0);
+        assert!(r.replans.is_empty());
+        assert_eq!(r.n_requests(), cfg.n_requests);
+    }
+
+    #[test]
+    fn greedy_policy_trades_occupancy_for_queueing() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, mut cfg) = scenario(&eng, mode);
+        let waited = eng.run_serving(mode, &schedule, &cfg);
+        cfg.batch = BatchPolicy::Greedy { max_size: 8 };
+        let greedy = eng.run_serving(mode, &schedule, &cfg);
+        assert_eq!(greedy.n_requests(), cfg.n_requests);
+        // Greedy opens batches earlier, so it can only run more (or
+        // equally many) steps at lower (or equal) mean occupancy.
+        assert!(greedy.steps >= waited.steps);
+        assert!(greedy.mean_batch_occupancy() <= waited.mean_batch_occupancy());
+    }
+
+    #[test]
+    fn probe_step_time_grows_with_batch_size() {
+        let eng = engine(static_cfg());
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let small = eng.probe_step_time(mode, 2);
+        let large = eng.probe_step_time(mode, 32);
+        assert!(small > 0.0);
+        assert!(
+            large > small,
+            "bigger batches must cost more: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window duration")]
+    fn zero_window_duration_is_rejected() {
+        let eng = engine(static_cfg());
+        let schedule = DriftSchedule::piecewise(&eng.config().routing_spec, 2, 6);
+        let cfg = ServingConfig {
+            arrival: ArrivalProcess::poisson(1.0),
+            n_requests: 1,
+            decode_steps: 1,
+            batch: BatchPolicy::Greedy { max_size: 1 },
+            window_duration: 0.0,
+        };
+        let _ = eng.run_serving(ParallelismMode::Vanilla, &schedule, &cfg);
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`drift`] — non-stationary routing schedules (piecewise-phase and
 //!   smoothly-interpolating drift presets) feeding the online serving
 //!   mode's streaming-affinity and re-placement machinery;
+//! * [`arrival`] — seeded request arrival processes (Poisson, diurnal,
+//!   flash-crowd) feeding the request-level serving front-end's
+//!   discrete-event loop;
 //! * [`training`] — a gating-evolution simulator reproducing the training
 //!   dynamics of Figs. 11–12 (early expert collapse, rebalancing, steady
 //!   affinity growth).
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod capacity;
 pub mod config;
 pub mod corpus;
@@ -42,6 +46,7 @@ pub mod routing;
 pub mod tensor;
 pub mod training;
 
+pub use arrival::{ArrivalKind, ArrivalProcess};
 pub use config::{GateKind, ModelConfig};
 pub use corpus::{CorpusSpec, TokenBatch};
 pub use cost::ComputeCostModel;

@@ -1,0 +1,139 @@
+//! Workspace-level serving-determinism gate: a request-level serving run
+//! with fixed seeds is a pure function of (config, drift schedule,
+//! serving config) — bit identical across parallelism widths and gap
+//! backends — and its report obeys the structural serving invariants
+//! (ordered latency quantiles, goodput bounded by offered load) across
+//! randomized seeds, utilizations, and arrival processes.
+
+use exflow::core::{
+    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, ServingConfig, ServingReport,
+};
+use exflow::model::arrival::ArrivalProcess;
+use exflow::model::drift::DriftSchedule;
+use exflow::model::presets::moe_gpt_m;
+use exflow::placement::{GapBackend, Parallelism};
+use exflow::topology::ClusterSpec;
+use proptest::prelude::*;
+
+const MODE: ParallelismMode = ParallelismMode::ContextCoherentAffinity;
+const MAX_BATCH: usize = 16;
+const DECODE_STEPS: usize = 4;
+const WINDOWS: usize = 6;
+
+fn engine(threads: usize, backend: GapBackend, seed: u64) -> InferenceEngine {
+    let mut model = moe_gpt_m(8);
+    model.n_layers = 4;
+    let online = OnlineConfig {
+        replan_every: 2,
+        drift_threshold: 0.08,
+        migration_budget_bytes: u64::MAX,
+        decay: 0.3,
+        ..OnlineConfig::default()
+    };
+    InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+        .requests_per_gpu(MAX_BATCH / 4)
+        .prompt_len(4)
+        .profile_tokens(400)
+        .parallelism(Parallelism::new(threads))
+        .gap_backend(backend)
+        .online(online)
+        .seed(seed)
+        .build()
+}
+
+/// Drift schedule plus a serving config whose offered load sits near the
+/// engine's full-batch capacity, so queueing, batching, and re-planning
+/// all genuinely fire.
+fn scenario(
+    eng: &InferenceEngine,
+    n_requests: usize,
+    utilization: f64,
+    arrival_kind: usize,
+) -> (DriftSchedule, ServingConfig) {
+    let drift = DriftSchedule::piecewise(&eng.config().routing_spec, 2, WINDOWS);
+    let step = eng.probe_step_time(MODE, MAX_BATCH);
+    let rate = utilization * MAX_BATCH as f64 / (DECODE_STEPS as f64 * step);
+    let horizon = n_requests as f64 / rate;
+    let arrival = match arrival_kind {
+        0 => ArrivalProcess::poisson(rate),
+        1 => ArrivalProcess::diurnal(rate, 0.5, horizon / 2.0),
+        _ => ArrivalProcess::flash_crowd(rate / 1.3, 4.0, 0.7 * horizon, 0.1 * horizon),
+    };
+    let cfg = ServingConfig {
+        arrival,
+        n_requests,
+        decode_steps: DECODE_STEPS,
+        batch: BatchPolicy::SizeOrWait {
+            max_size: MAX_BATCH,
+            max_wait: 2.0 * step,
+        },
+        window_duration: horizon / WINDOWS as f64,
+    };
+    (drift, cfg)
+}
+
+/// Bit-level equality of the float surfaces two reports expose: string
+/// equality of shortest-round-trip formatting is f64 bit equality, and
+/// `assert_eq!` on the reports covers everything else.
+fn assert_bit_identical(a: &ServingReport, b: &ServingReport, what: &str) {
+    assert_eq!(a, b, "{what} diverged");
+    for (x, y) in a.latencies.iter().zip(&b.latencies) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: latency bits diverged");
+    }
+    assert_eq!(a.p99().to_bits(), b.p99().to_bits());
+    assert_eq!(a.goodput().to_bits(), b.goodput().to_bits());
+    for (x, y) in a.drift.iter().zip(&b.drift) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: drift bits diverged");
+    }
+}
+
+#[test]
+fn serving_runs_are_bit_identical_at_1_2_and_8_threads() {
+    let seq = engine(1, GapBackend::Auto, 11);
+    let (drift, cfg) = scenario(&seq, 96, 0.9, 0);
+    let baseline = seq.run_serving(MODE, &drift, &cfg);
+    // The scenario must exercise the full pipeline for the invariance to
+    // mean anything: drift detected, a re-plan executed, queueing real.
+    assert!(baseline.migrations.replans > 0, "no re-plan fired");
+    assert_eq!(baseline.n_requests(), cfg.n_requests);
+    for threads in [2, 8] {
+        let par = engine(threads, GapBackend::Auto, 11);
+        let report = par.run_serving(MODE, &drift, &cfg);
+        assert_bit_identical(&report, &baseline, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn serving_runs_are_gap_backend_invariant() {
+    let dense = engine(1, GapBackend::Dense, 11);
+    let (drift, cfg) = scenario(&dense, 96, 0.9, 0);
+    let a = dense.run_serving(MODE, &drift, &cfg);
+    let sparse = engine(1, GapBackend::Sparse, 11);
+    let b = sparse.run_serving(MODE, &drift, &cfg);
+    assert!(a.migrations.replans > 0, "no re-plan fired");
+    assert_bit_identical(&a, &b, "gap backends");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn quantiles_are_ordered_and_goodput_is_bounded(
+        seed in 0u64..1000,
+        utilization in 0.4f64..1.1,
+        arrival_kind in 0usize..3,
+    ) {
+        let eng = engine(1, GapBackend::Auto, seed);
+        let (drift, cfg) = scenario(&eng, 48, utilization, arrival_kind);
+        let r = eng.run_serving(MODE, &drift, &cfg);
+        prop_assert_eq!(r.n_requests(), cfg.n_requests);
+        prop_assert!(r.p50() > 0.0);
+        prop_assert!(r.p50() <= r.p95());
+        prop_assert!(r.p95() <= r.p99());
+        // Completions cannot outpace arrivals: the last completion is
+        // strictly after the last arrival, so goodput < offered load.
+        prop_assert!(r.goodput() <= r.offered_load);
+        prop_assert!(r.busy <= r.makespan);
+        prop_assert!(r.mean_batch_occupancy() <= MAX_BATCH as f64);
+    }
+}
