@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use exflow_bench::experiments::common::{engine_for, with_layers};
 use exflow_bench::Scale;
-use exflow_core::ParallelismMode;
+use exflow_core::{ParallelismMode, Scenario};
 use exflow_model::presets::moe_gpt_m;
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     for mode in ParallelismMode::ALL {
-        g.bench_function(mode.label(), |b| b.iter(|| engine.run(mode)));
+        let scenario = Scenario::offline(mode);
+        g.bench_function(mode.label(), |b| b.iter(|| engine.run_scenario(&scenario)));
     }
     g.finish();
 }

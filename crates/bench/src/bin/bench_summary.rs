@@ -12,22 +12,27 @@
 //! invariant across backends), and the `table_serving` request-level
 //! sweep (static vs budgeted-online vs replication-aware placements under
 //! Poisson/diurnal/flash-crowd arrivals, verified invariant across thread
-//! counts and backends), and writes the machine-readable summary JSON
-//! (schema `exflow-bench-summary/v5`, documented in the README).
+//! counts and backends), and the `table_elasticity` fault sweep (an
+//! unreplicated vs a fully replicated fleet through a mid-run GPU loss,
+//! verified invariant across thread counts and backends), and writes the
+//! machine-readable summary JSON (schema `exflow-bench-summary/v6`,
+//! documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR6.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR7.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline (v5, or an older v3/v4 whose sections are compared
-//! as far as they go — the skew is called out in an informational note):
-//! any objective mismatch (`cross_mass`, `nnz`, the online/replication
-//! cross counts, the serving latency quantiles) or a fresh serving row
-//! whose adaptive p99 is worse than the static incumbent's is a hard
-//! failure, wall-time regressions beyond 25% are reported as warnings in
-//! the markdown printed to stdout (CI appends it to the job summary).
+//! committed baseline (v6, or an older v3/v4/v5 whose sections are
+//! compared as far as they go — the skew is called out in an
+//! informational note): any objective mismatch (`cross_mass`, `nnz`, the
+//! online/replication cross counts, the serving latency quantiles, the
+//! elasticity recovery facts), a fresh serving row whose adaptive p99 is
+//! worse than the static incumbent's, or a fresh elasticity row whose
+//! replicated fleet does not recover strictly faster is a hard failure;
+//! wall-time regressions beyond 25% are reported as warnings in the
+//! markdown printed to stdout (CI appends it to the job summary).
 //!
 //! Exit codes: 0 on success, 1 if a verification/gate check fails or the
 //! output cannot be written, 2 on usage errors (consistent with `repro`).
@@ -165,6 +170,24 @@ fn main() {
             row.repl_p99 * 1e6,
             row.p99_speedup(row.repl_p99),
             row.online_replans
+        );
+    }
+
+    for row in &summary.elasticity_rows {
+        let recovery = |r: f64| {
+            if r < 0.0 {
+                "never".to_string()
+            } else {
+                format!("{:.1} us", r * 1e6)
+            }
+        };
+        eprintln!(
+            "table_elasticity: {} recovery no-repl {} / repl {}, emergency bytes {} vs {}",
+            row.fault,
+            recovery(row.plain_recovery),
+            recovery(row.repl_recovery),
+            row.plain_emergency_bytes,
+            row.repl_emergency_bytes
         );
     }
 

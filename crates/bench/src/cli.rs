@@ -8,8 +8,8 @@
 //! the two cannot drift apart.
 
 use crate::experiments::{
-    ablations, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9, online,
-    replication_online, serving, table1, table2, table3,
+    ablations, elasticity, events, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9,
+    online, replication_online, serving, table1, table2, table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -36,6 +36,8 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("table_online", online::print),
     ("table_replication_online", replication_online::print),
     ("table_serving", serving::print),
+    ("table_elasticity", elasticity::print),
+    ("render-events", events::print),
 ];
 
 /// Accepted aliases: the paper's Figs. 15/16 are gap-sweep variants of the

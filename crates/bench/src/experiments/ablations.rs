@@ -12,7 +12,7 @@ use exflow_placement::staged::solve_staged;
 use exflow_placement::{solve, Objective, SolverKind};
 use exflow_topology::ClusterSpec;
 
-use crate::experiments::common::{cluster_for, with_layers};
+use crate::experiments::common::{cluster_for, run_offline, with_layers};
 use crate::fmt::{f3, render_table, speedup};
 use crate::sweep::par_map;
 use crate::Scale;
@@ -159,10 +159,8 @@ pub fn run_affinity_sweep(scale: Scale) -> Vec<AffinitySweepRow> {
             .placement_restarts(0)
             .seed(20_240_404)
             .build();
-        let ds = engine.run(ParallelismMode::Vanilla).throughput();
-        let aff = engine
-            .run(ParallelismMode::ContextCoherentAffinity)
-            .throughput();
+        let ds = run_offline(&engine, ParallelismMode::Vanilla).throughput();
+        let aff = run_offline(&engine, ParallelismMode::ContextCoherentAffinity).throughput();
         AffinitySweepRow {
             kappa,
             speedup: aff / ds,
@@ -261,9 +259,9 @@ pub fn run_gating(scale: Scale) -> Vec<GatingRow> {
             .placement_restarts(0)
             .seed(20_240_405)
             .build();
-        let baseline = engine.run(ParallelismMode::Vanilla);
+        let baseline = run_offline(&engine, ParallelismMode::Vanilla);
         for mode in ParallelismMode::ALL {
-            let r = engine.run(mode);
+            let r = run_offline(&engine, mode);
             rows.push(GatingRow {
                 gate: format!("top-{}", gate.k()),
                 mode: mode.label().to_string(),

@@ -1,10 +1,18 @@
 //! Shared workload construction for the experiment modules.
 
-use exflow_core::InferenceEngine;
+use exflow_core::{InferenceEngine, InferenceReport, ParallelismMode, Scenario};
 use exflow_model::ModelConfig;
 use exflow_topology::ClusterSpec;
 
 use crate::Scale;
+
+/// Run the bare offline benchmark in `mode` through the [`Scenario`]
+/// front door — the one-liner every figure/table experiment uses.
+pub fn run_offline(engine: &InferenceEngine, mode: ParallelismMode) -> InferenceReport {
+    engine
+        .run_scenario(&Scenario::offline(mode))
+        .expect_offline()
+}
 
 /// The cluster shape the paper evaluates on: 4 GPUs per node, so `gpus`
 /// GPUs means `gpus / 4` nodes (or a partial single node below 4).

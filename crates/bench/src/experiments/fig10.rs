@@ -7,7 +7,7 @@ use exflow_core::ParallelismMode;
 use exflow_model::presets::{moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l, moe_gpt_xl_16e};
 use exflow_model::ModelConfig;
 
-use crate::experiments::common::{engine_for, with_layers};
+use crate::experiments::common::{engine_for, run_offline, with_layers};
 use crate::fmt::{render_table, speedup};
 use crate::Scale;
 
@@ -51,11 +51,9 @@ pub fn run(scale: Scale) -> Vec<Row> {
     for (model, gpu_counts) in scenarios(scale) {
         for gpus in gpu_counts {
             let engine = engine_for(model.clone(), gpus, scale);
-            let ds = engine.run(ParallelismMode::Vanilla).throughput();
-            let cc = engine.run(ParallelismMode::ContextCoherent).throughput();
-            let aff = engine
-                .run(ParallelismMode::ContextCoherentAffinity)
-                .throughput();
+            let ds = run_offline(&engine, ParallelismMode::Vanilla).throughput();
+            let cc = run_offline(&engine, ParallelismMode::ContextCoherent).throughput();
+            let aff = run_offline(&engine, ParallelismMode::ContextCoherentAffinity).throughput();
             rows.push(Row {
                 model: model.name.clone(),
                 gpus,

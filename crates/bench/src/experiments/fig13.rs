@@ -9,7 +9,7 @@ use exflow_model::presets::moe_gpt_m;
 use exflow_placement::staged::solve_staged;
 use exflow_placement::Objective;
 
-use crate::experiments::common::with_layers;
+use crate::experiments::common::{run_offline, with_layers};
 use crate::fmt::{render_table, speedup};
 use crate::Scale;
 
@@ -40,7 +40,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
             .placement_restarts(0)
             .seed(20_240_403)
             .build();
-        let baseline = engine.run(ParallelismMode::ContextCoherent);
+        let baseline = run_offline(&engine, ParallelismMode::ContextCoherent);
         let base_a2a = baseline.breakdown.alltoall;
 
         for &n in &sizes {

@@ -7,7 +7,7 @@ use exflow_core::ParallelismMode;
 use exflow_model::presets::{moe_gpt_m, moe_gpt_m_32e_32l, moe_gpt_m_32e_40l};
 use exflow_model::ModelConfig;
 
-use crate::experiments::common::{engine_for, with_layers};
+use crate::experiments::common::{engine_for, run_offline, with_layers};
 use crate::fmt::{f3, render_table};
 use crate::Scale;
 
@@ -52,8 +52,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
     for (model, gpu_counts) in scenario_models(scale) {
         for gpus in gpu_counts {
             let engine = engine_for(model.clone(), gpus, scale);
-            let vanilla = engine.run(ParallelismMode::Vanilla);
-            let cc = engine.run(ParallelismMode::ContextCoherent);
+            let vanilla = run_offline(&engine, ParallelismMode::Vanilla);
+            let cc = run_offline(&engine, ParallelismMode::ContextCoherent);
             let base = vanilla.breakdown.alltoall;
             rows.push(Row {
                 model: model.name.clone(),

@@ -5,7 +5,7 @@
 use exflow_core::ParallelismMode;
 use exflow_model::presets::moe_gpt_m;
 
-use crate::experiments::common::{engine_for, with_layers};
+use crate::experiments::common::{engine_for, run_offline, with_layers};
 use crate::fmt::{pct, render_table};
 use crate::Scale;
 
@@ -31,8 +31,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
         .map(|nodes| {
             let gpus = nodes * 4;
             let engine = engine_for(model.clone(), gpus, scale);
-            let base = engine.run(ParallelismMode::ContextCoherent);
-            let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+            let base = run_offline(&engine, ParallelismMode::ContextCoherent);
+            let aff = run_offline(&engine, ParallelismMode::ContextCoherentAffinity);
             let base_cross = 1.0 - base.dispatch.node_local_fraction();
             let aff_cross = 1.0 - aff.dispatch.node_local_fraction();
             Row {

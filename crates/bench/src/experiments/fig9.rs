@@ -5,7 +5,7 @@
 use exflow_core::ParallelismMode;
 use exflow_model::presets::moe_gpt_m;
 
-use crate::experiments::common::{engine_for, with_layers};
+use crate::experiments::common::{engine_for, run_offline, with_layers};
 use crate::fmt::{pct, render_table};
 use crate::Scale;
 
@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         .into_iter()
         .map(|nodes| {
             let engine = engine_for(model.clone(), nodes * 4, scale);
-            let report = engine.run(ParallelismMode::Vanilla);
+            let report = run_offline(&engine, ParallelismMode::Vanilla);
             let b = report.breakdown;
             let total = b.gating + b.alltoall + b.attention + b.expert_ffn;
             Row {

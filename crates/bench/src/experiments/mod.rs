@@ -3,6 +3,8 @@
 
 pub mod ablations;
 pub mod common;
+pub mod elasticity;
+pub mod events;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -13,7 +13,7 @@ use exflow_core::commvolume::{System, VolumeParams};
 use exflow_core::ParallelismMode;
 use exflow_model::presets::moe_gpt_m;
 
-use crate::experiments::common::{engine_for, with_layers};
+use crate::experiments::common::{engine_for, run_offline, with_layers};
 use crate::fmt::{f3, render_table};
 use crate::Scale;
 
@@ -53,8 +53,8 @@ pub fn run(scale: Scale) -> Table1 {
     let gpus = 8;
     let engine = engine_for(model.clone(), gpus, scale);
 
-    let cc = engine.run(ParallelismMode::ContextCoherent);
-    let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+    let cc = run_offline(&engine, ParallelismMode::ContextCoherent);
+    let aff = run_offline(&engine, ParallelismMode::ContextCoherentAffinity);
     let p = 1.0 - cc.dispatch.gpu_local_fraction();
     let p_star = 1.0 - aff.dispatch.gpu_local_fraction();
     // FasterMoE/TA-MoE report keeping roughly a third of the dispatch

@@ -8,7 +8,7 @@ use exflow_model::presets::moe_gpt_m;
 use exflow_model::CorpusSpec;
 use exflow_topology::ClusterSpec;
 
-use crate::experiments::common::with_layers;
+use crate::experiments::common::{run_offline, with_layers};
 use crate::fmt::{f3, render_table};
 use crate::Scale;
 
@@ -54,7 +54,7 @@ pub fn run(scale: Scale) -> Vec<Column> {
             let transferred = engine
                 .run_with_placement(ParallelismMode::ContextCoherentAffinity, &pile_placement);
             // Reference: the corpus profiled on itself.
-            let self_profiled = engine.run(ParallelismMode::ContextCoherentAffinity);
+            let self_profiled = run_offline(&engine, ParallelismMode::ContextCoherentAffinity);
             Column {
                 corpus: name,
                 intra_gpu: transferred.dispatch.gpu_local_fraction()

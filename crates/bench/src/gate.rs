@@ -136,11 +136,12 @@ fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: O
 }
 
 /// Compare a fresh summary JSON against the committed baseline JSON.
-/// The fresh document must be `exflow-bench-summary/v5`; the baseline may
-/// be v5 or the older v3/v4 (whose sections are compared as far as they
-/// go — a v3 baseline simply has no `replication_online_rows` or
-/// `serving_rows` to gate against, a v4 baseline no `serving_rows`; the
-/// skew is surfaced as an informational note).
+/// The fresh document must be `exflow-bench-summary/v6`; the baseline may
+/// be v6 or the older v3/v4/v5 (whose sections are compared as far as
+/// they go — a v3 baseline simply has no `replication_online_rows`,
+/// `serving_rows`, or `elasticity_rows` to gate against, a v4 baseline
+/// no `serving_rows` or `elasticity_rows`, a v5 baseline no
+/// `elasticity_rows`; the skew is surfaced as an informational note).
 pub fn compare(baseline: &str, fresh: &str) -> GateReport {
     let mut report = GateReport::default();
 
@@ -149,9 +150,9 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
             .find(|l| l.trim_start().starts_with("\"schema\""))
             .and_then(|l| field(l, "schema"))
     };
-    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v5") {
+    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v6") {
         report.drifts.push(
-            "schema mismatch: the fresh document must be exflow-bench-summary/v5".to_string(),
+            "schema mismatch: the fresh document must be exflow-bench-summary/v6".to_string(),
         );
         return report;
     }
@@ -161,16 +162,17 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         Some("exflow-bench-summary/v3")
             | Some("exflow-bench-summary/v4")
             | Some("exflow-bench-summary/v5")
+            | Some("exflow-bench-summary/v6")
     ) {
         report.drifts.push(
-            "schema mismatch: the baseline must be exflow-bench-summary/v3, /v4, or /v5 \
+            "schema mismatch: the baseline must be exflow-bench-summary/v3, /v4, /v5, or /v6 \
              (regenerate the committed baseline with bench_summary)"
                 .to_string(),
         );
         return report;
     }
     if let Some(schema) = baseline_schema.as_deref() {
-        if schema != "exflow-bench-summary/v5" {
+        if schema != "exflow-bench-summary/v6" {
             report.notes.push(format!(
                 "baseline is {schema}: sections newer than that schema are present in the \
                  fresh run but not gated until the committed baseline is regenerated"
@@ -565,6 +567,87 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         }
     }
 
+    // Elasticity rows: keyed by fault schedule; disruption counts,
+    // emergency bytes, latency tails, and recovery times are all
+    // deterministic virtual-time facts, so all of them are bit-compared.
+    // A v3/v4/v5 baseline has no elasticity section, so coverage checks
+    // only apply when the baseline has one.
+    let base_elastic = rows_section(baseline, "elasticity_rows");
+    let fresh_elastic = rows_section(fresh, "elasticity_rows");
+    if baseline.contains("\"elasticity_rows\": [") {
+        let fault_of = |line: &str| field(line, "fault").unwrap_or_default();
+        for b in &base_elastic {
+            let fault = fault_of(b);
+            match fresh_elastic.iter().find(|f| fault_of(f) == fault) {
+                None => report
+                    .drifts
+                    .push(format!("elasticity row {fault} missing from fresh run")),
+                Some(f) => {
+                    for fact in [
+                        "fault_time",
+                        "plain_p99",
+                        "plain_disrupted",
+                        "plain_steps_degraded",
+                        "plain_emergency_bytes",
+                        "plain_recovery",
+                        "repl_p99",
+                        "repl_disrupted",
+                        "repl_steps_degraded",
+                        "repl_emergency_bytes",
+                        "repl_recovery",
+                    ] {
+                        let (bv, fv) = (field(b, fact), field(f, fact));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "{fact} drift on elasticity/{fault}: baseline {} vs fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for f in &fresh_elastic {
+            let fault = fault_of(f);
+            if !base_elastic.iter().any(|b| fault_of(b) == fault) {
+                report
+                    .drifts
+                    .push(format!("elasticity row {fault} not in baseline"));
+            }
+        }
+    }
+
+    // Acceptance bars of the fault-tolerance layer, checked on the fresh
+    // run regardless of baseline version: under every fault schedule the
+    // replicated fleet must recover its latency tail (recovery >= 0)
+    // strictly faster than the unreplicated fleet (which may never
+    // recover at all, encoded as -1), and replica failover must save
+    // emergency wire traffic over restoring from a checkpoint shard.
+    for f in &fresh_elastic {
+        let fault = field(f, "fault").unwrap_or_default();
+        let num = |key: &str| field(f, key).and_then(|v| v.parse::<f64>().ok());
+        if let (Some(plain_rec), Some(repl_rec)) = (num("plain_recovery"), num("repl_recovery")) {
+            let faster = repl_rec >= 0.0 && (plain_rec < 0.0 || repl_rec < plain_rec);
+            if !faster {
+                report.drifts.push(format!(
+                    "elasticity on {fault}: replicated fleet recovery {repl_rec} vs \
+                     unreplicated {plain_rec} — replication must buy strictly faster recovery"
+                ));
+            }
+        }
+        if let (Some(plain_bytes), Some(repl_bytes)) =
+            (num("plain_emergency_bytes"), num("repl_emergency_bytes"))
+        {
+            if repl_bytes >= plain_bytes {
+                report.drifts.push(format!(
+                    "elasticity on {fault}: replication shipped {repl_bytes} emergency bytes vs \
+                     {plain_bytes} without — failover must save wire traffic"
+                ));
+            }
+        }
+    }
+
     // Whole-sweep walls.
     let top_field = |json: &str, key: &str| {
         json.lines()
@@ -592,8 +675,8 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
 mod tests {
     use super::*;
     use crate::summary::{
-        BenchRow, BenchSummary, OnlineBenchRow, ReplicationOnlineRow, ServingBenchRow,
-        SparseBenchRow,
+        BenchRow, BenchSummary, ElasticityRow, OnlineBenchRow, ReplicationOnlineRow,
+        ServingBenchRow, SparseBenchRow,
     };
 
     fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
@@ -677,6 +760,21 @@ mod tests {
                 repl_p99: 39.0,
                 repl_goodput: 0.121,
                 repl_replicas_added: 3,
+            }],
+            elasticity_rows: vec![ElasticityRow {
+                fault: "gpu-loss".into(),
+                requests: 500,
+                fault_time: 12.5,
+                plain_p99: 60.0,
+                plain_disrupted: 9,
+                plain_steps_degraded: 40,
+                plain_emergency_bytes: 7 << 20,
+                plain_recovery: 8.25,
+                repl_p99: 48.0,
+                repl_disrupted: 9,
+                repl_steps_degraded: 12,
+                repl_emergency_bytes: 0,
+                repl_recovery: 1.5,
             }],
         }
     }
@@ -768,7 +866,7 @@ mod tests {
     #[test]
     fn v1_baseline_is_rejected() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = fresh.replace("exflow-bench-summary/v5", "exflow-bench-summary/v1");
+        let old = fresh.replace("exflow-bench-summary/v6", "exflow-bench-summary/v1");
         let report = compare(&old, &fresh);
         assert!(!report.ok());
         assert!(report.drifts[0].contains("schema"));
@@ -786,19 +884,31 @@ mod tests {
         out.replace(from, to)
     }
 
-    /// Strip a v5 document down to the v4 schema (drop the serving_rows
-    /// section and relabel).
-    fn as_v4(json: &str) -> String {
+    /// Strip a v6 document down to the v5 schema (drop the
+    /// elasticity_rows section and relabel).
+    fn as_v5(json: &str) -> String {
         strip_last_section(
             json,
+            "elasticity_rows",
+            "exflow-bench-summary/v6",
+            "exflow-bench-summary/v5",
+        )
+    }
+
+    /// Strip a v6 document down to the v4 schema (drop the
+    /// elasticity_rows and serving_rows sections and relabel).
+    fn as_v4(json: &str) -> String {
+        strip_last_section(
+            &as_v5(json),
             "serving_rows",
             "exflow-bench-summary/v5",
             "exflow-bench-summary/v4",
         )
     }
 
-    /// Strip a v5 document down to the v3 schema (drop the serving_rows
-    /// and replication_online_rows sections and relabel).
+    /// Strip a v6 document down to the v3 schema (drop the
+    /// elasticity_rows, serving_rows, and replication_online_rows
+    /// sections and relabel).
     fn as_v3(json: &str) -> String {
         strip_last_section(
             &as_v4(json),
@@ -858,12 +968,25 @@ mod tests {
     }
 
     #[test]
-    fn v4_fresh_document_is_rejected() {
+    fn v5_baseline_is_still_accepted_and_noted_as_skew() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let old = as_v5(&fresh);
+        assert!(old.contains("exflow-bench-summary/v5"));
+        assert!(old.contains("serving_rows"));
+        assert!(!old.contains("elasticity_rows"));
+        let report = compare(&old, &fresh);
+        assert!(report.ok(), "{:?}", report.drifts);
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        assert!(report.notes[0].contains("exflow-bench-summary/v5"));
+    }
+
+    #[test]
+    fn v5_fresh_document_is_rejected() {
         let base = summary(0.25, 100.0, 100.0).to_json();
-        let fresh = as_v4(&base);
+        let fresh = as_v5(&base);
         let report = compare(&base, &fresh);
         assert!(!report.ok());
-        assert!(report.drifts[0].contains("must be exflow-bench-summary/v5"));
+        assert!(report.drifts[0].contains("must be exflow-bench-summary/v6"));
     }
 
     #[test]
@@ -1023,6 +1146,82 @@ mod tests {
         let report = compare(&base.to_json(), &fresh.to_json());
         assert!(!report.ok());
         assert!(report.drifts.iter().any(|d| d.contains("serving row")));
+        assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
+    }
+
+    #[test]
+    fn elasticity_recovery_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.elasticity_rows[0].repl_recovery += 1e-9;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("repl_recovery drift on elasticity/gpu-loss")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn slow_replicated_recovery_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        for repl_recovery in [-1.0, 9.0] {
+            // Never recovering, or recovering slower than the
+            // unreplicated fleet's 8.25, both fail.
+            let mut fresh = base.clone();
+            fresh.elasticity_rows[0].repl_recovery = repl_recovery;
+            let report = compare(&base.to_json(), &fresh.to_json());
+            assert!(
+                report
+                    .drifts
+                    .iter()
+                    .any(|d| d.contains("strictly faster recovery")),
+                "repl_recovery {repl_recovery}: {:?}",
+                report.drifts
+            );
+            // The bar also binds against a v5 baseline, where no
+            // bit-compare covers the elasticity section at all.
+            let report = compare(&as_v5(&base.to_json()), &fresh.to_json());
+            assert!(
+                report
+                    .drifts
+                    .iter()
+                    .any(|d| d.contains("strictly faster recovery")),
+                "repl_recovery {repl_recovery} (v5 baseline): {:?}",
+                report.drifts
+            );
+        }
+    }
+
+    #[test]
+    fn failover_saving_no_wire_traffic_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.elasticity_rows[0].repl_emergency_bytes =
+            fresh.elasticity_rows[0].plain_emergency_bytes;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("failover must save wire traffic")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn elasticity_missing_fault_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.elasticity_rows[0].fault = "renamed".into();
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(report.drifts.iter().any(|d| d.contains("elasticity row")));
         assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
     }
 

@@ -34,21 +34,30 @@
 //!   bytes per cell — verified bit-identical across thread counts and
 //!   gap backends.
 //!
+//! * **`table_elasticity` sweep** — the fault-tolerance front-end: the
+//!   same Poisson arrival sample served through a mid-run GPU loss (and
+//!   a loss-and-rejoin cycle) by an unreplicated fleet and a fully
+//!   replicated one, recording disrupted requests, degraded steps,
+//!   emergency migration bytes, and tail-recovery time per cell —
+//!   verified bit-identical across thread counts and gap backends, with
+//!   the replicated fleet required to recover strictly faster.
+//!
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v5`) keeps them apart.
+//! (`exflow-bench-summary/v6`) keeps them apart.
 
 use std::time::Instant;
 
 use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
 use exflow_core::{
-    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, ServingConfig, ServingReport,
+    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, Scenario, ServingConfig,
+    ServingReport,
 };
 use exflow_model::presets::{large_zoo, moe_gpt_m, table2};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::ArrivalProcess;
-use exflow_model::{CorpusSpec, DriftSchedule, ModelConfig, TokenBatch};
+use exflow_model::{CorpusSpec, DriftSchedule, FaultKind, FaultSchedule, ModelConfig, TokenBatch};
 use exflow_placement::annealing::AnnealParams;
 use exflow_placement::greedy::solve_greedy;
 use exflow_placement::local_search::{improve, solve_local_search_with};
@@ -158,6 +167,26 @@ const SERVING_DRIFT_THRESHOLD: f64 = 0.08;
 
 /// Streaming-estimator decay of the serving scenarios.
 const SERVING_DECAY: f64 = 0.3;
+
+/// Offered load of the `table_elasticity` cells as a fraction of
+/// full-*fleet* capacity. Deliberately below [`SERVING_UTILIZATION`]:
+/// after one of the four GPUs dies the surviving fleet runs at 4/3 of
+/// this figure, which must stay under saturation or the latency tail
+/// never returns to its pre-fault level and "recovery time" stops
+/// existing for either fleet.
+const ELASTICITY_UTILIZATION: f64 = 0.6;
+
+/// Requests per `table_elasticity` cell — enough completions on both
+/// sides of the fault for the pre-fault p99 and the rolling recovery
+/// window (`exflow_core::RECOVERY_WINDOW`) to be meaningful.
+const ELASTICITY_REQUESTS: (usize, usize) = (500, 800);
+
+/// When the GPU loss strikes, as a fraction of the arrival horizon.
+const ELASTICITY_FAULT_AT: f64 = 0.4;
+
+/// When the lost GPU rejoins (in the loss+rejoin scenario), as a
+/// fraction of the arrival horizon.
+const ELASTICITY_REJOIN_AT: f64 = 0.6;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -399,6 +428,60 @@ impl ServingBenchRow {
     }
 }
 
+/// One `table_elasticity` cell: the same arrival sample served through
+/// the same mid-run GPU fault by two fleets — one with no replicas
+/// (every expert lost with its GPU must be emergency-restored over the
+/// wire) and one fully replicated (failover is a free ownership flip).
+/// All figures are deterministic virtual-time facts, bit-identical
+/// across thread counts and gap backends (verified in-sweep). Recovery
+/// times are `-1` when the fleet's rolling tail never returned to its
+/// pre-fault p99 within the run.
+#[derive(Debug, Clone)]
+pub struct ElasticityRow {
+    /// Fault-schedule label (`gpu-loss`, `gpu-loss+rejoin`).
+    pub fault: String,
+    /// Requests served per cell.
+    pub requests: usize,
+    /// Virtual time of the GPU loss.
+    pub fault_time: f64,
+    /// p99 request latency of the no-replica fleet, whole run.
+    pub plain_p99: f64,
+    /// In-flight requests the loss re-queued, no-replica fleet.
+    pub plain_disrupted: u64,
+    /// Decode steps served under emergency-migration contention,
+    /// no-replica fleet.
+    pub plain_steps_degraded: u64,
+    /// Bytes the emergency re-placements copied, no-replica fleet.
+    pub plain_emergency_bytes: u64,
+    /// Virtual time from the loss until the rolling p99 recovered, or
+    /// `-1` if it never did.
+    pub plain_recovery: f64,
+    /// p99 request latency of the fully replicated fleet, whole run.
+    pub repl_p99: f64,
+    /// In-flight requests the loss re-queued, replicated fleet.
+    pub repl_disrupted: u64,
+    /// Decode steps served under emergency-migration contention,
+    /// replicated fleet.
+    pub repl_steps_degraded: u64,
+    /// Bytes the emergency re-placements copied, replicated fleet
+    /// (zero: every lost expert has a live replica).
+    pub repl_emergency_bytes: u64,
+    /// Virtual time from the loss until the rolling p99 recovered, or
+    /// `-1` if it never did.
+    pub repl_recovery: f64,
+}
+
+impl ElasticityRow {
+    /// Whether the replicated fleet recovered strictly faster than the
+    /// no-replica fleet (the acceptance bar): it must recover at all,
+    /// and beat a no-replica fleet that either recovered later or never
+    /// did.
+    pub fn replication_recovers_faster(&self) -> bool {
+        self.repl_recovery >= 0.0
+            && (self.plain_recovery < 0.0 || self.repl_recovery < self.plain_recovery)
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -425,6 +508,8 @@ pub struct BenchSummary {
     pub replication_online_rows: Vec<ReplicationOnlineRow>,
     /// The `table_serving` cells, one per arrival process.
     pub serving_rows: Vec<ServingBenchRow>,
+    /// The `table_elasticity` cells, one per fault schedule.
+    pub elasticity_rows: Vec<ElasticityRow>,
 }
 
 impl BenchSummary {
@@ -437,7 +522,7 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v5` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v6` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
     /// and serving latencies are printed with Rust's shortest round-trip
     /// float formatting, so string equality in the JSON is bit equality
@@ -445,7 +530,7 @@ impl BenchSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v5\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v6\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -569,6 +654,27 @@ impl BenchSummary {
                 row.repl_goodput,
                 row.repl_replicas_added,
                 if i + 1 == self.serving_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"elasticity_rows\": [\n");
+        for (i, row) in self.elasticity_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"fault\": \"{}\", \"requests\": {}, \"fault_time\": {}, \"plain_p99\": {}, \"plain_disrupted\": {}, \"plain_steps_degraded\": {}, \"plain_emergency_bytes\": {}, \"plain_recovery\": {}, \"repl_p99\": {}, \"repl_disrupted\": {}, \"repl_steps_degraded\": {}, \"repl_emergency_bytes\": {}, \"repl_recovery\": {}}}{}\n",
+                row.fault,
+                row.requests,
+                row.fault_time,
+                row.plain_p99,
+                row.plain_disrupted,
+                row.plain_steps_degraded,
+                row.plain_emergency_bytes,
+                row.plain_recovery,
+                row.repl_p99,
+                row.repl_disrupted,
+                row.repl_steps_degraded,
+                row.repl_emergency_bytes,
+                row.repl_recovery,
+                if i + 1 == self.elasticity_rows.len() { "" } else { "," }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -1217,18 +1323,21 @@ pub fn serving_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<Serving
             window_duration: horizon / SERVING_WINDOWS as f64,
         };
         let name = cfg.arrival.name().to_string();
-        let stat: ServingReport = static_eng.run_serving(mode, &drift, &cfg);
-        let online = online_eng.run_serving(mode, &drift, &cfg);
-        let repl = repl_eng.run_serving(mode, &drift, &cfg);
+        let scenario = Scenario::offline(mode)
+            .with_drift(drift.clone())
+            .with_serving(cfg.clone());
+        let stat: ServingReport = static_eng.run_scenario(&scenario).expect_serving();
+        let online = online_eng.run_scenario(&scenario).expect_serving();
+        let repl = repl_eng.run_scenario(&scenario).expect_serving();
 
-        let wide = wide_eng.run_serving(mode, &drift, &cfg);
+        let wide = wide_eng.run_scenario(&scenario).expect_serving();
         if wide != online {
             return Err(format!(
                 "{name}: serving report diverged across solver widths (1 vs {})",
                 jobs.max(2)
             ));
         }
-        let sparse = sparse_eng.run_serving(mode, &drift, &cfg);
+        let sparse = sparse_eng.run_scenario(&scenario).expect_serving();
         if sparse != online {
             return Err(format!(
                 "{name}: serving report diverged across gap backends"
@@ -1292,6 +1401,164 @@ pub fn serving_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<Serving
     Ok(rows)
 }
 
+/// The `table_elasticity` sweep: one Poisson arrival sample served
+/// through a mid-run GPU loss (and, in the second cell, a later rejoin)
+/// by two fleets that differ only in replication — none (lost experts
+/// must be emergency-restored over the wire) vs full (failover is a
+/// free ownership flip). The arrival rate is calibrated so the
+/// *surviving* fleet stays below saturation (`ELASTICITY_UTILIZATION`),
+/// which is what makes "time until the rolling p99 returns to its
+/// pre-fault level" well-defined. Errors (instead of panicking) if the
+/// faulted run is not bit-identical at `jobs` solver threads and at 8,
+/// or on the CSR gap backend, or if the replicated fleet fails its
+/// acceptance bars (free failover, strictly faster recovery).
+pub fn elasticity_table(
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+) -> Result<Vec<ElasticityRow>, String> {
+    let layers = scale.pick(4, 5);
+    let n_requests = scale.pick(ELASTICITY_REQUESTS.0, ELASTICITY_REQUESTS.1);
+    let mode = ParallelismMode::ContextCoherentAffinity;
+    // A static (never drift-replanning) policy on both fleets: the only
+    // re-placements in these cells are the emergency ones the fault
+    // layer itself triggers, so the recovery clock measures elasticity,
+    // not drift adaptation.
+    let oc = OnlineConfig {
+        drift_threshold: f64::INFINITY,
+        decay: SERVING_DECAY,
+        ..OnlineConfig::default()
+    };
+
+    let eng = serving_engine(layers, oc, 1, GapBackend::Dense, seed);
+    let world = eng.config().cluster.world_size();
+    let step = eng.probe_step_time(mode, SERVING_MAX_BATCH);
+    if step <= 0.0 {
+        return Err(format!("probed step time {step} must be positive"));
+    }
+    let rate =
+        ELASTICITY_UTILIZATION * SERVING_MAX_BATCH as f64 / (SERVING_DECODE_STEPS as f64 * step);
+    let horizon = n_requests as f64 / rate;
+    let cfg = ServingConfig {
+        arrival: ArrivalProcess::poisson(rate),
+        n_requests,
+        decode_steps: SERVING_DECODE_STEPS,
+        batch: BatchPolicy::SizeOrWait {
+            max_size: SERVING_MAX_BATCH,
+            max_wait: 2.0 * step,
+        },
+        window_duration: horizon / SERVING_WINDOWS as f64,
+    };
+    // The replicated fleet starts from the same profiled placement with
+    // every expert replicated, so any lost expert has a live copy.
+    let full_replication = ReplicationPlan {
+        base: eng.placement_for(mode).clone(),
+        replicated: vec![(0..SERVING_EXPERTS).collect(); layers],
+    };
+
+    let faults = [
+        FaultSchedule::gpu_loss(world, 1, ELASTICITY_FAULT_AT * horizon),
+        FaultSchedule::loss_and_rejoin(
+            world,
+            1,
+            ELASTICITY_FAULT_AT * horizon,
+            ELASTICITY_REJOIN_AT * horizon,
+        ),
+    ];
+
+    let mut rows = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let name = fault.name().to_string();
+        let plain_scenario = Scenario::offline(mode)
+            .with_serving(cfg.clone())
+            .with_faults(fault.clone());
+        let repl_scenario = plain_scenario
+            .clone()
+            .with_replication(full_replication.clone());
+        let plain = eng.run_scenario(&plain_scenario).expect_serving();
+        let repl = eng.run_scenario(&repl_scenario).expect_serving();
+
+        // Bit-identity of the faulted run across solver widths and the
+        // CSR objective backend, on the fleet that actually exercises
+        // emergency re-placement.
+        for threads in [jobs.max(2), 8] {
+            let wide = serving_engine(layers, oc, threads, GapBackend::Dense, seed)
+                .run_scenario(&plain_scenario)
+                .expect_serving();
+            if wide != plain {
+                return Err(format!(
+                    "{name}: faulted serving report diverged across solver widths (1 vs {threads})"
+                ));
+            }
+        }
+        let sparse = serving_engine(layers, oc, 1, GapBackend::Sparse, seed)
+            .run_scenario(&plain_scenario)
+            .expect_serving();
+        if sparse != plain {
+            return Err(format!(
+                "{name}: faulted serving report diverged across gap backends"
+            ));
+        }
+
+        for (fleet, r) in [("no-replicas", &plain), ("replicated", &repl)] {
+            if r.n_requests() != n_requests {
+                return Err(format!(
+                    "{name}/{fleet}: served {} of {n_requests} requests",
+                    r.n_requests()
+                ));
+            }
+            if r.disruption.requests_disrupted == 0 {
+                return Err(format!(
+                    "{name}/{fleet}: the loss disrupted nothing — the fault landed too late"
+                ));
+            }
+        }
+        // The loss evacuation is free under full replication; a rejoin
+        // re-home still ships weights back to the returning GPU on both
+        // fleets, so only the loss-only cell pins zero emergency bytes.
+        let has_rejoin = fault.events().iter().any(|ev| ev.kind == FaultKind::Up);
+        if !has_rejoin && repl.disruption.emergency_bytes != 0 {
+            return Err(format!(
+                "{name}: full replication still copied {} emergency bytes",
+                repl.disruption.emergency_bytes
+            ));
+        }
+        if repl.disruption.emergency_bytes >= plain.disruption.emergency_bytes {
+            return Err(format!(
+                "{name}: replication shipped {} emergency bytes vs {} without — failover \
+                 must save wire traffic",
+                repl.disruption.emergency_bytes, plain.disruption.emergency_bytes
+            ));
+        }
+
+        let recovery = |r: &ServingReport| r.recovery_time().unwrap_or(-1.0);
+        let row = ElasticityRow {
+            fault: name.clone(),
+            requests: n_requests,
+            fault_time: fault.first_down_time().unwrap_or(0.0),
+            plain_p99: plain.p99(),
+            plain_disrupted: plain.disruption.requests_disrupted,
+            plain_steps_degraded: plain.disruption.steps_degraded,
+            plain_emergency_bytes: plain.disruption.emergency_bytes,
+            plain_recovery: recovery(&plain),
+            repl_p99: repl.p99(),
+            repl_disrupted: repl.disruption.requests_disrupted,
+            repl_steps_degraded: repl.disruption.steps_degraded,
+            repl_emergency_bytes: repl.disruption.emergency_bytes,
+            repl_recovery: recovery(&repl),
+        };
+        if !row.replication_recovers_faster() {
+            return Err(format!(
+                "{name}: replicated fleet recovered in {} vs no-replicas {} — replication must \
+                 buy strictly faster recovery",
+                row.repl_recovery, row.plain_recovery
+            ));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
 /// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
@@ -1333,6 +1600,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
     let online_rows = online_table(scale, jobs, seed)?;
     let replication_online_rows = replication_online_table(scale, seed)?;
     let serving_rows = serving_table(scale, jobs, seed)?;
+    let elasticity_rows = elasticity_table(scale, jobs, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -1348,6 +1616,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         online_rows,
         replication_online_rows,
         serving_rows,
+        elasticity_rows,
     })
 }
 
@@ -1597,9 +1866,24 @@ mod tests {
                 repl_goodput: 0.121,
                 repl_replicas_added: 3,
             }],
+            elasticity_rows: vec![ElasticityRow {
+                fault: "gpu1-loss".to_string(),
+                requests: 500,
+                fault_time: 12.5,
+                plain_p99: 60.0,
+                plain_disrupted: 9,
+                plain_steps_degraded: 40,
+                plain_emergency_bytes: 7 << 20,
+                plain_recovery: 8.25,
+                repl_p99: 48.0,
+                repl_disrupted: 9,
+                repl_steps_degraded: 12,
+                repl_emergency_bytes: 0,
+                repl_recovery: 1.5,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v5\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v6\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
@@ -1613,6 +1897,9 @@ mod tests {
         assert!(json.contains("\"arrival\": \"flash-crowd\""));
         assert!(json.contains("\"static_p99\": 52"));
         assert!(json.contains("\"online_goodput\": 0.12,"));
+        assert!(json.contains("\"fault\": \"gpu1-loss\""));
+        assert!(json.contains("\"repl_emergency_bytes\": 0"));
+        assert!(json.contains("\"repl_recovery\": 1.5"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -132,6 +132,98 @@ impl OnlineConfig {
     }
 }
 
+/// The re-plan knobs every adaptive serving surface shares — the
+/// windowed online mode and the request-level serving loop read the same
+/// five fields out of [`OnlineConfig`]. `ReplanPolicy` names that shared
+/// subset so callers can build it once and stamp it into either config
+/// path; the remaining [`OnlineConfig`] fields (`decay`,
+/// `replica_memory_bytes`) are estimator/memory knobs, not re-plan
+/// policy.
+///
+/// `From` impls convert both ways, so old construction paths keep
+/// working:
+///
+/// ```
+/// use exflow_core::{OnlineConfig, ReplanPolicy};
+///
+/// let policy = ReplanPolicy {
+///     replan_every: 2,
+///     drift_threshold: 0.1,
+///     ..ReplanPolicy::default()
+/// };
+/// let oc = OnlineConfig::from(policy);
+/// assert_eq!(oc.replan_every, 2);
+/// assert_eq!(oc.decay, OnlineConfig::default().decay);
+/// assert_eq!(ReplanPolicy::from(oc), policy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanPolicy {
+    /// Serving windows between drift checks (see
+    /// [`OnlineConfig::replan_every`]).
+    pub replan_every: usize,
+    /// Windowed divergence above which a re-plan fires (see
+    /// [`OnlineConfig::drift_threshold`]).
+    pub drift_threshold: f64,
+    /// Byte budget of one re-plan (see
+    /// [`OnlineConfig::migration_budget_bytes`]).
+    pub migration_budget_bytes: u64,
+    /// Roll unspent budget over to later re-plans (see
+    /// [`OnlineConfig::budget_rollover`]).
+    pub budget_rollover: bool,
+    /// Scale each re-plan's budget by the measured drift (see
+    /// [`OnlineConfig::scale_budget_by_drift`]).
+    pub scale_budget_by_drift: bool,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy::from(OnlineConfig::default())
+    }
+}
+
+impl From<OnlineConfig> for ReplanPolicy {
+    fn from(oc: OnlineConfig) -> Self {
+        ReplanPolicy {
+            replan_every: oc.replan_every,
+            drift_threshold: oc.drift_threshold,
+            migration_budget_bytes: oc.migration_budget_bytes,
+            budget_rollover: oc.budget_rollover,
+            scale_budget_by_drift: oc.scale_budget_by_drift,
+        }
+    }
+}
+
+impl From<ReplanPolicy> for OnlineConfig {
+    fn from(p: ReplanPolicy) -> Self {
+        OnlineConfig {
+            replan_every: p.replan_every,
+            drift_threshold: p.drift_threshold,
+            migration_budget_bytes: p.migration_budget_bytes,
+            budget_rollover: p.budget_rollover,
+            scale_budget_by_drift: p.scale_budget_by_drift,
+            ..OnlineConfig::default()
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// The re-plan policy subset of this config.
+    pub fn replan_policy(&self) -> ReplanPolicy {
+        ReplanPolicy::from(*self)
+    }
+
+    /// This config with the re-plan policy fields replaced (estimator and
+    /// replica-memory knobs untouched).
+    pub fn with_replan_policy(mut self, p: ReplanPolicy) -> Self {
+        self.replan_every = p.replan_every;
+        self.drift_threshold = p.drift_threshold;
+        self.migration_budget_bytes = p.migration_budget_bytes;
+        self.budget_rollover = p.budget_rollover;
+        self.scale_budget_by_drift = p.scale_budget_by_drift;
+        self
+    }
+}
+
 /// Full configuration of an engine instance.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -288,6 +380,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Override just the shared re-plan policy subset of the online
+    /// knobs (see [`ReplanPolicy`]); estimator decay and replica memory
+    /// keep whatever they were.
+    pub fn replan_policy(mut self, policy: ReplanPolicy) -> Self {
+        self.cfg.online = self.cfg.online.with_replan_policy(policy);
+        self.cfg.online.validate();
+        self
+    }
+
     /// Per-GPU replica memory budget for the online mode (see
     /// [`OnlineConfig::replica_memory_bytes`]); a convenience over
     /// [`EngineBuilder::online`] for turning on replication-aware
@@ -416,12 +517,21 @@ impl InferenceEngine {
 
     /// Run a full generation benchmark in `mode` with its default
     /// placement.
+    #[deprecated(note = "use `run_scenario(&Scenario::offline(mode))`")]
     pub fn run(&self, mode: ParallelismMode) -> InferenceReport {
+        self.run_offline_impl(mode)
+    }
+
+    /// One offline benchmark in `mode` (the `run_scenario` offline path).
+    pub(crate) fn run_offline_impl(&self, mode: ParallelismMode) -> InferenceReport {
         self.run_with_placement(mode, self.placement_for(mode))
     }
 
     /// Run with an explicit placement (used by the sampling study, which
-    /// derives placements from truncated profiling traces).
+    /// derives placements from truncated profiling traces). This is the
+    /// explicit-placement escape hatch under [`crate::Scenario`]'s front door
+    /// (`crate::scenario::Scenario` covers the engine-chosen placements
+    /// only), so it is *not* deprecated.
     pub fn run_with_placement(
         &self,
         mode: ParallelismMode,
@@ -429,7 +539,7 @@ impl InferenceEngine {
     ) -> InferenceReport {
         let batches = self.serving_batches(&self.routing, 0);
         let no_replicas = vec![Vec::new(); self.cfg.model.n_layers];
-        self.run_with_batches(mode, placement, &no_replicas, &batches, 0)
+        self.run_with_batches(mode, placement, &no_replicas, &batches, 0, None)
     }
 
     /// Run with an explicit [`ReplicationPlan`]: dispatch serves a token's
@@ -438,13 +548,24 @@ impl InferenceEngine {
     /// in the online mode). Context-coherent top-2 dispatch ignores
     /// replicas — the secondary-merge meeting point must be computable
     /// from the route alone — so replicas change nothing there.
+    #[deprecated(note = "use `run_scenario(&Scenario::offline(mode).with_replication(plan))`")]
     pub fn run_with_replication(
         &self,
         mode: ParallelismMode,
         plan: &ReplicationPlan,
     ) -> InferenceReport {
+        self.run_with_replication_impl(mode, plan)
+    }
+
+    /// One offline benchmark under an explicit replication plan (the
+    /// `run_scenario` offline-with-replication path).
+    pub(crate) fn run_with_replication_impl(
+        &self,
+        mode: ParallelismMode,
+        plan: &ReplicationPlan,
+    ) -> InferenceReport {
         let batches = self.serving_batches(&self.routing, 0);
-        self.run_with_batches(mode, &plan.base, &plan.replicated, &batches, 0)
+        self.run_with_batches(mode, &plan.base, &plan.replicated, &batches, 0, None)
     }
 
     /// Serving batches for one window: fresh routes per generation
@@ -475,6 +596,14 @@ impl InferenceEngine {
     /// may be any size: tokens spread round-robin over the ranks, so the
     /// request-level serving loop (`crate::serving`) can feed it
     /// continuous-batching pools of whatever occupancy the queue yields.
+    ///
+    /// `live` masks out failed GPUs: dead ranks hold no tokens or
+    /// experts but still join every collective (with empty payloads), so
+    /// the SPMD clocks stay synchronized across the provisioned fleet.
+    /// `None` — and equivalently an all-`true` mask — is the healthy
+    /// fleet: token homing and context-setup accounting then reduce to
+    /// exactly the unmasked arithmetic, so fault-free runs are
+    /// bit-identical to the pre-fault-layer engine.
     pub(crate) fn run_with_batches(
         &self,
         mode: ParallelismMode,
@@ -482,16 +611,38 @@ impl InferenceEngine {
         replicated: &[Vec<usize>],
         batches: &[TokenBatch],
         ctx_offset: usize,
+        live: Option<&[bool]>,
     ) -> InferenceReport {
         let cfg = &self.cfg;
         let w = cfg.cluster.world_size();
         assert_eq!(placement.n_units(), w, "placement must cover every GPU");
         assert_eq!(placement.n_layers(), cfg.model.n_layers);
         assert_eq!(replicated.len(), cfg.model.n_layers);
+        if let Some(mask) = live {
+            assert_eq!(mask.len(), w, "live mask must cover every GPU");
+            assert!(mask.iter().any(|&x| x), "at least one GPU must be live");
+        }
+        let live_ranks: Vec<usize> = match live {
+            Some(mask) => mask
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &up)| up.then_some(r))
+                .collect(),
+            None => (0..w).collect(),
+        };
 
         let world = CommWorld::new(cfg.cluster, cfg.link_cost);
-        let rank_results = world
-            .run(|comm| self.rank_loop(comm, mode, placement, replicated, batches, ctx_offset));
+        let rank_results = world.run(|comm| {
+            self.rank_loop(
+                comm,
+                mode,
+                placement,
+                replicated,
+                batches,
+                ctx_offset,
+                &live_ranks,
+            )
+        });
 
         let total_time = rank_results
             .iter()
@@ -548,7 +699,18 @@ impl InferenceEngine {
     /// whole run is a pure function of (config, drift schedule):
     /// bit-identical at any parallelism width, and cadence-invariant
     /// whenever no re-plan fires.
+    #[deprecated(note = "use `run_scenario(&Scenario::offline(mode).with_drift(drift))`")]
     pub fn run_online(&self, mode: ParallelismMode, drift: &DriftSchedule) -> OnlineReport {
+        self.run_online_impl(mode, drift)
+    }
+
+    /// One windowed online run (the `run_scenario` drift path); see the
+    /// deprecated [`InferenceEngine::run_online`] for the full contract.
+    pub(crate) fn run_online_impl(
+        &self,
+        mode: ParallelismMode,
+        drift: &DriftSchedule,
+    ) -> OnlineReport {
         let cfg = &self.cfg;
         let oc = cfg.online;
         oc.validate();
@@ -585,6 +747,7 @@ impl InferenceEngine {
                 &replicated,
                 &batches,
                 window * cfg.n_iterations,
+                None,
             );
 
             // Online profiling is free: the engine already knows every
@@ -756,7 +919,12 @@ impl InferenceEngine {
         (time, world.stats().totals(OpKind::Migration).sent)
     }
 
-    /// The per-rank SPMD body.
+    /// The per-rank SPMD body. `live_ranks` lists the live GPUs
+    /// ascending; dead ranks own nothing and carry nothing but still
+    /// enter every collective so the virtual clocks agree. With every
+    /// rank live this computes bit-identically to the unmasked loop:
+    /// `live_ranks[id % live_ranks.len()]` is then exactly `id % w`.
+    #[allow(clippy::too_many_arguments)]
     fn rank_loop(
         &self,
         comm: &mut RankComm,
@@ -765,10 +933,13 @@ impl InferenceEngine {
         replicated: &[Vec<usize>],
         batches: &[TokenBatch],
         ctx_offset: usize,
+        live_ranks: &[usize],
     ) -> RankResult {
         let cfg = &self.cfg;
         let me = comm.rank().0;
         let w = comm.world_size();
+        let alive = live_ranks.contains(&me);
+        let n_live = live_ranks.len();
         let sim_dim = cfg.model.sim_dim;
         let frame = frame_size(cfg.model.token_bytes(), sim_dim);
         let my_node = cfg.cluster.node_of(Rank(me));
@@ -782,22 +953,25 @@ impl InferenceEngine {
 
         // Load this rank's experts (deterministic per (layer, expert), so
         // any placement sees identical weights), including replicas of
-        // experts this rank does not own.
+        // experts this rank does not own. Dead ranks hold nothing — an
+        // evacuated placement never routes to them anyway.
         let mut experts: HashMap<(usize, usize), Expert> = HashMap::new();
-        for (layer, layer_replicas) in replicated.iter().enumerate() {
-            let mut ids = placement.experts_on(layer, me);
-            if use_replicas {
-                for &r in layer_replicas {
-                    if !ids.contains(&r) {
-                        ids.push(r);
+        if alive {
+            for (layer, layer_replicas) in replicated.iter().enumerate() {
+                let mut ids = placement.experts_on(layer, me);
+                if use_replicas {
+                    for &r in layer_replicas {
+                        if !ids.contains(&r) {
+                            ids.push(r);
+                        }
                     }
                 }
-            }
-            for e in ids {
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (layer as u64) << 32 ^ (e as u64) << 8 ^ 0xe4e4,
-                );
-                experts.insert((layer, e), Expert::random(sim_dim, sim_dim * 4, &mut rng));
+                for e in ids {
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed ^ (layer as u64) << 32 ^ (e as u64) << 8 ^ 0xe4e4,
+                    );
+                    experts.insert((layer, e), Expert::random(sim_dim, sim_dim * 4, &mut rng));
+                }
             }
         }
 
@@ -811,13 +985,18 @@ impl InferenceEngine {
         // is charged analytically: every rank advances by the same ring
         // AllGather time the cost model predicts.
         if mode.context_coherent() {
-            // Tokens are resident round-robin by id, so rank `r` holds
-            // `ceil`-or-`floor` of `n / w` of them; every rank computes the
-            // same contribution vector and hence the same analytic time.
+            // Tokens are resident round-robin by id over the *live*
+            // ranks, so the live rank at position `j` holds `ceil`-or-
+            // `floor` of `n / n_live` of them and dead ranks contribute
+            // nothing; every rank computes the same contribution vector
+            // and hence the same analytic time.
             let n_tokens = batches.first().map_or(0, TokenBatch::len);
             let contribs: Vec<u64> = (0..w)
                 .map(|r| {
-                    let mine = n_tokens / w + usize::from(r < n_tokens % w);
+                    let mine = match live_ranks.iter().position(|&lr| lr == r) {
+                        Some(j) => n_tokens / n_live + usize::from(j < n_tokens % n_live),
+                        None => 0,
+                    };
                     (mine * cfg.prompt_len * frame) as u64
                 })
                 .collect();
@@ -831,9 +1010,10 @@ impl InferenceEngine {
             let ctx_len = cfg.prompt_len + ctx_offset + iter;
 
             // This rank's requests each contribute one in-flight token;
-            // tokens spread round-robin over ranks, whatever the batch size.
+            // tokens spread round-robin over the live ranks, whatever the
+            // batch size (dead ranks home nothing).
             let mut resident: Vec<Token> = (0..batch.len())
-                .filter(|id| id % w == me)
+                .filter(|id| live_ranks[id % n_live] == me)
                 .map(|id| {
                     let mut rng = StdRng::seed_from_u64(
                         cfg.seed ^ (iter as u64) << 40 ^ (id as u64) << 4 ^ 0x70_6b,
@@ -1042,6 +1222,7 @@ impl ReplanExec {
             bytes_moved: self.bytes_moved,
             budget_bytes: self.budget_bytes,
             migration_time: self.migration_time,
+            bytes_by_class: self.bytes,
         }
     }
 }
@@ -1082,6 +1263,10 @@ fn merge_topk(primaries: Vec<Token>, secondaries: Vec<Token>, _sim_dim: usize) -
 }
 
 #[cfg(test)]
+// These unit tests pin the legacy `run`/`run_online`/`run_with_replication`
+// entry points (now thin wrappers over the `Scenario` dispatch) until the
+// wrappers are removed; `scenario::tests` proves wrapper/scenario parity.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use exflow_model::presets::moe_gpt_m;

@@ -1,0 +1,542 @@
+//! Versioned JSONL event stream of a serving run: one record per serving
+//! window, derived post-hoc from a [`ServingReport`] — the time-resolved
+//! view a dashboard (or the `repro render-events` renderer) consumes.
+//!
+//! Each line is one flat JSON object carrying the window's latency
+//! quantiles, completion count, queue depth, drift signal, re-plan and
+//! replica churn, migrated bytes split by link class, and the fleet
+//! fault/recovery markers that fired inside the window. Every record is
+//! stamped with [`EVENT_SCHEMA`]; the parser rejects lines from any other
+//! schema version, so downstream consumers can never silently misread a
+//! field that moved.
+//!
+//! The workspace builds offline (no serde), so both directions are
+//! hand-rolled: [`WindowEvent::to_json`] prints floats with Rust's
+//! shortest round-trip formatting and [`WindowEvent::from_json`] parses
+//! them back with `str::parse`, which recovers the exact bits — so
+//! `from_json(to_json(e)) == e` holds field-for-field, and CI can assert
+//! the round-trip on every emitted line.
+//!
+//! ```
+//! use exflow_core::events::{events_from_report, WindowEvent, EVENT_SCHEMA};
+//! use exflow_core::ServingReport;
+//!
+//! let report = ServingReport {
+//!     completions: vec![(0.5, 0.5), (1.5, 0.7)],
+//!     makespan: 1.5,
+//!     window_duration: 1.0,
+//!     ..ServingReport::default()
+//! };
+//! let events = events_from_report(&report);
+//! assert_eq!(events.len(), 2);
+//! let line = events[0].to_json();
+//! assert!(line.contains(EVENT_SCHEMA));
+//! assert_eq!(WindowEvent::from_json(&line).unwrap(), events[0]);
+//! ```
+
+use crate::report::ServingReport;
+
+/// Schema tag every emitted line carries; bump on any field change.
+pub const EVENT_SCHEMA: &str = "exflow-events/v1";
+
+/// One serving window's record in the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEvent {
+    /// Serving window index (0-based).
+    pub window: usize,
+    /// Window start, virtual seconds.
+    pub t_start: f64,
+    /// Window end, virtual seconds.
+    pub t_end: f64,
+    /// Requests that completed inside the window.
+    pub completed: u64,
+    /// Nearest-rank p50 latency of the window's completions (0 if none).
+    pub p50: f64,
+    /// Nearest-rank p95 latency of the window's completions (0 if none).
+    pub p95: f64,
+    /// Nearest-rank p99 latency of the window's completions (0 if none).
+    pub p99: f64,
+    /// Deepest the waiting queue got inside the window.
+    pub queue_depth: usize,
+    /// Drift signal at the window's close (0 when the run ended first).
+    pub drift: f64,
+    /// Drift-triggered re-plans that fired when this window ended.
+    pub replans: u64,
+    /// Migrated bytes over GPU-local links (drift re-plans).
+    pub bytes_local: u64,
+    /// Migrated bytes over intra-node links (drift re-plans).
+    pub bytes_intra: u64,
+    /// Migrated bytes over inter-node links (drift re-plans).
+    pub bytes_inter: u64,
+    /// Replica copies created by this window's re-plans.
+    pub replicas_added: u64,
+    /// Replica copies retired by this window's re-plans.
+    pub replicas_dropped: u64,
+    /// GPUs lost inside the window, in event order.
+    pub gpus_down: Vec<usize>,
+    /// GPUs rejoined inside the window, in event order.
+    pub gpus_up: Vec<usize>,
+}
+
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Bucket a [`ServingReport`] into per-window [`WindowEvent`]s. The
+/// stream spans every window any completion, queue sample, drift sample,
+/// or fault marker landed in; an empty report (or a zero
+/// `window_duration`, the defaulted-report convention) yields no events.
+pub fn events_from_report(report: &ServingReport) -> Vec<WindowEvent> {
+    let dur = report.window_duration;
+    if dur <= 0.0 || !dur.is_finite() {
+        return Vec::new();
+    }
+    let window_of = |t: f64| (t / dur) as usize;
+    let mut last = report.drift.len().saturating_sub(1);
+    for &(t, _) in &report.completions {
+        last = last.max(window_of(t));
+    }
+    for &(t, _) in &report.queue_depth {
+        last = last.max(window_of(t));
+    }
+    for m in &report.disruption.faults {
+        last = last.max(window_of(m.time));
+    }
+    let n = if report.completions.is_empty()
+        && report.queue_depth.is_empty()
+        && report.disruption.faults.is_empty()
+        && report.drift.is_empty()
+    {
+        return Vec::new();
+    } else {
+        last + 1
+    };
+
+    (0..n)
+        .map(|w| {
+            let mut lats: Vec<f64> = report
+                .completions
+                .iter()
+                .filter(|&&(t, _)| window_of(t) == w)
+                .map(|&(_, l)| l)
+                .collect();
+            lats.sort_by(f64::total_cmp);
+            let queue_depth = report
+                .queue_depth
+                .iter()
+                .filter(|&&(t, _)| window_of(t) == w)
+                .map(|&(_, d)| d)
+                .max()
+                .unwrap_or(0);
+            let (mut replans, mut ra, mut rd) = (0u64, 0u64, 0u64);
+            let (mut bl, mut bi, mut bx) = (0u64, 0u64, 0u64);
+            for ev in report.replans.iter().filter(|ev| ev.window == w) {
+                replans += 1;
+                ra += ev.replicas_added;
+                rd += ev.replicas_dropped;
+                bl += ev.bytes_by_class.local;
+                bi += ev.bytes_by_class.intra_node;
+                bx += ev.bytes_by_class.inter_node;
+            }
+            let gpus_down = report
+                .disruption
+                .faults
+                .iter()
+                .filter(|m| !m.up && window_of(m.time) == w)
+                .map(|m| m.gpu)
+                .collect();
+            let gpus_up = report
+                .disruption
+                .faults
+                .iter()
+                .filter(|m| m.up && window_of(m.time) == w)
+                .map(|m| m.gpu)
+                .collect();
+            WindowEvent {
+                window: w,
+                t_start: w as f64 * dur,
+                t_end: (w + 1) as f64 * dur,
+                completed: lats.len() as u64,
+                p50: nearest_rank(&lats, 50.0),
+                p95: nearest_rank(&lats, 95.0),
+                p99: nearest_rank(&lats, 99.0),
+                queue_depth,
+                drift: report.drift.get(w).copied().unwrap_or(0.0),
+                replans,
+                bytes_local: bl,
+                bytes_intra: bi,
+                bytes_inter: bx,
+                replicas_added: ra,
+                replicas_dropped: rd,
+                gpus_down,
+                gpus_up,
+            }
+        })
+        .collect()
+}
+
+fn fmt_usize_list(xs: &[usize]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl WindowEvent {
+    /// One JSONL line (no trailing newline). Floats print with shortest
+    /// round-trip formatting, so the line re-parses to the exact bits.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{}\",\"window\":{},\"t_start\":{},\"t_end\":{},\"completed\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"queue_depth\":{},\"drift\":{},\"replans\":{},\"bytes_local\":{},\"bytes_intra\":{},\"bytes_inter\":{},\"replicas_added\":{},\"replicas_dropped\":{},\"gpus_down\":{},\"gpus_up\":{}}}",
+            EVENT_SCHEMA,
+            self.window,
+            self.t_start,
+            self.t_end,
+            self.completed,
+            self.p50,
+            self.p95,
+            self.p99,
+            self.queue_depth,
+            self.drift,
+            self.replans,
+            self.bytes_local,
+            self.bytes_intra,
+            self.bytes_inter,
+            self.replicas_added,
+            self.replicas_dropped,
+            fmt_usize_list(&self.gpus_down),
+            fmt_usize_list(&self.gpus_up),
+        )
+    }
+
+    /// Parse one JSONL line emitted by [`WindowEvent::to_json`]. Rejects
+    /// lines missing the `{}`-object shape, carrying an unknown schema
+    /// tag, or missing/mistyping any field — the CI schema check.
+    pub fn from_json(line: &str) -> Result<WindowEvent, String> {
+        let fields = split_flat_object(line)?;
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let schema = get("schema")?;
+        let schema = schema
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("schema is not a string: {schema}"))?;
+        if schema != EVENT_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got {schema:?}, expected {EVENT_SCHEMA:?}"
+            ));
+        }
+        let num_u64 = |key: &str| -> Result<u64, String> {
+            get(key)?
+                .parse::<u64>()
+                .map_err(|e| format!("field {key:?}: {e}"))
+        };
+        let num_usize = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse::<usize>()
+                .map_err(|e| format!("field {key:?}: {e}"))
+        };
+        let num_f64 = |key: &str| -> Result<f64, String> {
+            get(key)?
+                .parse::<f64>()
+                .map_err(|e| format!("field {key:?}: {e}"))
+        };
+        let list = |key: &str| -> Result<Vec<usize>, String> {
+            let raw = get(key)?;
+            let inner = raw
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| format!("field {key:?} is not a list: {raw}"))?;
+            if inner.trim().is_empty() {
+                return Ok(Vec::new());
+            }
+            inner
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("field {key:?}: {e}"))
+                })
+                .collect()
+        };
+        Ok(WindowEvent {
+            window: num_usize("window")?,
+            t_start: num_f64("t_start")?,
+            t_end: num_f64("t_end")?,
+            completed: num_u64("completed")?,
+            p50: num_f64("p50")?,
+            p95: num_f64("p95")?,
+            p99: num_f64("p99")?,
+            queue_depth: num_usize("queue_depth")?,
+            drift: num_f64("drift")?,
+            replans: num_u64("replans")?,
+            bytes_local: num_u64("bytes_local")?,
+            bytes_intra: num_u64("bytes_intra")?,
+            bytes_inter: num_u64("bytes_inter")?,
+            replicas_added: num_u64("replicas_added")?,
+            replicas_dropped: num_u64("replicas_dropped")?,
+            gpus_down: list("gpus_down")?,
+            gpus_up: list("gpus_up")?,
+        })
+    }
+}
+
+/// Split one flat JSON object (string/number/int-list values, no nesting,
+/// no escapes — exactly what `to_json` emits) into `(key, raw value)`
+/// pairs.
+fn split_flat_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted key at: {rest}"))?;
+        let key_end = after_quote
+            .find('"')
+            .ok_or_else(|| format!("unterminated key at: {rest}"))?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?
+            .trim_start();
+        // Value runs to the next top-level comma (never inside a string
+        // or a [...] list).
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut end = after_key.len();
+        for (i, c) in after_key.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                '[' if !in_str => depth += 1,
+                ']' if !in_str => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| format!("unbalanced ']' in value of {key:?}"))?
+                }
+                ',' if !in_str && depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let value = after_key[..end].trim();
+        if value.is_empty() {
+            return Err(format!("empty value for key {key:?}"));
+        }
+        fields.push((key.to_string(), value.to_string()));
+        rest = if end == after_key.len() {
+            ""
+        } else {
+            after_key[end + 1..].trim_start()
+        };
+    }
+    Ok(fields)
+}
+
+/// Emit the whole stream: one line per window, trailing newline included.
+pub fn to_jsonl(events: &[WindowEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the event stream as a fixed-width text table (the
+/// `repro render-events` output): one row per window, with fault markers
+/// called out inline.
+pub fn render_events(events: &[WindowEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6}  {:>18}  {:>5}  {:>9}  {:>9}  {:>9}  {:>5}  {:>7}  {:>7}  {:>14}  {:>9}  {}\n",
+        "window",
+        "span",
+        "done",
+        "p50",
+        "p95",
+        "p99",
+        "queue",
+        "drift",
+        "replans",
+        "bytes l/i/x",
+        "replicas",
+        "fleet"
+    ));
+    for ev in events {
+        let fleet = if ev.gpus_down.is_empty() && ev.gpus_up.is_empty() {
+            String::new()
+        } else {
+            let down: Vec<String> = ev.gpus_down.iter().map(|g| format!("-{g}")).collect();
+            let up: Vec<String> = ev.gpus_up.iter().map(|g| format!("+{g}")).collect();
+            [down, up].concat().join(" ")
+        };
+        out.push_str(&format!(
+            "{:>6}  {:>8.2}..{:<8.2}  {:>5}  {:>9.4}  {:>9.4}  {:>9.4}  {:>5}  {:>7.4}  {:>7}  {:>4}/{:>4}/{:>4}  {:>4}/{:<4}  {}\n",
+            ev.window,
+            ev.t_start,
+            ev.t_end,
+            ev.completed,
+            ev.p50,
+            ev.p95,
+            ev.p99,
+            ev.queue_depth,
+            ev.drift,
+            ev.replans,
+            ev.bytes_local,
+            ev.bytes_intra,
+            ev.bytes_inter,
+            ev.replicas_added,
+            ev.replicas_dropped,
+            fleet
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{DisruptionStats, FaultMarker, ReplanEvent};
+    use exflow_topology::collective_cost::BytesByClass;
+
+    fn sample_event() -> WindowEvent {
+        WindowEvent {
+            window: 3,
+            t_start: 4.5,
+            t_end: 6.0,
+            completed: 17,
+            p50: 0.1,
+            p95: 1.0 / 3.0,
+            p99: 2.7755575615628914e-17,
+            queue_depth: 5,
+            drift: 0.125,
+            replans: 1,
+            bytes_local: 0,
+            bytes_intra: 1 << 20,
+            bytes_inter: 3 << 20,
+            replicas_added: 2,
+            replicas_dropped: 1,
+            gpus_down: vec![2, 5],
+            gpus_up: vec![],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_for_bit() {
+        let ev = sample_event();
+        let line = ev.to_json();
+        let back = WindowEvent::from_json(&line).unwrap();
+        assert_eq!(back, ev);
+        // Emit -> parse -> emit is a fixed point: the schema check CI
+        // runs on every line.
+        assert_eq!(back.to_json(), line);
+        // Float bits survive exactly, not just approximately.
+        assert_eq!(back.p99.to_bits(), ev.p99.to_bits());
+    }
+
+    #[test]
+    fn unknown_schema_and_malformed_lines_are_rejected() {
+        let ev = sample_event();
+        let wrong = ev.to_json().replace("exflow-events/v1", "exflow-events/v0");
+        assert!(WindowEvent::from_json(&wrong)
+            .unwrap_err()
+            .contains("schema mismatch"));
+        assert!(WindowEvent::from_json("not json").is_err());
+        assert!(WindowEvent::from_json("{}").unwrap_err().contains("schema"));
+        let missing = ev.to_json().replace("\"p99\"", "\"p99x\"");
+        assert!(WindowEvent::from_json(&missing)
+            .unwrap_err()
+            .contains("p99"));
+    }
+
+    #[test]
+    fn report_buckets_by_window() {
+        let report = ServingReport {
+            completions: vec![(0.2, 0.2), (0.9, 0.4), (1.1, 0.3), (2.5, 0.9)],
+            queue_depth: vec![(0.1, 2), (0.5, 4), (1.2, 1)],
+            drift: vec![0.01, 0.2],
+            replans: vec![ReplanEvent {
+                window: 1,
+                drift: 0.2,
+                experts_moved: 3,
+                replicas_added: 1,
+                replicas_dropped: 0,
+                bytes_moved: 3000,
+                budget_bytes: 4000,
+                migration_time: 0.1,
+                bytes_by_class: BytesByClass {
+                    local: 1000,
+                    intra_node: 2000,
+                    inter_node: 0,
+                },
+            }],
+            disruption: DisruptionStats {
+                faults: vec![
+                    FaultMarker {
+                        time: 1.5,
+                        gpu: 2,
+                        up: false,
+                    },
+                    FaultMarker {
+                        time: 2.4,
+                        gpu: 2,
+                        up: true,
+                    },
+                ],
+                ..DisruptionStats::default()
+            },
+            window_duration: 1.0,
+            ..ServingReport::default()
+        };
+        let events = events_from_report(&report);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].completed, 2);
+        assert_eq!(events[0].queue_depth, 4);
+        assert_eq!(events[0].p50, 0.2);
+        assert_eq!(events[0].p99, 0.4);
+        assert_eq!(events[1].replans, 1);
+        assert_eq!(events[1].bytes_intra, 2000);
+        assert_eq!(events[1].replicas_added, 1);
+        assert_eq!(events[1].gpus_down, vec![2]);
+        assert_eq!(events[2].gpus_up, vec![2]);
+        assert_eq!(events[2].completed, 1);
+        // Every line of the stream round-trips.
+        for (line, ev) in to_jsonl(&events).lines().zip(&events) {
+            assert_eq!(&WindowEvent::from_json(line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn empty_and_defaulted_reports_emit_nothing() {
+        assert!(events_from_report(&ServingReport::default()).is_empty());
+        let idle = ServingReport {
+            window_duration: 1.0,
+            ..ServingReport::default()
+        };
+        assert!(events_from_report(&idle).is_empty());
+    }
+
+    #[test]
+    fn renderer_mentions_fleet_churn() {
+        let ev = sample_event();
+        let text = render_events(&[ev]);
+        assert!(text.contains("window"));
+        assert!(text.contains("-2 -5"));
+    }
+}

@@ -40,8 +40,20 @@
 //! trajectories in a [`ServingReport`] — with the online mode's
 //! drift-triggered re-placement interleaved into serving time.
 //!
+//! All of these paths share one front door: [`Scenario`] names a run's
+//! mode plus its optional drift, serving, fault, and replication layers,
+//! and [`InferenceEngine::run_scenario`] dispatches it (the per-path
+//! `run_*` methods survive as deprecated wrappers). The serving loop also
+//! tolerates **fleet churn**: a seeded `exflow_model::FaultSchedule`
+//! injects GPU loss/rejoin events, losses fail over to replicas or
+//! trigger emergency restores, and the disruption lands in
+//! [`ServingReport`]'s `DisruptionStats`. Every serving run can be
+//! flattened into a versioned JSONL event stream ([`events`]) — one
+//! record per serving window — for dashboards and the `repro
+//! render-events` renderer.
+//!
 //! ```
-//! use exflow_core::{InferenceEngine, ParallelismMode};
+//! use exflow_core::{InferenceEngine, ParallelismMode, Scenario};
 //! use exflow_model::presets::moe_gpt_m;
 //! use exflow_topology::ClusterSpec;
 //!
@@ -49,8 +61,12 @@
 //!     .requests_per_gpu(16)
 //!     .n_iterations(2)
 //!     .build();
-//! let baseline = engine.run(ParallelismMode::Vanilla);
-//! let exflow = engine.run(ParallelismMode::ContextCoherentAffinity);
+//! let baseline = engine
+//!     .run_scenario(&Scenario::offline(ParallelismMode::Vanilla))
+//!     .expect_offline();
+//! let exflow = engine
+//!     .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+//!     .expect_offline();
 //! assert!(exflow.throughput() > baseline.throughput());
 //! ```
 
@@ -59,15 +75,20 @@
 
 pub mod commvolume;
 pub mod engine;
+pub mod events;
 pub mod frame;
 pub mod modes;
 pub mod report;
+pub mod scenario;
 pub mod serving;
 
-pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig};
+pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig, ReplanPolicy};
+pub use events::{events_from_report, render_events, to_jsonl, WindowEvent, EVENT_SCHEMA};
 pub use exflow_placement::{GapBackend, Parallelism, ReplicationBudget, ReplicationPlan};
 pub use modes::ParallelismMode;
 pub use report::{
-    InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent, ServingReport,
+    DisruptionStats, FaultMarker, InferenceReport, MigrationStats, OnlineReport, OpBreakdown,
+    ReplanEvent, ServingReport, RECOVERY_WINDOW,
 };
+pub use scenario::{Scenario, ScenarioReport};
 pub use serving::{BatchPolicy, ServingConfig, MIGRATION_CONTENTION};

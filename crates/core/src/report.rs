@@ -1,5 +1,7 @@
 //! Inference run reports: per-operator time breakdown, locality, traffic.
 
+use std::collections::VecDeque;
+
 use exflow_topology::collective_cost::BytesByClass;
 
 use crate::modes::ParallelismMode;
@@ -194,6 +196,41 @@ pub struct ReplanEvent {
     pub budget_bytes: u64,
     /// Virtual time the migration exchange took.
     pub migration_time: f64,
+    /// Migrated bytes bucketed by link class (the per-event split of
+    /// `MigrationStats::bytes`).
+    pub bytes_by_class: BytesByClass,
+}
+
+/// One fleet-membership change the serving loop processed (the
+/// `FaultSchedule` event, stamped with the virtual time it fired).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMarker {
+    /// Virtual time of the change.
+    pub time: f64,
+    /// GPU index in the provisioned fleet.
+    pub gpu: usize,
+    /// `true` for a rejoin/scale-up, `false` for a loss/scale-down.
+    pub up: bool,
+}
+
+/// Fault/recovery accounting of one serving run — the disruption section
+/// of [`ServingReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DisruptionStats {
+    /// In-flight requests whose decode step was cut short by a GPU loss
+    /// and were re-queued (a request disrupted twice counts twice).
+    pub requests_disrupted: u64,
+    /// Decode steps that ran while an emergency restore copy contended
+    /// for the links.
+    pub steps_degraded: u64,
+    /// Emergency re-placements executed (one per fleet event that moved,
+    /// restored, or failed over at least one expert).
+    pub emergency_replans: u64,
+    /// Expert-weight bytes the emergency restores copied (replica
+    /// failovers are free and contribute nothing here).
+    pub emergency_bytes: u64,
+    /// Every fleet change, in processing order.
+    pub faults: Vec<FaultMarker>,
 }
 
 /// Result of one online serving run (`InferenceEngine::run_online`): the
@@ -311,6 +348,17 @@ pub struct ServingReport {
     /// serving but contend for links and defer the new plan's benefit,
     /// so re-placement cost still shows up in the latency tail.
     pub migrations: MigrationStats,
+    /// Completion events in completion order: `(virtual completion time,
+    /// latency)` — the time-resolved view `latencies` loses by sorting,
+    /// needed by the event stream (`crate::events`) and the recovery
+    /// clock.
+    pub completions: Vec<(f64, f64)>,
+    /// Fault/recovery disruption accounting (all-zero on fault-free
+    /// runs).
+    pub disruption: DisruptionStats,
+    /// Length of one serving window in virtual seconds (copied from the
+    /// `ServingConfig`; 0.0 on defaulted reports).
+    pub window_duration: f64,
 }
 
 impl Default for ServingReport {
@@ -328,8 +376,27 @@ impl Default for ServingReport {
             drift: Vec::new(),
             replans: Vec::new(),
             migrations: MigrationStats::default(),
+            completions: Vec::new(),
+            disruption: DisruptionStats::default(),
+            window_duration: 0.0,
         }
     }
+}
+
+/// Completions in the rolling window [`ServingReport::recovery_time`]
+/// evaluates the post-fault latency tail over.
+pub const RECOVERY_WINDOW: usize = 32;
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0.0 when
+/// empty, so degenerate (0-/1-request) runs stay defined.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 impl ServingReport {
@@ -339,16 +406,11 @@ impl ServingReport {
     }
 
     /// Nearest-rank latency percentile; `p` in `[0, 100]`. Monotone in
-    /// `p` because `latencies` is sorted.
+    /// `p` because `latencies` is sorted, and defined (0.0) on empty and
+    /// single-request runs alike.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        let n = self.latencies.len();
-        if n == 0 {
-            return 0.0;
-        }
         debug_assert!(self.latencies.windows(2).all(|w| w[0] <= w[1]));
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        self.latencies[rank.clamp(1, n) - 1]
+        nearest_rank(&self.latencies, p)
     }
 
     /// Median request latency.
@@ -395,6 +457,50 @@ impl ServingReport {
     /// Deepest the waiting queue ever got.
     pub fn max_queue_depth(&self) -> usize {
         self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Nearest-rank p99 over requests that completed strictly *before*
+    /// the first GPU loss — the pre-fault service level the fleet must
+    /// recover to. `None` when the run had no loss event or nothing
+    /// completed before it.
+    pub fn pre_fault_p99(&self) -> Option<f64> {
+        let fault = self.disruption.faults.iter().find(|m| !m.up)?.time;
+        let mut pre: Vec<f64> = self
+            .completions
+            .iter()
+            .filter(|&&(t, _)| t < fault)
+            .map(|&(_, l)| l)
+            .collect();
+        if pre.is_empty() {
+            return None;
+        }
+        pre.sort_by(f64::total_cmp);
+        Some(nearest_rank(&pre, 99.0))
+    }
+
+    /// Virtual time from the first GPU loss until the rolling p99 over
+    /// the last [`RECOVERY_WINDOW`] completions first drops back to the
+    /// pre-fault p99. `None` when the run never faulted, nothing
+    /// completed before the fault, or the tail never recovered within
+    /// the run.
+    pub fn recovery_time(&self) -> Option<f64> {
+        let target = self.pre_fault_p99()?;
+        let fault = self.disruption.faults.iter().find(|m| !m.up)?.time;
+        let mut ring: VecDeque<f64> = VecDeque::with_capacity(RECOVERY_WINDOW);
+        for &(t, lat) in self.completions.iter().filter(|&&(t, _)| t >= fault) {
+            if ring.len() == RECOVERY_WINDOW {
+                ring.pop_front();
+            }
+            ring.push_back(lat);
+            if ring.len() == RECOVERY_WINDOW {
+                let mut sorted: Vec<f64> = ring.iter().copied().collect();
+                sorted.sort_by(f64::total_cmp);
+                if nearest_rank(&sorted, 99.0) <= target {
+                    return Some(t - fault);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -492,6 +598,92 @@ mod tests {
         assert_eq!(r.goodput(), 0.0);
         assert_eq!(r.mean_batch_occupancy(), 0.0);
         assert_eq!(r.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn single_request_percentiles_are_defined() {
+        let r = ServingReport {
+            latencies: vec![3.5],
+            ..ServingReport::default()
+        };
+        assert_eq!(r.percentile(0.0), 3.5);
+        assert_eq!(r.p50(), 3.5);
+        assert_eq!(r.p99(), 3.5);
+        assert_eq!(r.percentile(100.0), 3.5);
+    }
+
+    #[test]
+    fn zero_duration_goodput_is_zero() {
+        let r = ServingReport {
+            latencies: vec![1.0],
+            makespan: 0.0,
+            ..ServingReport::default()
+        };
+        assert_eq!(r.goodput(), 0.0);
+        assert!(r.goodput().is_finite());
+    }
+
+    fn faulted_report(fault: f64, completions: Vec<(f64, f64)>) -> ServingReport {
+        ServingReport {
+            completions,
+            disruption: DisruptionStats {
+                faults: vec![FaultMarker {
+                    time: fault,
+                    gpu: 1,
+                    up: false,
+                }],
+                ..DisruptionStats::default()
+            },
+            ..ServingReport::default()
+        }
+    }
+
+    #[test]
+    fn recovery_clock_finds_first_healthy_window() {
+        // 50 pre-fault completions at latency 1.0, then a degraded burst
+        // at 5.0, then a healthy tail back at 1.0. Recovery fires at the
+        // first post-fault completion whose trailing RECOVERY_WINDOW-deep
+        // p99 is back at the pre-fault p99 (1.0): the ring must flush all
+        // RECOVERY_WINDOW - 1 degraded samples past the window edge.
+        let mut completions: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.1, 1.0)).collect();
+        let fault = 10.0;
+        let mut t = fault;
+        for _ in 0..(RECOVERY_WINDOW - 1) {
+            t += 0.1;
+            completions.push((t, 5.0));
+        }
+        for _ in 0..(2 * RECOVERY_WINDOW) {
+            t += 0.1;
+            completions.push((t, 1.0));
+        }
+        let r = faulted_report(fault, completions);
+        assert_eq!(r.pre_fault_p99(), Some(1.0));
+        let rec = r.recovery_time().expect("tail recovers");
+        // (RECOVERY_WINDOW - 1) degraded + RECOVERY_WINDOW healthy samples
+        // must pass before the ring holds only healthy latencies.
+        let expected = 0.1 * (2 * RECOVERY_WINDOW - 1) as f64;
+        assert!((rec - expected).abs() < 1e-9, "rec = {rec}");
+    }
+
+    #[test]
+    fn recovery_is_none_without_fault_or_pre_fault_traffic() {
+        // No fault markers at all.
+        let r = ServingReport {
+            completions: vec![(1.0, 1.0)],
+            ..ServingReport::default()
+        };
+        assert_eq!(r.pre_fault_p99(), None);
+        assert_eq!(r.recovery_time(), None);
+        // Fault before anything completed.
+        let r = faulted_report(0.0, vec![(1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(r.pre_fault_p99(), None);
+        assert_eq!(r.recovery_time(), None);
+        // Tail never recovers: every post-fault latency stays elevated.
+        let mut completions: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.1, 1.0)).collect();
+        completions.extend((0..100).map(|i| (10.0 + i as f64 * 0.1, 9.0)));
+        let r = faulted_report(10.0, completions);
+        assert_eq!(r.pre_fault_p99(), Some(1.0));
+        assert_eq!(r.recovery_time(), None);
     }
 
     #[test]

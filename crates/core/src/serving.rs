@@ -28,11 +28,26 @@
 //! surfaces in the latency tail, as contention plus deferred benefit
 //! rather than a dead stop.
 //!
+//! Faults compose on top: a seeded
+//! [`FaultSchedule`] injects GPU loss,
+//! rejoin, and fleet scale events into the same event queue. On a loss
+//! the engine *evacuates* the dead GPU's experts to the survivors — for
+//! free where a replica already holds a copy (failover), priced as an
+//! *emergency* restore copy otherwise (mandatory, so its byte budget is
+//! elevated to whatever the restore needs; it overlaps with serving and
+//! charges the same [`MIGRATION_CONTENTION`] surcharge). In-flight
+//! requests homed on the lost GPU are re-queued and counted in the
+//! report's [`DisruptionStats`]. On a
+//! rejoin the engine re-homes experts back onto the returned GPU the
+//! same way. Dead GPUs stay in the collectives with empty payloads, so
+//! the SPMD clocks — and hence bit-identity across thread counts — are
+//! unaffected by fleet churn.
+//!
 //! The whole run is a pure function of `(config, drift schedule, serving
-//! config)`: the event queue orders events by `(time, sequence)` with
-//! total-order float comparison, every random draw comes from a seeded
-//! stream, and the engine passes themselves are bit-identical at any
-//! thread width — so [`ServingReport`]s are too.
+//! config, fault schedule)`: the event queue orders events by `(time,
+//! sequence)` with total-order float comparison, every random draw comes
+//! from a seeded stream, and the engine passes themselves are
+//! bit-identical at any thread width — so [`ServingReport`]s are too.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -42,12 +57,13 @@ use rand::SeedableRng;
 
 use exflow_affinity::{RoutingTrace, StreamingAffinity};
 use exflow_model::arrival::ArrivalProcess;
-use exflow_model::{DriftSchedule, TokenBatch};
-use exflow_placement::Placement;
+use exflow_model::{DriftSchedule, FaultKind, FaultSchedule, TokenBatch};
+use exflow_placement::online::{ExpertMove, MigrationPlan};
+use exflow_placement::{Placement, ReplicationPlan};
 
 use crate::engine::InferenceEngine;
 use crate::modes::ParallelismMode;
-use crate::report::{DispatchStats, MigrationStats, ServingReport};
+use crate::report::{DispatchStats, DisruptionStats, FaultMarker, MigrationStats, ServingReport};
 
 /// Fractional slowdown of a decode step that overlaps a background
 /// weight copy: the copy streams over the same links the step's
@@ -147,7 +163,8 @@ pub struct ServingConfig {
 
 impl ServingConfig {
     fn validate(&self) {
-        assert!(self.n_requests >= 1, "need at least one request");
+        // `n_requests == 0` is a valid (idle) run: it reports zero
+        // latencies, zero goodput, and still processes fault events.
         assert!(self.decode_steps >= 1, "need at least one decode step");
         assert!(
             self.window_duration > 0.0 && self.window_duration.is_finite(),
@@ -175,6 +192,8 @@ enum EventKind {
     WaitDeadline(usize),
     /// The in-flight batch finished its current decode step.
     StepDone,
+    /// Fleet event `i` of the fault schedule fired (GPU loss or rejoin).
+    Fleet(usize),
 }
 
 /// Event-queue entry: ordered by `(time, seq)` — total-order float
@@ -255,8 +274,15 @@ impl InferenceEngine {
             cfg.seed ^ 0x5e_41_9e,
         );
         let no_replicas = vec![Vec::new(); cfg.model.n_layers];
-        self.run_with_batches(mode, self.placement_for(mode), &no_replicas, &[batch], 0)
-            .total_time
+        self.run_with_batches(
+            mode,
+            self.placement_for(mode),
+            &no_replicas,
+            &[batch],
+            0,
+            None,
+        )
+        .total_time
     }
 
     /// Serve `serving.n_requests` requests arriving per
@@ -264,16 +290,41 @@ impl InferenceEngine {
     /// online mode's drift-triggered budgeted re-placement with serving
     /// time. See the [module docs](crate::serving) for the event-loop
     /// semantics; the result is bit-identical at any thread width.
+    #[deprecated(
+        note = "use `run_scenario(&Scenario::offline(mode).with_drift(drift).with_serving(serving))`"
+    )]
     pub fn run_serving(
         &self,
         mode: ParallelismMode,
         drift: &DriftSchedule,
         serving: &ServingConfig,
     ) -> ServingReport {
+        let w = self.config().cluster.world_size();
+        self.run_serving_impl(mode, drift, serving, &FaultSchedule::none(w), None)
+    }
+
+    /// One request-level serving run (the `run_scenario` serving path):
+    /// the deprecated [`InferenceEngine::run_serving`] contract plus a
+    /// fault schedule and an optional starting replication plan (the
+    /// replicas emergency failover draws on).
+    pub(crate) fn run_serving_impl(
+        &self,
+        mode: ParallelismMode,
+        drift: &DriftSchedule,
+        serving: &ServingConfig,
+        faults: &FaultSchedule,
+        initial: Option<&ReplicationPlan>,
+    ) -> ServingReport {
         serving.validate();
         let cfg = self.config();
         let oc = cfg.online;
         let e = cfg.model.n_experts;
+        let w = cfg.cluster.world_size();
+        assert_eq!(
+            faults.n_units(),
+            w,
+            "fault schedule must cover the provisioned fleet"
+        );
         let shape = drift.model_at(0);
         assert_eq!(shape.n_layers(), cfg.model.n_layers, "drift layer mismatch");
         assert_eq!(shape.n_experts(), e, "drift expert mismatch");
@@ -316,13 +367,20 @@ impl InferenceEngine {
             })
             .collect();
 
-        // Streaming estimator and re-plan state, exactly as run_online
-        // seeds them.
+        // Streaming estimator and re-plan state, exactly as the windowed
+        // online loop seeds them; an explicit starting replication plan
+        // (the [`Scenario`](crate::scenario::Scenario) front door's
+        // `with_replication`) overrides the engine-chosen placement.
         let mut streaming = StreamingAffinity::new(cfg.model.n_layers, e, oc.decay);
         streaming.observe(self.profile_trace());
         let mut reference = streaming.snapshot();
-        let mut placement = self.placement_for(mode).clone();
-        let mut replicated: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.n_layers];
+        let (mut placement, mut replicated): (Placement, Vec<Vec<usize>>) = match initial {
+            Some(plan) => (plan.base.clone(), plan.replicated.clone()),
+            None => (
+                self.placement_for(mode).clone(),
+                vec![Vec::new(); cfg.model.n_layers],
+            ),
+        };
         let mut carry = 0u64;
         let mut cur_window = 0usize;
         let mut pending_paths: Vec<Vec<u16>> = Vec::new();
@@ -335,6 +393,20 @@ impl InferenceEngine {
         for (i, &t) in arrivals.iter().enumerate() {
             events.push(t, EventKind::Arrival(i));
         }
+        for (i, ev) in faults.events().iter().enumerate() {
+            events.push(ev.time, EventKind::Fleet(i));
+        }
+        // Fleet state: which GPUs are up, the emergency-restore horizon
+        // (steps before it share links with a restore copy), and which
+        // live rank each in-flight slot was homed on when the current
+        // step started (mirrors `run_with_batches` token homing, so a
+        // loss disrupts exactly the requests the dead GPU was serving).
+        let mut live_mask = vec![true; w];
+        let mut emergency_until = 0.0f64;
+        let mut step_live: Vec<usize> = (0..w).collect();
+        let mut disruption = DisruptionStats::default();
+        let mut completions: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let bytes_per_expert = (cfg.model.expert_params() * 2).max(1);
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut in_flight: Vec<usize> = Vec::new();
         let mut stepping = false;
@@ -377,6 +449,7 @@ impl InferenceEngine {
                         req.steps_done += 1;
                         if req.steps_done == serving.decode_steps {
                             latencies.push(clock - req.arrival);
+                            completions.push((clock, clock - req.arrival));
                             makespan = makespan.max(clock);
                         } else {
                             still.push(i);
@@ -430,6 +503,190 @@ impl InferenceEngine {
                         }
                     }
                 }
+                EventKind::Fleet(fi) => {
+                    let fev = faults.events()[fi];
+                    match fev.kind {
+                        FaultKind::Down => {
+                            live_mask[fev.gpu] = false;
+                            disruption.faults.push(FaultMarker {
+                                time: clock,
+                                gpu: fev.gpu,
+                                up: false,
+                            });
+                            // Requests the dead GPU was serving lose their
+                            // in-progress step: back to the front of the
+                            // queue (oldest first), step not counted.
+                            if stepping {
+                                let nl_step = step_live.len();
+                                let mut keep = Vec::with_capacity(in_flight.len());
+                                let mut lost = Vec::new();
+                                for (j, &i) in in_flight.iter().enumerate() {
+                                    if step_live[j % nl_step] == fev.gpu {
+                                        lost.push(i);
+                                    } else {
+                                        keep.push(i);
+                                    }
+                                }
+                                disruption.requests_disrupted += lost.len() as u64;
+                                for &i in lost.iter().rev() {
+                                    queue.push_front(i);
+                                }
+                                if let BatchPolicy::SizeOrWait { max_wait, .. } = serving.batch {
+                                    for &i in &lost {
+                                        events.push(clock + max_wait, EventKind::WaitDeadline(i));
+                                    }
+                                }
+                                in_flight = keep;
+                                queue_depth.push((clock, queue.len()));
+                            }
+                            // Evacuate the dead GPU's experts onto the
+                            // least-loaded survivors: free failover where a
+                            // replica already holds the weights everywhere,
+                            // a priced emergency restore from a surviving
+                            // checkpoint shard otherwise. The evacuated
+                            // placement activates *immediately* — steps
+                            // must not route to a dead GPU — so any
+                            // in-flight background copy (whose stale plan
+                            // may still route there) is cancelled.
+                            let live_ranks: Vec<usize> = live_mask
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(r, &up)| up.then_some(r))
+                                .collect();
+                            let nl = cfg.model.n_layers;
+                            let mut assign: Vec<Vec<usize>> = (0..nl)
+                                .map(|l| (0..e).map(|x| placement.unit_of(l, x)).collect())
+                                .collect();
+                            let mut moves = Vec::new();
+                            let mut free_moves = Vec::new();
+                            for (l, row) in assign.iter_mut().enumerate() {
+                                let mut load = vec![0usize; w];
+                                for &u in row.iter() {
+                                    load[u] += 1;
+                                }
+                                for x in 0..e {
+                                    if row[x] != fev.gpu {
+                                        continue;
+                                    }
+                                    let &dst = live_ranks
+                                        .iter()
+                                        .min_by_key(|&&r| (load[r], r))
+                                        .expect("at least one live GPU");
+                                    load[fev.gpu] -= 1;
+                                    load[dst] += 1;
+                                    row[x] = dst;
+                                    if replicated[l].contains(&x) {
+                                        free_moves.push(ExpertMove {
+                                            layer: l,
+                                            expert: x,
+                                            from: fev.gpu,
+                                            to: dst,
+                                        });
+                                    } else {
+                                        // Deterministic surviving source of
+                                        // the restore copy (a checkpoint
+                                        // shard, not the dead GPU).
+                                        let src = live_ranks[(l + x) % live_ranks.len()];
+                                        moves.push(ExpertMove {
+                                            layer: l,
+                                            expert: x,
+                                            from: src,
+                                            to: dst,
+                                        });
+                                    }
+                                }
+                            }
+                            copying = None;
+                            placement = Placement::new_degraded(assign, w);
+                            let plan = MigrationPlan {
+                                bytes_per_expert,
+                                moves,
+                                free_moves,
+                                replica_adds: Vec::new(),
+                                replica_drops: Vec::new(),
+                            };
+                            if !plan.is_empty() {
+                                let (time, _) = self.execute_migrations(&plan);
+                                // Restores are mandatory: the byte budget
+                                // is whatever the evacuation needs, and the
+                                // copy overlaps serving (steps before
+                                // `emergency_until` pay link contention).
+                                let start = if emergency_until > clock {
+                                    emergency_until
+                                } else {
+                                    clock
+                                };
+                                emergency_until = start + time;
+                                disruption.emergency_replans += 1;
+                                disruption.emergency_bytes += plan.total_bytes();
+                            }
+                        }
+                        FaultKind::Up => {
+                            live_mask[fev.gpu] = true;
+                            disruption.faults.push(FaultMarker {
+                                time: clock,
+                                gpu: fev.gpu,
+                                up: true,
+                            });
+                            // Re-home a fair share of each layer's experts
+                            // back onto the rejoined GPU, pulling from the
+                            // most-loaded survivors (lowest expert index
+                            // first). Unlike a loss, nothing is on fire:
+                            // the copy streams in the background through
+                            // the same stale-plan mechanism a drift
+                            // re-plan uses.
+                            let stale = (placement.clone(), replicated.clone());
+                            let nl = cfg.model.n_layers;
+                            let mut assign: Vec<Vec<usize>> = (0..nl)
+                                .map(|l| (0..e).map(|x| placement.unit_of(l, x)).collect())
+                                .collect();
+                            let mut moves = Vec::new();
+                            for (l, row) in assign.iter_mut().enumerate() {
+                                let mut load = vec![0usize; w];
+                                for &u in row.iter() {
+                                    load[u] += 1;
+                                }
+                                let target = e / w;
+                                while load[fev.gpu] < target {
+                                    let src = (0..w)
+                                        .filter(|&r| r != fev.gpu && load[r] > 0)
+                                        .min_by_key(|&r| (std::cmp::Reverse(load[r]), r))
+                                        .expect("survivors hold every expert");
+                                    let x = (0..e)
+                                        .find(|&x| row[x] == src)
+                                        .expect("loaded unit owns an expert");
+                                    row[x] = fev.gpu;
+                                    load[src] -= 1;
+                                    load[fev.gpu] += 1;
+                                    moves.push(ExpertMove {
+                                        layer: l,
+                                        expert: x,
+                                        from: src,
+                                        to: fev.gpu,
+                                    });
+                                }
+                            }
+                            placement = Placement::new_degraded(assign, w);
+                            let plan = MigrationPlan {
+                                bytes_per_expert,
+                                moves,
+                                free_moves: Vec::new(),
+                                replica_adds: Vec::new(),
+                                replica_drops: Vec::new(),
+                            };
+                            if !plan.is_empty() {
+                                let (time, _) = self.execute_migrations(&plan);
+                                let (start, sp, sr) = match copying.take() {
+                                    Some((done, sp, sr)) if done > clock => (done, sp, sr),
+                                    _ => (clock, stale.0, stale.1),
+                                };
+                                copying = Some((start + time, sp, sr));
+                                disruption.emergency_replans += 1;
+                                disruption.emergency_bytes += plan.total_bytes();
+                            }
+                        }
+                    }
+                }
             }
 
             // After every event: try to open/continue a batch.
@@ -480,12 +737,35 @@ impl InferenceEngine {
                 Some((_, sp, sr)) => (sp, sr),
                 None => (&placement, &replicated),
             };
-            let report = self.run_with_batches(mode, active_p, active_r, &[batch], ctx_offset);
-            let step_time = if copying.is_some() {
+            // Dead ranks stay in the collectives with empty payloads
+            // (bit-identical clocks at any thread width); the all-live
+            // mask is elided so fault-free runs take the exact code path
+            // they always did.
+            let any_dead = live_mask.iter().any(|&up| !up);
+            let report = self.run_with_batches(
+                mode,
+                active_p,
+                active_r,
+                &[batch],
+                ctx_offset,
+                if any_dead { Some(&live_mask) } else { None },
+            );
+            // A background copy — drift re-plan or emergency restore —
+            // shares links with the step; the surcharge does not stack.
+            let degraded = clock < emergency_until;
+            let step_time = if copying.is_some() || degraded {
                 report.total_time * (1.0 + MIGRATION_CONTENTION)
             } else {
                 report.total_time
             };
+            if degraded {
+                disruption.steps_degraded += 1;
+            }
+            step_live = live_mask
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &up)| up.then_some(r))
+                .collect();
             occupancy[in_flight.len()] += 1;
             steps += 1;
             busy += step_time;
@@ -499,8 +779,11 @@ impl InferenceEngine {
         let last_arrival = arrivals.last().copied().unwrap_or(0.0);
         let offered_load = if last_arrival > 0.0 {
             n as f64 / last_arrival
-        } else {
+        } else if n > 0 {
             f64::INFINITY
+        } else {
+            // An idle (0-request) run offered nothing.
+            0.0
         };
 
         ServingReport {
@@ -516,11 +799,18 @@ impl InferenceEngine {
             drift: drifts,
             replans,
             migrations,
+            completions,
+            disruption,
+            window_duration: serving.window_duration,
         }
     }
 }
 
 #[cfg(test)]
+// These unit tests pin the legacy `run_serving` entry point (now a thin
+// wrapper over the `Scenario` dispatch) until the wrapper is removed;
+// `scenario::tests` proves wrapper/scenario parity.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use exflow_model::presets::moe_gpt_m;
@@ -677,6 +967,125 @@ mod tests {
             large > small,
             "bigger batches must cost more: {small} vs {large}"
         );
+    }
+
+    fn faulted(
+        e: &InferenceEngine,
+        mode: ParallelismMode,
+        faults: &FaultSchedule,
+        initial: Option<&ReplicationPlan>,
+    ) -> ServingReport {
+        let (schedule, cfg) = scenario(e, mode);
+        e.run_serving_impl(mode, &schedule, &cfg, faults, initial)
+    }
+
+    #[test]
+    fn gpu_loss_disrupts_then_every_request_still_completes() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, cfg) = scenario(&eng, mode);
+        // Strike mid-run: about half the horizon in.
+        let horizon = cfg.window_duration * 6.0;
+        let faults = FaultSchedule::gpu_loss(4, 1, 0.5 * horizon);
+        let r = eng.run_serving_impl(mode, &schedule, &cfg, &faults, None);
+        assert_eq!(r.n_requests(), cfg.n_requests, "no request may be lost");
+        assert_eq!(r.completions.len(), cfg.n_requests);
+        assert_eq!(r.disruption.faults.len(), 1);
+        assert!(!r.disruption.faults[0].up);
+        assert_eq!(r.disruption.faults[0].gpu, 1);
+        // No replicas: the evacuation is a priced emergency restore.
+        assert_eq!(r.disruption.emergency_replans, 1);
+        assert!(r.disruption.emergency_bytes > 0);
+        assert!(r.disruption.steps_degraded > 0);
+        assert!(r.pre_fault_p99().is_some());
+        // The fault-free run is strictly different (and no slower).
+        let clean = faulted(&eng, mode, &FaultSchedule::none(4), None);
+        assert!(clean.disruption.emergency_replans == 0);
+        assert!(clean.makespan <= r.makespan);
+    }
+
+    #[test]
+    fn full_replication_makes_failover_free() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let horizon = cfg.window_duration * 6.0;
+        let faults = FaultSchedule::gpu_loss(4, 1, 0.5 * horizon);
+        // Every expert of every layer replicated on every GPU: a loss
+        // fails over without copying a single byte.
+        let plan = ReplicationPlan {
+            base: eng.placement_for(mode).clone(),
+            replicated: vec![(0..8).collect(); 4],
+        };
+        let r = eng.run_serving_impl(mode, &schedule, &cfg, &faults, Some(&plan));
+        assert_eq!(r.n_requests(), cfg.n_requests);
+        assert_eq!(r.disruption.emergency_replans, 1);
+        assert_eq!(
+            r.disruption.emergency_bytes, 0,
+            "replica failover must not ship weights"
+        );
+    }
+
+    #[test]
+    fn rejoin_rehomes_and_is_recorded() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let horizon = cfg.window_duration * 6.0;
+        let faults = FaultSchedule::loss_and_rejoin(4, 2, 0.3 * horizon, 0.6 * horizon);
+        let r = eng.run_serving_impl(mode, &schedule, &cfg, &faults, None);
+        assert_eq!(r.n_requests(), cfg.n_requests);
+        assert_eq!(r.disruption.faults.len(), 2);
+        assert!(r.disruption.faults[1].up);
+        // Loss evacuation + rejoin re-home both moved experts.
+        assert_eq!(r.disruption.emergency_replans, 2);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(adaptive());
+        let faults = FaultSchedule::loss_and_rejoin(4, 1, 2.0, 4.0);
+        let a = faulted(&eng, mode, &faults, None);
+        let b = faulted(&eng, mode, &faults, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_on_an_idle_server_is_handled() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let schedule = DriftSchedule::piecewise(&eng.config().routing_spec, 2, 6);
+        let cfg = ServingConfig {
+            arrival: ArrivalProcess::poisson(1.0),
+            n_requests: 0,
+            decode_steps: 1,
+            batch: BatchPolicy::Greedy { max_size: 4 },
+            window_duration: 1.0,
+        };
+        let faults = FaultSchedule::loss_and_rejoin(4, 3, 0.5, 2.5);
+        let r = eng.run_serving_impl(mode, &schedule, &cfg, &faults, None);
+        assert_eq!(r.n_requests(), 0);
+        assert_eq!(r.disruption.requests_disrupted, 0);
+        assert_eq!(r.disruption.faults.len(), 2);
+        assert_eq!(r.disruption.emergency_replans, 2);
+        // Degenerate metrics stay defined.
+        assert_eq!(r.p50(), 0.0);
+        assert_eq!(r.p99(), 0.0);
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.offered_load, 0.0);
+        assert!(r.pre_fault_p99().is_none());
+        assert!(r.recovery_time().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault schedule must cover")]
+    fn fleet_size_mismatch_is_rejected() {
+        let mode = ParallelismMode::ContextCoherentAffinity;
+        let eng = engine(static_cfg());
+        let (schedule, cfg) = scenario(&eng, mode);
+        let faults = FaultSchedule::gpu_loss(8, 1, 1.0);
+        let _ = eng.run_serving_impl(mode, &schedule, &cfg, &faults, None);
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`arrival`] — seeded request arrival processes (Poisson, diurnal,
 //!   flash-crowd) feeding the request-level serving front-end's
 //!   discrete-event loop;
+//! * [`fault`] — deterministic fleet fault/elasticity schedules (GPU and
+//!   node loss, rejoin, scale-down/up) driving the serving engine's
+//!   failover and emergency re-placement paths;
 //! * [`training`] — a gating-evolution simulator reproducing the training
 //!   dynamics of Figs. 11–12 (early expert collapse, rebalancing, steady
 //!   affinity growth).
@@ -41,6 +44,7 @@ pub mod corpus;
 pub mod cost;
 pub mod drift;
 pub mod expert;
+pub mod fault;
 pub mod presets;
 pub mod routing;
 pub mod tensor;
@@ -52,6 +56,7 @@ pub use corpus::{CorpusSpec, TokenBatch};
 pub use cost::ComputeCostModel;
 pub use drift::{DriftKind, DriftSchedule};
 pub use expert::Expert;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use routing::{AffinityModelSpec, RoutingModel};
 pub use tensor::Matrix;
 pub use training::TrainingSimulator;

@@ -41,6 +41,27 @@ impl Placement {
         Placement { n_units, assign }
     }
 
+    /// Build from an explicit assignment table *without* the per-unit
+    /// balance check, for degraded fleets: after a GPU loss the failed
+    /// unit owns nothing and the survivors run over capacity until the
+    /// fleet heals. Shape and unit-range are still validated. The
+    /// budgeted online solvers mutate placements only through balance-
+    /// *preserving* [`Placement::swap`]s, so a degraded placement stays
+    /// evacuated through any number of re-plans.
+    pub fn new_degraded(assign: Vec<Vec<usize>>, n_units: usize) -> Self {
+        assert!(!assign.is_empty(), "placement needs at least one layer");
+        assert!(n_units >= 1);
+        let e = assign[0].len();
+        assert!(e >= 1, "placement needs at least one expert");
+        for (layer, row) in assign.iter().enumerate() {
+            assert_eq!(row.len(), e, "layer {layer} has wrong expert count");
+            for &u in row {
+                assert!(u < n_units, "layer {layer}: unit {u} out of range");
+            }
+        }
+        Placement { n_units, assign }
+    }
+
     /// The vanilla (DeepSpeed-MoE) placement: expert `i` lives on unit
     /// `i / capacity` at every layer — experts are packed contiguously by
     /// rank, with no awareness of inter-layer affinity.
@@ -166,6 +187,29 @@ mod tests {
     #[should_panic(expected = "load balance")]
     fn unbalanced_rejected() {
         let _ = Placement::new(vec![vec![0, 0, 0, 1]], 2);
+    }
+
+    #[test]
+    fn degraded_constructor_accepts_evacuated_units() {
+        // Unit 1 owns nothing (it failed); `new` would reject this exact
+        // table, the degraded constructor must not.
+        let p = Placement::new_degraded(vec![vec![0, 0, 2, 2], vec![2, 0, 0, 2]], 3);
+        assert_eq!(p.n_units(), 3);
+        assert_eq!(p.experts_on(0, 1), Vec::<usize>::new());
+        assert_eq!(p.experts_on(0, 0), vec![0, 1]);
+        assert_eq!(p.unit_of(1, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degraded_constructor_still_validates_unit_range() {
+        let _ = Placement::new_degraded(vec![vec![0, 3]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong expert count")]
+    fn degraded_constructor_still_validates_row_shape() {
+        let _ = Placement::new_degraded(vec![vec![0, 1], vec![0]], 2);
     }
 
     #[test]

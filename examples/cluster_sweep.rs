@@ -6,7 +6,7 @@
 //! cargo run --release --example cluster_sweep
 //! ```
 
-use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::core::{InferenceEngine, ParallelismMode, Scenario};
 use exflow::model::presets::moe_gpt_m;
 use exflow::topology::ClusterSpec;
 
@@ -30,8 +30,12 @@ fn main() {
             .placement_restarts(0)
             .build();
 
-        let ds = engine.run(ParallelismMode::Vanilla);
-        let ex = engine.run(ParallelismMode::ContextCoherentAffinity);
+        let ds = engine
+            .run_scenario(&Scenario::offline(ParallelismMode::Vanilla))
+            .expect_offline();
+        let ex = engine
+            .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+            .expect_offline();
         println!(
             "{:>6} {:>6} {:>14.0} {:>14.0} {:>9.2}x {:>11.1}%",
             nodes,

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::core::{InferenceEngine, ParallelismMode, Scenario};
 use exflow::model::presets::moe_gpt_m;
 use exflow::topology::ClusterSpec;
 
@@ -34,7 +34,9 @@ fn main() {
 
     let mut baseline_throughput = None;
     for mode in ParallelismMode::ALL {
-        let report = engine.run(mode);
+        let report = engine
+            .run_scenario(&Scenario::offline(mode))
+            .expect_offline();
         let baseline = *baseline_throughput.get_or_insert(report.throughput());
         println!("{:<22}", mode.label());
         println!(

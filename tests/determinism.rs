@@ -2,7 +2,7 @@
 //! its seeds — the property that makes the paper's figures reproducible
 //! runs instead of noisy measurements.
 
-use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::core::{InferenceEngine, ParallelismMode, Scenario};
 use exflow::model::presets::moe_gpt_m;
 use exflow::model::routing::AffinityModelSpec;
 use exflow::model::{CorpusSpec, TokenBatch};
@@ -52,8 +52,12 @@ fn engine_reports_are_bit_identical_across_runs() {
         .seed(13)
         .build();
     for mode in ParallelismMode::ALL {
-        let a = engine.run(mode);
-        let b = engine.run(mode);
+        let a = engine
+            .run_scenario(&Scenario::offline(mode))
+            .expect_offline();
+        let b = engine
+            .run_scenario(&Scenario::offline(mode))
+            .expect_offline();
         assert_eq!(a.total_time.to_bits(), b.total_time.to_bits(), "{mode}");
         assert_eq!(a.breakdown, b.breakdown, "{mode}");
         assert_eq!(a.dispatch, b.dispatch, "{mode}");
@@ -92,7 +96,11 @@ fn rebuilt_engines_agree() {
         e1.placement_for(ParallelismMode::ContextCoherentAffinity),
         e2.placement_for(ParallelismMode::ContextCoherentAffinity)
     );
-    let r1 = e1.run(ParallelismMode::ContextCoherentAffinity);
-    let r2 = e2.run(ParallelismMode::ContextCoherentAffinity);
+    let r1 = e1
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+        .expect_offline();
+    let r2 = e2
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+        .expect_offline();
     assert_eq!(r1.total_time.to_bits(), r2.total_time.to_bits());
 }

@@ -3,7 +3,7 @@
 //! qualitative claims.
 
 use exflow::affinity::{metrics, AffinityMatrix, RoutingTrace};
-use exflow::core::{InferenceEngine, ParallelismMode};
+use exflow::core::{InferenceEngine, ParallelismMode, Scenario};
 use exflow::model::presets::moe_gpt_m;
 use exflow::model::routing::AffinityModelSpec;
 use exflow::model::{CorpusSpec, TokenBatch};
@@ -28,9 +28,15 @@ fn engine(nodes: usize, gpn: usize, experts: usize, layers: usize) -> InferenceE
 #[test]
 fn exflow_reduces_alltoall_and_improves_throughput() {
     let engine = engine(2, 2, 16, 8);
-    let vanilla = engine.run(ParallelismMode::Vanilla);
-    let cc = engine.run(ParallelismMode::ContextCoherent);
-    let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+    let vanilla = engine
+        .run_scenario(&Scenario::offline(ParallelismMode::Vanilla))
+        .expect_offline();
+    let cc = engine
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherent))
+        .expect_offline();
+    let aff = engine
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+        .expect_offline();
 
     // One Alltoall per layer instead of two -> roughly half the time.
     assert!(cc.breakdown.alltoall < 0.7 * vanilla.breakdown.alltoall);
@@ -50,7 +56,8 @@ fn pipeline_objective_predicts_engine_locality() {
     let placement = engine.placement_for(ParallelismMode::ContextCoherentAffinity);
     let expected = engine.objective().local_fraction(placement);
     let measured = engine
-        .run(ParallelismMode::ContextCoherentAffinity)
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+        .expect_offline()
         .dispatch
         .gpu_local_fraction();
     assert!(
@@ -101,8 +108,12 @@ fn affinity_strength_drives_every_stage() {
             .placement_restarts(0)
             .seed(3)
             .build();
-        let cc = engine.run(ParallelismMode::ContextCoherent);
-        let aff = engine.run(ParallelismMode::ContextCoherentAffinity);
+        let cc = engine
+            .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherent))
+            .expect_offline();
+        let aff = engine
+            .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherentAffinity))
+            .expect_offline();
         aff.dispatch.gpu_local_fraction() - cc.dispatch.gpu_local_fraction()
     };
     let weak = gain_for(0.1);
@@ -144,8 +155,12 @@ fn vanilla_and_cc_agree_on_model_semantics() {
     // Both modes process identical routes; their dispatch totals and
     // locality counters must coincide under the same placement.
     let engine = engine(1, 4, 8, 6);
-    let vanilla = engine.run(ParallelismMode::Vanilla);
-    let cc = engine.run(ParallelismMode::ContextCoherent);
+    let vanilla = engine
+        .run_scenario(&Scenario::offline(ParallelismMode::Vanilla))
+        .expect_offline();
+    let cc = engine
+        .run_scenario(&Scenario::offline(ParallelismMode::ContextCoherent))
+        .expect_offline();
     assert_eq!(vanilla.dispatch.total, cc.dispatch.total);
     assert_eq!(vanilla.tokens_processed, cc.tokens_processed);
 }

@@ -4,7 +4,7 @@
 //! replication-aware re-planning), and identical across re-plan cadences
 //! whenever the cadence never actually fires a migration.
 
-use exflow::core::{InferenceEngine, OnlineConfig, ParallelismMode};
+use exflow::core::{InferenceEngine, OnlineConfig, ParallelismMode, Scenario};
 use exflow::model::drift::DriftSchedule;
 use exflow::model::presets::moe_gpt_m;
 use exflow::model::DriftKind;
@@ -64,13 +64,23 @@ fn drift(engine: &InferenceEngine) -> DriftSchedule {
 fn online_runs_are_bit_identical_at_1_2_and_8_threads() {
     let seq = engine(1, adaptive(), GapBackend::Auto);
     let schedule = drift(&seq);
-    let baseline = seq.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let baseline = seq
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     // The scenario must exercise the full pipeline: drift detected,
     // migrations executed.
     assert!(baseline.migrations.replans > 0);
     for threads in [2, 8] {
         let par = engine(threads, adaptive(), GapBackend::Auto);
-        let report = par.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+        let report = par
+            .run_scenario(
+                &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                    .with_drift(schedule.clone()),
+            )
+            .expect_online();
         assert_eq!(report, baseline, "{threads} threads diverged");
         // PartialEq covers them, but make the bit-level contract on the
         // float surfaces explicit.
@@ -88,9 +98,19 @@ fn online_runs_are_bit_identical_at_1_2_and_8_threads() {
 fn online_runs_are_gap_backend_invariant() {
     let dense = engine(1, adaptive(), GapBackend::Dense);
     let schedule = drift(&dense);
-    let a = dense.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let a = dense
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     let sparse = engine(1, adaptive(), GapBackend::Sparse);
-    let b = sparse.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let b = sparse
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     assert!(a.migrations.replans > 0);
     assert_eq!(a, b, "gap backends diverged");
 }
@@ -108,13 +128,21 @@ fn cadence_is_unobservable_when_no_migration_fires() {
     };
     let reference_engine = engine(1, quiet(1), GapBackend::Auto);
     let schedule = drift(&reference_engine);
-    let reference =
-        reference_engine.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let reference = reference_engine
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     assert_eq!(reference.migrations.replans, 0);
     assert!(reference.replans.is_empty());
     for cadence in [2, 3, 5] {
         let report = engine(1, quiet(cadence), GapBackend::Auto)
-            .run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+            .run_scenario(
+                &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                    .with_drift(schedule.clone()),
+            )
+            .expect_online();
         assert_eq!(report, reference, "cadence {cadence} leaked into the run");
     }
 }
@@ -123,7 +151,12 @@ fn cadence_is_unobservable_when_no_migration_fires() {
 fn replication_aware_runs_are_bit_identical_at_1_2_and_8_threads() {
     let seq = engine(1, replicated(), GapBackend::Auto);
     let schedule = drift(&seq);
-    let baseline = seq.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let baseline = seq
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     // The scenario must exercise the replication pipeline for the
     // invariance to mean anything: replicas actually churn.
     assert!(baseline.migrations.replans > 0);
@@ -133,7 +166,12 @@ fn replication_aware_runs_are_bit_identical_at_1_2_and_8_threads() {
     );
     for threads in [2, 8] {
         let par = engine(threads, replicated(), GapBackend::Auto);
-        let report = par.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+        let report = par
+            .run_scenario(
+                &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                    .with_drift(schedule.clone()),
+            )
+            .expect_online();
         assert_eq!(report, baseline, "{threads} threads diverged");
         assert_eq!(
             report.total_time().to_bits(),
@@ -149,9 +187,19 @@ fn replication_aware_runs_are_bit_identical_at_1_2_and_8_threads() {
 fn replication_aware_runs_are_gap_backend_invariant() {
     let dense = engine(1, replicated(), GapBackend::Dense);
     let schedule = drift(&dense);
-    let a = dense.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let a = dense
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     let sparse = engine(1, replicated(), GapBackend::Sparse);
-    let b = sparse.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let b = sparse
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     assert!(a.migrations.replans > 0);
     assert_eq!(a, b, "gap backends diverged on a replication-aware run");
 }
@@ -161,7 +209,17 @@ fn smooth_drift_schedules_are_deterministic_too() {
     let e = engine(1, adaptive(), GapBackend::Auto);
     let schedule = DriftSchedule::smooth(&e.config().routing_spec, 6);
     assert_eq!(schedule.kind(), DriftKind::Smooth);
-    let a = e.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
-    let b = e.run_online(ParallelismMode::ContextCoherentAffinity, &schedule);
+    let a = e
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
+    let b = e
+        .run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity)
+                .with_drift(schedule.clone()),
+        )
+        .expect_online();
     assert_eq!(a, b);
 }

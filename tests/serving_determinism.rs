@@ -1,15 +1,19 @@
 //! Workspace-level serving-determinism gate: a request-level serving run
-//! with fixed seeds is a pure function of (config, drift schedule,
-//! serving config) — bit identical across parallelism widths and gap
-//! backends — and its report obeys the structural serving invariants
+//! with fixed seeds is a pure function of its [`Scenario`] — bit
+//! identical across parallelism widths and gap backends, with or without
+//! fleet faults — and its report obeys the structural serving invariants
 //! (ordered latency quantiles, goodput bounded by offered load) across
-//! randomized seeds, utilizations, and arrival processes.
+//! randomized seeds, utilizations, and arrival processes. Edge cases
+//! (zero-arrival windows, faults striking an empty queue) stay
+//! well-formed.
 
 use exflow::core::{
-    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, ServingConfig, ServingReport,
+    events_from_report, BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, Scenario,
+    ServingConfig, ServingReport,
 };
 use exflow::model::arrival::ArrivalProcess;
 use exflow::model::drift::DriftSchedule;
+use exflow::model::fault::FaultSchedule;
 use exflow::model::presets::moe_gpt_m;
 use exflow::placement::{GapBackend, Parallelism};
 use exflow::topology::ClusterSpec;
@@ -19,6 +23,8 @@ const MODE: ParallelismMode = ParallelismMode::ContextCoherentAffinity;
 const MAX_BATCH: usize = 16;
 const DECODE_STEPS: usize = 4;
 const WINDOWS: usize = 6;
+/// World size of every engine below (`ClusterSpec::new(2, 2)`).
+const WORLD: usize = 4;
 
 fn engine(threads: usize, backend: GapBackend, seed: u64) -> InferenceEngine {
     let mut model = moe_gpt_m(8);
@@ -72,6 +78,30 @@ fn scenario(
     (drift, cfg)
 }
 
+fn serve(eng: &InferenceEngine, drift: &DriftSchedule, cfg: &ServingConfig) -> ServingReport {
+    eng.run_scenario(
+        &Scenario::offline(MODE)
+            .with_drift(drift.clone())
+            .with_serving(cfg.clone()),
+    )
+    .expect_serving()
+}
+
+fn serve_faulted(
+    eng: &InferenceEngine,
+    drift: &DriftSchedule,
+    cfg: &ServingConfig,
+    faults: &FaultSchedule,
+) -> ServingReport {
+    eng.run_scenario(
+        &Scenario::offline(MODE)
+            .with_drift(drift.clone())
+            .with_serving(cfg.clone())
+            .with_faults(faults.clone()),
+    )
+    .expect_serving()
+}
+
 /// Bit-level equality of the float surfaces two reports expose: string
 /// equality of shortest-round-trip formatting is f64 bit equality, and
 /// `assert_eq!` on the reports covers everything else.
@@ -85,20 +115,28 @@ fn assert_bit_identical(a: &ServingReport, b: &ServingReport, what: &str) {
     for (x, y) in a.drift.iter().zip(&b.drift) {
         assert_eq!(x.to_bits(), y.to_bits(), "{what}: drift bits diverged");
     }
+    for ((ta, la), (tb, lb)) in a.completions.iter().zip(&b.completions) {
+        assert_eq!(ta.to_bits(), tb.to_bits(), "{what}: completion time bits");
+        assert_eq!(
+            la.to_bits(),
+            lb.to_bits(),
+            "{what}: completion latency bits"
+        );
+    }
 }
 
 #[test]
 fn serving_runs_are_bit_identical_at_1_2_and_8_threads() {
     let seq = engine(1, GapBackend::Auto, 11);
     let (drift, cfg) = scenario(&seq, 96, 0.9, 0);
-    let baseline = seq.run_serving(MODE, &drift, &cfg);
+    let baseline = serve(&seq, &drift, &cfg);
     // The scenario must exercise the full pipeline for the invariance to
     // mean anything: drift detected, a re-plan executed, queueing real.
     assert!(baseline.migrations.replans > 0, "no re-plan fired");
     assert_eq!(baseline.n_requests(), cfg.n_requests);
     for threads in [2, 8] {
         let par = engine(threads, GapBackend::Auto, 11);
-        let report = par.run_serving(MODE, &drift, &cfg);
+        let report = serve(&par, &drift, &cfg);
         assert_bit_identical(&report, &baseline, &format!("{threads} threads"));
     }
 }
@@ -107,11 +145,107 @@ fn serving_runs_are_bit_identical_at_1_2_and_8_threads() {
 fn serving_runs_are_gap_backend_invariant() {
     let dense = engine(1, GapBackend::Dense, 11);
     let (drift, cfg) = scenario(&dense, 96, 0.9, 0);
-    let a = dense.run_serving(MODE, &drift, &cfg);
+    let a = serve(&dense, &drift, &cfg);
     let sparse = engine(1, GapBackend::Sparse, 11);
-    let b = sparse.run_serving(MODE, &drift, &cfg);
+    let b = serve(&sparse, &drift, &cfg);
     assert!(a.migrations.replans > 0, "no re-plan fired");
     assert_bit_identical(&a, &b, "gap backends");
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_at_1_2_and_8_threads() {
+    let seq = engine(1, GapBackend::Auto, 11);
+    let (drift, cfg) = scenario(&seq, 96, 0.9, 0);
+    // A loss-and-rejoin cycle landing mid-run: down inside window 2, back
+    // up inside window 4, so disruption, emergency re-placement, and
+    // rehoming all fire while requests are in flight.
+    let faults = FaultSchedule::loss_and_rejoin(
+        WORLD,
+        1,
+        2.0 * cfg.window_duration,
+        4.0 * cfg.window_duration,
+    );
+    let baseline = serve_faulted(&seq, &drift, &cfg, &faults);
+    assert_eq!(baseline.n_requests(), cfg.n_requests, "requests lost");
+    assert_eq!(baseline.disruption.faults.len(), 2, "both markers recorded");
+    assert!(
+        baseline.disruption.emergency_replans >= 1,
+        "the loss must force an emergency re-placement"
+    );
+    for threads in [2, 8] {
+        let par = engine(threads, GapBackend::Auto, 11);
+        let report = serve_faulted(&par, &drift, &cfg, &faults);
+        assert_bit_identical(&report, &baseline, &format!("faulted, {threads} threads"));
+    }
+}
+
+#[test]
+fn faulted_runs_are_gap_backend_invariant() {
+    let dense = engine(1, GapBackend::Dense, 11);
+    let (drift, cfg) = scenario(&dense, 96, 0.9, 0);
+    let faults = FaultSchedule::loss_and_rejoin(
+        WORLD,
+        1,
+        2.0 * cfg.window_duration,
+        4.0 * cfg.window_duration,
+    );
+    let a = serve_faulted(&dense, &drift, &cfg, &faults);
+    let sparse = engine(1, GapBackend::Sparse, 11);
+    let b = serve_faulted(&sparse, &drift, &cfg, &faults);
+    assert_eq!(a.disruption.faults.len(), 2, "both markers recorded");
+    assert_bit_identical(&a, &b, "faulted, gap backends");
+}
+
+#[test]
+fn zero_arrival_windows_keep_the_report_well_formed() {
+    // Slice the horizon so finely that many serving windows contain no
+    // arrival and no completion: quantiles, goodput, and the JSONL event
+    // stream must all stay well-defined.
+    let eng = engine(1, GapBackend::Auto, 11);
+    let (drift, mut cfg) = scenario(&eng, 16, 0.4, 0);
+    cfg.window_duration /= 16.0;
+    let r = serve(&eng, &drift, &cfg);
+    assert_eq!(r.n_requests(), cfg.n_requests);
+    assert!(r.p50() > 0.0 && r.p50() <= r.p95() && r.p95() <= r.p99());
+    assert!(r.goodput().is_finite() && r.goodput() <= r.offered_load);
+    let events = events_from_report(&r);
+    assert!(
+        events.len() > cfg.n_requests,
+        "windows must outnumber requests"
+    );
+    assert!(
+        events.iter().any(|e| e.completed == 0),
+        "at least one window must be empty"
+    );
+    assert_eq!(
+        events.iter().map(|e| e.completed).sum::<u64>(),
+        cfg.n_requests as u64,
+        "every completion lands in exactly one window"
+    );
+}
+
+#[test]
+fn a_fault_striking_an_empty_queue_is_benign() {
+    // No requests at all: the loss and rejoin still execute (markers and
+    // an emergency re-plan are recorded) but nothing is disrupted and
+    // every quantile stays at its empty-run definition.
+    let eng = engine(1, GapBackend::Auto, 11);
+    let (drift, mut cfg) = scenario(&eng, 16, 0.4, 0);
+    cfg.n_requests = 0;
+    let faults = FaultSchedule::loss_and_rejoin(
+        WORLD,
+        2,
+        0.5 * cfg.window_duration,
+        1.5 * cfg.window_duration,
+    );
+    let r = serve_faulted(&eng, &drift, &cfg, &faults);
+    assert_eq!(r.n_requests(), 0);
+    assert_eq!(r.disruption.requests_disrupted, 0);
+    assert_eq!(r.disruption.faults.len(), 2);
+    assert!(r.disruption.emergency_replans >= 1);
+    assert_eq!(r.p50(), 0.0);
+    assert_eq!(r.p99(), 0.0);
+    assert_eq!(r.goodput(), 0.0);
 }
 
 proptest! {
@@ -125,7 +259,7 @@ proptest! {
     ) {
         let eng = engine(1, GapBackend::Auto, seed);
         let (drift, cfg) = scenario(&eng, 48, utilization, arrival_kind);
-        let r = eng.run_serving(MODE, &drift, &cfg);
+        let r = serve(&eng, &drift, &cfg);
         prop_assert_eq!(r.n_requests(), cfg.n_requests);
         prop_assert!(r.p50() > 0.0);
         prop_assert!(r.p50() <= r.p95());
