@@ -38,5 +38,5 @@ pub mod trace;
 
 pub use matrix::AffinityMatrix;
 pub use sparse::SparseAffinity;
-pub use streaming::{AffinitySnapshot, StreamingAffinity};
+pub use streaming::{AffinitySnapshot, SnapshotDelta, StreamingAffinity};
 pub use trace::RoutingTrace;

@@ -59,12 +59,33 @@ pub struct StreamingAffinity {
     n_experts: usize,
     decay: f64,
     windows_seen: u64,
-    /// Per gap: decayed joint mass of each observed `(from, to)` pair.
-    /// BTreeMap keeps iteration in row-major ascending order, which keeps
-    /// every downstream accumulation bit-deterministic.
+    /// Per gap: joint mass of each observed `(from, to)` pair. BTreeMap
+    /// keeps iteration in row-major ascending order, which keeps every
+    /// downstream accumulation bit-deterministic.
+    ///
+    /// Decay is applied *lazily*, row by row: a row's values are only
+    /// brought up to date (stepwise, one multiplication per elapsed
+    /// window, so the result is bit-identical to eager per-window decay)
+    /// when the row next receives counts. Between touches a row's stored
+    /// values and its [`Self::row_total`] denominator share the same
+    /// stale timestamp, so the *conditional* `value / row_total` — the
+    /// only thing snapshots expose — is unaffected by the deferral and,
+    /// crucially, bit-stable across windows that do not touch the row.
+    /// That stability is what makes consecutive snapshots differ only in
+    /// touched rows, the contract [`Self::observe_delta`] exports.
     gaps: Vec<BTreeMap<(u16, u16), f64>>,
-    /// Per gap: decayed mass of each source expert (row totals).
+    /// Per gap: decayed mass of each source expert (row totals), decayed
+    /// *eagerly* every window — this feeds the marginal weights (which
+    /// change every window anyway) and the uniform-row test.
     row_mass: Vec<Vec<f64>>,
+    /// Per gap: lazy per-row denominators — bit-identical to `row_mass`
+    /// at each row's last touch (both sides apply the same op sequence:
+    /// one decay multiplication per window, then the window's counts in
+    /// ingestion order).
+    row_total: Vec<Vec<f64>>,
+    /// Per gap: the window count as of which each row's lazy state
+    /// (`gaps` values + `row_total`) is current.
+    row_stamp: Vec<Vec<u64>>,
 }
 
 impl StreamingAffinity {
@@ -86,6 +107,8 @@ impl StreamingAffinity {
             windows_seen: 0,
             gaps: vec![BTreeMap::new(); n_gaps],
             row_mass: vec![vec![0.0; n_experts]; n_gaps],
+            row_total: vec![vec![0.0; n_experts]; n_gaps],
+            row_stamp: vec![vec![0; n_experts]; n_gaps],
         }
     }
 
@@ -93,23 +116,148 @@ impl StreamingAffinity {
     /// accumulated so far, then add the window's pair counts for every
     /// consecutive layer gap.
     pub fn observe(&mut self, window: &RoutingTrace) {
-        assert_eq!(window.n_layers(), self.n_layers, "window layer mismatch");
-        assert_eq!(window.n_experts(), self.n_experts, "window expert mismatch");
-        for gap in 0..self.n_gaps() {
-            if self.decay < 1.0 {
-                for v in self.gaps[gap].values_mut() {
-                    *v *= self.decay;
-                }
-                for m in self.row_mass[gap].iter_mut() {
-                    *m *= self.decay;
-                }
-            }
-            for ((i, p), c) in window.pair_counts(gap, gap + 1) {
-                *self.gaps[gap].entry((i, p)).or_insert(0.0) += c as f64;
-                self.row_mass[gap][i as usize] += c as f64;
+        self.fold(window, false);
+    }
+
+    /// Fold one serving window into the estimate (exactly like
+    /// [`Self::observe`]) and return the [`SnapshotDelta`] describing how
+    /// the frozen estimate changed: the conditional rows the window
+    /// touched (plus any row whose decayed-away mass flipped it to the
+    /// uniform estimate), with their new CSR fragments, and the full new
+    /// marginal weights (which shift every window because the totals
+    /// decay). Applying the delta to the previous window's snapshot
+    /// reproduces [`Self::snapshot`] on the updated estimate bit for bit
+    /// — the contract `Objective::apply_snapshot_delta` in
+    /// `exflow-placement` builds on.
+    pub fn observe_delta(&mut self, window: &RoutingTrace) -> SnapshotDelta {
+        self.fold(window, true)
+            .expect("fold emits a delta when asked to")
+    }
+
+    /// Bring one row's lazy state (pair values + `row_total`) up to
+    /// `now`, applying one decay multiplication per elapsed window — the
+    /// exact op sequence eager decay would have applied. Idempotent
+    /// within a window.
+    fn materialize_row(&mut self, gap: usize, row: usize, now: u64) {
+        let stamp = self.row_stamp[gap][row];
+        if stamp == now {
+            return;
+        }
+        self.row_stamp[gap][row] = now;
+        if self.decay >= 1.0 {
+            return;
+        }
+        let pending = now - stamp;
+        let lo = (row as u16, 0u16);
+        let hi = (row as u16, u16::MAX);
+        for (_, v) in self.gaps[gap].range_mut(lo..=hi) {
+            for _ in 0..pending {
+                *v *= self.decay;
             }
         }
-        self.windows_seen += 1;
+        let t = &mut self.row_total[gap][row];
+        for _ in 0..pending {
+            *t *= self.decay;
+        }
+    }
+
+    /// The shared ingestion fold behind [`Self::observe`] /
+    /// [`Self::observe_delta`]; the delta is only assembled when `emit`
+    /// is set, so plain observation pays nothing for it.
+    fn fold(&mut self, window: &RoutingTrace, emit: bool) -> Option<SnapshotDelta> {
+        assert_eq!(window.n_layers(), self.n_layers, "window layer mismatch");
+        assert_eq!(window.n_experts(), self.n_experts, "window expert mismatch");
+        let e = self.n_experts;
+        let now = self.windows_seen + 1;
+        let mut delta_gaps = Vec::with_capacity(if emit { self.n_gaps() } else { 0 });
+        let mut delta_weights = Vec::with_capacity(if emit { self.n_gaps() } else { 0 });
+        for gap in 0..self.n_gaps() {
+            // Eager decay of the marginal row masses. A positive mass that
+            // underflows to exactly 0.0 flips its row to the uniform
+            // estimate without the row being touched — those rows must
+            // still appear in the delta (their lazy state stays stale; the
+            // uniform row is what the snapshot emits for them).
+            let mut flipped: Vec<usize> = Vec::new();
+            if self.decay < 1.0 {
+                for (i, m) in self.row_mass[gap].iter_mut().enumerate() {
+                    let was_pos = *m > 0.0;
+                    *m *= self.decay;
+                    if was_pos && *m == 0.0 {
+                        flipped.push(i);
+                    }
+                }
+            }
+            // Touched rows: materialize the lazy state first (stepwise
+            // decay to `now`), then fold the counts in, in ingestion
+            // order, mirrored onto the eager and lazy totals alike.
+            let mut touched: Vec<usize> = Vec::new();
+            for ((i, p), c) in window.pair_counts(gap, gap + 1) {
+                let row = i as usize;
+                if touched.last() != Some(&row) && !touched.contains(&row) {
+                    touched.push(row);
+                }
+                self.materialize_row(gap, row, now);
+                *self.gaps[gap].entry((i, p)).or_insert(0.0) += c as f64;
+                self.row_total[gap][row] += c as f64;
+                self.row_mass[gap][row] += c as f64;
+            }
+            if emit {
+                touched.sort_unstable();
+                // A flipped row that also received counts is an ordinary
+                // touched row (its mass is positive again); only the
+                // untouched flips emit as uniform rows.
+                let mut rows: Vec<usize> = touched;
+                rows.extend(
+                    flipped.iter().copied().filter(|r| {
+                        self.row_stamp[gap][*r] != now && self.row_mass[gap][*r] <= 0.0
+                    }),
+                );
+                rows.sort_unstable();
+                rows.dedup();
+                let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+                row_ptr.push(0usize);
+                let mut cols = Vec::new();
+                let mut probs = Vec::new();
+                for &row in &rows {
+                    if self.row_mass[gap][row] <= 0.0 {
+                        for p in 0..e {
+                            cols.push(p);
+                            probs.push(1.0 / e as f64);
+                        }
+                    } else {
+                        let denom = self.row_total[gap][row];
+                        let lo = (row as u16, 0u16);
+                        let hi = (row as u16, u16::MAX);
+                        for (&(_, p), &v) in self.gaps[gap].range(lo..=hi) {
+                            cols.push(p as usize);
+                            probs.push(v / denom);
+                        }
+                    }
+                    row_ptr.push(cols.len());
+                }
+                delta_gaps.push(DeltaGap {
+                    rows,
+                    row_ptr,
+                    cols,
+                    probs,
+                });
+                let mass = &self.row_mass[gap];
+                let total: f64 = mass.iter().sum();
+                delta_weights.push(if total <= 0.0 {
+                    vec![1.0 / e as f64; e]
+                } else {
+                    mass.iter().map(|&m| m / total).collect()
+                });
+            }
+        }
+        self.windows_seen = now;
+        emit.then_some(SnapshotDelta {
+            n_layers: self.n_layers,
+            n_experts: e,
+            window: now,
+            gaps: delta_gaps,
+            weights: delta_weights,
+        })
     }
 
     /// Number of MoE layers.
@@ -151,6 +299,13 @@ impl StreamingAffinity {
     /// Freeze the current estimate: per-gap CSR conditionals (rows with no
     /// observed mass estimate uniform, stored explicitly like the offline
     /// estimators) plus per-gap source-marginal weights.
+    ///
+    /// Read-only: conditionals come from each row's lazy state (stale
+    /// values over the equally stale `row_total` denominator), so
+    /// a row untouched since the previous snapshot reproduces its
+    /// conditional bits exactly — only touched (or decayed-to-uniform)
+    /// rows and the marginal weights ever differ between consecutive
+    /// snapshots.
     pub fn snapshot(&self) -> AffinitySnapshot {
         let e = self.n_experts;
         let mut gaps = Vec::with_capacity(self.n_gaps());
@@ -162,8 +317,8 @@ impl StreamingAffinity {
             let mut cols = Vec::new();
             let mut probs = Vec::new();
             let mut iter = self.gaps[gap].iter().peekable();
-            for (i, &row_total) in mass.iter().enumerate() {
-                if row_total <= 0.0 {
+            for (i, &live_mass) in mass.iter().enumerate() {
+                if live_mass <= 0.0 {
                     // Unobserved (or fully decayed-away) source expert:
                     // maximum-entropy estimate, stored explicitly.
                     for p in 0..e {
@@ -173,9 +328,10 @@ impl StreamingAffinity {
                     // Skip any zero-mass residue of this row.
                     while iter.next_if(|((r, _), _)| *r as usize == i).is_some() {}
                 } else {
+                    let denom = self.row_total[gap][i];
                     while let Some(((_, p), &v)) = iter.next_if(|((r, _), _)| *r as usize == i) {
                         cols.push(*p as usize);
-                        probs.push(v / row_total);
+                        probs.push(v / denom);
                     }
                 }
                 row_ptr.push(cols.len());
@@ -345,6 +501,81 @@ impl AffinitySnapshot {
             }
         }
         mass
+    }
+}
+
+/// The change between two consecutive [`StreamingAffinity::snapshot`]s,
+/// produced by [`StreamingAffinity::observe_delta`]: the conditional rows
+/// the window changed (touched by counts, or flipped to the uniform
+/// estimate by decay underflow) with their new CSR fragments, plus the
+/// full new marginal-weight vectors (the totals decay, so every weight
+/// moves every window). Rows not listed are — bit for bit — unchanged
+/// from the previous snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    n_layers: usize,
+    n_experts: usize,
+    window: u64,
+    gaps: Vec<DeltaGap>,
+    weights: Vec<Vec<f64>>,
+}
+
+/// One gap's changed rows: a sorted row list plus a CSR fragment over
+/// exactly those rows.
+#[derive(Debug, Clone, PartialEq)]
+struct DeltaGap {
+    rows: Vec<usize>,
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    probs: Vec<f64>,
+}
+
+impl SnapshotDelta {
+    /// Number of MoE layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// Number of layer gaps (`L - 1`).
+    pub fn n_gaps(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// The (1-based) window count after the observation this delta
+    /// describes.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Whether no conditional row changed anywhere (weights may still
+    /// have moved).
+    pub fn no_rows_changed(&self) -> bool {
+        self.gaps.iter().all(|g| g.rows.is_empty())
+    }
+
+    /// The changed row indices of one gap, strictly ascending.
+    pub fn touched_rows(&self, gap: usize) -> &[usize] {
+        &self.gaps[gap].rows
+    }
+
+    /// The new stored entries of the `k`-th changed row of `gap`:
+    /// `(columns, probabilities)`, columns ascending — exactly what
+    /// [`AffinitySnapshot::row`] returns for that row on the updated
+    /// estimate.
+    pub fn fragment(&self, gap: usize, k: usize) -> (&[usize], &[f64]) {
+        let g = &self.gaps[gap];
+        let (lo, hi) = (g.row_ptr[k], g.row_ptr[k + 1]);
+        (&g.cols[lo..hi], &g.probs[lo..hi])
+    }
+
+    /// The full new marginal-weight vector of one gap (sums to 1).
+    pub fn gap_weights(&self, gap: usize) -> &[f64] {
+        &self.weights[gap]
     }
 }
 
@@ -537,6 +768,96 @@ mod tests {
             s.snapshot()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observe_delta_folds_exactly_like_observe() {
+        let windows: Vec<RoutingTrace> = (0..5).map(|i| sampled_trace(8, 4, 200, i)).collect();
+        let mut plain = StreamingAffinity::new(4, 8, 0.7);
+        let mut delta = StreamingAffinity::new(4, 8, 0.7);
+        for w in &windows {
+            plain.observe(w);
+            let _ = delta.observe_delta(w);
+            assert_eq!(plain.snapshot(), delta.snapshot());
+        }
+        assert_eq!(plain.windows_seen(), delta.windows_seen());
+    }
+
+    #[test]
+    fn delta_lists_exactly_the_rows_that_changed() {
+        let mut s = StreamingAffinity::new(3, 8, 0.5);
+        s.observe(&sampled_trace(8, 3, 400, 11));
+        let before = s.snapshot();
+        // A narrow window touching only rows 2 and 5 at each gap.
+        let w = RoutingTrace::new(vec![vec![2, 5, 2], vec![5, 2, 5]], 8);
+        let d = s.observe_delta(&w);
+        let after = s.snapshot();
+        assert_eq!(d.window(), 2);
+        assert_eq!(d.n_gaps(), 2);
+        for gap in 0..2 {
+            assert_eq!(d.touched_rows(gap), &[2, 5], "gap {gap}");
+            // Fragments are bit-identical to the updated snapshot's rows.
+            for (k, &row) in d.touched_rows(gap).iter().enumerate() {
+                let (fc, fp) = d.fragment(gap, k);
+                let (sc, sp) = after.row(gap, row);
+                assert_eq!(fc, sc);
+                for (a, b) in fp.iter().zip(sp) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // Untouched rows are bit-identical to the *previous* snapshot
+            // — the property that makes the delta minimal.
+            for row in (0..8).filter(|r| !d.touched_rows(gap).contains(r)) {
+                let (bc, bp) = before.row(gap, row);
+                let (ac, ap) = after.row(gap, row);
+                assert_eq!(bc, ac, "gap {gap} row {row}");
+                for (a, b) in bp.iter().zip(ap) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "gap {gap} row {row}");
+                }
+            }
+            // Weights are replaced wholesale and match the snapshot.
+            for (a, b) in d.gap_weights(gap).iter().zip(after.gap_weights(gap)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decayed_away_rows_flip_to_uniform_in_the_delta() {
+        // Row 0 gets mass once, then only row 1 is ever touched. Under
+        // decay 0.25 row 0's eager mass underflows to exactly 0.0 after
+        // ~540 windows, flipping its snapshot row to uniform without the
+        // row being touched — the delta must report that flip.
+        let seed_w = RoutingTrace::new(vec![vec![0, 1]], 4);
+        let other_w = RoutingTrace::new(vec![vec![1, 2]], 4);
+        let mut s = StreamingAffinity::new(2, 4, 0.25);
+        s.observe(&seed_w);
+        let mut flipped_at = None;
+        for step in 0..600 {
+            let before = s.snapshot();
+            let d = s.observe_delta(&other_w);
+            let after = s.snapshot();
+            assert_eq!(s.row_mass(0, 0) > 0.0, after.row(0, 0).0.len() == 1);
+            if d.touched_rows(0).contains(&0) {
+                // The flip window: row 0 appears with an explicit uniform
+                // fragment even though no count touched it.
+                assert!(before.row(0, 0).0.len() == 1, "flip from the stored row");
+                assert_eq!(after.row(0, 0).0.len(), 4);
+                let k = d.touched_rows(0).iter().position(|&r| r == 0).unwrap();
+                let (fc, fp) = d.fragment(0, k);
+                assert_eq!(fc, &[0, 1, 2, 3]);
+                assert!(fp.iter().all(|&p| p == 0.25));
+                flipped_at = Some(step);
+                break;
+            }
+            // Before the flip, row 0 stays bit-identical window to window.
+            assert_eq!(before.row(0, 0).0, after.row(0, 0).0);
+        }
+        assert!(flipped_at.is_some(), "decay never underflowed row 0");
+        // After the flip the row stays uniform and leaves the delta.
+        let d = s.observe_delta(&other_w);
+        assert!(!d.touched_rows(0).contains(&0));
+        assert_eq!(s.snapshot().row(0, 0).0.len(), 4);
     }
 
     #[test]

@@ -14,23 +14,28 @@
 //! Poisson/diurnal/flash-crowd arrivals, verified invariant across thread
 //! counts and backends), and the `table_elasticity` fault sweep (an
 //! unreplicated vs a fully replicated fleet through a mid-run GPU loss,
-//! verified invariant across thread counts and backends), and writes the
-//! machine-readable summary JSON (schema `exflow-bench-summary/v6`,
-//! documented in the README).
+//! verified invariant across thread counts and backends), and the
+//! `table_replan_latency` sweep (cold-rebuild vs delta-maintained
+//! re-planning at `E = 256/512`, verified to land bit-identical
+//! placements and cross masses), and writes the machine-readable summary
+//! JSON (schema `exflow-bench-summary/v7`, documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR7.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR8.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline (v6, or an older v3/v4/v5 whose sections are
-//! compared as far as they go — the skew is called out in an
-//! informational note): any objective mismatch (`cross_mass`, `nnz`, the
-//! online/replication cross counts, the serving latency quantiles, the
-//! elasticity recovery facts), a fresh serving row whose adaptive p99 is
-//! worse than the static incumbent's, or a fresh elasticity row whose
-//! replicated fleet does not recover strictly faster is a hard failure;
+//! committed baseline (v7, or an older v3–v6 whose sections are
+//! compared as far as they go — the skew note names every fresh section
+//! the old baseline cannot gate): any objective mismatch (`cross_mass`,
+//! `nnz`, the online/replication cross counts, the serving latency
+//! quantiles, the elasticity recovery facts, the re-plan cost counters),
+//! a fresh serving row whose adaptive p99 is worse than the static
+//! incumbent's, a fresh elasticity row whose replicated fleet does not
+//! recover strictly faster, an incremental re-plan whose cross mass
+//! diverges from the rebuild's, or an `E = 512` cell below the 5x
+//! scan-reduction bar is a hard failure;
 //! wall-time regressions beyond 25% are reported as warnings in the
 //! markdown printed to stdout (CI appends it to the job summary).
 //!
@@ -188,6 +193,19 @@ fn main() {
             recovery(row.repl_recovery),
             row.plain_emergency_bytes,
             row.repl_emergency_bytes
+        );
+    }
+
+    for row in &summary.replan_latency_rows {
+        eprintln!(
+            "table_replan_latency: {} evaluated rebuild {} vs incremental {} ({:.2}x cut, {} reused), wall {:.1} ms vs {:.1} ms",
+            row.preset,
+            row.evaluated_rebuild,
+            row.evaluated_incremental,
+            row.scan_reduction(),
+            row.reused,
+            row.wall_ms_rebuild,
+            row.wall_ms_incremental
         );
     }
 

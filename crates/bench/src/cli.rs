@@ -9,7 +9,7 @@
 
 use crate::experiments::{
     ablations, elasticity, events, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9,
-    online, replication_online, serving, table1, table2, table3,
+    online, replan_latency, replication_online, serving, table1, table2, table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -37,6 +37,7 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("table_replication_online", replication_online::print),
     ("table_serving", serving::print),
     ("table_elasticity", elasticity::print),
+    ("table_replan_latency", replan_latency::print),
     ("render-events", events::print),
 ];
 

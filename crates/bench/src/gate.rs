@@ -30,6 +30,30 @@ pub const MIN_SPARSE_SPEEDUP_512: f64 = 2.0;
 /// `table_online` scenario (the acceptance bar of the online subsystem).
 pub const MIN_ONLINE_RECOVERY: f64 = 0.8;
 
+/// Incremental objective maintenance plus the swap-gain cache must cut
+/// per-re-plan candidate-gain recomputation by at least this factor over
+/// a cold rebuild on every `E = 512` `table_replan_latency` cell (the
+/// acceptance bar of the incremental re-plan engine). Like the sparse
+/// bar, this is an operation-count — not wall-clock — contrast, so it
+/// holds on 1-core runners too.
+pub const MIN_REPLAN_SCAN_REDUCTION_512: f64 = 5.0;
+
+/// Every array section of the current (`v7`) schema, oldest first, with
+/// the schema version that introduced it. A baseline at version `v`
+/// lacks exactly the sections introduced after `v` — the gate skips
+/// bit-comparing those and *names* them in the skew note, so a reader
+/// can see precisely which row families ride ungated until the baseline
+/// is regenerated.
+const SECTION_INTRODUCED: &[(&str, u32)] = &[
+    ("rows", 1),
+    ("sparse_rows", 2),
+    ("online_rows", 3),
+    ("replication_online_rows", 4),
+    ("serving_rows", 5),
+    ("elasticity_rows", 6),
+    ("replan_latency_rows", 7),
+];
+
 /// Outcome of a baseline comparison.
 #[derive(Debug, Clone, Default)]
 pub struct GateReport {
@@ -136,12 +160,12 @@ fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: O
 }
 
 /// Compare a fresh summary JSON against the committed baseline JSON.
-/// The fresh document must be `exflow-bench-summary/v6`; the baseline may
-/// be v6 or the older v3/v4/v5 (whose sections are compared as far as
+/// The fresh document must be `exflow-bench-summary/v7`; the baseline may
+/// be v7 or the older v3/v4/v5/v6 (whose sections are compared as far as
 /// they go — a v3 baseline simply has no `replication_online_rows`,
-/// `serving_rows`, or `elasticity_rows` to gate against, a v4 baseline
-/// no `serving_rows` or `elasticity_rows`, a v5 baseline no
-/// `elasticity_rows`; the skew is surfaced as an informational note).
+/// `serving_rows`, `elasticity_rows`, or `replan_latency_rows` to gate
+/// against, and so on up the versions; the skew is surfaced as an
+/// informational note that *names* the absent row families).
 pub fn compare(baseline: &str, fresh: &str) -> GateReport {
     let mut report = GateReport::default();
 
@@ -150,34 +174,40 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
             .find(|l| l.trim_start().starts_with("\"schema\""))
             .and_then(|l| field(l, "schema"))
     };
-    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v6") {
+    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v7") {
         report.drifts.push(
-            "schema mismatch: the fresh document must be exflow-bench-summary/v6".to_string(),
+            "schema mismatch: the fresh document must be exflow-bench-summary/v7".to_string(),
         );
         return report;
     }
     let baseline_schema = get_schema(baseline);
-    if !matches!(
-        baseline_schema.as_deref(),
-        Some("exflow-bench-summary/v3")
-            | Some("exflow-bench-summary/v4")
-            | Some("exflow-bench-summary/v5")
-            | Some("exflow-bench-summary/v6")
-    ) {
-        report.drifts.push(
-            "schema mismatch: the baseline must be exflow-bench-summary/v3, /v4, /v5, or /v6 \
-             (regenerate the committed baseline with bench_summary)"
-                .to_string(),
-        );
-        return report;
-    }
-    if let Some(schema) = baseline_schema.as_deref() {
-        if schema != "exflow-bench-summary/v6" {
-            report.notes.push(format!(
-                "baseline is {schema}: sections newer than that schema are present in the \
-                 fresh run but not gated until the committed baseline is regenerated"
-            ));
+    let baseline_version = match baseline_schema.as_deref() {
+        Some("exflow-bench-summary/v3") => 3u32,
+        Some("exflow-bench-summary/v4") => 4,
+        Some("exflow-bench-summary/v5") => 5,
+        Some("exflow-bench-summary/v6") => 6,
+        Some("exflow-bench-summary/v7") => 7,
+        _ => {
+            report.drifts.push(
+                "schema mismatch: the baseline must be exflow-bench-summary/v3 through /v7 \
+                 (regenerate the committed baseline with bench_summary)"
+                    .to_string(),
+            );
+            return report;
         }
+    };
+    if baseline_version < 7 {
+        let absent: Vec<&str> = SECTION_INTRODUCED
+            .iter()
+            .filter(|&&(_, since)| since > baseline_version)
+            .map(|&(name, _)| name)
+            .collect();
+        report.notes.push(format!(
+            "baseline is {}: fresh sections {} are present in the fresh run but not gated \
+             until the committed baseline is regenerated",
+            baseline_schema.as_deref().unwrap_or_default(),
+            absent.join(", ")
+        ));
     }
 
     // Table rows: keyed by (model, solver); cross_mass is bit-compared.
@@ -648,6 +678,108 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         }
     }
 
+    // Replan-latency rows: keyed by preset; the solver-cost counters and
+    // both final cross masses are deterministic operation counts /
+    // objectives, so all of them are bit-compared. A v3..v6 baseline has
+    // no such section, so coverage checks only apply when the baseline
+    // has one.
+    let base_replan = rows_section(baseline, "replan_latency_rows");
+    let fresh_replan = rows_section(fresh, "replan_latency_rows");
+    if baseline.contains("\"replan_latency_rows\": [") {
+        let preset_of = |line: &str| field(line, "preset").unwrap_or_default();
+        for b in &base_replan {
+            let preset = preset_of(b);
+            match fresh_replan.iter().find(|f| preset_of(f) == preset) {
+                None => report.drifts.push(format!(
+                    "replan-latency row {preset} missing from fresh run"
+                )),
+                Some(f) => {
+                    for fact in [
+                        "replans",
+                        "considered",
+                        "evaluated_rebuild",
+                        "evaluated_incremental",
+                        "reused",
+                        "cross_mass_rebuild",
+                        "cross_mass_incremental",
+                    ] {
+                        let (bv, fv) = (field(b, fact), field(f, fact));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "{fact} drift on replan-latency/{preset}: baseline {} vs fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
+                    warn_wall(
+                        &mut report.warnings,
+                        &format!("{preset} (re-plan, rebuild)"),
+                        parse_ms(field(b, "wall_ms_rebuild")),
+                        parse_ms(field(f, "wall_ms_rebuild")),
+                    );
+                    warn_wall(
+                        &mut report.warnings,
+                        &format!("{preset} (re-plan, incremental)"),
+                        parse_ms(field(b, "wall_ms_incremental")),
+                        parse_ms(field(f, "wall_ms_incremental")),
+                    );
+                }
+            }
+        }
+        for f in &fresh_replan {
+            let preset = preset_of(f);
+            if !base_replan.iter().any(|b| preset_of(b) == preset) {
+                report
+                    .drifts
+                    .push(format!("replan-latency row {preset} not in baseline"));
+            }
+        }
+    }
+
+    // Acceptance bars of the incremental re-plan engine, checked on the
+    // fresh run regardless of baseline version: the delta-maintained
+    // objective must land bit-identical to the cold rebuild (string
+    // equality of the shortest-round-trip cross masses *is* bit
+    // equality), and at E = 512 the swap-gain cache must cut
+    // candidate-gain recomputation at least
+    // [`MIN_REPLAN_SCAN_REDUCTION_512`]x. The reduction is recomputed
+    // from the exact integer counters rather than trusting the
+    // 3-decimal-rounded `scan_reduction` field.
+    for f in &fresh_replan {
+        let preset = field(f, "preset").unwrap_or_default();
+        let (cm_rebuild, cm_incremental) = (
+            field(f, "cross_mass_rebuild"),
+            field(f, "cross_mass_incremental"),
+        );
+        if cm_rebuild != cm_incremental {
+            report.drifts.push(format!(
+                "replan-latency on {preset}: incremental cross mass {} diverged from the \
+                 rebuild's {} — incremental maintenance must be bit-identical",
+                cm_incremental.unwrap_or_default(),
+                cm_rebuild.unwrap_or_default()
+            ));
+        }
+        let num = |key: &str| field(f, key).and_then(|v| v.parse::<f64>().ok());
+        if field(f, "experts").as_deref() == Some("512") {
+            if let (Some(rebuild), Some(incremental)) =
+                (num("evaluated_rebuild"), num("evaluated_incremental"))
+            {
+                let reduction = if incremental > 0.0 {
+                    rebuild / incremental
+                } else {
+                    0.0
+                };
+                if reduction < MIN_REPLAN_SCAN_REDUCTION_512 {
+                    report.drifts.push(format!(
+                        "replan-latency scan reduction on {preset} is {reduction:.2}x, below \
+                         the {MIN_REPLAN_SCAN_REDUCTION_512:.1}x acceptance bar"
+                    ));
+                }
+            }
+        }
+    }
+
     // Whole-sweep walls.
     let top_field = |json: &str, key: &str| {
         json.lines()
@@ -675,8 +807,8 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
 mod tests {
     use super::*;
     use crate::summary::{
-        BenchRow, BenchSummary, ElasticityRow, OnlineBenchRow, ReplicationOnlineRow,
-        ServingBenchRow, SparseBenchRow,
+        BenchRow, BenchSummary, ElasticityRow, OnlineBenchRow, ReplanLatencyRow,
+        ReplicationOnlineRow, ServingBenchRow, SparseBenchRow,
     };
 
     fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
@@ -776,6 +908,23 @@ mod tests {
                 repl_emergency_bytes: 0,
                 repl_recovery: 1.5,
             }],
+            replan_latency_rows: vec![ReplanLatencyRow {
+                preset: "MoE-GPT-XXL/512e-24L-top1".into(),
+                n_experts: 512,
+                k: 1,
+                layers: 2,
+                windows: 4,
+                replans: 3,
+                max_moves: 40,
+                considered: 8_000_000,
+                evaluated_rebuild: 8_000_000,
+                evaluated_incremental: 1_000_000,
+                reused: 7_000_000,
+                wall_ms_rebuild: 900.0,
+                wall_ms_incremental: 120.0,
+                cross_mass_rebuild: cross / 5.0,
+                cross_mass_incremental: cross / 5.0,
+            }],
         }
     }
 
@@ -866,7 +1015,7 @@ mod tests {
     #[test]
     fn v1_baseline_is_rejected() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = fresh.replace("exflow-bench-summary/v6", "exflow-bench-summary/v1");
+        let old = fresh.replace("exflow-bench-summary/v7", "exflow-bench-summary/v1");
         let report = compare(&old, &fresh);
         assert!(!report.ok());
         assert!(report.drifts[0].contains("schema"));
@@ -884,19 +1033,31 @@ mod tests {
         out.replace(from, to)
     }
 
-    /// Strip a v6 document down to the v5 schema (drop the
-    /// elasticity_rows section and relabel).
-    fn as_v5(json: &str) -> String {
+    /// Strip a v7 document down to the v6 schema (drop the
+    /// replan_latency_rows section and relabel).
+    fn as_v6(json: &str) -> String {
         strip_last_section(
             json,
+            "replan_latency_rows",
+            "exflow-bench-summary/v7",
+            "exflow-bench-summary/v6",
+        )
+    }
+
+    /// Strip a v7 document down to the v5 schema (drop the
+    /// replan_latency_rows and elasticity_rows sections and relabel).
+    fn as_v5(json: &str) -> String {
+        strip_last_section(
+            &as_v6(json),
             "elasticity_rows",
             "exflow-bench-summary/v6",
             "exflow-bench-summary/v5",
         )
     }
 
-    /// Strip a v6 document down to the v4 schema (drop the
-    /// elasticity_rows and serving_rows sections and relabel).
+    /// Strip a v7 document down to the v4 schema (drop the
+    /// replan_latency_rows, elasticity_rows, and serving_rows sections
+    /// and relabel).
     fn as_v4(json: &str) -> String {
         strip_last_section(
             &as_v5(json),
@@ -906,9 +1067,8 @@ mod tests {
         )
     }
 
-    /// Strip a v6 document down to the v3 schema (drop the
-    /// elasticity_rows, serving_rows, and replication_online_rows
-    /// sections and relabel).
+    /// Strip a v7 document down to the v3 schema (keep only the rows,
+    /// sparse_rows, and online_rows sections and relabel).
     fn as_v3(json: &str) -> String {
         strip_last_section(
             &as_v4(json),
@@ -986,7 +1146,7 @@ mod tests {
         let fresh = as_v5(&base);
         let report = compare(&base, &fresh);
         assert!(!report.ok());
-        assert!(report.drifts[0].contains("must be exflow-bench-summary/v6"));
+        assert!(report.drifts[0].contains("must be exflow-bench-summary/v7"));
     }
 
     #[test]
@@ -1222,6 +1382,122 @@ mod tests {
         let report = compare(&base.to_json(), &fresh.to_json());
         assert!(!report.ok());
         assert!(report.drifts.iter().any(|d| d.contains("elasticity row")));
+        assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
+    }
+
+    #[test]
+    fn v6_baseline_is_accepted_and_note_names_the_replan_section() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let old = as_v6(&fresh);
+        assert!(old.contains("exflow-bench-summary/v6"));
+        assert!(old.contains("elasticity_rows"));
+        assert!(!old.contains("replan_latency_rows"));
+        let report = compare(&old, &fresh);
+        assert!(report.ok(), "{:?}", report.drifts);
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        assert!(report.notes[0].contains("exflow-bench-summary/v6"));
+        assert!(report.notes[0].contains("replan_latency_rows"));
+        // Only the one section rides ungated at v6.
+        assert!(!report.notes[0].contains("elasticity_rows"));
+    }
+
+    #[test]
+    fn skew_note_enumerates_every_absent_section() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let report = compare(&as_v4(&fresh), &fresh);
+        assert!(report.ok(), "{:?}", report.drifts);
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        for section in ["serving_rows", "elasticity_rows", "replan_latency_rows"] {
+            assert!(
+                report.notes[0].contains(section),
+                "note must name {section}: {:?}",
+                report.notes
+            );
+        }
+        assert!(!report.notes[0].contains("replication_online_rows"));
+    }
+
+    #[test]
+    fn replan_counter_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replan_latency_rows[0].evaluated_incremental += 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("evaluated_incremental drift on replan-latency")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn incremental_cross_mass_divergence_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replan_latency_rows[0].cross_mass_incremental += 1e-12;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("diverged from the rebuild")),
+            "{:?}",
+            report.drifts
+        );
+        // The bit-equality bar also binds against a v6 baseline, where
+        // no bit-compare covers the replan-latency section at all.
+        let report = compare(&as_v6(&base.to_json()), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("diverged from the rebuild")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn low_replan_scan_reduction_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        // 8M rebuild vs 4M incremental: only a 2x cut on the 512 cell.
+        fresh.replan_latency_rows[0].evaluated_incremental = 4_000_000;
+        fresh.replan_latency_rows[0].reused = 4_000_000;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("below the")),
+            "{:?}",
+            report.drifts
+        );
+        // The bar also binds against a v6 baseline.
+        let report = compare(&as_v6(&base.to_json()), &fresh.to_json());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("below the")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn replan_missing_preset_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.replan_latency_rows[0].preset = "renamed".into();
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("replan-latency row") && d.contains("missing")),
+            "{:?}",
+            report.drifts
+        );
         assert!(report.drifts.iter().any(|d| d.contains("not in baseline")));
     }
 

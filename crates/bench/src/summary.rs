@@ -42,10 +42,19 @@
 //!   verified bit-identical across thread counts and gap backends, with
 //!   the replicated fleet required to recover strictly faster.
 //!
+//! * **`table_replan_latency` sweep** — re-plan latency at `E = 256/512`:
+//!   the same drifting instance re-planned window by window along two
+//!   lockstep paths — a cold rebuild (`Objective::from_snapshot` plus an
+//!   uncached budgeted solve) and incremental maintenance
+//!   (`Objective::apply_snapshot_delta` plus a [`SwapGainCache`]-backed
+//!   solve) — verified to pick bit-identical placements at bit-identical
+//!   objectives, while recording how many swap-candidate gain
+//!   evaluations each path paid and the wall time of each.
+//!
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v6`) keeps them apart.
+//! (`exflow-bench-summary/v7`) keeps them apart.
 
 use std::time::Instant;
 
@@ -66,8 +75,8 @@ use exflow_placement::online::{
     solve_budgeted, solve_budgeted_replicated, solve_budgeted_toward, MigrationPlan,
 };
 use exflow_placement::{
-    replicated_cross_mass, solve_with, split_seed, GapBackend, Objective, Parallelism, Placement,
-    ReplicationBudget, ReplicationPlan, SolverKind,
+    replicated_cross_mass, solve_budgeted_metered, solve_with, split_seed, GapBackend, Objective,
+    Parallelism, Placement, ReplicationBudget, ReplicationPlan, SolverKind, SwapGainCache,
 };
 use exflow_topology::{ClusterSpec, CostModel, LinkCost};
 
@@ -187,6 +196,24 @@ const ELASTICITY_FAULT_AT: f64 = 0.4;
 /// When the lost GPU rejoins (in the loss+rejoin scenario), as a
 /// fraction of the arrival horizon.
 const ELASTICITY_REJOIN_AT: f64 = 0.6;
+
+/// Expert moves one `table_replan_latency` re-plan may relocate. Each
+/// accepted move costs the budgeted descent one full candidate rescan,
+/// so this also sets how many rescans the rebuild path pays per re-plan
+/// — the cost the incremental path's cache collapses to `O(dirty)`.
+const REPLAN_LATENCY_MOVES: u64 = 40;
+
+/// Tokens per `table_replan_latency` window (quick scale). Deliberately
+/// lean: the sweep studies solver latency on *sparse* instances, where a
+/// swap's dirty set (the swapped experts plus their structural
+/// neighbors) is a small fraction of the `E(E-1)` candidate space — the
+/// regime the cache's `O(dirty)` rescan contract targets.
+const REPLAN_LATENCY_TOKENS: (usize, usize) = (800, 2400);
+
+/// Layers of every `table_replan_latency` instance. Two layers (one gap)
+/// keep the `E = 512` cells affordable while still exercising both the
+/// successor (CSR-row) and predecessor (CSC-column) invalidation paths.
+const REPLAN_LATENCY_LAYERS: usize = 2;
 
 /// One (model, solver) measurement.
 #[derive(Debug, Clone)]
@@ -482,6 +509,68 @@ impl ElasticityRow {
     }
 }
 
+/// One `table_replan_latency` cell: a large-expert drift scenario
+/// re-planned window by window along two lockstep paths — a cold rebuild
+/// (fresh `Objective::from_snapshot` plus an uncached budgeted solve) and
+/// incremental maintenance (`Objective::apply_snapshot_delta` plus a
+/// persistent `SwapGainCache`). Both paths are verified in-sweep to hold
+/// bit-identical objectives, pick identical placements, consider the
+/// same number of swap candidates, and land on bit-identical cross mass;
+/// the counters record how many candidate gains each path actually
+/// recomputed (the re-plan latency the cache buys back).
+#[derive(Debug, Clone)]
+pub struct ReplanLatencyRow {
+    /// Large-zoo preset name.
+    pub preset: String,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Gating fan-out the instance was sampled with.
+    pub k: usize,
+    /// Layers of the drifting instance.
+    pub layers: usize,
+    /// Serving windows (window 0 profiles; every later window re-plans).
+    pub windows: usize,
+    /// Re-plans that actually moved at least one expert.
+    pub replans: usize,
+    /// Expert-move budget of each re-plan.
+    pub max_moves: u64,
+    /// Swap candidates the scan loops looked at, summed over every
+    /// re-plan — identical on both paths (verified; the meter charges
+    /// hits and misses alike).
+    pub considered: u64,
+    /// Candidate gains the rebuild path recomputed (uncached: equals
+    /// `considered`).
+    pub evaluated_rebuild: u64,
+    /// Candidate gains the incremental path recomputed.
+    pub evaluated_incremental: u64,
+    /// Candidate gains the incremental path answered from the cache.
+    pub reused: u64,
+    /// Wall milliseconds of the rebuild path (objective rebuild + solve),
+    /// summed over every re-plan.
+    pub wall_ms_rebuild: f64,
+    /// Wall milliseconds of the incremental path (delta apply + cached
+    /// solve), summed over every re-plan.
+    pub wall_ms_incremental: f64,
+    /// Final cross mass of the rebuild path's placement on its objective
+    /// (bit-identical to the incremental path's — verified).
+    pub cross_mass_rebuild: f64,
+    /// Final cross mass of the incremental path's placement on its
+    /// delta-maintained objective.
+    pub cross_mass_incremental: f64,
+}
+
+impl ReplanLatencyRow {
+    /// Gain evaluations the rebuild path paid per evaluation the
+    /// incremental path paid — the candidate-scan reduction the
+    /// acceptance bar gates at `E = 512`.
+    pub fn scan_reduction(&self) -> f64 {
+        if self.evaluated_incremental == 0 {
+            return 0.0;
+        }
+        self.evaluated_rebuild as f64 / self.evaluated_incremental as f64
+    }
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -510,6 +599,8 @@ pub struct BenchSummary {
     pub serving_rows: Vec<ServingBenchRow>,
     /// The `table_elasticity` cells, one per fault schedule.
     pub elasticity_rows: Vec<ElasticityRow>,
+    /// The `table_replan_latency` cells, in `large_zoo()` order.
+    pub replan_latency_rows: Vec<ReplanLatencyRow>,
 }
 
 impl BenchSummary {
@@ -522,7 +613,7 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v6` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v7` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
     /// and serving latencies are printed with Rust's shortest round-trip
     /// float formatting, so string equality in the JSON is bit equality
@@ -530,7 +621,7 @@ impl BenchSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v6\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v7\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -675,6 +766,34 @@ impl BenchSummary {
                 row.repl_emergency_bytes,
                 row.repl_recovery,
                 if i + 1 == self.elasticity_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"replan_latency_rows\": [\n");
+        for (i, row) in self.replan_latency_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"preset\": \"{}\", \"experts\": {}, \"k\": {}, \"layers\": {}, \"windows\": {}, \"replans\": {}, \"max_moves\": {}, \"considered\": {}, \"evaluated_rebuild\": {}, \"evaluated_incremental\": {}, \"reused\": {}, \"scan_reduction\": {:.3}, \"wall_ms_rebuild\": {:.3}, \"wall_ms_incremental\": {:.3}, \"cross_mass_rebuild\": {}, \"cross_mass_incremental\": {}}}{}\n",
+                row.preset,
+                row.n_experts,
+                row.k,
+                row.layers,
+                row.windows,
+                row.replans,
+                row.max_moves,
+                row.considered,
+                row.evaluated_rebuild,
+                row.evaluated_incremental,
+                row.reused,
+                row.scan_reduction(),
+                row.wall_ms_rebuild,
+                row.wall_ms_incremental,
+                row.cross_mass_rebuild,
+                row.cross_mass_incremental,
+                if i + 1 == self.replan_latency_rows.len() {
+                    ""
+                } else {
+                    ","
+                }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -1559,6 +1678,152 @@ pub fn elasticity_table(
     Ok(rows)
 }
 
+/// Measure one `table_replan_latency` cell: drift one large-expert
+/// instance through a window stream and re-plan after every window along
+/// two lockstep paths sharing one incumbent —
+///
+/// * **rebuild**: `Objective::from_snapshot` on the live estimate (paid
+///   every re-plan), then an uncached `solve_budgeted_metered`, which
+///   recomputes every considered candidate's gain;
+/// * **incremental**: `Objective::apply_snapshot_delta` with the
+///   window's `SnapshotDelta`, then the same solver backed by a
+///   persistent [`SwapGainCache`].
+///
+/// Every re-plan verifies the two objectives are equal, both paths pick
+/// the same placement, consider the same number of candidates, and — at
+/// the end — score bit-identical cross mass. Any divergence is an `Err`:
+/// it would mean incremental maintenance broke the determinism contract
+/// and the JSON must not be published.
+fn replan_latency_cell(
+    cfg: &ModelConfig,
+    scale: Scale,
+    seed: u64,
+) -> Result<ReplanLatencyRow, String> {
+    let e = cfg.n_experts;
+    let k = cfg.gate.k();
+    let layers = REPLAN_LATENCY_LAYERS;
+    let windows = scale.pick(3, 5);
+    let window_tokens = scale.pick(REPLAN_LATENCY_TOKENS.0, REPLAN_LATENCY_TOKENS.1);
+    let spec = AffinityModelSpec::new(layers, e).with_seed(seed);
+    let drift = DriftSchedule::piecewise(&spec, 2, windows);
+
+    // Window 0 profiles the instance; both paths start from the same
+    // snapshot-built objective and the same greedy-plus-polish incumbent.
+    let mut streaming = StreamingAffinity::new(layers, e, ONLINE_DECAY);
+    streaming.observe(&online_window_trace(
+        &drift,
+        0,
+        window_tokens,
+        seed ^ 0x0ff1,
+    ));
+    let mut live = Objective::from_snapshot(&streaming.snapshot());
+    let mut cache = SwapGainCache::for_objective(&live);
+    let mut placement = {
+        let mut p = solve_greedy(&live, N_UNITS_LARGE);
+        improve(&live, &mut p, 10);
+        p
+    };
+
+    let mut replans = 0usize;
+    let (mut considered, mut evaluated_rebuild) = (0u64, 0u64);
+    let (mut evaluated_incremental, mut reused) = (0u64, 0u64);
+    let (mut wall_rebuild, mut wall_incremental) = (0.0f64, 0.0f64);
+
+    for window in 1..windows {
+        let trace = online_window_trace(&drift, window, window_tokens, seed);
+        let delta = streaming.observe_delta(&trace);
+
+        // Rebuild path: pay the full objective reconstruction, then the
+        // uncached solve.
+        let t = Instant::now();
+        let rebuilt = Objective::from_snapshot(&streaming.snapshot());
+        let (next_rebuild, cost_rebuild) =
+            solve_budgeted_metered(&rebuilt, &placement, REPLAN_LATENCY_MOVES, u64::MAX, None);
+        wall_rebuild += t.elapsed().as_secs_f64() * 1e3;
+
+        // Incremental path: splice the window delta into the persistent
+        // objective, then the cache-backed solve.
+        let t = Instant::now();
+        live.apply_snapshot_delta(&delta);
+        let (next_incremental, cost_incremental) = solve_budgeted_metered(
+            &live,
+            &placement,
+            REPLAN_LATENCY_MOVES,
+            u64::MAX,
+            Some(&mut cache),
+        );
+        wall_incremental += t.elapsed().as_secs_f64() * 1e3;
+
+        if live != rebuilt {
+            return Err(format!(
+                "{}: delta-maintained objective diverged from the rebuild at window {window}",
+                cfg.name
+            ));
+        }
+        if next_incremental != next_rebuild {
+            return Err(format!(
+                "{}: cached incremental re-plan diverged from the rebuild at window {window}",
+                cfg.name
+            ));
+        }
+        if cost_rebuild.considered != cost_incremental.considered {
+            return Err(format!(
+                "{}: scan budget charged {} candidates uncached vs {} cached at window {window}",
+                cfg.name, cost_rebuild.considered, cost_incremental.considered
+            ));
+        }
+        considered += cost_rebuild.considered;
+        evaluated_rebuild += cost_rebuild.evaluated;
+        evaluated_incremental += cost_incremental.evaluated;
+        reused += cost_incremental.reused;
+        if next_rebuild != placement {
+            replans += 1;
+        }
+        placement = next_rebuild;
+    }
+
+    let cm_rebuild = Objective::from_snapshot(&streaming.snapshot()).cross_mass(&placement);
+    let cm_incremental = live.cross_mass(&placement);
+    if cm_rebuild.to_bits() != cm_incremental.to_bits() {
+        return Err(format!(
+            "{}: final cross mass diverged: rebuild {cm_rebuild} vs incremental {cm_incremental}",
+            cfg.name
+        ));
+    }
+
+    Ok(ReplanLatencyRow {
+        preset: cfg.name.clone(),
+        n_experts: e,
+        k,
+        layers,
+        windows,
+        replans,
+        max_moves: REPLAN_LATENCY_MOVES,
+        considered,
+        evaluated_rebuild,
+        evaluated_incremental,
+        reused,
+        wall_ms_rebuild: wall_rebuild,
+        wall_ms_incremental: wall_incremental,
+        cross_mass_rebuild: cm_rebuild,
+        cross_mass_incremental: cm_incremental,
+    })
+}
+
+/// The `table_replan_latency` sweep over the large-expert zoo
+/// (`E = 256/512`, top-1 and top-2). Cells run sequentially — both paths
+/// are timed, and contention would corrupt the rebuild-vs-incremental
+/// comparison. Errors if any cell's paths diverge.
+pub fn replan_latency_table(scale: Scale, seed: u64) -> Result<Vec<ReplanLatencyRow>, String> {
+    large_zoo()
+        .iter()
+        .map(|cfg| {
+            let stream = seed ^ ((cfg.n_experts as u64) << 20) ^ cfg.gate.k() as u64 ^ 0x9e37;
+            replan_latency_cell(cfg, scale, stream)
+        })
+        .collect()
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
 /// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
@@ -1601,6 +1866,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
     let replication_online_rows = replication_online_table(scale, seed)?;
     let serving_rows = serving_table(scale, jobs, seed)?;
     let elasticity_rows = elasticity_table(scale, jobs, seed)?;
+    let replan_latency_rows = replan_latency_table(scale, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -1617,6 +1883,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         replication_online_rows,
         serving_rows,
         elasticity_rows,
+        replan_latency_rows,
     })
 }
 
@@ -1784,6 +2051,44 @@ mod tests {
     }
 
     #[test]
+    fn replan_latency_table_incremental_path_is_exact_and_cheaper() {
+        let rows = replan_latency_table(Scale::Quick, 7).expect("lockstep paths must agree");
+        assert_eq!(rows.len(), large_zoo().len(), "one row per large preset");
+        let mut saw_512 = false;
+        for row in &rows {
+            assert!(row.replans > 0, "{}: no re-plan moved anything", row.preset);
+            // The rebuild path is uncached: it recomputes every
+            // considered candidate. The incremental path's split always
+            // partitions the same considered count.
+            assert_eq!(row.evaluated_rebuild, row.considered, "{}", row.preset);
+            assert_eq!(
+                row.evaluated_incremental + row.reused,
+                row.considered,
+                "{}",
+                row.preset
+            );
+            assert!(row.reused > 0, "{}: the cache answered nothing", row.preset);
+            assert!(
+                row.cross_mass_rebuild.to_bits() == row.cross_mass_incremental.to_bits(),
+                "{}: paths diverged",
+                row.preset
+            );
+            // The acceptance bar the perf-gate enforces: at E = 512 the
+            // cache must cut candidate-gain recomputation at least 5x.
+            if row.n_experts == 512 {
+                saw_512 = true;
+                assert!(
+                    row.scan_reduction() >= 5.0,
+                    "{}: scan reduction {:.2}x below the 5x bar",
+                    row.preset,
+                    row.scan_reduction()
+                );
+            }
+        }
+        assert!(saw_512, "the quick sweep must cover E = 512");
+    }
+
+    #[test]
     fn json_has_schema_and_balanced_braces() {
         let summary = BenchSummary {
             seed: 1,
@@ -1881,9 +2186,26 @@ mod tests {
                 repl_emergency_bytes: 0,
                 repl_recovery: 1.5,
             }],
+            replan_latency_rows: vec![ReplanLatencyRow {
+                preset: "MoE-GPT-XXL/512e-24L-top1".to_string(),
+                n_experts: 512,
+                k: 1,
+                layers: 2,
+                windows: 4,
+                replans: 3,
+                max_moves: 24,
+                considered: 8_000_000,
+                evaluated_rebuild: 8_000_000,
+                evaluated_incremental: 1_000_000,
+                reused: 7_000_000,
+                wall_ms_rebuild: 900.0,
+                wall_ms_incremental: 120.0,
+                cross_mass_rebuild: 0.625,
+                cross_mass_incremental: 0.625,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v6\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v7\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
@@ -1900,6 +2222,10 @@ mod tests {
         assert!(json.contains("\"fault\": \"gpu1-loss\""));
         assert!(json.contains("\"repl_emergency_bytes\": 0"));
         assert!(json.contains("\"repl_recovery\": 1.5"));
+        // 8M rebuild evals over 1M incremental, 3 decimals.
+        assert!(json.contains("\"scan_reduction\": 8.000"));
+        assert!(json.contains("\"evaluated_incremental\": 1000000"));
+        assert!(json.contains("\"cross_mass_incremental\": 0.625"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

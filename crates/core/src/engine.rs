@@ -7,17 +7,20 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use exflow_affinity::{AffinitySnapshot, RoutingTrace, SparseAffinity, StreamingAffinity};
+use exflow_affinity::{
+    AffinitySnapshot, RoutingTrace, SnapshotDelta, SparseAffinity, StreamingAffinity,
+};
 use exflow_collectives::{CommRecord, CommWorld, OpKind, RankComm};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::{
     ComputeCostModel, CorpusSpec, DriftSchedule, Expert, Matrix, ModelConfig, RoutingModel,
     TokenBatch,
 };
-use exflow_placement::online::{solve_budgeted, solve_budgeted_replicated, MigrationPlan};
+use exflow_placement::online::MigrationPlan;
 use exflow_placement::staged::solve_staged_with;
 use exflow_placement::{
-    GapBackend, Objective, Parallelism, Placement, ReplicationBudget, ReplicationPlan,
+    solve_budgeted_metered, solve_budgeted_replicated_metered, GapBackend, Objective, Parallelism,
+    Placement, ReplanCost, ReplicationBudget, ReplicationPlan, SwapGainCache,
 };
 use exflow_topology::collective_cost::BytesByClass;
 use exflow_topology::{ClusterSpec, CostModel, Rank};
@@ -59,6 +62,15 @@ pub struct OnlineConfig {
     /// magnitude — small drift, small budget; the full budget unlocks at
     /// `2 x drift_threshold` (opt-in).
     pub scale_budget_by_drift: bool,
+    /// Solver-time budget of one re-plan, in swap candidates *considered*
+    /// (the deterministic operation count [`exflow_placement::CostMeter`]
+    /// charges — not wall clock, so truncated runs stay bit-identical on
+    /// any machine, thread count, or cache state). When the descent
+    /// exhausts the budget it commits the best move found so far and
+    /// stops; the truncation is reported per
+    /// [`ReplanEvent`]. `u64::MAX` — the
+    /// default — never truncates.
+    pub replan_time_budget: u64,
 }
 
 impl Default for OnlineConfig {
@@ -71,6 +83,7 @@ impl Default for OnlineConfig {
             replica_memory_bytes: 0,
             budget_rollover: false,
             scale_budget_by_drift: false,
+            replan_time_budget: u64::MAX,
         }
     }
 }
@@ -134,7 +147,7 @@ impl OnlineConfig {
 
 /// The re-plan knobs every adaptive serving surface shares — the
 /// windowed online mode and the request-level serving loop read the same
-/// five fields out of [`OnlineConfig`]. `ReplanPolicy` names that shared
+/// six fields out of [`OnlineConfig`]. `ReplanPolicy` names that shared
 /// subset so callers can build it once and stamp it into either config
 /// path; the remaining [`OnlineConfig`] fields (`decay`,
 /// `replica_memory_bytes`) are estimator/memory knobs, not re-plan
@@ -173,6 +186,9 @@ pub struct ReplanPolicy {
     /// Scale each re-plan's budget by the measured drift (see
     /// [`OnlineConfig::scale_budget_by_drift`]).
     pub scale_budget_by_drift: bool,
+    /// Solver-time budget of one re-plan in swap candidates considered
+    /// (see [`OnlineConfig::replan_time_budget`]).
+    pub replan_time_budget: u64,
 }
 
 impl Default for ReplanPolicy {
@@ -189,6 +205,7 @@ impl From<OnlineConfig> for ReplanPolicy {
             migration_budget_bytes: oc.migration_budget_bytes,
             budget_rollover: oc.budget_rollover,
             scale_budget_by_drift: oc.scale_budget_by_drift,
+            replan_time_budget: oc.replan_time_budget,
         }
     }
 }
@@ -201,6 +218,7 @@ impl From<ReplanPolicy> for OnlineConfig {
             migration_budget_bytes: p.migration_budget_bytes,
             budget_rollover: p.budget_rollover,
             scale_budget_by_drift: p.scale_budget_by_drift,
+            replan_time_budget: p.replan_time_budget,
             ..OnlineConfig::default()
         }
     }
@@ -220,6 +238,7 @@ impl OnlineConfig {
         self.migration_budget_bytes = p.migration_budget_bytes;
         self.budget_rollover = p.budget_rollover;
         self.scale_budget_by_drift = p.scale_budget_by_drift;
+        self.replan_time_budget = p.replan_time_budget;
         self
     }
 }
@@ -730,6 +749,10 @@ impl InferenceEngine {
         let mut streaming = StreamingAffinity::new(cfg.model.n_layers, e, oc.decay);
         streaming.observe(&self.profile_trace);
         let mut reference = streaming.snapshot();
+        // The re-plan objective is built once from the seed snapshot and
+        // then kept current by per-window delta application — never
+        // rebuilt — with the swap-gain cache riding along across re-plans.
+        let mut replan_state = self.replan_state(&reference);
         let mut placement = self.placement_for(mode).clone();
         let mut replicated: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.n_layers];
         let mut carry = 0u64;
@@ -751,9 +774,13 @@ impl InferenceEngine {
             );
 
             // Online profiling is free: the engine already knows every
-            // serving token's expert path.
+            // serving token's expert path. Folding the window in yields
+            // the CSR delta of exactly the rows it touched; splicing that
+            // into the incumbent objective is bit-identical to rebuilding
+            // from a fresh snapshot, at O(changed rows) instead of O(E^2).
             let paths: Vec<Vec<u16>> = batches.iter().flat_map(TokenBatch::top1_paths).collect();
-            streaming.observe(&RoutingTrace::new(paths, e));
+            let delta = streaming.observe_delta(&RoutingTrace::new(paths, e));
+            replan_state.absorb(&delta);
             let drift_now = streaming.divergence(&reference);
             windows.push(report);
             drifts.push(drift_now);
@@ -762,11 +789,10 @@ impl InferenceEngine {
             // time and bytes that no subsequent traffic benefits from.
             let due = (window + 1) % oc.replan_every == 0 && window + 1 < drift.n_windows();
             if due && drift_now > oc.drift_threshold && mode.uses_affinity() {
-                let live = streaming.snapshot();
                 if let Some(exec) = self.replan_step(
                     mode,
                     drift_now,
-                    &live,
+                    &mut replan_state,
                     &mut placement,
                     &mut replicated,
                     &mut carry,
@@ -777,7 +803,7 @@ impl InferenceEngine {
                 // Whether or not anything moved, the live estimate is now
                 // what the incumbent placement has been (re-)optimized
                 // for; re-anchor the drift reference to it.
-                reference = live;
+                reference = streaming.snapshot();
             }
         }
 
@@ -801,19 +827,36 @@ impl InferenceEngine {
         }
     }
 
+    /// Seed the incremental re-plan state both adaptive serving surfaces
+    /// maintain: an objective built once from the estimator's starting
+    /// snapshot — thereafter kept current by
+    /// [`ReplanState::absorb`]-ing each window's
+    /// [`SnapshotDelta`] instead of rebuilding from scratch — plus the
+    /// persistent swap-gain cache the metered solvers reuse across
+    /// re-plans.
+    pub(crate) fn replan_state(&self, reference: &AffinitySnapshot) -> ReplanState {
+        let objective = Objective::from_snapshot_with(reference, self.cfg.gap_backend);
+        let cache = SwapGainCache::for_objective(&objective);
+        ReplanState { objective, cache }
+    }
+
     /// One budgeted re-plan against the live affinity estimate, shared by
-    /// the windowed online loop and the request-level serving loop: build
-    /// the objective from `live`, size the budget from the drift magnitude
-    /// and rollover carry, race replica-aware vs owner-move solving under
-    /// it, commit the winning placement into `placement`/`replicated`,
-    /// and execute the migration plan over the simulated collectives.
-    /// Returns `None` when the plan is empty (nothing moved, no time
-    /// charged); the rollover carry updates either way.
+    /// the windowed online loop and the request-level serving loop: take
+    /// the incrementally maintained objective from `state` (bit-identical
+    /// to a cold rebuild from the live snapshot), size the byte budget
+    /// from the drift magnitude and rollover carry, race replica-aware vs
+    /// owner-move solving under it — each solve metered by
+    /// `OnlineConfig::replan_time_budget` and served from the persistent
+    /// swap-gain cache — commit the winning placement into
+    /// `placement`/`replicated`, and execute the migration plan over the
+    /// simulated collectives. Returns `None` when the plan is empty
+    /// (nothing moved, no time charged); the rollover carry updates
+    /// either way.
     pub(crate) fn replan_step(
         &self,
         mode: ParallelismMode,
         drift_now: f64,
-        live: &AffinitySnapshot,
+        state: &mut ReplanState,
         placement: &mut Placement,
         replicated: &mut Vec<Vec<usize>>,
         carry: &mut u64,
@@ -821,38 +864,42 @@ impl InferenceEngine {
         let cfg = &self.cfg;
         let oc = cfg.online;
         let bytes_per_expert = (cfg.model.expert_params() * 2).max(1);
-        let objective = Objective::from_snapshot_with(live, cfg.gap_backend);
+        let ReplanState { objective, cache } = state;
         let budget_now = oc.budget_for(drift_now, *carry);
+        let scan_budget = oc.replan_time_budget;
         // Replicas only pay off where dispatch can serve from them;
         // context-coherent top-2 ignores them (see
         // `run_with_replication`), so spending the joint budget there
         // would buy memory and migration time for nothing — fall through
         // to plain owner moves instead.
         let replicas_usable = cfg.model.gate.k() == 1 || !mode.context_coherent();
-        let plan = if oc.replica_memory_bytes > 0 && replicas_usable {
+        let (plan, cost) = if oc.replica_memory_bytes > 0 && replicas_usable {
             let incumbent = ReplicationPlan {
                 base: placement.clone(),
                 replicated: replicated.clone(),
             };
-            let next = solve_budgeted_replicated(
-                &objective,
+            let (next, cost) = solve_budgeted_replicated_metered(
+                objective,
                 &incumbent,
                 bytes_per_expert,
                 &ReplicationBudget {
                     replica_memory_bytes: oc.replica_memory_bytes,
                     migration_budget_bytes: budget_now,
                 },
+                scan_budget,
+                Some(cache),
             );
             let plan = MigrationPlan::between_replicated(&incumbent, &next, bytes_per_expert);
             *placement = next.base;
             *replicated = next.replicated;
-            plan
+            (plan, cost)
         } else {
             let max_moves = budget_now / bytes_per_expert;
-            let next = solve_budgeted(&objective, placement, max_moves);
+            let (next, cost) =
+                solve_budgeted_metered(objective, placement, max_moves, scan_budget, Some(cache));
             let plan = MigrationPlan::between(placement, &next, bytes_per_expert);
             *placement = next;
-            plan
+            (plan, cost)
         };
         debug_assert!(plan.total_bytes() <= budget_now);
         if oc.budget_rollover {
@@ -870,6 +917,7 @@ impl InferenceEngine {
             budget_bytes: budget_now,
             migration_time: time,
             bytes,
+            cost,
         })
     }
 
@@ -1198,6 +1246,27 @@ struct RankResult {
     final_clock: f64,
 }
 
+/// The incremental solver state an adaptive serving loop carries across
+/// windows: the affinity objective — built once from the estimator's seed
+/// snapshot and kept current by CSR delta splices — and the persistent
+/// swap-gain cache the metered re-plan solvers draw on. Both surfaces
+/// (`run_online` and the request-level serving loop) thread one of these
+/// through every `replan_step` instead of rebuilding the `O(L x E^2)`
+/// objective per re-plan.
+pub(crate) struct ReplanState {
+    objective: Objective,
+    cache: SwapGainCache,
+}
+
+impl ReplanState {
+    /// Fold one estimator window delta into the maintained objective.
+    /// Bit-identical to `Objective::from_snapshot_with` on the
+    /// post-window snapshot, at the cost of only the touched rows.
+    pub(crate) fn absorb(&mut self, delta: &SnapshotDelta) {
+        self.objective.apply_snapshot_delta(delta);
+    }
+}
+
 /// Everything one executed re-plan changed, for the caller's accounting
 /// (shared by `run_online` and the serving front-end's event loop).
 pub(crate) struct ReplanExec {
@@ -1208,6 +1277,7 @@ pub(crate) struct ReplanExec {
     pub(crate) budget_bytes: u64,
     pub(crate) migration_time: f64,
     pub(crate) bytes: BytesByClass,
+    pub(crate) cost: ReplanCost,
 }
 
 impl ReplanExec {
@@ -1223,6 +1293,7 @@ impl ReplanExec {
             budget_bytes: self.budget_bytes,
             migration_time: self.migration_time,
             bytes_by_class: self.bytes,
+            solver_cost: self.cost,
         }
     }
 }
@@ -1682,6 +1753,61 @@ mod tests {
             assert!(replan.bytes_moved <= replan.budget_bytes);
             assert!(replan.budget_bytes <= (replan.window as u64 + 1) * base_budget);
         }
+    }
+
+    #[test]
+    fn replan_events_report_consistent_solver_costs() {
+        let engine = online_engine(1);
+        let drift = online_drift(&engine, 6);
+        let report = engine.run_online(ParallelismMode::ContextCoherentAffinity, &drift);
+        assert!(report.migrations.replans > 0);
+        for replan in &report.replans {
+            let c = replan.solver_cost;
+            // Every considered candidate was either recomputed or served
+            // from the swap-gain cache, and an unlimited budget never
+            // truncates.
+            assert_eq!(c.considered, c.evaluated + c.reused);
+            assert!(c.considered > 0);
+            assert!(!c.truncated);
+        }
+    }
+
+    #[test]
+    fn replan_time_budget_truncates_deterministically() {
+        let run = |scan_budget: u64| {
+            let mut cfg = online_engine(1).config().clone();
+            cfg.online.replan_time_budget = scan_budget;
+            let engine = InferenceEngine::from_config(cfg);
+            let drift = online_drift(&engine, 6);
+            engine.run_online(ParallelismMode::ContextCoherentAffinity, &drift)
+        };
+        let tight = run(400);
+        let again = run(400);
+        assert_eq!(tight, again, "budgeted runs must stay deterministic");
+        assert!(tight.migrations.replans > 0, "tight budget still re-plans");
+        for replan in &tight.replans {
+            let c = replan.solver_cost;
+            assert!(c.considered <= 400, "meter overshot: {}", c.considered);
+            assert!(c.truncated, "a 400-candidate budget must truncate here");
+        }
+        // The unlimited budget is the exact pre-meter behavior.
+        let unlimited = run(u64::MAX);
+        let default = run(OnlineConfig::default().replan_time_budget);
+        assert_eq!(unlimited, default);
+        assert!(unlimited.replans.iter().all(|r| !r.solver_cost.truncated));
+    }
+
+    #[test]
+    fn replan_policy_carries_the_time_budget() {
+        let policy = ReplanPolicy {
+            replan_time_budget: 123,
+            ..ReplanPolicy::default()
+        };
+        let oc = OnlineConfig::from(policy);
+        assert_eq!(oc.replan_time_budget, 123);
+        assert_eq!(ReplanPolicy::from(oc), policy);
+        let stamped = OnlineConfig::default().with_replan_policy(policy);
+        assert_eq!(stamped.replan_time_budget, 123);
     }
 
     #[test]

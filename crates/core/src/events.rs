@@ -485,6 +485,12 @@ mod tests {
                     intra_node: 2000,
                     inter_node: 0,
                 },
+                solver_cost: exflow_placement::ReplanCost {
+                    considered: 40,
+                    evaluated: 28,
+                    reused: 12,
+                    truncated: false,
+                },
             }],
             disruption: DisruptionStats {
                 faults: vec![

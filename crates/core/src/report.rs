@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use exflow_placement::ReplanCost;
 use exflow_topology::collective_cost::BytesByClass;
 
 use crate::modes::ParallelismMode;
@@ -199,6 +200,13 @@ pub struct ReplanEvent {
     /// Migrated bytes bucketed by link class (the per-event split of
     /// `MigrationStats::bytes`).
     pub bytes_by_class: BytesByClass,
+    /// What the re-plan solve itself cost, in the deterministic
+    /// operation counts of [`exflow_placement::CostMeter`]: swap
+    /// candidates considered, gains actually recomputed vs served from
+    /// the swap-gain cache, and whether
+    /// `OnlineConfig::replan_time_budget` truncated the descent (see
+    /// [`crate::OnlineConfig::replan_time_budget`]).
+    pub solver_cost: ReplanCost,
 }
 
 /// One fleet-membership change the serving loop processed (the

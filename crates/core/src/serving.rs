@@ -374,6 +374,10 @@ impl InferenceEngine {
         let mut streaming = StreamingAffinity::new(cfg.model.n_layers, e, oc.decay);
         streaming.observe(self.profile_trace());
         let mut reference = streaming.snapshot();
+        // The incremental re-plan state (delta-maintained objective plus
+        // persistent swap-gain cache) rides across every window boundary,
+        // exactly as in the windowed loop.
+        let mut replan_state = self.replan_state(&reference);
         let (mut placement, mut replicated): (Placement, Vec<Vec<usize>>) = match initial {
             Some(plan) => (plan.base.clone(), plan.replicated.clone()),
             None => (
@@ -463,8 +467,11 @@ impl InferenceEngine {
                     // as the windowed loop would.
                     let wnow = window_of(clock);
                     if wnow > cur_window && !pending_paths.is_empty() {
-                        streaming
-                            .observe(&RoutingTrace::new(std::mem::take(&mut pending_paths), e));
+                        let delta = streaming.observe_delta(&RoutingTrace::new(
+                            std::mem::take(&mut pending_paths),
+                            e,
+                        ));
+                        replan_state.absorb(&delta);
                     }
                     while cur_window < wnow {
                         let ended = cur_window;
@@ -474,12 +481,11 @@ impl InferenceEngine {
                         let due = (ended + 1).is_multiple_of(oc.replan_every)
                             && ended + 1 < drift.n_windows();
                         if due && drift_now > oc.drift_threshold && mode.uses_affinity() {
-                            let live = streaming.snapshot();
                             let stale = (placement.clone(), replicated.clone());
                             if let Some(exec) = self.replan_step(
                                 mode,
                                 drift_now,
-                                &live,
+                                &mut replan_state,
                                 &mut placement,
                                 &mut replicated,
                                 &mut carry,
@@ -499,7 +505,7 @@ impl InferenceEngine {
                                 migrations.absorb(&exec);
                                 replans.push(exec.event(ended, drift_now));
                             }
-                            reference = live;
+                            reference = streaming.snapshot();
                         }
                     }
                 }

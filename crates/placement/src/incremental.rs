@@ -1,0 +1,758 @@
+//! Incremental re-plan machinery: a persistent [`SwapGainCache`] with
+//! structural (CSR/CSC-keyed) invalidation, a deterministic
+//! operation-count [`CostMeter`], and metered variants of the budgeted
+//! online solvers.
+//!
+//! The budgeted solvers rescan every `(layer, e1, e2)` swap candidate on
+//! every descent step, so a re-plan that executes `S` swaps costs
+//! `(S + 1) * L * E^2 / 2` gain evaluations — the actual bottleneck at
+//! `E = 512`, where the solver, not migration bytes, dominates re-plan
+//! latency. A swap only perturbs the gains of candidates that *touch* it
+//! structurally (the swapped experts, their successors one layer down,
+//! their predecessors one layer up), so after the first full scan each
+//! subsequent rescan re-evaluates `O(dirty)` candidates and answers the
+//! rest from the cache.
+//!
+//! Everything here preserves the crate's bit-determinism contract:
+//!
+//! * a cache hit returns the exact `f64` a fresh [`Objective::swap_delta`]
+//!   call would produce (invalidation is a structural superset of every
+//!   value-changing dependency), so cached and uncached runs pick the
+//!   same swaps;
+//! * the scan budget counts *considered* candidates — cache hits and
+//!   misses cost the same — so budgeted truncation points are identical
+//!   with and without a cache;
+//! * nothing here consults the clock. Wall time is reported by the bench
+//!   harness, never branched on.
+
+use crate::greedy::solve_greedy;
+use crate::objective::Objective;
+use crate::online::{net_moves, sort_by_gain, trim_to_slots};
+use crate::placement::Placement;
+use crate::replication::{
+    replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan,
+};
+
+/// Deterministic solver-cost accounting for one re-plan.
+///
+/// All counters are operation counts, not wall clock, so they are
+/// bit-reproducible across machines and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplanCost {
+    /// Swap candidates the scan loops looked at — cache hits and misses
+    /// alike. This is the quantity a scan budget truncates on, which is
+    /// what keeps budgeted runs bit-identical whether or not a cache is
+    /// attached.
+    pub considered: u64,
+    /// Candidates whose gain was recomputed via [`Objective::swap_delta`].
+    pub evaluated: u64,
+    /// Candidates answered from the [`SwapGainCache`].
+    pub reused: u64,
+    /// Whether the scan budget ran out before the walks converged.
+    pub truncated: bool,
+}
+
+/// A deterministic operation-count meter for re-plan solver work.
+///
+/// `budget` caps [`ReplanCost::considered`]; when it is exhausted the
+/// scan loops finish the decision already in flight from the scanned
+/// prefix and then stop (the descent is truncated, never corrupted).
+/// `u64::MAX` means unlimited.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    budget: u64,
+    cost: ReplanCost,
+}
+
+impl CostMeter {
+    /// A meter that truncates scans after `budget` considered candidates.
+    pub fn new(budget: u64) -> Self {
+        CostMeter {
+            budget,
+            cost: ReplanCost::default(),
+        }
+    }
+
+    /// A meter that never truncates.
+    pub fn unlimited() -> Self {
+        CostMeter::new(u64::MAX)
+    }
+
+    /// Charge one considered candidate; `false` when the budget is spent
+    /// (and the caller must stop scanning).
+    fn try_consider(&mut self) -> bool {
+        if self.cost.considered >= self.budget {
+            self.cost.truncated = true;
+            false
+        } else {
+            self.cost.considered += 1;
+            true
+        }
+    }
+
+    /// The accumulated cost so far.
+    pub fn cost(&self) -> ReplanCost {
+        self.cost
+    }
+}
+
+/// A persistent per-`(layer, e1, e2)` swap-gain cache with structural
+/// invalidation.
+///
+/// An entry is valid while neither endpoint's *dirty stamp* is newer than
+/// the entry. Executing a swap of `(a, b)` at layer `l`
+/// ([`SwapGainCache::note_swap`]) dirties exactly the experts whose unit
+/// assignment feeds some candidate's gain:
+///
+/// * `a` and `b` at layer `l`;
+/// * their structural successors at layer `l + 1` (the CSR rows `a`/`b`
+///   of gap `l`) — candidates there read `a`/`b`'s units through the
+///   incoming half of `swap_delta`;
+/// * their structural predecessors at layer `l - 1` (the CSC columns
+///   `a`/`b` of gap `l - 1`) — candidates there read the units through
+///   the outgoing half.
+///
+/// Dense gaps use their nonzero cells as the structure; a zero cell
+/// contributes an exactly-zero term to every gain on both sides of any
+/// unit change, so skipping it never lets a stale value change a solver
+/// decision.
+///
+/// Cached values are position-symmetric: `swap_delta(l, a, b)` and
+/// `swap_delta(l, b, a)` are bit-identical (IEEE addition is commutative
+/// and both orders visit indices ascending), so entries are stored on the
+/// unordered pair.
+///
+/// The cache carries **no values across trajectories**: each metered walk
+/// starts with [`SwapGainCache::invalidate_all`] because it descends its
+/// own placement sequence (and each streaming window rewrites the
+/// marginal weights wholesale). What persists is the allocation and the
+/// within-walk reuse — which is where the `O(E^2)`-per-step cost was.
+#[derive(Debug, Clone)]
+pub struct SwapGainCache {
+    n_layers: usize,
+    n_experts: usize,
+    /// Entries per layer: `E * (E - 1) / 2` unordered pairs.
+    tri: usize,
+    vals: Vec<f64>,
+    /// Tick at which each entry was computed; 0 = never.
+    stamp: Vec<u64>,
+    /// Tick at which each `(layer, expert)` was last dirtied.
+    dirty: Vec<u64>,
+    tick: u64,
+}
+
+impl SwapGainCache {
+    /// An empty cache for `n_layers x n_experts` instances.
+    pub fn new(n_layers: usize, n_experts: usize) -> Self {
+        assert!(n_layers >= 1 && n_experts >= 1);
+        let tri = n_experts * (n_experts - 1) / 2;
+        SwapGainCache {
+            n_layers,
+            n_experts,
+            tri,
+            vals: vec![0.0; n_layers * tri],
+            stamp: vec![0; n_layers * tri],
+            dirty: vec![1; n_layers * n_experts],
+            tick: 1,
+        }
+    }
+
+    /// An empty cache shaped for `objective`.
+    pub fn for_objective(objective: &Objective) -> Self {
+        SwapGainCache::new(objective.n_layers(), objective.n_experts())
+    }
+
+    /// Layers this cache is shaped for.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Experts per layer this cache is shaped for.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    #[inline]
+    fn slot(&self, layer: usize, e1: usize, e2: usize) -> usize {
+        let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        debug_assert!(lo < hi && hi < self.n_experts);
+        layer * self.tri + lo * (2 * self.n_experts - lo - 1) / 2 + (hi - lo - 1)
+    }
+
+    /// The cached gain for swapping `e1`/`e2` at `layer`, if still valid.
+    #[inline]
+    pub fn get(&self, layer: usize, e1: usize, e2: usize) -> Option<f64> {
+        let s = self.slot(layer, e1, e2);
+        let t = self.stamp[s];
+        let d = &self.dirty[layer * self.n_experts..(layer + 1) * self.n_experts];
+        (t != 0 && t >= d[e1] && t >= d[e2]).then(|| self.vals[s])
+    }
+
+    /// Store a freshly computed gain.
+    #[inline]
+    pub fn put(&mut self, layer: usize, e1: usize, e2: usize, val: f64) {
+        let s = self.slot(layer, e1, e2);
+        self.vals[s] = val;
+        self.stamp[s] = self.tick;
+    }
+
+    /// Drop every entry (start of a new walk trajectory, or a streaming
+    /// window rewrote the objective's weights). `O(L * E)` — no entry
+    /// storage is touched.
+    pub fn invalidate_all(&mut self) {
+        self.tick += 1;
+        self.dirty.fill(self.tick);
+    }
+
+    #[inline]
+    fn mark(&mut self, layer: usize, x: usize) {
+        self.dirty[layer * self.n_experts + x] = self.tick;
+    }
+
+    /// Record that `a` and `b` swapped units at `layer`, dirtying exactly
+    /// the experts whose unit feeds some cached gain (see the type docs).
+    pub fn note_swap(&mut self, objective: &Objective, layer: usize, a: usize, b: usize) {
+        debug_assert_eq!(objective.n_layers(), self.n_layers);
+        debug_assert_eq!(objective.n_experts(), self.n_experts);
+        self.tick += 1;
+        self.mark(layer, a);
+        self.mark(layer, b);
+        if layer + 1 < self.n_layers {
+            objective.for_each_in_row(layer, a, |p, _| self.mark(layer + 1, p));
+            objective.for_each_in_row(layer, b, |p, _| self.mark(layer + 1, p));
+        }
+        if layer > 0 {
+            objective.for_each_in_col(layer - 1, a, |i, _| self.mark(layer - 1, i));
+            objective.for_each_in_col(layer - 1, b, |i, _| self.mark(layer - 1, i));
+        }
+    }
+}
+
+/// One gain lookup: cache hit, or recompute-and-fill. The value is
+/// bit-identical either way; only the `evaluated`/`reused` split differs.
+#[inline]
+fn gain(
+    objective: &Objective,
+    placement: &Placement,
+    layer: usize,
+    e1: usize,
+    e2: usize,
+    meter: &mut CostMeter,
+    cache: &mut Option<&mut SwapGainCache>,
+) -> f64 {
+    if let Some(c) = cache.as_deref_mut() {
+        if let Some(v) = c.get(layer, e1, e2) {
+            meter.cost.reused += 1;
+            return v;
+        }
+        let v = objective.swap_delta(placement, layer, e1, e2);
+        meter.cost.evaluated += 1;
+        c.put(layer, e1, e2, v);
+        v
+    } else {
+        meter.cost.evaluated += 1;
+        objective.swap_delta(placement, layer, e1, e2)
+    }
+}
+
+/// Metered, optionally cached first-improvement swap passes — the same
+/// walk as [`crate::local_search::improve`], charged to `meter` and
+/// truncated when the scan budget runs out (swaps already applied stay
+/// applied). Returns the final cross mass.
+pub fn improve_metered(
+    objective: &Objective,
+    placement: &mut Placement,
+    max_passes: usize,
+    meter: &mut CostMeter,
+    mut cache: Option<&mut SwapGainCache>,
+) -> f64 {
+    if let Some(c) = cache.as_deref_mut() {
+        c.invalidate_all();
+    }
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    'passes: for _ in 0..max_passes {
+        let mut improved = false;
+        for layer in 0..l {
+            for e1 in 0..e {
+                for e2 in (e1 + 1)..e {
+                    if !meter.try_consider() {
+                        break 'passes;
+                    }
+                    let delta = gain(objective, placement, layer, e1, e2, meter, &mut cache);
+                    if delta < -1e-12 {
+                        placement.swap(layer, e1, e2);
+                        if let Some(c) = cache.as_deref_mut() {
+                            c.note_swap(objective, layer, e1, e2);
+                        }
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    objective.cross_mass(placement)
+}
+
+/// Metered best-improvement descent (see `solve_budgeted_toward` docs for
+/// the walk's semantics). With an unlimited meter this is the exact walk
+/// the unmetered solver takes; a spent budget finishes the decision in
+/// flight from the scanned prefix and stops.
+fn budgeted_descent_metered(
+    objective: &Objective,
+    incumbent: &Placement,
+    max_moves: u64,
+    meter: &mut CostMeter,
+    mut cache: Option<&mut SwapGainCache>,
+) -> Placement {
+    if let Some(c) = cache.as_deref_mut() {
+        c.invalidate_all();
+    }
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    let mut placement = incumbent.clone();
+    loop {
+        let mut best: Option<(f64, usize, usize, usize)> = None;
+        let mut exhausted = false;
+        'scan: for layer in 0..l {
+            for e1 in 0..e {
+                for e2 in (e1 + 1)..e {
+                    if !meter.try_consider() {
+                        exhausted = true;
+                        break 'scan;
+                    }
+                    let delta = gain(objective, &placement, layer, e1, e2, meter, &mut cache);
+                    if delta < -1e-12 && best.is_none_or(|(b, _, _, _)| delta < b) {
+                        best = Some((delta, layer, e1, e2));
+                    }
+                }
+            }
+        }
+        let Some((_, layer, e1, e2)) = best else {
+            break;
+        };
+        let mut next = placement.clone();
+        next.swap(layer, e1, e2);
+        if net_moves(incumbent, &next) > max_moves {
+            break;
+        }
+        placement = next;
+        if let Some(c) = cache.as_deref_mut() {
+            c.note_swap(objective, layer, e1, e2);
+        }
+        if exhausted {
+            break;
+        }
+    }
+    placement
+}
+
+/// Metered toward-target walk (see `solve_budgeted_toward` docs). Same
+/// truncation semantics as the descent.
+fn budgeted_toward_metered(
+    objective: &Objective,
+    incumbent: &Placement,
+    target: &Placement,
+    max_moves: u64,
+    meter: &mut CostMeter,
+    mut cache: Option<&mut SwapGainCache>,
+) -> Placement {
+    if let Some(c) = cache.as_deref_mut() {
+        c.invalidate_all();
+    }
+    let e = objective.n_experts();
+    let l = objective.n_layers();
+    let mut placement = incumbent.clone();
+    let mut best = (objective.cross_mass(&placement), placement.clone());
+    loop {
+        let mut pick: Option<(f64, usize, usize, usize)> = None;
+        let mut exhausted = false;
+        'scan: for layer in 0..l {
+            for e1 in 0..e {
+                let want = target.unit_of(layer, e1);
+                if placement.unit_of(layer, e1) == want {
+                    continue;
+                }
+                for e2 in 0..e {
+                    if e2 != e1
+                        && placement.unit_of(layer, e2) == want
+                        && target.unit_of(layer, e2) != want
+                    {
+                        if !meter.try_consider() {
+                            exhausted = true;
+                            break 'scan;
+                        }
+                        let delta = gain(objective, &placement, layer, e1, e2, meter, &mut cache);
+                        if pick.is_none_or(|(b, _, _, _)| delta < b) {
+                            pick = Some((delta, layer, e1, e2));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((_, layer, e1, e2)) = pick else {
+            break;
+        };
+        let mut next = placement.clone();
+        next.swap(layer, e1, e2);
+        if net_moves(incumbent, &next) > max_moves {
+            break;
+        }
+        placement = next;
+        if let Some(c) = cache.as_deref_mut() {
+            c.note_swap(objective, layer, e1, e2);
+        }
+        let cost = objective.cross_mass(&placement);
+        if cost < best.0 {
+            best = (cost, placement.clone());
+        }
+        if exhausted {
+            break;
+        }
+    }
+    best.1
+}
+
+/// Metered [`crate::online::solve_budgeted_toward`]: descent and
+/// toward-target race on the shared meter (descent scans first), cheaper
+/// result wins, descent on ties.
+pub fn solve_budgeted_toward_metered(
+    objective: &Objective,
+    incumbent: &Placement,
+    target: &Placement,
+    max_moves: u64,
+    meter: &mut CostMeter,
+    mut cache: Option<&mut SwapGainCache>,
+) -> Placement {
+    let descent =
+        budgeted_descent_metered(objective, incumbent, max_moves, meter, cache.as_deref_mut());
+    let toward = budgeted_toward_metered(objective, incumbent, target, max_moves, meter, cache);
+    if objective.cross_mass(&toward) < objective.cross_mass(&descent) {
+        toward
+    } else {
+        descent
+    }
+}
+
+/// [`crate::online::solve_budgeted`] threading an explicit meter — the
+/// composition the replication-aware entry point shares.
+pub(crate) fn solve_budgeted_with_meter(
+    objective: &Objective,
+    incumbent: &Placement,
+    max_moves: u64,
+    meter: &mut CostMeter,
+    mut cache: Option<&mut SwapGainCache>,
+) -> Placement {
+    let mut target = solve_greedy(objective, incumbent.n_units());
+    improve_metered(objective, &mut target, 50, meter, cache.as_deref_mut());
+    solve_budgeted_toward_metered(objective, incumbent, &target, max_moves, meter, cache)
+}
+
+/// Metered, optionally cached [`crate::online::solve_budgeted`].
+///
+/// With `scan_budget = u64::MAX` and any cache state the returned
+/// placement is bit-identical to the unmetered solver; the
+/// [`ReplanCost`] reports how many candidates were considered, how many
+/// gains were actually recomputed, and how many were reused from the
+/// cache. A finite budget truncates the walks deterministically — cache
+/// hits and misses are charged alike, so the truncation point does not
+/// depend on cache state.
+pub fn solve_budgeted_metered(
+    objective: &Objective,
+    incumbent: &Placement,
+    max_moves: u64,
+    scan_budget: u64,
+    cache: Option<&mut SwapGainCache>,
+) -> (Placement, ReplanCost) {
+    let mut meter = CostMeter::new(scan_budget);
+    let placement = solve_budgeted_with_meter(objective, incumbent, max_moves, &mut meter, cache);
+    (placement, meter.cost())
+}
+
+/// Metered, optionally cached
+/// [`crate::online::solve_budgeted_replicated`]: the same two-candidate
+/// race (owner-moves-only vs replica-first), with both inner budgeted
+/// solves charged to one meter in a fixed order (candidate A first).
+/// Replica-gain ranking is `O(nnz)` bookkeeping and is not charged.
+pub fn solve_budgeted_replicated_metered(
+    objective: &Objective,
+    incumbent: &ReplicationPlan,
+    bytes_per_expert: u64,
+    budget: &ReplicationBudget,
+    scan_budget: u64,
+    mut cache: Option<&mut SwapGainCache>,
+) -> (ReplicationPlan, ReplanCost) {
+    let mut meter = CostMeter::new(scan_budget);
+    let bpe = bytes_per_expert.max(1);
+    let slots = usize::try_from(budget.replica_memory_bytes / bpe).unwrap_or(usize::MAX);
+    let units = incumbent.base.n_units();
+    let fan_out_bytes = (units as u64 - 1) * bpe;
+    let gains = replica_gains(objective, &incumbent.base);
+
+    // Candidate A: owner moves only, replicas carried over (trimmed if the
+    // memory budget no longer covers them — drops are free).
+    let owner_moves = budget.migration_budget_bytes / bpe;
+    let cand_a = ReplicationPlan {
+        base: solve_budgeted_with_meter(
+            objective,
+            &incumbent.base,
+            owner_moves,
+            &mut meter,
+            cache.as_deref_mut(),
+        ),
+        replicated: trim_to_slots(&incumbent.replicated, &gains, slots),
+    };
+
+    // Candidate B: replica-first. Desired set = the `slots` best positive
+    // gains; diff against the incumbent decides what ships.
+    let e = objective.n_experts();
+    let mut ranked: Vec<(usize, usize)> = (0..incumbent.base.n_layers())
+        .flat_map(|l| (0..e).map(move |x| (l, x)))
+        .filter(|&(l, x)| gains[l][x] > 0.0)
+        .collect();
+    sort_by_gain(&mut ranked, &gains);
+    ranked.truncate(slots);
+    let mut replicated = vec![Vec::new(); incumbent.base.n_layers()];
+    let mut migration_left = budget.migration_budget_bytes;
+    for (l, x) in ranked {
+        if incumbent.replicated[l].contains(&x) {
+            // Already everywhere: keeping it is free.
+            replicated[l].push(x);
+        } else if fan_out_bytes == 0 {
+            replicated[l].push(x);
+        } else if migration_left >= fan_out_bytes {
+            migration_left -= fan_out_bytes;
+            replicated[l].push(x);
+        }
+    }
+    for r in &mut replicated {
+        r.sort_unstable();
+    }
+    let cand_b = ReplicationPlan {
+        base: solve_budgeted_with_meter(
+            objective,
+            &incumbent.base,
+            migration_left / bpe,
+            &mut meter,
+            cache,
+        ),
+        replicated,
+    };
+
+    let winner =
+        if replicated_cross_mass(objective, &cand_b) < replicated_cross_mass(objective, &cand_a) {
+            cand_b
+        } else {
+            cand_a
+        };
+    (winner, meter.cost())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::GapBackend;
+    use crate::online::{solve_budgeted, solve_budgeted_replicated, MigrationPlan};
+
+    /// Shift affinity with a uniform leak (same instance family the
+    /// online tests use).
+    fn objective_with(e: usize, gaps: usize, kappa: f64, backend: GapBackend) -> Objective {
+        let u = 1.0 / e as f64;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            for p in 0..e {
+                let s = f64::from(p == (i + 3) % e);
+                m[i * e + p] = kappa * s + (1.0 - kappa) * u;
+            }
+        }
+        Objective::from_raw_with(vec![m; gaps], e, backend)
+    }
+
+    /// Sparse shift instance (pure permutation rows keep the gaps CSR).
+    fn sparse_objective(e: usize, gaps: usize) -> Objective {
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + (i + 3) % e] = 0.7;
+            m[i * e + (i + 1) % e] = 0.3;
+        }
+        Objective::from_raw(vec![m; gaps], e)
+    }
+
+    #[test]
+    fn cached_solve_is_bit_identical_to_uncached() {
+        for obj in [
+            objective_with(12, 4, 0.85, GapBackend::Dense),
+            objective_with(12, 4, 0.85, GapBackend::Sparse),
+            sparse_objective(16, 3),
+        ] {
+            let incumbent = Placement::round_robin(obj.n_layers(), obj.n_experts(), 4);
+            for budget in [0u64, 4, 12, u64::MAX] {
+                let plain = solve_budgeted(&obj, &incumbent, budget);
+                let (uncached, cost_u) =
+                    solve_budgeted_metered(&obj, &incumbent, budget, u64::MAX, None);
+                let mut cache = SwapGainCache::for_objective(&obj);
+                let (cached, cost_c) =
+                    solve_budgeted_metered(&obj, &incumbent, budget, u64::MAX, Some(&mut cache));
+                assert_eq!(plain, uncached, "budget {budget}: metered diverged");
+                assert_eq!(plain, cached, "budget {budget}: cached diverged");
+                assert_eq!(
+                    obj.cross_mass(&cached).to_bits(),
+                    obj.cross_mass(&plain).to_bits()
+                );
+                // Considered counts never depend on the cache; evaluated +
+                // reused always partitions considered.
+                assert_eq!(cost_u.considered, cost_c.considered);
+                assert_eq!(cost_u.evaluated, cost_u.considered);
+                assert_eq!(cost_u.reused, 0);
+                assert_eq!(cost_c.evaluated + cost_c.reused, cost_c.considered);
+                assert!(!cost_u.truncated && !cost_c.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reuse_cuts_evaluations_substantially() {
+        let obj = sparse_objective(32, 4);
+        let incumbent = Placement::round_robin(obj.n_layers(), 32, 4);
+        let (_, uncached) = solve_budgeted_metered(&obj, &incumbent, u64::MAX, u64::MAX, None);
+        let mut cache = SwapGainCache::for_objective(&obj);
+        let (_, cached) =
+            solve_budgeted_metered(&obj, &incumbent, u64::MAX, u64::MAX, Some(&mut cache));
+        assert!(cached.reused > 0, "no reuse at all");
+        assert!(
+            cached.evaluated * 2 < uncached.evaluated,
+            "cache saved too little: {} vs {}",
+            cached.evaluated,
+            uncached.evaluated
+        );
+    }
+
+    #[test]
+    fn scan_budget_truncates_deterministically_and_cache_free() {
+        let obj = objective_with(16, 4, 0.9, GapBackend::Dense);
+        let incumbent = Placement::round_robin(5, 16, 4);
+        let (full, _) = solve_budgeted_metered(&obj, &incumbent, u64::MAX, u64::MAX, None);
+        // Zero scan budget: nothing is even considered, incumbent returned.
+        let (none, cost0) = solve_budgeted_metered(&obj, &incumbent, u64::MAX, 0, None);
+        assert_eq!(none, incumbent);
+        assert!(cost0.truncated);
+        assert_eq!(cost0.considered, 0);
+        for scan in [1u64, 100, 2_000, 50_000] {
+            let (a, ca) = solve_budgeted_metered(&obj, &incumbent, u64::MAX, scan, None);
+            let mut cache = SwapGainCache::for_objective(&obj);
+            let (b, cb) =
+                solve_budgeted_metered(&obj, &incumbent, u64::MAX, scan, Some(&mut cache));
+            assert_eq!(a, b, "scan {scan}: truncation point depends on cache");
+            assert_eq!(ca.considered, cb.considered);
+            assert_eq!(ca.truncated, cb.truncated);
+            assert!(ca.considered <= scan);
+            // A truncated walk still never worsens the incumbent.
+            assert!(obj.cross_mass(&a) <= obj.cross_mass(&incumbent) + 1e-12);
+        }
+        // A generous budget reproduces the untruncated result.
+        let (big, cost_big) = solve_budgeted_metered(&obj, &incumbent, u64::MAX, u64::MAX, None);
+        assert_eq!(big, full);
+        assert!(!cost_big.truncated);
+    }
+
+    #[test]
+    fn replicated_metered_matches_unmetered_and_respects_budgets() {
+        let obj = sparse_objective(16, 4);
+        let l = obj.n_layers();
+        let mut incumbent = ReplicationPlan {
+            base: Placement::round_robin(l, 16, 4),
+            replicated: vec![Vec::new(); l],
+        };
+        incumbent.replicated[1] = vec![2, 9];
+        let budget = ReplicationBudget {
+            replica_memory_bytes: 40,
+            migration_budget_bytes: 80,
+        };
+        let plain = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+        let (uncached, _) =
+            solve_budgeted_replicated_metered(&obj, &incumbent, 10, &budget, u64::MAX, None);
+        let mut cache = SwapGainCache::for_objective(&obj);
+        let (cached, cost) = solve_budgeted_replicated_metered(
+            &obj,
+            &incumbent,
+            10,
+            &budget,
+            u64::MAX,
+            Some(&mut cache),
+        );
+        assert_eq!(plain, uncached);
+        assert_eq!(plain, cached);
+        assert!(cost.reused > 0);
+        let plan = MigrationPlan::between_replicated(&incumbent, &cached, 10);
+        assert!(plan.total_bytes() <= budget.migration_budget_bytes);
+    }
+
+    #[test]
+    fn note_swap_invalidation_is_exact_on_both_backends() {
+        // After any executed swap, every *valid* cache entry must still
+        // equal a fresh recomputation — the core soundness property.
+        for obj in [
+            objective_with(10, 3, 0.8, GapBackend::Dense),
+            objective_with(10, 3, 0.8, GapBackend::Sparse),
+            sparse_objective(10, 3),
+        ] {
+            let e = obj.n_experts();
+            let l = obj.n_layers();
+            let mut placement = Placement::round_robin(l, e, 5);
+            let mut cache = SwapGainCache::for_objective(&obj);
+            cache.invalidate_all();
+            // Fill the cache completely.
+            for layer in 0..l {
+                for e1 in 0..e {
+                    for e2 in (e1 + 1)..e {
+                        cache.put(layer, e1, e2, obj.swap_delta(&placement, layer, e1, e2));
+                    }
+                }
+            }
+            // Execute a few swaps, each time checking every still-valid
+            // entry against a recomputation.
+            for (layer, a, b) in [(1, 0, 5), (0, 2, 7), (2, 4, 9), (1, 1, 6)] {
+                placement.swap(layer, a, b);
+                cache.note_swap(&obj, layer, a, b);
+                for layer in 0..l {
+                    for e1 in 0..e {
+                        for e2 in (e1 + 1)..e {
+                            if let Some(v) = cache.get(layer, e1, e2) {
+                                let fresh = obj.swap_delta(&placement, layer, e1, e2);
+                                assert_eq!(
+                                    v.to_bits(),
+                                    fresh.to_bits(),
+                                    "stale cache entry ({layer},{e1},{e2}) after swap"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improve_metered_matches_plain_improve() {
+        use crate::local_search::improve;
+        let obj = objective_with(12, 4, 0.8, GapBackend::Dense);
+        let seed = Placement::round_robin(5, 12, 4);
+        let mut plain = seed.clone();
+        let plain_cost = improve(&obj, &mut plain, 50);
+        let mut metered = seed.clone();
+        let mut meter = CostMeter::unlimited();
+        let metered_cost = improve_metered(&obj, &mut metered, 50, &mut meter, None);
+        assert_eq!(plain, metered);
+        assert_eq!(plain_cost.to_bits(), metered_cost.to_bits());
+        let mut cached = seed.clone();
+        let mut meter2 = CostMeter::unlimited();
+        let mut cache = SwapGainCache::for_objective(&obj);
+        let cached_cost = improve_metered(&obj, &mut cached, 50, &mut meter2, Some(&mut cache));
+        assert_eq!(plain, cached);
+        assert_eq!(plain_cost.to_bits(), cached_cost.to_bits());
+        assert!(meter2.cost().reused > 0);
+    }
+}

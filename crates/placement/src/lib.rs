@@ -53,6 +53,7 @@ pub mod annealing;
 pub mod exact;
 pub mod greedy;
 pub mod hungarian;
+pub mod incremental;
 pub mod io;
 pub mod local_search;
 pub mod objective;
@@ -65,6 +66,10 @@ pub mod solver;
 pub mod staged;
 
 pub use annealing::AnnealParams;
+pub use incremental::{
+    improve_metered, solve_budgeted_metered, solve_budgeted_replicated_metered,
+    solve_budgeted_toward_metered, CostMeter, ReplanCost, SwapGainCache,
+};
 pub use objective::{GapBackend, GapStorage, Objective, SPARSE_DENSITY_THRESHOLD};
 pub use online::{
     solve_budgeted, solve_budgeted_replicated, solve_budgeted_toward, solve_warm_start, ExpertMove,

@@ -1,7 +1,9 @@
 //! The ILP objective (paper formula 8) and locality measurement, with
 //! selectable dense / sparse (CSR) gap storage.
 
-use exflow_affinity::{AffinityMatrix, AffinitySnapshot, RoutingTrace, SparseAffinity};
+use exflow_affinity::{
+    AffinityMatrix, AffinitySnapshot, RoutingTrace, SnapshotDelta, SparseAffinity,
+};
 
 use crate::placement::Placement;
 
@@ -35,7 +37,7 @@ pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
 /// `swap_delta`, greedy gain accumulation); the CSC side serves column
 /// access (the incoming half of `swap_delta`) in `O(col-nnz)` instead of
 /// `O(E)`. Entries are ascending within each row/column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseGap {
     row_ptr: Vec<usize>,
     cols: Vec<usize>,
@@ -125,11 +127,17 @@ impl SparseGap {
     pub fn nnz(&self) -> usize {
         self.cols.len()
     }
+
+    /// The raw CSR triplet `(row_ptr, cols, vals)` this gap stores — the
+    /// stored-cell structure incremental maintenance splices.
+    pub fn csr(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.row_ptr, &self.cols, &self.vals)
+    }
 }
 
 /// One layer gap's conditional matrix, in whichever layout the builder
 /// selected.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GapStorage {
     /// Flattened row-major `E x E` conditional probabilities.
     Dense(Vec<f64>),
@@ -141,6 +149,53 @@ impl GapStorage {
     /// Whether this gap is stored as CSR.
     pub fn is_sparse(&self) -> bool {
         matches!(self, GapStorage::Sparse(_))
+    }
+}
+
+/// The stored-cell CSR structure of a *dense*-stored gap.
+///
+/// [`Objective::apply_snapshot_delta`] splices whole rows of the
+/// stored-cell structure (exactly what the snapshot emits, including any
+/// explicitly stored zeros), which the flat array alone cannot represent.
+/// Sparse-stored gaps already carry this structure inside [`SparseGap`],
+/// so their mirror stays empty.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CsrMirror {
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMirror {
+    fn from_parts(row_ptr: Vec<usize>, cols: Vec<usize>, vals: Vec<f64>) -> Self {
+        CsrMirror {
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Derive the structure of a flattened dense matrix (every nonzero
+    /// cell is a stored cell).
+    fn from_flat(flat: &[f64], n: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n {
+            for (p, &v) in flat[i * n..(i + 1) * n].iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(p);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        CsrMirror {
+            row_ptr,
+            cols,
+            vals,
+        }
     }
 }
 
@@ -171,11 +226,17 @@ fn pick_sparse(nnz: usize, e: usize, backend: GapBackend) -> bool {
 /// Gaps are stored behind [`GapStorage`]: dense `E x E` or CSR, selected
 /// by the builder ([`GapBackend`]); all evaluations are bit-identical
 /// across backends.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Objective {
     n_experts: usize,
+    /// The backend policy the objective was built with; re-applied when a
+    /// window delta moves a gap across the `Auto` density threshold.
+    backend: GapBackend,
     /// Per-gap conditional matrix (dense or CSR).
     gaps: Vec<GapStorage>,
+    /// Stored-cell CSR mirror for dense-stored gaps (empty for sparse
+    /// gaps, which carry their structure themselves).
+    csr: Vec<CsrMirror>,
     /// Per-gap source-expert marginal weights (each sums to 1).
     weights: Vec<Vec<f64>>,
     /// Per-gap structural nonzero count (backend-independent).
@@ -195,6 +256,7 @@ impl Objective {
         assert!(!matrices.is_empty(), "need at least one layer gap");
         let e = matrices[0].n_experts();
         let mut gaps = Vec::with_capacity(matrices.len());
+        let mut csr = Vec::with_capacity(matrices.len());
         let mut weights = Vec::with_capacity(matrices.len());
         let mut nnz = Vec::with_capacity(matrices.len());
         for m in matrices {
@@ -205,8 +267,10 @@ impl Objective {
             }
             let gap_nnz = count_nnz(&flat);
             gaps.push(if pick_sparse(gap_nnz, e, backend) {
+                csr.push(CsrMirror::default());
                 GapStorage::Sparse(SparseGap::from_dense(&flat, e))
             } else {
+                csr.push(CsrMirror::from_flat(&flat, e));
                 GapStorage::Dense(flat)
             });
             nnz.push(gap_nnz);
@@ -221,7 +285,9 @@ impl Objective {
         }
         Objective {
             n_experts: e,
+            backend,
             gaps,
+            csr,
             weights,
             nnz,
         }
@@ -242,13 +308,15 @@ impl Objective {
         assert!(!matrices.is_empty(), "need at least one layer gap");
         let e = matrices[0].n_experts();
         let mut gaps = Vec::with_capacity(matrices.len());
+        let mut csr = Vec::with_capacity(matrices.len());
         let mut weights = Vec::with_capacity(matrices.len());
         let mut nnz = Vec::with_capacity(matrices.len());
         for m in matrices {
             assert_eq!(m.n_experts(), e, "matrices must agree on expert count");
             let gap_nnz = m.nnz();
+            let (row_ptr, cols, vals) = m.csr();
             gaps.push(if pick_sparse(gap_nnz, e, backend) {
-                let (row_ptr, cols, vals) = m.csr();
+                csr.push(CsrMirror::default());
                 GapStorage::Sparse(SparseGap::from_csr(
                     e,
                     row_ptr.to_vec(),
@@ -256,6 +324,11 @@ impl Objective {
                     vals.to_vec(),
                 ))
             } else {
+                csr.push(CsrMirror::from_parts(
+                    row_ptr.to_vec(),
+                    cols.to_vec(),
+                    vals.to_vec(),
+                ));
                 GapStorage::Dense(m.to_dense_probs())
             });
             nnz.push(gap_nnz);
@@ -270,7 +343,9 @@ impl Objective {
         }
         Objective {
             n_experts: e,
+            backend,
             gaps,
+            csr,
             weights,
             nnz,
         }
@@ -292,12 +367,14 @@ impl Objective {
     pub fn from_snapshot_with(snapshot: &AffinitySnapshot, backend: GapBackend) -> Self {
         let e = snapshot.n_experts();
         let mut gaps = Vec::with_capacity(snapshot.n_gaps());
+        let mut csr = Vec::with_capacity(snapshot.n_gaps());
         let mut weights = Vec::with_capacity(snapshot.n_gaps());
         let mut nnz = Vec::with_capacity(snapshot.n_gaps());
         for gap in 0..snapshot.n_gaps() {
             let (row_ptr, cols, probs) = snapshot.gap_csr(gap);
             let gap_nnz = cols.len();
             gaps.push(if pick_sparse(gap_nnz, e, backend) {
+                csr.push(CsrMirror::default());
                 GapStorage::Sparse(SparseGap::from_csr(
                     e,
                     row_ptr.to_vec(),
@@ -305,6 +382,11 @@ impl Objective {
                     probs.to_vec(),
                 ))
             } else {
+                csr.push(CsrMirror::from_parts(
+                    row_ptr.to_vec(),
+                    cols.to_vec(),
+                    probs.to_vec(),
+                ));
                 let mut flat = vec![0.0f64; e * e];
                 for i in 0..e {
                     for idx in row_ptr[i]..row_ptr[i + 1] {
@@ -318,7 +400,9 @@ impl Objective {
         }
         Objective {
             n_experts: e,
+            backend,
             gaps,
+            csr,
             weights,
             nnz,
         }
@@ -341,23 +425,139 @@ impl Objective {
         }
         let weights = vec![vec![1.0 / n_experts as f64; n_experts]; gaps.len()];
         let nnz: Vec<usize> = gaps.iter().map(|g| count_nnz(g)).collect();
+        let mut csr = Vec::with_capacity(gaps.len());
         let gaps = gaps
             .into_iter()
             .zip(&nnz)
             .map(|(flat, &gap_nnz)| {
                 if pick_sparse(gap_nnz, n_experts, backend) {
+                    csr.push(CsrMirror::default());
                     GapStorage::Sparse(SparseGap::from_dense(&flat, n_experts))
                 } else {
+                    csr.push(CsrMirror::from_flat(&flat, n_experts));
                     GapStorage::Dense(flat)
                 }
             })
             .collect();
         Objective {
             n_experts,
+            backend,
             gaps,
+            csr,
             weights,
             nnz,
         }
+    }
+
+    /// Fold a [`SnapshotDelta`] — the rows one streaming window actually
+    /// changed — into the objective **in place**, instead of rebuilding it
+    /// from the full snapshot.
+    ///
+    /// Postcondition (the incremental-maintenance contract, enforced by
+    /// unit tests here and the cross-crate proptests): after this call the
+    /// objective equals `Objective::from_snapshot_with(&s, backend)` —
+    /// bit for bit — where `s` is the snapshot the estimator would freeze
+    /// after the same `observe` call that produced the delta. That holds
+    /// for values, for the storage choice (the `Auto` density rule is
+    /// re-applied with the updated stored-cell count, so a gap can flip
+    /// layout mid-stream), and therefore for every downstream evaluation
+    /// (`cross_mass`, `swap_delta`, the solvers).
+    ///
+    /// Work is `O(touched-row cells)` of float stores plus an integer
+    /// memcpy/counting-sort pass over the gap's stored cells when its CSR
+    /// structure shifts; no floating-point arithmetic happens at all —
+    /// stored probabilities move verbatim, which is what makes the
+    /// bit-identity structural rather than numerical.
+    pub fn apply_snapshot_delta(&mut self, delta: &SnapshotDelta) {
+        assert_eq!(
+            delta.n_experts(),
+            self.n_experts,
+            "delta expert count mismatch"
+        );
+        assert_eq!(delta.n_gaps(), self.gaps.len(), "delta gap count mismatch");
+        let e = self.n_experts;
+        for gap in 0..self.gaps.len() {
+            // Marginal weights shift globally whenever any mass decays, so
+            // the delta always carries each gap's vector whole.
+            self.weights[gap].clear();
+            self.weights[gap].extend_from_slice(delta.gap_weights(gap));
+            let rows = delta.touched_rows(gap);
+            if rows.is_empty() {
+                continue;
+            }
+            // Splice the stored-cell CSR: untouched rows are copied from
+            // the current structure, touched rows come from the fragment.
+            let (old_row_ptr, old_cols, old_vals) = match &self.gaps[gap] {
+                GapStorage::Sparse(s) => s.csr(),
+                GapStorage::Dense(_) => (
+                    self.csr[gap].row_ptr.as_slice(),
+                    self.csr[gap].cols.as_slice(),
+                    self.csr[gap].vals.as_slice(),
+                ),
+            };
+            let mut row_ptr = Vec::with_capacity(e + 1);
+            row_ptr.push(0usize);
+            let mut cols = Vec::with_capacity(old_cols.len());
+            let mut vals = Vec::with_capacity(old_vals.len());
+            let mut k = 0usize;
+            for i in 0..e {
+                if k < rows.len() && rows[k] == i {
+                    let (fc, fv) = delta.fragment(gap, k);
+                    cols.extend_from_slice(fc);
+                    vals.extend_from_slice(fv);
+                    k += 1;
+                } else {
+                    let (lo, hi) = (old_row_ptr[i], old_row_ptr[i + 1]);
+                    cols.extend_from_slice(&old_cols[lo..hi]);
+                    vals.extend_from_slice(&old_vals[lo..hi]);
+                }
+                row_ptr.push(cols.len());
+            }
+            debug_assert_eq!(k, rows.len(), "delta rows must be ascending in [0, E)");
+            let gap_nnz = cols.len();
+            self.nnz[gap] = gap_nnz;
+            if pick_sparse(gap_nnz, e, self.backend) {
+                // CSR gap (or a dense gap the Auto rule just flipped):
+                // adopt the spliced arrays; the CSC companion is re-derived
+                // by the same integer counting sort `from_snapshot` runs.
+                self.gaps[gap] = GapStorage::Sparse(SparseGap::from_csr(e, row_ptr, cols, vals));
+                self.csr[gap] = CsrMirror::default();
+            } else {
+                match &mut self.gaps[gap] {
+                    GapStorage::Dense(flat) => {
+                        // The truly in-place path: rewrite only touched rows.
+                        for (k, &i) in rows.iter().enumerate() {
+                            let (fc, fv) = delta.fragment(gap, k);
+                            let row = &mut flat[i * e..(i + 1) * e];
+                            row.fill(0.0);
+                            for (&c, &v) in fc.iter().zip(fv) {
+                                row[c] = v;
+                            }
+                        }
+                    }
+                    GapStorage::Sparse(_) => {
+                        // Auto flipped CSR -> dense: expand, as from_snapshot does.
+                        let mut flat = vec![0.0f64; e * e];
+                        for i in 0..e {
+                            for idx in row_ptr[i]..row_ptr[i + 1] {
+                                flat[i * e + cols[idx]] = vals[idx];
+                            }
+                        }
+                        self.gaps[gap] = GapStorage::Dense(flat);
+                    }
+                }
+                self.csr[gap] = CsrMirror {
+                    row_ptr,
+                    cols,
+                    vals,
+                };
+            }
+        }
+    }
+
+    /// The backend policy this objective was built with.
+    pub fn backend(&self) -> GapBackend {
+        self.backend
     }
 
     /// Experts per layer.
@@ -442,6 +642,31 @@ impl Objective {
                 let (cols, vals) = s.row(i);
                 for (&p, &v) in cols.iter().zip(vals) {
                     f(p, v);
+                }
+            }
+        }
+    }
+
+    /// Visit the structurally nonzero entries of one conditional *column*
+    /// in ascending row order: `f(i, P(p | i))` — the predecessor set the
+    /// swap-gain cache invalidates when expert `p` moves. `O(col-nnz)`
+    /// sparse (via the CSC companion), `O(E)` dense.
+    #[inline]
+    pub fn for_each_in_col<F: FnMut(usize, f64)>(&self, gap: usize, p: usize, mut f: F) {
+        let e = self.n_experts;
+        match &self.gaps[gap] {
+            GapStorage::Dense(m) => {
+                for i in 0..e {
+                    let v = m[i * e + p];
+                    if v != 0.0 {
+                        f(i, v);
+                    }
+                }
+            }
+            GapStorage::Sparse(s) => {
+                let (rows, vals) = s.col(p);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    f(i, v);
                 }
             }
         }
@@ -847,6 +1072,31 @@ mod tests {
     }
 
     #[test]
+    fn swap_delta_is_symmetric_bitwise() {
+        // The swap-gain cache stores entries on the unordered pair, which
+        // is sound only if both argument orders produce the same bits
+        // (IEEE addition is commutative and both orders visit indices
+        // ascending).
+        let e = 8;
+        let m = dense_matrix(e);
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let obj = Objective::from_raw_with(vec![m.clone(), m.clone()], e, backend);
+            let p = Placement::round_robin(3, e, 4);
+            for layer in 0..3 {
+                for e1 in 0..e {
+                    for e2 in 0..e {
+                        assert_eq!(
+                            obj.swap_delta(&p, layer, e1, e2).to_bits(),
+                            obj.swap_delta(&p, layer, e2, e1).to_bits(),
+                            "{backend:?} swap({layer},{e1},{e2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn swap_same_unit_is_free() {
         let obj = identity_objective(4, 2);
         let p = Placement::round_robin(3, 4, 2);
@@ -950,6 +1200,79 @@ mod tests {
                 for j in 0..16 {
                     assert_eq!(a.gap_prob(1, i, j).to_bits(), b.gap_prob(1, i, j).to_bits());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_application_matches_cold_rebuild_bitwise() {
+        use exflow_affinity::StreamingAffinity;
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        let model = AffinityModelSpec::new(4, 16).with_affinity(0.8).build();
+        for backend in [GapBackend::Auto, GapBackend::Dense, GapBackend::Sparse] {
+            let mut streaming = StreamingAffinity::new(4, 16, 0.5);
+            let seed = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 800, 1, 3);
+            streaming.observe(&RoutingTrace::from_batch(&seed, 16));
+            let mut incremental = Objective::from_snapshot_with(&streaming.snapshot(), backend);
+            for w in 0..6u64 {
+                let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 400, 1, 100 + w);
+                let delta = streaming.observe_delta(&RoutingTrace::from_batch(&batch, 16));
+                incremental.apply_snapshot_delta(&delta);
+                let rebuilt = Objective::from_snapshot_with(&streaming.snapshot(), backend);
+                assert_eq!(incremental, rebuilt, "{backend:?} window {w}");
+                let p = Placement::round_robin(4, 16, 4);
+                assert_eq!(
+                    incremental.cross_mass(&p).to_bits(),
+                    rebuilt.cross_mass(&p).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_can_flip_the_auto_storage_choice() {
+        use exflow_affinity::StreamingAffinity;
+        let e = 8usize;
+        let mut streaming = StreamingAffinity::new(2, e, 1.0);
+        // Window 1: the identity routing (i -> i); 8 of 64 cells -> CSR.
+        let identity: Vec<Vec<u16>> = (0..e as u16).map(|i| vec![i, i]).collect();
+        streaming.observe(&RoutingTrace::new(identity, e));
+        let mut obj = Objective::from_snapshot(&streaming.snapshot());
+        assert!(obj.gap_is_sparse(0));
+        // Window 2: every (i -> p) pair appears; 64 of 64 cells -> the
+        // Auto rule must flip the spliced gap to dense mid-stream.
+        let all_pairs: Vec<Vec<u16>> = (0..e as u16)
+            .flat_map(|i| (0..e as u16).map(move |p| vec![i, p]))
+            .collect();
+        let delta = streaming.observe_delta(&RoutingTrace::new(all_pairs, e));
+        obj.apply_snapshot_delta(&delta);
+        assert!(!obj.gap_is_sparse(0));
+        assert_eq!(obj.gap_nnz(0), 64);
+        assert_eq!(obj, Objective::from_snapshot(&streaming.snapshot()));
+    }
+
+    #[test]
+    fn column_iteration_matches_row_structure_across_backends() {
+        let e = 8;
+        let mut m = vec![0.0f64; e * e];
+        for i in 0..e {
+            m[i * e + (i + 1) % e] = 0.7;
+            m[i * e + (i + 5) % e] = 0.3;
+        }
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let o = Objective::from_raw_with(vec![m.clone()], e, backend);
+            for p in 0..e {
+                let mut seen = Vec::new();
+                o.for_each_in_col(0, p, |i, v| seen.push((i, v)));
+                let mut expect = Vec::new();
+                for i in 0..e {
+                    let v = m[i * e + p];
+                    if v != 0.0 {
+                        expect.push((i, v));
+                    }
+                }
+                assert_eq!(seen, expect, "{backend:?} col {p}");
             }
         }
     }

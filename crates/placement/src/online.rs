@@ -19,13 +19,14 @@
 use exflow_topology::collective_cost::{BytesByClass, CollectiveCostModel};
 use exflow_topology::{ClusterSpec, CostModel, Rank};
 
-use crate::greedy::solve_greedy;
+use crate::incremental::{
+    solve_budgeted_metered, solve_budgeted_replicated_metered, solve_budgeted_toward_metered,
+    CostMeter,
+};
 use crate::local_search::improve;
 use crate::objective::Objective;
 use crate::placement::Placement;
-use crate::replication::{
-    replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan,
-};
+use crate::replication::{ReplicationBudget, ReplicationPlan};
 
 /// Warm-start solve: polish the incumbent in place with first-improvement
 /// swap passes (no restarts, no randomness). The cheap end of the
@@ -44,7 +45,7 @@ pub fn solve_warm_start(
 
 /// Experts whose unit differs between two placements (the net migration
 /// size of jumping from `a` to `b`).
-fn net_moves(a: &Placement, b: &Placement) -> u64 {
+pub(crate) fn net_moves(a: &Placement, b: &Placement) -> u64 {
     let mut n = 0u64;
     for layer in 0..a.n_layers() {
         for expert in 0..a.n_experts() {
@@ -54,101 +55,6 @@ fn net_moves(a: &Placement, b: &Placement) -> u64 {
         }
     }
     n
-}
-
-/// Best-improvement swap descent from the incumbent: repeatedly apply the
-/// most negative [`Objective::swap_delta`] (scanning `(layer, e1, e2)` in
-/// ascending order with strict first-wins ties) while the *net* diff from
-/// the incumbent stays within `max_moves`. The descent path does not
-/// depend on the budget — a larger budget only walks further — so the
-/// result improves monotonically with the budget.
-fn budgeted_descent(objective: &Objective, incumbent: &Placement, max_moves: u64) -> Placement {
-    let e = objective.n_experts();
-    let l = objective.n_layers();
-    let mut placement = incumbent.clone();
-    loop {
-        let mut best: Option<(f64, usize, usize, usize)> = None;
-        for layer in 0..l {
-            for e1 in 0..e {
-                for e2 in (e1 + 1)..e {
-                    let delta = objective.swap_delta(&placement, layer, e1, e2);
-                    if delta < -1e-12 && best.is_none_or(|(b, _, _, _)| delta < b) {
-                        best = Some((delta, layer, e1, e2));
-                    }
-                }
-            }
-        }
-        let Some((_, layer, e1, e2)) = best else {
-            break;
-        };
-        let mut next = placement.clone();
-        next.swap(layer, e1, e2);
-        if net_moves(incumbent, &next) > max_moves {
-            break;
-        }
-        placement = next;
-    }
-    placement
-}
-
-/// Budgeted walk from the incumbent *toward* an unconstrained target:
-/// repeatedly apply the lowest-delta swap that moves some mismatched
-/// expert onto its target unit, stopping when aligned or when the next
-/// step would exceed the budget, and return the lowest-cost placement
-/// visited. The walk escapes the incumbent's basin (individual aligning
-/// swaps may cost mass that later swaps win back), which pure descent
-/// cannot do after the routing structure changes wholesale.
-fn budgeted_toward(
-    objective: &Objective,
-    incumbent: &Placement,
-    target: &Placement,
-    max_moves: u64,
-) -> Placement {
-    let e = objective.n_experts();
-    let l = objective.n_layers();
-    let mut placement = incumbent.clone();
-    let mut best = (objective.cross_mass(&placement), placement.clone());
-    loop {
-        // The lowest-delta swap that puts a mismatched expert where the
-        // target wants it. The displaced partner must itself be
-        // mismatched (one always exists on a wanted unit while any
-        // mismatch remains — the target is balanced), so every swap
-        // strictly shrinks the mismatch count and the walk terminates.
-        let mut pick: Option<(f64, usize, usize, usize)> = None;
-        for layer in 0..l {
-            for e1 in 0..e {
-                let want = target.unit_of(layer, e1);
-                if placement.unit_of(layer, e1) == want {
-                    continue;
-                }
-                for e2 in 0..e {
-                    if e2 != e1
-                        && placement.unit_of(layer, e2) == want
-                        && target.unit_of(layer, e2) != want
-                    {
-                        let delta = objective.swap_delta(&placement, layer, e1, e2);
-                        if pick.is_none_or(|(b, _, _, _)| delta < b) {
-                            pick = Some((delta, layer, e1, e2));
-                        }
-                    }
-                }
-            }
-        }
-        let Some((_, layer, e1, e2)) = pick else {
-            break;
-        };
-        let mut next = placement.clone();
-        next.swap(layer, e1, e2);
-        if net_moves(incumbent, &next) > max_moves {
-            break;
-        }
-        placement = next;
-        let cost = objective.cross_mass(&placement);
-        if cost < best.0 {
-            best = (cost, placement.clone());
-        }
-    }
-    best.1
 }
 
 /// Budgeted incremental re-placement: starting from the incumbent, spend
@@ -164,9 +70,7 @@ fn budgeted_toward(
 /// already hold a stronger solution — e.g. an oracle re-solve — should
 /// pass it to [`solve_budgeted_toward`] directly.
 pub fn solve_budgeted(objective: &Objective, incumbent: &Placement, max_moves: u64) -> Placement {
-    let mut target = solve_greedy(objective, incumbent.n_units());
-    improve(objective, &mut target, 50);
-    solve_budgeted_toward(objective, incumbent, &target, max_moves)
+    solve_budgeted_metered(objective, incumbent, max_moves, u64::MAX, None).0
 }
 
 /// Budgeted incremental re-placement toward an explicit unconstrained
@@ -188,13 +92,8 @@ pub fn solve_budgeted_toward(
     target: &Placement,
     max_moves: u64,
 ) -> Placement {
-    let descent = budgeted_descent(objective, incumbent, max_moves);
-    let toward = budgeted_toward(objective, incumbent, target, max_moves);
-    if objective.cross_mass(&toward) < objective.cross_mass(&descent) {
-        toward
-    } else {
-        descent
-    }
+    let mut meter = CostMeter::unlimited();
+    solve_budgeted_toward_metered(objective, incumbent, target, max_moves, &mut meter, None)
 }
 
 /// Rank `(layer, expert)` replica candidates best-first under the total
@@ -203,7 +102,7 @@ pub fn solve_budgeted_toward(
 /// [`trim_to_slots`] and [`solve_budgeted_replicated`] alike, so candidate
 /// A's trimmed incumbent and candidate B's desired set can never rank
 /// replicas inconsistently.
-fn sort_by_gain(entries: &mut [(usize, usize)], gains: &[Vec<f64>]) {
+pub(crate) fn sort_by_gain(entries: &mut [(usize, usize)], gains: &[Vec<f64>]) {
     entries.sort_by(|a, b| {
         gains[b.0][b.1]
             .total_cmp(&gains[a.0][a.1])
@@ -215,7 +114,11 @@ fn sort_by_gain(entries: &mut [(usize, usize)], gains: &[Vec<f64>]) {
 /// Budget-trimmed replica selection: keep at most `slots` replicated
 /// experts (summed over layers), preferring the highest `gains` scores
 /// under the total order (gain desc, layer asc, expert asc).
-fn trim_to_slots(replicated: &[Vec<usize>], gains: &[Vec<f64>], slots: usize) -> Vec<Vec<usize>> {
+pub(crate) fn trim_to_slots(
+    replicated: &[Vec<usize>],
+    gains: &[Vec<f64>],
+    slots: usize,
+) -> Vec<Vec<usize>> {
     let total: usize = replicated.iter().map(Vec::len).sum();
     if total <= slots {
         return replicated.to_vec();
@@ -241,14 +144,14 @@ fn trim_to_slots(replicated: &[Vec<usize>], gains: &[Vec<f64>], slots: usize) ->
 /// [`ReplicationPlan`], spend a joint budget — replica memory per GPU plus
 /// migration bytes — on whichever mix of **replica adds/drops** and
 /// **owner moves** reduces the replication-aware objective
-/// ([`replicated_cross_mass`]) the most. Two deterministic candidates
+/// ([`crate::replicated_cross_mass`]) the most. Two deterministic candidates
 /// race:
 ///
 /// * **owner-moves-only** — the full migration budget goes to
 ///   [`solve_budgeted`] on the base placement; the incumbent's replica set
 ///   is kept (trimmed to the memory budget if it shrank);
 /// * **replica-first** — replica candidates are ranked by
-///   [`replica_gains`] (the incoming cross mass a replica would absorb,
+///   [`crate::replica_gains`] (the incoming cross mass a replica would absorb,
 ///   driven by the snapshot marginals baked into the objective's row
 ///   weights) in the budgeted-subset-selection style of the
 ///   interval-subset-sum line of work (Diao et al., arXiv:1704.06928):
@@ -258,7 +161,7 @@ fn trim_to_slots(replicated: &[Vec<usize>], gains: &[Vec<f64>], slots: usize) ->
 ///   migration budget covers their fan-out (`n_units - 1` payloads each),
 ///   and whatever bytes remain fund owner-move descent.
 ///
-/// The candidate with the lower [`replicated_cross_mass`] wins
+/// The candidate with the lower [`crate::replicated_cross_mass`] wins
 /// (owner-moves-only on ties — the conservative choice that never spends
 /// memory without a measured win). Both candidates respect both budget
 /// axes by construction: extra copies per GPU never exceed
@@ -272,55 +175,15 @@ pub fn solve_budgeted_replicated(
     bytes_per_expert: u64,
     budget: &ReplicationBudget,
 ) -> ReplicationPlan {
-    let bpe = bytes_per_expert.max(1);
-    let slots = usize::try_from(budget.replica_memory_bytes / bpe).unwrap_or(usize::MAX);
-    let units = incumbent.base.n_units();
-    let fan_out_bytes = (units as u64 - 1) * bpe;
-    let gains = replica_gains(objective, &incumbent.base);
-
-    // Candidate A: owner moves only, replicas carried over (trimmed if the
-    // memory budget no longer covers them — drops are free).
-    let owner_moves = budget.migration_budget_bytes / bpe;
-    let cand_a = ReplicationPlan {
-        base: solve_budgeted(objective, &incumbent.base, owner_moves),
-        replicated: trim_to_slots(&incumbent.replicated, &gains, slots),
-    };
-
-    // Candidate B: replica-first. Desired set = the `slots` best positive
-    // gains; diff against the incumbent decides what ships.
-    let e = objective.n_experts();
-    let mut ranked: Vec<(usize, usize)> = (0..incumbent.base.n_layers())
-        .flat_map(|l| (0..e).map(move |x| (l, x)))
-        .filter(|&(l, x)| gains[l][x] > 0.0)
-        .collect();
-    sort_by_gain(&mut ranked, &gains);
-    ranked.truncate(slots);
-    let mut replicated = vec![Vec::new(); incumbent.base.n_layers()];
-    let mut migration_left = budget.migration_budget_bytes;
-    for (l, x) in ranked {
-        if incumbent.replicated[l].contains(&x) {
-            // Already everywhere: keeping it is free.
-            replicated[l].push(x);
-        } else if fan_out_bytes == 0 {
-            replicated[l].push(x);
-        } else if migration_left >= fan_out_bytes {
-            migration_left -= fan_out_bytes;
-            replicated[l].push(x);
-        }
-    }
-    for r in &mut replicated {
-        r.sort_unstable();
-    }
-    let cand_b = ReplicationPlan {
-        base: solve_budgeted(objective, &incumbent.base, migration_left / bpe),
-        replicated,
-    };
-
-    if replicated_cross_mass(objective, &cand_b) < replicated_cross_mass(objective, &cand_a) {
-        cand_b
-    } else {
-        cand_a
-    }
+    solve_budgeted_replicated_metered(
+        objective,
+        incumbent,
+        bytes_per_expert,
+        budget,
+        u64::MAX,
+        None,
+    )
+    .0
 }
 
 /// One expert relocation: `expert` at `layer` moves from unit `from` to
@@ -571,6 +434,8 @@ pub struct PricedMigration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::greedy::solve_greedy;
+    use crate::replication::replicated_cross_mass;
 
     /// Shift affinity with a uniform leak: optimum differs from
     /// round-robin, so re-placement has work to do.

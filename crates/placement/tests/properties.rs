@@ -165,6 +165,86 @@ proptest! {
     }
 
     #[test]
+    fn incremental_maintenance_bit_equals_cold_rebuild(
+        windows in 2usize..5,
+        tokens in 40usize..160,
+        seed in 0u64..40,
+    ) {
+        // Random window-delta streams: a delta-maintained objective (one
+        // per gap backend) plus a persistent swap-gain cache must stay
+        // bit-equal to a cold `from_snapshot` rebuild with a full
+        // rescan, window after window — the cache and the in-place
+        // update are memoisation, never approximation.
+        use exflow_affinity::{RoutingTrace, StreamingAffinity};
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        use exflow_placement::local_search::solve_local_search_with;
+        use exflow_placement::{solve_budgeted_metered, split_seed, Parallelism, SwapGainCache};
+
+        let (layers, e, units) = (3usize, 8usize, 4usize);
+        let model = AffinityModelSpec::new(layers, e).with_seed(seed).build();
+        let trace_at = |s: u64| {
+            let batch =
+                TokenBatch::sample(&model, &CorpusSpec::pile_proxy(model.n_domains()), tokens, 1, s);
+            RoutingTrace::from_batch(&batch, e)
+        };
+
+        let mut streaming = StreamingAffinity::new(layers, e, 0.5);
+        streaming.observe(&trace_at(seed ^ 0xff));
+        let snap0 = streaming.snapshot();
+        let mut live_dense = Objective::from_snapshot_with(&snap0, GapBackend::Dense);
+        let mut live_sparse = Objective::from_snapshot_with(&snap0, GapBackend::Sparse);
+        let mut cache = SwapGainCache::for_objective(&live_dense);
+        let mut placement = Placement::round_robin(layers, e, units);
+
+        for w in 1..windows {
+            let delta = streaming.observe_delta(&trace_at(split_seed(seed, w as u64)));
+            live_dense.apply_snapshot_delta(&delta);
+            live_sparse.apply_snapshot_delta(&delta);
+            let snap = streaming.snapshot();
+            let rebuilt_dense = Objective::from_snapshot_with(&snap, GapBackend::Dense);
+            let rebuilt_sparse = Objective::from_snapshot_with(&snap, GapBackend::Sparse);
+            prop_assert!(live_dense == rebuilt_dense, "dense objective diverged at window {w}");
+            prop_assert!(live_sparse == rebuilt_sparse, "sparse objective diverged at window {w}");
+
+            // Same incumbent, four budgeted solves: cached incremental,
+            // uncached full rescan, cold rebuild, sparse backend.
+            let (p_cached, c_cached) =
+                solve_budgeted_metered(&live_dense, &placement, 6, u64::MAX, Some(&mut cache));
+            let (p_fresh, c_fresh) =
+                solve_budgeted_metered(&live_dense, &placement, 6, u64::MAX, None);
+            let (p_cold, _) = solve_budgeted_metered(&rebuilt_dense, &placement, 6, u64::MAX, None);
+            let (p_sparse, _) = solve_budgeted_metered(&live_sparse, &placement, 6, u64::MAX, None);
+            prop_assert_eq!(&p_cached, &p_fresh, "cache changed the walk at window {}", w);
+            prop_assert_eq!(&p_cached, &p_cold, "delta maintenance changed the walk at window {}", w);
+            prop_assert_eq!(&p_cached, &p_sparse, "backend changed the walk at window {}", w);
+            prop_assert_eq!(c_fresh.evaluated, c_fresh.considered);
+            prop_assert_eq!(c_fresh.reused, 0);
+            prop_assert_eq!(c_cached.evaluated + c_cached.reused, c_cached.considered);
+            prop_assert_eq!(c_cached.considered, c_fresh.considered);
+
+            let cm = live_dense.cross_mass(&p_cached);
+            prop_assert_eq!(cm.to_bits(), rebuilt_dense.cross_mass(&p_cached).to_bits());
+            prop_assert_eq!(cm.to_bits(), live_sparse.cross_mass(&p_cached).to_bits());
+            prop_assert_eq!(cm.to_bits(), rebuilt_sparse.cross_mass(&p_cached).to_bits());
+
+            // The delta-maintained objective must also stay bit-stable
+            // under the thread-parallel solver at every width.
+            let single = solve_local_search_with(&live_dense, units, 2, seed, Parallelism::single());
+            for threads in [2usize, 8] {
+                let multi =
+                    solve_local_search_with(&live_dense, units, 2, seed, Parallelism::new(threads));
+                prop_assert_eq!(&single, &multi, "{} threads diverged at window {}", threads, w);
+                prop_assert_eq!(
+                    rebuilt_dense.cross_mass(&multi).to_bits(),
+                    live_dense.cross_mass(&single).to_bits()
+                );
+            }
+            placement = p_cached;
+        }
+    }
+
+    #[test]
     fn auto_selection_threshold_round_trips(e in 5usize..12, seed in 0u64..40) {
         // Just-under-threshold nnz must pick sparse, at-or-above dense.
         // (e >= 5 guarantees an under-threshold matrix exists at all: each

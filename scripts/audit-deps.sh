@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Offline cargo-deny-style dependency audit.
+#
+# The workspace must keep building with the network unplugged: every
+# third-party crate name resolves to an in-tree shim under shims/, the
+# first-party crates live under crates/, and the lockfile must never
+# acquire a registry or git source. cargo-deny itself would be a registry
+# dependency, so this script re-implements the two checks that policy
+# needs from the manifests and lockfile directly.
+#
+# Exit 0 when the policy holds, 1 with one FAIL line per violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+violations=0
+
+# 1. Cargo.lock must resolve no registry or git sources. A crates.io
+#    package carries `source = "registry+https://..."` in its lock entry;
+#    path dependencies carry no source line at all, so any source line of
+#    either kind means a network dependency crept in.
+if bad=$(grep -nE 'source = "(registry|git)\+' Cargo.lock); then
+  echo "FAIL: Cargo.lock resolves non-path sources:" >&2
+  echo "$bad" >&2
+  violations=$((violations + 1))
+fi
+
+# 2. Every `path = "..."` in any manifest must point into crates/, shims/,
+#    or the manifest's own src/ tree (bin/lib target paths). Nothing may
+#    reach outside the repository or into an unvetted directory.
+while IFS=: read -r file line entry; do
+  p=$(sed -E 's/.*path *= *"([^"]*)".*/\1/' <<<"$entry")
+  case "$p" in
+    crates/* | shims/* | src/*) ;;
+    *)
+      echo "FAIL: $file:$line: path escapes crates/, shims/, src/: $p" >&2
+      violations=$((violations + 1))
+      ;;
+  esac
+done < <(grep -nH 'path *= *"' Cargo.toml crates/*/Cargo.toml shims/*/Cargo.toml)
+
+# 3. Every [workspace.dependencies] entry must be a path dependency, and
+#    only the first-party exflow-* crates may live under crates/ — any
+#    other name (rand, rayon, ...) is third-party and must point at its
+#    shim, so a future `rand = "0.8"` edit fails here even before the
+#    lockfile regenerates.
+while IFS= read -r dep; do
+  name=${dep%%[ =]*}
+  case "$dep" in
+    *'path = "shims/'*) ;;
+    *'path = "crates/'*)
+      case "$name" in
+        exflow-*) ;;
+        *)
+          echo "FAIL: third-party name '$name' must resolve to shims/, not crates/" >&2
+          violations=$((violations + 1))
+          ;;
+      esac
+      ;;
+    *)
+      echo "FAIL: workspace dependency '$name' is not a path dependency: $dep" >&2
+      violations=$((violations + 1))
+      ;;
+  esac
+done < <(awk '/^\[workspace\.dependencies\]/ { s = 1; next }
+              /^\[/ { s = 0 }
+              s && /=/ { print }' Cargo.toml)
+
+if [ "$violations" -ne 0 ]; then
+  echo "deps-audit: $violations violation(s)" >&2
+  exit 1
+fi
+echo "deps-audit: OK (no registry/git sources; shims/ and crates/ are the only path deps)"

@@ -53,6 +53,7 @@ fn replicated() -> OnlineConfig {
         replica_memory_bytes: 4 * bytes_per_expert,
         budget_rollover: true,
         scale_budget_by_drift: true,
+        ..OnlineConfig::default()
     }
 }
 
