@@ -17,16 +17,19 @@
 //! verified invariant across thread counts and backends), and the
 //! `table_replan_latency` sweep (cold-rebuild vs delta-maintained
 //! re-planning at `E = 256/512`, verified to land bit-identical
-//! placements and cross masses), and writes the machine-readable summary
-//! JSON (schema `exflow-bench-summary/v7`, documented in the README).
+//! placements and cross masses), and the `table_partial_replication`
+//! sweep (subset vs full replica fan-out from the same incumbent at
+//! `E = 16/256` × top-1/top-2, verified invariant across backends and
+//! thread counts), and writes the machine-readable summary
+//! JSON (schema `exflow-bench-summary/v8`, documented in the README).
 //!
 //! ```text
 //! cargo run --release -p exflow-bench --bin bench_summary -- \
-//!     --quick --jobs 4 --out fresh.json --check BENCH_PR8.json
+//!     --quick --jobs 4 --out fresh.json --check BENCH_PR9.json
 //! ```
 //!
 //! With `--check BASELINE`, the fresh summary is compared against the
-//! committed baseline (v7, or an older v3–v6 whose sections are
+//! committed baseline (v8, or an older v3–v7 whose sections are
 //! compared as far as they go — the skew note names every fresh section
 //! the old baseline cannot gate): any objective mismatch (`cross_mass`,
 //! `nnz`, the online/replication cross counts, the serving latency
@@ -34,8 +37,10 @@
 //! a fresh serving row whose adaptive p99 is worse than the static
 //! incumbent's, a fresh elasticity row whose replicated fleet does not
 //! recover strictly faster, an incremental re-plan whose cross mass
-//! diverges from the rebuild's, or an `E = 512` cell below the 5x
-//! scan-reduction bar is a hard failure;
+//! diverges from the rebuild's, an `E = 512` cell below the 5x
+//! scan-reduction bar, a partial-replication row where the subset policy
+//! loses to the full fan-out at equal memory, or a sweep where no top-2
+//! CC row placed a replica is a hard failure;
 //! wall-time regressions beyond 25% are reported as warnings in the
 //! markdown printed to stdout (CI appends it to the job summary).
 //!

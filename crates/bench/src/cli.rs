@@ -9,7 +9,8 @@
 
 use crate::experiments::{
     ablations, elasticity, events, fig10, fig11, fig12, fig13, fig2, fig6, fig7, fig8, fig9,
-    online, replan_latency, replication_online, serving, table1, table2, table3,
+    online, partial_replication, replan_latency, replication_online, serving, table1, table2,
+    table3,
 };
 use crate::sweep::MAX_JOBS;
 use crate::Scale;
@@ -38,6 +39,7 @@ pub const ARTIFACTS: &[Artifact] = &[
     ("table_serving", serving::print),
     ("table_elasticity", elasticity::print),
     ("table_replan_latency", replan_latency::print),
+    ("table_partial_replication", partial_replication::print),
     ("render-events", events::print),
 ];
 

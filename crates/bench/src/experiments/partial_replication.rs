@@ -1,0 +1,116 @@
+//! `table_partial_replication` — what replicating onto a *chosen subset*
+//! of GPUs buys over the all-GPUs fan-out at equal memory.
+//!
+//! Each cell replays a drifting trace through the budgeted replicated
+//! solver twice from the same incumbent at every re-plan: once under the
+//! one-replica-per-node subset policy and once under the full fan-out.
+//! Partial replication's candidate set strictly contains full's, so the
+//! summed solver cross mass can never be worse — the table shows by how
+//! much it is *better*, alongside the fan-out bytes each policy paid.
+//! The trailing engine columns run the top-2 context-coherent serving
+//! loop with replica-aware meeting-point dispatch and record whether the
+//! gate arity actually exercised replicas (the regression this artifact
+//! guards against is top-2 models silently falling back to owner-only
+//! dispatch).
+
+use crate::fmt::render_table;
+use crate::summary::{partial_replication_table, PartialReplicationRow};
+use crate::Scale;
+
+/// Regenerate the table rows (delegates to the `bench_summary` sweep so
+/// the printed numbers are exactly the gated ones).
+pub fn run(scale: Scale) -> Vec<PartialReplicationRow> {
+    partial_replication_table(scale, 20_240_522)
+        .expect("partial-replication sweep invariance must hold")
+}
+
+/// Print the table.
+pub fn print(scale: Scale) {
+    println!("table_partial_replication: subset vs full replica fan-out at equal memory");
+    println!("(both policies race from the same incumbent at the same slot and byte");
+    println!(" budgets; `partial`/`full cross` sum the solver objective over every");
+    println!(" re-plan, `cc repl` counts replicas the top-2 CC serving engine placed");
+    println!(" under replica-aware meeting-point dispatch)\n");
+    let rows = run(scale);
+    let headers = vec![
+        "scenario",
+        "k",
+        "windows",
+        "replans",
+        "repl added",
+        "partial cross",
+        "full cross",
+        "partial MiB",
+        "full MiB",
+        "copies p/f",
+        "cc repl",
+        "cc local",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.k.to_string(),
+                r.windows.to_string(),
+                r.partial_replans.to_string(),
+                r.replicas_added.to_string(),
+                format!("{:.4}", r.partial_cross_mass),
+                format!("{:.4}", r.full_cross_mass),
+                format!("{:.1}", r.partial_migrated_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1}", r.full_migrated_bytes as f64 / (1 << 20) as f64),
+                format!("{}/{}", r.partial_extra_copies, r.full_extra_copies),
+                r.cc_replicas_added.to_string(),
+                format!("{:.3}", r.cc_local_fraction),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &body));
+    let losses = rows.iter().filter(|r| !r.partial_never_loses()).count();
+    println!(
+        "\n({} of {} rows where the subset policy loses to the full fan-out; \
+         the perf-gate requires 0)",
+        losses,
+        rows.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sweep itself (backend/thread invariance, the never-loses and
+    // top-2-uses-replicas bars) is exercised by `summary::tests`;
+    // re-running it here would double the most expensive cells of the
+    // suite, so this module only checks the presentation-layer predicate.
+    #[test]
+    fn never_loses_predicate_is_a_plain_comparison() {
+        let row = PartialReplicationRow {
+            scenario: "partial-repl/16e-top2".into(),
+            n_experts: 16,
+            k: 2,
+            layers: 4,
+            units: 4,
+            windows: 6,
+            replica_slots: 4,
+            budget_bytes: 12 << 20,
+            partial_replans: 2,
+            replicas_added: 3,
+            partial_migrated_bytes: 5 << 20,
+            full_migrated_bytes: 7 << 20,
+            partial_extra_copies: 2,
+            full_extra_copies: 3,
+            partial_cross_mass: 0.25,
+            full_cross_mass: 0.25,
+            realized_cross: 100,
+            cc_replicas_added: 1,
+            cc_local_fraction: 0.9,
+        };
+        assert!(row.partial_never_loses(), "ties must count as not losing");
+        let losing = PartialReplicationRow {
+            partial_cross_mass: 0.26,
+            ..row
+        };
+        assert!(!losing.partial_never_loses());
+    }
+}

@@ -38,7 +38,7 @@ pub const MIN_ONLINE_RECOVERY: f64 = 0.8;
 /// holds on 1-core runners too.
 pub const MIN_REPLAN_SCAN_REDUCTION_512: f64 = 5.0;
 
-/// Every array section of the current (`v7`) schema, oldest first, with
+/// Every array section of the current (`v8`) schema, oldest first, with
 /// the schema version that introduced it. A baseline at version `v`
 /// lacks exactly the sections introduced after `v` — the gate skips
 /// bit-comparing those and *names* them in the skew note, so a reader
@@ -52,6 +52,7 @@ const SECTION_INTRODUCED: &[(&str, u32)] = &[
     ("serving_rows", 5),
     ("elasticity_rows", 6),
     ("replan_latency_rows", 7),
+    ("partial_replication_rows", 8),
 ];
 
 /// Outcome of a baseline comparison.
@@ -160,12 +161,13 @@ fn warn_wall(warnings: &mut Vec<String>, what: &str, base: Option<f64>, fresh: O
 }
 
 /// Compare a fresh summary JSON against the committed baseline JSON.
-/// The fresh document must be `exflow-bench-summary/v7`; the baseline may
-/// be v7 or the older v3/v4/v5/v6 (whose sections are compared as far as
-/// they go — a v3 baseline simply has no `replication_online_rows`,
-/// `serving_rows`, `elasticity_rows`, or `replan_latency_rows` to gate
-/// against, and so on up the versions; the skew is surfaced as an
-/// informational note that *names* the absent row families).
+/// The fresh document must be `exflow-bench-summary/v8`; the baseline may
+/// be v8 or the older v3 through v7 (whose sections are compared as far
+/// as they go — a v3 baseline simply has no `replication_online_rows`,
+/// `serving_rows`, `elasticity_rows`, `replan_latency_rows`, or
+/// `partial_replication_rows` to gate against, and so on up the
+/// versions; the skew is surfaced as an informational note that *names*
+/// the absent row families).
 pub fn compare(baseline: &str, fresh: &str) -> GateReport {
     let mut report = GateReport::default();
 
@@ -174,9 +176,9 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
             .find(|l| l.trim_start().starts_with("\"schema\""))
             .and_then(|l| field(l, "schema"))
     };
-    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v7") {
+    if get_schema(fresh).as_deref() != Some("exflow-bench-summary/v8") {
         report.drifts.push(
-            "schema mismatch: the fresh document must be exflow-bench-summary/v7".to_string(),
+            "schema mismatch: the fresh document must be exflow-bench-summary/v8".to_string(),
         );
         return report;
     }
@@ -187,16 +189,17 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         Some("exflow-bench-summary/v5") => 5,
         Some("exflow-bench-summary/v6") => 6,
         Some("exflow-bench-summary/v7") => 7,
+        Some("exflow-bench-summary/v8") => 8,
         _ => {
             report.drifts.push(
-                "schema mismatch: the baseline must be exflow-bench-summary/v3 through /v7 \
+                "schema mismatch: the baseline must be exflow-bench-summary/v3 through /v8 \
                  (regenerate the committed baseline with bench_summary)"
                     .to_string(),
             );
             return report;
         }
     };
-    if baseline_version < 7 {
+    if baseline_version < 8 {
         let absent: Vec<&str> = SECTION_INTRODUCED
             .iter()
             .filter(|&&(_, since)| since > baseline_version)
@@ -635,6 +638,20 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
                             ));
                         }
                     }
+                    // `repl_extra_copies` joined the elasticity row at
+                    // v8; older baselines simply lack the field.
+                    if baseline_version >= 8 {
+                        let (bv, fv) =
+                            (field(b, "repl_extra_copies"), field(f, "repl_extra_copies"));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "repl_extra_copies drift on elasticity/{fault}: baseline {} vs \
+                                 fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -780,6 +797,116 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
         }
     }
 
+    // Partial-replication rows: keyed by scenario; every field is a
+    // deterministic objective, byte count, or copy count (there are no
+    // wall-clock columns), so all of them are bit-compared. A v3..v7
+    // baseline has no such section, so coverage checks only apply when
+    // the baseline has one.
+    let base_partial = rows_section(baseline, "partial_replication_rows");
+    let fresh_partial = rows_section(fresh, "partial_replication_rows");
+    if baseline.contains("\"partial_replication_rows\": [") {
+        let scenario_of = |line: &str| field(line, "scenario").unwrap_or_default();
+        for b in &base_partial {
+            let scenario = scenario_of(b);
+            match fresh_partial.iter().find(|f| scenario_of(f) == scenario) {
+                None => report.drifts.push(format!(
+                    "partial-replication row {scenario} missing from fresh run"
+                )),
+                Some(f) => {
+                    for fact in [
+                        "partial_replans",
+                        "replicas_added",
+                        "partial_migrated_bytes",
+                        "full_migrated_bytes",
+                        "partial_extra_copies",
+                        "full_extra_copies",
+                        "partial_cross_mass",
+                        "full_cross_mass",
+                        "realized_cross",
+                        "cc_replicas_added",
+                        "cc_local_fraction",
+                    ] {
+                        let (bv, fv) = (field(b, fact), field(f, fact));
+                        if bv != fv {
+                            report.drifts.push(format!(
+                                "{fact} drift on partial-replication/{scenario}: baseline {} vs \
+                                 fresh {}",
+                                bv.unwrap_or_default(),
+                                fv.unwrap_or_default()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for f in &fresh_partial {
+            let scenario = scenario_of(f);
+            if !base_partial.iter().any(|b| scenario_of(b) == scenario) {
+                report.drifts.push(format!(
+                    "partial-replication row {scenario} not in baseline"
+                ));
+            }
+        }
+    }
+
+    // Acceptance bars of partial replication, checked on the fresh run
+    // regardless of baseline version: on every cell the subset policy —
+    // which races the full fan-out from the same incumbent at the same
+    // memory and migration budgets — must never lose to full replication
+    // in solver cross mass, both policies must respect the per-GPU slot
+    // and per-re-plan byte budgets, and at least one top-2 CC engine row
+    // must actually place replicas (the regression the sweep exists to
+    // catch is top-2 models silently falling back to owner-only serving).
+    let mut top2_uses_replicas = fresh_partial.is_empty();
+    for f in &fresh_partial {
+        let scenario = field(f, "scenario").unwrap_or_default();
+        let num = |key: &str| field(f, key).and_then(|v| v.parse::<f64>().ok());
+        if let (Some(partial), Some(full)) = (num("partial_cross_mass"), num("full_cross_mass")) {
+            if partial > full {
+                report.drifts.push(format!(
+                    "partial replication on {scenario}: subset policy crossed {partial} vs full \
+                     fan-out's {full} at equal memory"
+                ));
+            }
+        }
+        if let Some(slots) = num("replica_slots") {
+            for policy in ["partial", "full"] {
+                if let Some(extra) = num(&format!("{policy}_extra_copies")) {
+                    if extra > slots {
+                        report.drifts.push(format!(
+                            "partial replication on {scenario}: {policy} policy holds {extra} \
+                             extra copies over the {slots}-slot per-GPU budget"
+                        ));
+                    }
+                }
+            }
+        }
+        if let (Some(migrated), Some(budget), Some(replans)) = (
+            num("partial_migrated_bytes"),
+            num("budget_bytes"),
+            num("partial_replans"),
+        ) {
+            if migrated > budget * replans {
+                report.drifts.push(format!(
+                    "partial replication on {scenario} moved {migrated} bytes across {replans} \
+                     re-plans, over the {budget}-byte per-re-plan budget"
+                ));
+            }
+        }
+        if field(f, "k").as_deref() == Some("2")
+            && num("cc_replicas_added").is_some_and(|n| n > 0.0)
+        {
+            top2_uses_replicas = true;
+        }
+    }
+    if !top2_uses_replicas {
+        report.drifts.push(
+            "partial replication: no top-2 CC row placed a replica \
+             (top-2 dispatch fell back to owner-only serving)"
+                .to_string(),
+        );
+    }
+
     // Whole-sweep walls.
     let top_field = |json: &str, key: &str| {
         json.lines()
@@ -807,8 +934,8 @@ pub fn compare(baseline: &str, fresh: &str) -> GateReport {
 mod tests {
     use super::*;
     use crate::summary::{
-        BenchRow, BenchSummary, ElasticityRow, OnlineBenchRow, ReplanLatencyRow,
-        ReplicationOnlineRow, ServingBenchRow, SparseBenchRow,
+        BenchRow, BenchSummary, ElasticityRow, OnlineBenchRow, PartialReplicationRow,
+        ReplanLatencyRow, ReplicationOnlineRow, ServingBenchRow, SparseBenchRow,
     };
 
     fn summary(cross: f64, wall: f64, sparse_wall_dense: f64) -> BenchSummary {
@@ -907,6 +1034,7 @@ mod tests {
                 repl_steps_degraded: 12,
                 repl_emergency_bytes: 0,
                 repl_recovery: 1.5,
+                repl_extra_copies: 6,
             }],
             replan_latency_rows: vec![ReplanLatencyRow {
                 preset: "MoE-GPT-XXL/512e-24L-top1".into(),
@@ -924,6 +1052,27 @@ mod tests {
                 wall_ms_incremental: 120.0,
                 cross_mass_rebuild: cross / 5.0,
                 cross_mass_incremental: cross / 5.0,
+            }],
+            partial_replication_rows: vec![PartialReplicationRow {
+                scenario: "partial-repl/256e-top2".into(),
+                n_experts: 256,
+                k: 2,
+                layers: 2,
+                units: 8,
+                windows: 3,
+                replica_slots: 4,
+                budget_bytes: 12 << 20,
+                partial_replans: 2,
+                replicas_added: 5,
+                partial_migrated_bytes: 6 << 20,
+                full_migrated_bytes: 9 << 20,
+                partial_extra_copies: 3,
+                full_extra_copies: 4,
+                partial_cross_mass: cross / 6.0,
+                full_cross_mass: cross / 5.0,
+                realized_cross: 1234,
+                cc_replicas_added: 2,
+                cc_local_fraction: 0.875,
             }],
         }
     }
@@ -1015,7 +1164,7 @@ mod tests {
     #[test]
     fn v1_baseline_is_rejected() {
         let fresh = summary(0.25, 100.0, 100.0).to_json();
-        let old = fresh.replace("exflow-bench-summary/v7", "exflow-bench-summary/v1");
+        let old = fresh.replace("exflow-bench-summary/v8", "exflow-bench-summary/v1");
         let report = compare(&old, &fresh);
         assert!(!report.ok());
         assert!(report.drifts[0].contains("schema"));
@@ -1033,19 +1182,31 @@ mod tests {
         out.replace(from, to)
     }
 
-    /// Strip a v7 document down to the v6 schema (drop the
-    /// replan_latency_rows section and relabel).
-    fn as_v6(json: &str) -> String {
+    /// Strip a v8 document down to the v7 schema (drop the
+    /// partial_replication_rows section and relabel).
+    fn as_v7(json: &str) -> String {
         strip_last_section(
             json,
+            "partial_replication_rows",
+            "exflow-bench-summary/v8",
+            "exflow-bench-summary/v7",
+        )
+    }
+
+    /// Strip a v8 document down to the v6 schema (drop the
+    /// partial_replication_rows and replan_latency_rows sections and
+    /// relabel).
+    fn as_v6(json: &str) -> String {
+        strip_last_section(
+            &as_v7(json),
             "replan_latency_rows",
             "exflow-bench-summary/v7",
             "exflow-bench-summary/v6",
         )
     }
 
-    /// Strip a v7 document down to the v5 schema (drop the
-    /// replan_latency_rows and elasticity_rows sections and relabel).
+    /// Strip a v8 document down to the v5 schema (additionally drop the
+    /// elasticity_rows section and relabel).
     fn as_v5(json: &str) -> String {
         strip_last_section(
             &as_v6(json),
@@ -1055,9 +1216,8 @@ mod tests {
         )
     }
 
-    /// Strip a v7 document down to the v4 schema (drop the
-    /// replan_latency_rows, elasticity_rows, and serving_rows sections
-    /// and relabel).
+    /// Strip a v8 document down to the v4 schema (additionally drop the
+    /// serving_rows section and relabel).
     fn as_v4(json: &str) -> String {
         strip_last_section(
             &as_v5(json),
@@ -1067,7 +1227,7 @@ mod tests {
         )
     }
 
-    /// Strip a v7 document down to the v3 schema (keep only the rows,
+    /// Strip a v8 document down to the v3 schema (keep only the rows,
     /// sparse_rows, and online_rows sections and relabel).
     fn as_v3(json: &str) -> String {
         strip_last_section(
@@ -1146,7 +1306,7 @@ mod tests {
         let fresh = as_v5(&base);
         let report = compare(&base, &fresh);
         assert!(!report.ok());
-        assert!(report.drifts[0].contains("must be exflow-bench-summary/v7"));
+        assert!(report.drifts[0].contains("must be exflow-bench-summary/v8"));
     }
 
     #[test]
@@ -1407,7 +1567,12 @@ mod tests {
         let report = compare(&as_v4(&fresh), &fresh);
         assert!(report.ok(), "{:?}", report.drifts);
         assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
-        for section in ["serving_rows", "elasticity_rows", "replan_latency_rows"] {
+        for section in [
+            "serving_rows",
+            "elasticity_rows",
+            "replan_latency_rows",
+            "partial_replication_rows",
+        ] {
             assert!(
                 report.notes[0].contains(section),
                 "note must name {section}: {:?}",
@@ -1415,6 +1580,140 @@ mod tests {
             );
         }
         assert!(!report.notes[0].contains("replication_online_rows"));
+    }
+
+    #[test]
+    fn v7_baseline_is_accepted_and_note_names_the_partial_section() {
+        let fresh = summary(0.25, 100.0, 100.0).to_json();
+        let old = as_v7(&fresh);
+        assert!(old.contains("exflow-bench-summary/v7"));
+        assert!(old.contains("replan_latency_rows"));
+        assert!(!old.contains("partial_replication_rows"));
+        let report = compare(&old, &fresh);
+        assert!(report.ok(), "{:?}", report.drifts);
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        assert!(report.notes[0].contains("exflow-bench-summary/v7"));
+        assert!(report.notes[0].contains("partial_replication_rows"));
+        // Only the one section rides ungated at v7.
+        assert!(!report.notes[0].contains("replan_latency_rows"));
+    }
+
+    #[test]
+    fn partial_cross_drift_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.partial_replication_rows[0].partial_cross_mass += 1e-12;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(!report.ok());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("partial_cross_mass drift on partial-replication")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn partial_losing_to_full_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.partial_replication_rows[0].partial_cross_mass =
+            fresh.partial_replication_rows[0].full_cross_mass + 0.1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("at equal memory")),
+            "{:?}",
+            report.drifts
+        );
+        // The bar also binds against a v7 baseline, where no bit-compare
+        // covers the partial-replication section at all.
+        let report = compare(&as_v7(&base.to_json()), &fresh.to_json());
+        assert!(
+            report.drifts.iter().any(|d| d.contains("at equal memory")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn top2_falling_back_to_owner_only_fails_the_bar() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.partial_replication_rows[0].cc_replicas_added = 0;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("fell back to owner-only serving")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn partial_memory_violation_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.partial_replication_rows[0].partial_extra_copies =
+            fresh.partial_replication_rows[0].replica_slots + 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("partial policy holds")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn partial_migration_violation_fails() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.partial_replication_rows[0].partial_migrated_bytes =
+            fresh.partial_replication_rows[0].budget_bytes
+                * fresh.partial_replication_rows[0].partial_replans as u64
+                + 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("per-re-plan budget") && d.contains("partial replication")),
+            "{:?}",
+            report.drifts
+        );
+    }
+
+    #[test]
+    fn repl_extra_copies_drift_fails_only_against_a_v8_baseline() {
+        let base = summary(0.25, 100.0, 100.0);
+        let mut fresh = base.clone();
+        fresh.elasticity_rows[0].repl_extra_copies += 1;
+        let report = compare(&base.to_json(), &fresh.to_json());
+        assert!(
+            report
+                .drifts
+                .iter()
+                .any(|d| d.contains("repl_extra_copies drift")),
+            "{:?}",
+            report.drifts
+        );
+        // A v7 baseline has elasticity rows but not the field: the drift
+        // must not misfire as "" vs value.
+        let report = compare(&as_v7(&base.to_json()), &fresh.to_json());
+        assert!(
+            !report
+                .drifts
+                .iter()
+                .any(|d| d.contains("repl_extra_copies")),
+            "{:?}",
+            report.drifts
+        );
     }
 
     #[test]

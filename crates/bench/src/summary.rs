@@ -42,6 +42,17 @@
 //!   verified bit-identical across thread counts and gap backends, with
 //!   the replicated fleet required to recover strictly faster.
 //!
+//! * **`table_partial_replication` sweep** — partial vs full replica
+//!   fan-out at `E ∈ {16, 256} × top-1/top-2`: every re-plan solves the
+//!   same incumbent under the one-replica-per-node subset policy and the
+//!   Lina-style everywhere policy at *equal* migration and per-GPU
+//!   memory budgets, verifying bit-identical solves across gap backends
+//!   and that the partial solve never scores worse; each row also runs
+//!   the context-coherent engine under the subset policy at 1/2/8 solver
+//!   threads (and dense/CSR backends), recording the replica adds and
+//!   dispatch locality the meeting-point rule realizes — top-2 rows must
+//!   actually buy replicas, not fall back to owner moves.
+//!
 //! * **`table_replan_latency` sweep** — re-plan latency at `E = 256/512`:
 //!   the same drifting instance re-planned window by window along two
 //!   lockstep paths — a cold rebuild (`Objective::from_snapshot` plus an
@@ -54,19 +65,21 @@
 //! Quality numbers in `BENCH_*.json` are deterministic facts (the CI
 //! perf-gate compares them bit for bit against the committed baseline);
 //! timing numbers are machine-dependent measurements. The schema
-//! (`exflow-bench-summary/v7`) keeps them apart.
+//! (`exflow-bench-summary/v8`) keeps them apart.
 
 use std::time::Instant;
 
 use exflow_affinity::{RoutingTrace, SparseAffinity, StreamingAffinity};
 use exflow_core::{
-    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, Scenario, ServingConfig,
-    ServingReport,
+    BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, ReplicaPlacement, Scenario,
+    ServingConfig, ServingReport,
 };
 use exflow_model::presets::{large_zoo, moe_gpt_m, table2};
 use exflow_model::routing::AffinityModelSpec;
 use exflow_model::ArrivalProcess;
-use exflow_model::{CorpusSpec, DriftSchedule, FaultKind, FaultSchedule, ModelConfig, TokenBatch};
+use exflow_model::{
+    CorpusSpec, DriftSchedule, FaultKind, FaultSchedule, GateKind, ModelConfig, TokenBatch,
+};
 use exflow_placement::annealing::AnnealParams;
 use exflow_placement::greedy::solve_greedy;
 use exflow_placement::local_search::{improve, solve_local_search_with};
@@ -76,7 +89,8 @@ use exflow_placement::online::{
 };
 use exflow_placement::{
     replicated_cross_mass, solve_budgeted_metered, solve_with, split_seed, GapBackend, Objective,
-    Parallelism, Placement, ReplicationBudget, ReplicationPlan, SolverKind, SwapGainCache,
+    Parallelism, Placement, ReplicaPolicy, ReplicationBudget, ReplicationPlan, SolverKind,
+    SwapGainCache,
 };
 use exflow_topology::{ClusterSpec, CostModel, LinkCost};
 
@@ -196,6 +210,17 @@ const ELASTICITY_FAULT_AT: f64 = 0.4;
 /// When the lost GPU rejoins (in the loss+rejoin scenario), as a
 /// fraction of the arrival horizon.
 const ELASTICITY_REJOIN_AT: f64 = 0.6;
+
+/// Expert moves one `table_partial_replication` re-plan may migrate —
+/// identical for the partial and everywhere policies, so the race is at
+/// equal traffic.
+const PARTIAL_BUDGET_MOVES: u64 = 12;
+
+/// Extra replica payloads each GPU may hold in every
+/// `table_partial_replication` cell — identical for both policies, so the
+/// race is at equal memory. Partial fan-out ships fewer copies per
+/// replicated expert, which is exactly the edge the sweep measures.
+const PARTIAL_REPLICA_SLOTS: u64 = 4;
 
 /// Expert moves one `table_replan_latency` re-plan may relocate. Each
 /// accepted move costs the budgeted descent one full candidate rescan,
@@ -496,6 +521,11 @@ pub struct ElasticityRow {
     /// Virtual time from the loss until the rolling p99 recovered, or
     /// `-1` if it never did.
     pub repl_recovery: f64,
+    /// Worst-case extra replica copies any GPU holds in the replicated
+    /// fleet's starting plan — counted from the materialized subsets
+    /// (`ReplicationPlan::extra_copies_per_gpu`), not a world-size
+    /// fan-out assumption.
+    pub repl_extra_copies: u64,
 }
 
 impl ElasticityRow {
@@ -506,6 +536,71 @@ impl ElasticityRow {
     pub fn replication_recovers_faster(&self) -> bool {
         self.repl_recovery >= 0.0
             && (self.plain_recovery < 0.0 || self.repl_recovery < self.plain_recovery)
+    }
+}
+
+/// One `table_partial_replication` cell: a drifting instance re-planned
+/// window by window under the partial (one-replica-per-node) and full
+/// (everywhere) fan-out policies at equal migration-byte and per-GPU
+/// memory budgets, always from the same shared incumbent — so the
+/// per-cell cross-mass comparison is exact, not a trajectory artifact.
+/// The `cc_*` figures come from a context-coherent engine run under the
+/// subset policy (the meeting-point dispatch rule), verified bit-identical
+/// at 1/2/8 solver threads and across gap backends.
+#[derive(Debug, Clone)]
+pub struct PartialReplicationRow {
+    /// Cell label (`E16/top1`, `E256/top2`, ...).
+    pub scenario: String,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Gating fan-out the window traces are sampled with.
+    pub k: usize,
+    /// MoE layers of the placement instance.
+    pub layers: usize,
+    /// GPUs the instance is placed across.
+    pub units: usize,
+    /// Serving windows.
+    pub windows: usize,
+    /// Extra replica payloads each GPU may hold (both policies).
+    pub replica_slots: u64,
+    /// Migration byte budget of one re-plan (both policies).
+    pub budget_bytes: u64,
+    /// Re-plans where the partial policy changed the plan.
+    pub partial_replans: usize,
+    /// Replica copies the partial policy created, summed over re-plans
+    /// (each ships only to its chosen subset).
+    pub replicas_added: u64,
+    /// Bytes the partial-policy re-plans actually migrated.
+    pub partial_migrated_bytes: u64,
+    /// Bytes the everywhere-policy solves would have migrated from the
+    /// same incumbents.
+    pub full_migrated_bytes: u64,
+    /// Final worst-case extra copies per GPU under the partial policy.
+    pub partial_extra_copies: u64,
+    /// Worst-case extra copies per GPU of the last everywhere solve.
+    pub full_extra_copies: u64,
+    /// Replicated cross mass of the partial solves, summed over re-plans
+    /// (bit-identical across gap backends — verified).
+    pub partial_cross_mass: f64,
+    /// Replicated cross mass of the everywhere solves from the same
+    /// incumbents, summed over re-plans.
+    pub full_cross_mass: f64,
+    /// Realized cross-unit transitions of the partial trajectory on the
+    /// window traces (set-semantics replica locality).
+    pub realized_cross: u64,
+    /// Replica copies the context-coherent engine run created under the
+    /// one-per-node policy (top-2 rows must not fall back to zero).
+    pub cc_replicas_added: u64,
+    /// GPU-local dispatch fraction of that engine run.
+    pub cc_local_fraction: f64,
+}
+
+impl PartialReplicationRow {
+    /// The equal-memory acceptance bar: the partial fan-out solve never
+    /// scores worse than the everywhere solve from the same incumbent
+    /// (structural — the partial candidate set is a superset).
+    pub fn partial_never_loses(&self) -> bool {
+        self.partial_cross_mass <= self.full_cross_mass
     }
 }
 
@@ -601,6 +696,9 @@ pub struct BenchSummary {
     pub elasticity_rows: Vec<ElasticityRow>,
     /// The `table_replan_latency` cells, in `large_zoo()` order.
     pub replan_latency_rows: Vec<ReplanLatencyRow>,
+    /// The `table_partial_replication` cells, in
+    /// `E ∈ {16, 256} × top-1/top-2` grid order.
+    pub partial_replication_rows: Vec<PartialReplicationRow>,
 }
 
 impl BenchSummary {
@@ -613,7 +711,7 @@ impl BenchSummary {
         self.wall_ms_jobs1 / self.wall_ms_jobs_n
     }
 
-    /// Serialize as the `exflow-bench-summary/v7` schema (see README).
+    /// Serialize as the `exflow-bench-summary/v8` schema (see README).
     /// Hand-rolled: the workspace builds offline, so no serde. Objectives
     /// and serving latencies are printed with Rust's shortest round-trip
     /// float formatting, so string equality in the JSON is bit equality
@@ -621,7 +719,7 @@ impl BenchSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(8192);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"exflow-bench-summary/v7\",\n");
+        out.push_str("  \"schema\": \"exflow-bench-summary/v8\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
@@ -751,7 +849,7 @@ impl BenchSummary {
         out.push_str("  \"elasticity_rows\": [\n");
         for (i, row) in self.elasticity_rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"fault\": \"{}\", \"requests\": {}, \"fault_time\": {}, \"plain_p99\": {}, \"plain_disrupted\": {}, \"plain_steps_degraded\": {}, \"plain_emergency_bytes\": {}, \"plain_recovery\": {}, \"repl_p99\": {}, \"repl_disrupted\": {}, \"repl_steps_degraded\": {}, \"repl_emergency_bytes\": {}, \"repl_recovery\": {}}}{}\n",
+                "    {{\"fault\": \"{}\", \"requests\": {}, \"fault_time\": {}, \"plain_p99\": {}, \"plain_disrupted\": {}, \"plain_steps_degraded\": {}, \"plain_emergency_bytes\": {}, \"plain_recovery\": {}, \"repl_p99\": {}, \"repl_disrupted\": {}, \"repl_steps_degraded\": {}, \"repl_emergency_bytes\": {}, \"repl_recovery\": {}, \"repl_extra_copies\": {}}}{}\n",
                 row.fault,
                 row.requests,
                 row.fault_time,
@@ -765,6 +863,7 @@ impl BenchSummary {
                 row.repl_steps_degraded,
                 row.repl_emergency_bytes,
                 row.repl_recovery,
+                row.repl_extra_copies,
                 if i + 1 == self.elasticity_rows.len() { "" } else { "," }
             ));
         }
@@ -790,6 +889,37 @@ impl BenchSummary {
                 row.cross_mass_rebuild,
                 row.cross_mass_incremental,
                 if i + 1 == self.replan_latency_rows.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"partial_replication_rows\": [\n");
+        for (i, row) in self.partial_replication_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"experts\": {}, \"k\": {}, \"layers\": {}, \"units\": {}, \"windows\": {}, \"replica_slots\": {}, \"budget_bytes\": {}, \"partial_replans\": {}, \"replicas_added\": {}, \"partial_migrated_bytes\": {}, \"full_migrated_bytes\": {}, \"partial_extra_copies\": {}, \"full_extra_copies\": {}, \"partial_cross_mass\": {}, \"full_cross_mass\": {}, \"realized_cross\": {}, \"cc_replicas_added\": {}, \"cc_local_fraction\": {:.6}}}{}\n",
+                row.scenario,
+                row.n_experts,
+                row.k,
+                row.layers,
+                row.units,
+                row.windows,
+                row.replica_slots,
+                row.budget_bytes,
+                row.partial_replans,
+                row.replicas_added,
+                row.partial_migrated_bytes,
+                row.full_migrated_bytes,
+                row.partial_extra_copies,
+                row.full_extra_copies,
+                row.partial_cross_mass,
+                row.full_cross_mass,
+                row.realized_cross,
+                row.cc_replicas_added,
+                row.cc_local_fraction,
+                if i + 1 == self.partial_replication_rows.len() {
                     ""
                 } else {
                     ","
@@ -1158,10 +1288,7 @@ fn replication_scenario(
     };
     let static_placement = initial.clone();
     let mut owner_placement = initial.clone();
-    let mut joint_plan = ReplicationPlan {
-        base: initial,
-        replicated: vec![Vec::new(); layers],
-    };
+    let mut joint_plan = ReplicationPlan::bare(initial);
 
     let (mut static_cross, mut owner_cross, mut joint_cross) = (0u64, 0u64, 0u64);
     let (mut owner_migrated, mut joint_migrated) = (0u64, 0u64);
@@ -1209,10 +1336,21 @@ fn replication_scenario(
 
             // Joint: replica adds/drops race owner moves under the same
             // migration budget plus the replica memory budget.
-            let joint_next =
-                solve_budgeted_replicated(&dense, &joint_plan, bytes_per_expert, &joint_budget);
+            let joint_next = solve_budgeted_replicated(
+                &dense,
+                &joint_plan,
+                bytes_per_expert,
+                &joint_budget,
+                &ReplicaPolicy::Everywhere,
+            );
             if joint_next
-                != solve_budgeted_replicated(&sparse, &joint_plan, bytes_per_expert, &joint_budget)
+                != solve_budgeted_replicated(
+                    &sparse,
+                    &joint_plan,
+                    bytes_per_expert,
+                    &joint_budget,
+                    &ReplicaPolicy::Everywhere,
+                )
             {
                 return Err(format!(
                     "{scenario}: joint re-solve diverged across gap backends at window {window}"
@@ -1569,11 +1707,14 @@ pub fn elasticity_table(
         window_duration: horizon / SERVING_WINDOWS as f64,
     };
     // The replicated fleet starts from the same profiled placement with
-    // every expert replicated, so any lost expert has a live copy.
-    let full_replication = ReplicationPlan {
-        base: eng.placement_for(mode).clone(),
-        replicated: vec![(0..SERVING_EXPERTS).collect(); layers],
-    };
+    // every expert replicated everywhere, so any lost expert has a live
+    // copy. `everywhere` materializes the actual non-owner subsets, so
+    // the memory figure below counts real copies, not a world-size
+    // fan-out assumption.
+    let full_replication = ReplicationPlan::everywhere(
+        eng.placement_for(mode).clone(),
+        vec![(0..SERVING_EXPERTS).collect(); layers],
+    );
 
     let faults = [
         FaultSchedule::gpu_loss(world, 1, ELASTICITY_FAULT_AT * horizon),
@@ -1665,6 +1806,7 @@ pub fn elasticity_table(
             repl_steps_degraded: repl.disruption.steps_degraded,
             repl_emergency_bytes: repl.disruption.emergency_bytes,
             repl_recovery: recovery(&repl),
+            repl_extra_copies: full_replication.extra_copies_per_gpu() as u64,
         };
         if !row.replication_recovers_faster() {
             return Err(format!(
@@ -1824,6 +1966,280 @@ pub fn replan_latency_table(scale: Scale, seed: u64) -> Result<Vec<ReplanLatency
         .collect()
 }
 
+/// Sample one window trace with an explicit gating fan-out `k` (the
+/// top-2 cells route every token through two experts per layer).
+fn partial_window_trace(
+    drift: &DriftSchedule,
+    window: usize,
+    tokens: usize,
+    k: usize,
+    seed: u64,
+) -> RoutingTrace {
+    let model = drift.model_at(window);
+    let batch = TokenBatch::sample(
+        model,
+        &CorpusSpec::pile_proxy(model.n_domains()),
+        tokens,
+        k,
+        split_seed(seed, window as u64),
+    );
+    RoutingTrace::from_batch(&batch, model.n_experts())
+}
+
+/// Measure one `table_partial_replication` cell. Every re-plan races the
+/// one-per-node and everywhere fan-out policies from the *same* shared
+/// incumbent at equal budgets; the partial winner becomes the next
+/// incumbent. The engine leg runs the context-coherent online loop under
+/// the subset policy and verifies bit-identity at 1/2/8 solver threads
+/// and across gap backends.
+fn partial_replication_cell(
+    e: usize,
+    gate: GateKind,
+    scale: Scale,
+    seed: u64,
+) -> Result<PartialReplicationRow, String> {
+    let k = gate.k();
+    let scenario = format!("E{e}/top{k}");
+    let (units, cluster, layers, windows, window_tokens) = if e <= 16 {
+        (
+            ONLINE_UNITS,
+            ClusterSpec::new(2, 2).unwrap(),
+            scale.pick(4, 5),
+            scale.pick(6, 10),
+            scale.pick(1500, 4000),
+        )
+    } else {
+        (
+            N_UNITS_LARGE,
+            ClusterSpec::new(2, 4).unwrap(),
+            2,
+            scale.pick(3, 5),
+            scale.pick(2000, 6000),
+        )
+    };
+    let bytes_per_expert = moe_gpt_m(e).expert_params() * 2;
+    let budget_bytes = PARTIAL_BUDGET_MOVES * bytes_per_expert;
+    let budget = ReplicationBudget {
+        replica_memory_bytes: PARTIAL_REPLICA_SLOTS * bytes_per_expert,
+        migration_budget_bytes: budget_bytes,
+    };
+    let partial_policy = ReplicaPolicy::OnePerNode(cluster);
+
+    let spec = AffinityModelSpec::new(layers, e).with_seed(seed ^ 0x9a_7d_11);
+    let drift = DriftSchedule::piecewise(&spec, 2, windows);
+
+    let mut streaming = StreamingAffinity::new(layers, e, ONLINE_DECAY);
+    streaming.observe(&partial_window_trace(
+        &drift,
+        0,
+        window_tokens,
+        k,
+        seed ^ 0x0ff1,
+    ));
+    let initial = {
+        let objective = Objective::from_snapshot(&streaming.snapshot());
+        let mut p = solve_greedy(&objective, units);
+        improve(&objective, &mut p, 10);
+        p
+    };
+    let mut incumbent = ReplicationPlan::bare(initial);
+
+    let mut realized_cross = 0u64;
+    let (mut partial_cm, mut full_cm) = (0.0f64, 0.0f64);
+    let (mut partial_migrated, mut full_migrated) = (0u64, 0u64);
+    let mut partial_replans = 0usize;
+    let mut replicas_added = 0u64;
+    let mut full_extra_copies = 0u64;
+
+    for window in 0..windows {
+        let trace = partial_window_trace(&drift, window, window_tokens, k, seed);
+        let loc = incumbent.trace_locality(&trace);
+        realized_cross += loc.transitions - loc.local;
+        streaming.observe(&trace);
+
+        if window + 1 < windows {
+            let snapshot = streaming.snapshot();
+            let dense = Objective::from_snapshot_with(&snapshot, GapBackend::Dense);
+            let sparse = Objective::from_snapshot_with(&snapshot, GapBackend::Sparse);
+
+            let solve_both = |policy: &ReplicaPolicy| -> Result<(ReplicationPlan, f64), String> {
+                let next = solve_budgeted_replicated(
+                    &dense,
+                    &incumbent,
+                    bytes_per_expert,
+                    &budget,
+                    policy,
+                );
+                if next
+                    != solve_budgeted_replicated(
+                        &sparse,
+                        &incumbent,
+                        bytes_per_expert,
+                        &budget,
+                        policy,
+                    )
+                {
+                    return Err(format!(
+                        "{scenario}: {policy:?} solve diverged across gap backends at window {window}"
+                    ));
+                }
+                let cm = replicated_cross_mass(&dense, &next);
+                if cm.to_bits() != replicated_cross_mass(&sparse, &next).to_bits() {
+                    return Err(format!(
+                        "{scenario}: replicated cross mass diverged across gap backends at window {window}"
+                    ));
+                }
+                Ok((next, cm))
+            };
+
+            let (partial_next, cm_p) = solve_both(&partial_policy)?;
+            let (full_next, cm_f) = solve_both(&ReplicaPolicy::Everywhere)?;
+            if cm_p > cm_f {
+                return Err(format!(
+                    "{scenario}: partial fan-out lost to full at equal memory at window \
+                     {window} ({cm_p} vs {cm_f})"
+                ));
+            }
+            partial_cm += cm_p;
+            full_cm += cm_f;
+
+            for (next, migrated, extra_cap) in [
+                (&partial_next, &mut partial_migrated, PARTIAL_REPLICA_SLOTS),
+                (&full_next, &mut full_migrated, PARTIAL_REPLICA_SLOTS),
+            ] {
+                let diff = MigrationPlan::between_replicated(&incumbent, next, bytes_per_expert);
+                if diff.total_bytes() > budget_bytes {
+                    return Err(format!(
+                        "{scenario}: re-plan at window {window} migrated {} bytes over the \
+                         {budget_bytes} budget",
+                        diff.total_bytes()
+                    ));
+                }
+                if next.extra_copies_per_gpu() as u64 > extra_cap {
+                    return Err(format!(
+                        "{scenario}: re-plan at window {window} holds {} extra copies over \
+                         the {extra_cap}-slot memory budget",
+                        next.extra_copies_per_gpu()
+                    ));
+                }
+                *migrated += diff.total_bytes();
+            }
+            let diff =
+                MigrationPlan::between_replicated(&incumbent, &partial_next, bytes_per_expert);
+            if !diff.is_empty() {
+                partial_replans += 1;
+                replicas_added += diff.n_replica_adds() as u64;
+            }
+            full_extra_copies = full_next.extra_copies_per_gpu() as u64;
+            incumbent = partial_next;
+        }
+    }
+
+    // The engine leg: the context-coherent online loop dispatching with
+    // the meeting-point rule under the one-per-node policy, verified
+    // bit-identical at 1/2/8 solver threads and across gap backends.
+    let cc_engine = |threads: usize, backend: GapBackend| {
+        let mut model = moe_gpt_m(e).with_gate(gate);
+        model.n_layers = if e <= 16 { 4 } else { 2 };
+        model.d_ff = SERVING_D_FF;
+        let engine_bpe = model.expert_params() * 2;
+        InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+            .requests_per_gpu(8)
+            .n_iterations(2)
+            .prompt_len(4)
+            .profile_tokens(scale.pick(400, 800))
+            .parallelism(Parallelism::new(threads))
+            .gap_backend(backend)
+            .online(OnlineConfig {
+                replan_every: 1,
+                drift_threshold: 0.08,
+                migration_budget_bytes: PARTIAL_BUDGET_MOVES * engine_bpe,
+                decay: 0.3,
+                replica_memory_bytes: PARTIAL_REPLICA_SLOTS * engine_bpe,
+                replica_policy: ReplicaPlacement::OnePerNode,
+                ..OnlineConfig::default()
+            })
+            .seed(seed ^ 0x77_aa_01)
+            .build()
+    };
+    let cc_windows = if e <= 16 { 4 } else { 3 };
+    let cc_run = |threads: usize, backend: GapBackend| {
+        let eng = cc_engine(threads, backend);
+        let drift = DriftSchedule::piecewise(&eng.config().routing_spec, 2, cc_windows);
+        eng.run_scenario(
+            &Scenario::offline(ParallelismMode::ContextCoherentAffinity).with_drift(drift),
+        )
+        .expect_online()
+    };
+    let baseline = cc_run(1, GapBackend::Auto);
+    for threads in [2usize, 8] {
+        if cc_run(threads, GapBackend::Auto) != baseline {
+            return Err(format!(
+                "{scenario}: context-coherent run diverged across solver widths (1 vs {threads})"
+            ));
+        }
+    }
+    if cc_run(1, GapBackend::Dense) != cc_run(1, GapBackend::Sparse) {
+        return Err(format!(
+            "{scenario}: context-coherent run diverged across gap backends"
+        ));
+    }
+
+    Ok(PartialReplicationRow {
+        scenario,
+        n_experts: e,
+        k,
+        layers,
+        units,
+        windows,
+        replica_slots: PARTIAL_REPLICA_SLOTS,
+        budget_bytes,
+        partial_replans,
+        replicas_added,
+        partial_migrated_bytes: partial_migrated,
+        full_migrated_bytes: full_migrated,
+        partial_extra_copies: incumbent.extra_copies_per_gpu() as u64,
+        full_extra_copies,
+        partial_cross_mass: partial_cm,
+        full_cross_mass: full_cm,
+        realized_cross,
+        cc_replicas_added: baseline.migrations.replicas_added,
+        cc_local_fraction: baseline.dispatch().gpu_local_fraction(),
+    })
+}
+
+/// The `table_partial_replication` sweep: `E ∈ {16, 256} × top-1/top-2`.
+/// Errors (instead of panicking) if any cell fails its invariance or
+/// budget checks, or if no context-coherent top-2 cell buys a replica —
+/// the regression this sweep exists to catch is top-2 models silently
+/// falling back to owner-moves-only re-planning.
+pub fn partial_replication_table(
+    scale: Scale,
+    seed: u64,
+) -> Result<Vec<PartialReplicationRow>, String> {
+    let grid = [
+        (16usize, GateKind::Top1),
+        (16, GateKind::Top2),
+        (256, GateKind::Top1),
+        (256, GateKind::Top2),
+    ];
+    let rows: Vec<PartialReplicationRow> = grid
+        .iter()
+        .map(|&(e, gate)| {
+            let stream = seed ^ ((e as u64) << 24) ^ gate.k() as u64;
+            partial_replication_cell(e, gate, scale, split_seed(stream, 0x9a47))
+        })
+        .collect::<Result<_, _>>()?;
+    if !rows.iter().any(|r| r.k == 2 && r.cc_replicas_added > 0) {
+        return Err(
+            "no context-coherent top-2 cell created a replica — top-2 dispatch fell back \
+             to owner moves"
+                .to_string(),
+        );
+    }
+    Ok(rows)
+}
+
 /// Run the benchmark: the Table II sweep at `--jobs 1` and at `--jobs
 /// N` (verified bit-identical in quality, timed in both), the
 /// `table_sparse` dense-vs-sparse sweep (verified identical across
@@ -1867,6 +2283,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
     let serving_rows = serving_table(scale, jobs, seed)?;
     let elasticity_rows = elasticity_table(scale, jobs, seed)?;
     let replan_latency_rows = replan_latency_table(scale, seed)?;
+    let partial_replication_rows = partial_replication_table(scale, seed)?;
 
     Ok(BenchSummary {
         seed,
@@ -1884,6 +2301,7 @@ pub fn run(scale: Scale, jobs: usize, seed: u64) -> Result<BenchSummary, String>
         serving_rows,
         elasticity_rows,
         replan_latency_rows,
+        partial_replication_rows,
     })
 }
 
@@ -2185,6 +2603,7 @@ mod tests {
                 repl_steps_degraded: 12,
                 repl_emergency_bytes: 0,
                 repl_recovery: 1.5,
+                repl_extra_copies: 6,
             }],
             replan_latency_rows: vec![ReplanLatencyRow {
                 preset: "MoE-GPT-XXL/512e-24L-top1".to_string(),
@@ -2203,9 +2622,30 @@ mod tests {
                 cross_mass_rebuild: 0.625,
                 cross_mass_incremental: 0.625,
             }],
+            partial_replication_rows: vec![PartialReplicationRow {
+                scenario: "partial-repl/256e-top2".to_string(),
+                n_experts: 256,
+                k: 2,
+                layers: 2,
+                units: 8,
+                windows: 3,
+                replica_slots: 4,
+                budget_bytes: 12 << 20,
+                partial_replans: 2,
+                replicas_added: 5,
+                partial_migrated_bytes: 6 << 20,
+                full_migrated_bytes: 9 << 20,
+                partial_extra_copies: 3,
+                full_extra_copies: 4,
+                partial_cross_mass: 0.375,
+                full_cross_mass: 0.5,
+                realized_cross: 1234,
+                cc_replicas_added: 2,
+                cc_local_fraction: 0.875,
+            }],
         };
         let json = summary.to_json();
-        assert!(json.contains("\"schema\": \"exflow-bench-summary/v7\""));
+        assert!(json.contains("\"schema\": \"exflow-bench-summary/v8\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"speedup\": 10.000"));
         assert!(json.contains("\"cross_mass\": 0.25"));
@@ -2226,6 +2666,10 @@ mod tests {
         assert!(json.contains("\"scan_reduction\": 8.000"));
         assert!(json.contains("\"evaluated_incremental\": 1000000"));
         assert!(json.contains("\"cross_mass_incremental\": 0.625"));
+        assert!(json.contains("\"scenario\": \"partial-repl/256e-top2\""));
+        assert!(json.contains("\"partial_cross_mass\": 0.375"));
+        assert!(json.contains("\"cc_local_fraction\": 0.875000"));
+        assert!(json.contains("\"repl_extra_copies\": 6"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

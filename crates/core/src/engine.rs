@@ -19,8 +19,9 @@ use exflow_model::{
 use exflow_placement::online::MigrationPlan;
 use exflow_placement::staged::solve_staged_with;
 use exflow_placement::{
-    solve_budgeted_metered, solve_budgeted_replicated_metered, GapBackend, Objective, Parallelism,
-    Placement, ReplanCost, ReplicationBudget, ReplicationPlan, SwapGainCache,
+    solve_budgeted_metered, solve_budgeted_replicated_metered, GapBackend, LayerReplicas,
+    Objective, Parallelism, Placement, ReplanCost, ReplicaPolicy, ReplicationBudget,
+    ReplicationPlan, SwapGainCache,
 };
 use exflow_topology::collective_cost::BytesByClass;
 use exflow_topology::{ClusterSpec, CostModel, Rank};
@@ -30,6 +31,21 @@ use crate::modes::ParallelismMode;
 use crate::report::{
     DispatchStats, InferenceReport, MigrationStats, OnlineReport, OpBreakdown, ReplanEvent,
 };
+
+/// Which GPUs a newly selected replica fans out to. This is the
+/// config-level knob; a re-plan resolves it against the engine's cluster
+/// shape into an [`exflow_placement::ReplicaPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaPlacement {
+    /// One replica per node other than the owner's — the paper's staged
+    /// node-then-GPU topology, and the default. The budgeted solver still
+    /// races a full fan-out candidate, so this policy never finishes
+    /// behind [`ReplicaPlacement::Everywhere`] at equal budgets.
+    #[default]
+    OnePerNode,
+    /// A copy on every non-owner GPU (the Lina-style baseline).
+    Everywhere,
+}
 
 /// Knobs of the online serving mode (`InferenceEngine::run_online`):
 /// when to check for routing drift, how much drift justifies a re-plan,
@@ -55,6 +71,10 @@ pub struct OnlineConfig {
     /// disables replication-aware re-planning entirely: re-plans move
     /// owners only, exactly the pre-replication behavior.
     pub replica_memory_bytes: u64,
+    /// Target subset each selected replica fans out to (see
+    /// [`ReplicaPlacement`]); consulted only when `replica_memory_bytes`
+    /// is nonzero.
+    pub replica_policy: ReplicaPlacement,
     /// Roll migration budget a re-plan left unspent over to later
     /// re-plans (opt-in; the ROADMAP's "smarter budget allocation").
     pub budget_rollover: bool,
@@ -81,6 +101,7 @@ impl Default for OnlineConfig {
             migration_budget_bytes: u64::MAX,
             decay: 0.5,
             replica_memory_bytes: 0,
+            replica_policy: ReplicaPlacement::default(),
             budget_rollover: false,
             scale_budget_by_drift: false,
             replan_time_budget: u64::MAX,
@@ -150,8 +171,8 @@ impl OnlineConfig {
 /// six fields out of [`OnlineConfig`]. `ReplanPolicy` names that shared
 /// subset so callers can build it once and stamp it into either config
 /// path; the remaining [`OnlineConfig`] fields (`decay`,
-/// `replica_memory_bytes`) are estimator/memory knobs, not re-plan
-/// policy.
+/// `replica_memory_bytes`, `replica_policy`) are estimator/memory knobs,
+/// not re-plan policy.
 ///
 /// `From` impls convert both ways, so old construction paths keep
 /// working:
@@ -562,11 +583,12 @@ impl InferenceEngine {
     }
 
     /// Run with an explicit [`ReplicationPlan`]: dispatch serves a token's
-    /// expert from a local replica whenever one exists (see
-    /// `OnlineConfig::replica_memory_bytes` for where such plans come from
-    /// in the online mode). Context-coherent top-2 dispatch ignores
-    /// replicas — the secondary-merge meeting point must be computable
-    /// from the route alone — so replicas change nothing there.
+    /// expert from a local (or same-node) replica whenever the plan holds
+    /// one there (see `OnlineConfig::replica_memory_bytes` for where such
+    /// plans come from in the online mode). Context-coherent top-2 keeps
+    /// its secondary-merge meeting point computable from the route alone
+    /// by always running the *primary* copy on the owner GPU; secondaries
+    /// are free to be served from replicas.
     #[deprecated(note = "use `run_scenario(&Scenario::offline(mode).with_replication(plan))`")]
     pub fn run_with_replication(
         &self,
@@ -584,7 +606,7 @@ impl InferenceEngine {
         plan: &ReplicationPlan,
     ) -> InferenceReport {
         let batches = self.serving_batches(&self.routing, 0);
-        self.run_with_batches(mode, &plan.base, &plan.replicated, &batches, 0, None)
+        self.run_with_batches(mode, &plan.base, &plan.replicas, &batches, 0, None)
     }
 
     /// Serving batches for one window: fresh routes per generation
@@ -627,7 +649,7 @@ impl InferenceEngine {
         &self,
         mode: ParallelismMode,
         placement: &Placement,
-        replicated: &[Vec<usize>],
+        replicated: &[LayerReplicas],
         batches: &[TokenBatch],
         ctx_offset: usize,
         live: Option<&[bool]>,
@@ -707,14 +729,15 @@ impl InferenceEngine {
     /// re-plans (see the `scale_budget_by_drift` / `budget_rollover`
     /// toggles). With `OnlineConfig::replica_memory_bytes > 0` the
     /// re-plan is **replication-aware**: it may also add or drop expert
-    /// replicas (`solve_budgeted_replicated` races replica selection
-    /// against owner-move descent under the joint budget), replica
-    /// fan-out traffic is priced into the same migration budget, and
-    /// dispatch serves replicated experts from the token's own GPU.
-    /// Context-coherent top-2 dispatch ignores replicas (see
-    /// [`InferenceEngine::run_with_replication`]), so in that mode
-    /// re-plans fall back to plain owner moves rather than spend the
-    /// joint budget on copies no token would use. The
+    /// replicas onto `OnlineConfig::replica_policy`-chosen GPU subsets
+    /// (`solve_budgeted_replicated` races subset selection against full
+    /// fan-out and owner-move descent under the joint budget), replica
+    /// fan-out traffic to the selected subset is priced into the same
+    /// migration budget, and dispatch serves replicated experts from the
+    /// token's own GPU — or a same-node holder — whenever the subset
+    /// covers one. Context-coherent top-2 joins in: primaries always run
+    /// on the owner (the route-derivable secondary-merge meeting point),
+    /// secondaries serve from replicas. The
     /// whole run is a pure function of (config, drift schedule):
     /// bit-identical at any parallelism width, and cadence-invariant
     /// whenever no re-plan fires.
@@ -754,7 +777,7 @@ impl InferenceEngine {
         // rebuilt — with the swap-gain cache riding along across re-plans.
         let mut replan_state = self.replan_state(&reference);
         let mut placement = self.placement_for(mode).clone();
-        let mut replicated: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.n_layers];
+        let mut replicated: Vec<LayerReplicas> = vec![Vec::new(); cfg.model.n_layers];
         let mut carry = 0u64;
 
         let mut windows = Vec::with_capacity(drift.n_windows());
@@ -812,7 +835,7 @@ impl InferenceEngine {
         } else {
             ReplicationPlan {
                 base: placement,
-                replicated,
+                replicas: replicated,
             }
             .extra_copies_per_gpu() as u64
         };
@@ -854,11 +877,11 @@ impl InferenceEngine {
     /// either way.
     pub(crate) fn replan_step(
         &self,
-        mode: ParallelismMode,
+        _mode: ParallelismMode,
         drift_now: f64,
         state: &mut ReplanState,
         placement: &mut Placement,
-        replicated: &mut Vec<Vec<usize>>,
+        replicated: &mut Vec<LayerReplicas>,
         carry: &mut u64,
     ) -> Option<ReplanExec> {
         let cfg = &self.cfg;
@@ -867,16 +890,16 @@ impl InferenceEngine {
         let ReplanState { objective, cache } = state;
         let budget_now = oc.budget_for(drift_now, *carry);
         let scan_budget = oc.replan_time_budget;
-        // Replicas only pay off where dispatch can serve from them;
-        // context-coherent top-2 ignores them (see
-        // `run_with_replication`), so spending the joint budget there
-        // would buy memory and migration time for nothing — fall through
-        // to plain owner moves instead.
-        let replicas_usable = cfg.model.gate.k() == 1 || !mode.context_coherent();
-        let (plan, cost) = if oc.replica_memory_bytes > 0 && replicas_usable {
+        let (plan, cost) = if oc.replica_memory_bytes > 0 {
             let incumbent = ReplicationPlan {
                 base: placement.clone(),
-                replicated: replicated.clone(),
+                replicas: replicated.clone(),
+            };
+            // Resolve the config-level fan-out knob against this engine's
+            // cluster shape.
+            let policy = match oc.replica_policy {
+                ReplicaPlacement::Everywhere => ReplicaPolicy::Everywhere,
+                ReplicaPlacement::OnePerNode => ReplicaPolicy::OnePerNode(cfg.cluster),
             };
             let (next, cost) = solve_budgeted_replicated_metered(
                 objective,
@@ -886,12 +909,13 @@ impl InferenceEngine {
                     replica_memory_bytes: oc.replica_memory_bytes,
                     migration_budget_bytes: budget_now,
                 },
+                &policy,
                 scan_budget,
                 Some(cache),
             );
             let plan = MigrationPlan::between_replicated(&incumbent, &next, bytes_per_expert);
             *placement = next.base;
-            *replicated = next.replicated;
+            *replicated = next.replicas;
             (plan, cost)
         } else {
             let max_moves = budget_now / bytes_per_expert;
@@ -978,7 +1002,7 @@ impl InferenceEngine {
         comm: &mut RankComm,
         mode: ParallelismMode,
         placement: &Placement,
-        replicated: &[Vec<usize>],
+        replicated: &[LayerReplicas],
         batches: &[TokenBatch],
         ctx_offset: usize,
         live_ranks: &[usize],
@@ -991,27 +1015,19 @@ impl InferenceEngine {
         let sim_dim = cfg.model.sim_dim;
         let frame = frame_size(cfg.model.token_bytes(), sim_dim);
         let my_node = cfg.cluster.node_of(Rank(me));
-        // Replicas short-circuit dispatch except in context-coherent top-2
-        // mode: there the secondary-merge meeting point must be derivable
-        // from the route alone (every rank computes it independently), and
-        // a replica-served primary's GPU is not.
         let k = cfg.model.gate.k();
-        let use_replicas =
-            !replicated.iter().all(Vec::is_empty) && (k == 1 || !mode.context_coherent());
 
         // Load this rank's experts (deterministic per (layer, expert), so
-        // any placement sees identical weights), including replicas of
-        // experts this rank does not own. Dead ranks hold nothing — an
-        // evacuated placement never routes to them anyway.
+        // any placement sees identical weights), including replicas whose
+        // subset covers this rank. Dead ranks hold nothing — an evacuated
+        // placement never routes to them anyway.
         let mut experts: HashMap<(usize, usize), Expert> = HashMap::new();
         if alive {
             for (layer, layer_replicas) in replicated.iter().enumerate() {
                 let mut ids = placement.experts_on(layer, me);
-                if use_replicas {
-                    for &r in layer_replicas {
-                        if !ids.contains(&r) {
-                            ids.push(r);
-                        }
+                for (x, units) in layer_replicas {
+                    if units.contains(&me) && !ids.contains(x) {
+                        ids.push(*x);
                     }
                 }
                 for e in ids {
@@ -1097,12 +1113,37 @@ impl InferenceEngine {
                 for tok in resident.drain(..) {
                     for slot in 0..k {
                         let expert = batch.routes[tok.id as usize][layer][slot] as usize;
-                        // A local replica serves the token in place; the
-                        // owner GPU serves it otherwise.
-                        let dst = if use_replicas && layer_replicas.contains(&expert) {
+                        let owner = placement.unit_of(layer, expert);
+                        // Subsets are sorted by expert, so holder lookup
+                        // is a binary search.
+                        let units: &[usize] = layer_replicas
+                            .binary_search_by_key(&expert, |r| r.0)
+                            .map(|i| layer_replicas[i].1.as_slice())
+                            .unwrap_or(&[]);
+                        // Meeting-point rule: in context-coherent top-2
+                        // the *primary* always runs on the owner GPU, so
+                        // every rank can derive the secondary-merge
+                        // destination from the route alone; all other
+                        // dispatch serves from the nearest live holder —
+                        // this GPU if it holds a copy, else a same-node
+                        // replica when the owner is off-node, else the
+                        // owner.
+                        let dst = if mode.context_coherent() && k > 1 && slot == 0 {
+                            owner
+                        } else if me == owner || units.contains(&me) {
                             me
+                        } else if cfg.cluster.node_of(Rank(owner)) != my_node {
+                            units
+                                .iter()
+                                .copied()
+                                .filter(|&u| {
+                                    cfg.cluster.node_of(Rank(u)) == my_node
+                                        && live_ranks.binary_search(&u).is_ok()
+                                })
+                                .min()
+                                .unwrap_or(owner)
                         } else {
-                            placement.unit_of(layer, expert)
+                            owner
                         };
                         dispatch.total += 1;
                         if dst == me {
@@ -1629,12 +1670,11 @@ mod tests {
         assert_eq!(rep.tokens_processed, bare.tokens_processed);
         assert_eq!(rep.dispatch.total, bare.dispatch.total);
         // An empty plan is exactly the bare run.
-        let empty = ReplicationPlan {
-            base: engine
+        let empty = ReplicationPlan::bare(
+            engine
                 .placement_for(ParallelismMode::ContextCoherentAffinity)
                 .clone(),
-            replicated: vec![Vec::new(); engine.config().model.n_layers],
-        };
+        );
         let same = engine.run_with_replication(ParallelismMode::ContextCoherentAffinity, &empty);
         assert_eq!(same, bare);
     }
@@ -1695,11 +1735,11 @@ mod tests {
     }
 
     #[test]
-    fn cc_top2_replication_falls_back_to_owner_moves() {
-        // Context-coherent top-2 dispatch cannot serve from replicas, so
-        // a replica budget there must change nothing: no replica churn,
-        // and the run bit-equals the owner-moves-only run instead of
-        // wasting migration bytes on unused copies.
+    fn cc_top2_replication_serves_secondaries_from_replicas() {
+        // Context-coherent top-2 no longer falls back to owner moves:
+        // primaries stay pinned to the owner (the route-derivable
+        // secondary-merge meeting point) while secondaries serve from
+        // replica holders, so a replica budget buys real locality.
         use exflow_model::GateKind;
         let run = |replica_memory: u64| {
             let mut model = moe_gpt_m(8).with_gate(GateKind::Top2);
@@ -1723,9 +1763,17 @@ mod tests {
         };
         let owner_only = run(0);
         let with_budget = run(1 << 30);
-        assert_eq!(with_budget.migrations.replicas_added, 0);
-        assert_eq!(with_budget.final_extra_copies, 0);
-        assert_eq!(with_budget, owner_only);
+        assert!(
+            with_budget.migrations.replicas_added > 0,
+            "a generous replica budget must buy at least one replica"
+        );
+        assert!(
+            with_budget.dispatch().gpu_local_fraction()
+                > owner_only.dispatch().gpu_local_fraction(),
+            "replicas {} vs owner-only {}",
+            with_budget.dispatch().gpu_local_fraction(),
+            owner_only.dispatch().gpu_local_fraction()
+        );
     }
 
     #[test]

@@ -82,9 +82,13 @@ pub mod report;
 pub mod scenario;
 pub mod serving;
 
-pub use engine::{EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig, ReplanPolicy};
+pub use engine::{
+    EngineBuilder, EngineConfig, InferenceEngine, OnlineConfig, ReplanPolicy, ReplicaPlacement,
+};
 pub use events::{events_from_report, render_events, to_jsonl, WindowEvent, EVENT_SCHEMA};
-pub use exflow_placement::{GapBackend, Parallelism, ReplicationBudget, ReplicationPlan};
+pub use exflow_placement::{
+    GapBackend, LayerReplicas, Parallelism, ReplicaPolicy, ReplicationBudget, ReplicationPlan,
+};
 pub use modes::ParallelismMode;
 pub use report::{
     DisruptionStats, FaultMarker, InferenceReport, MigrationStats, OnlineReport, OpBreakdown,

@@ -163,8 +163,8 @@ pub struct MigrationStats {
     pub replans: u64,
     /// Expert relocations executed, summed over re-plans.
     pub experts_moved: u64,
-    /// Replica copies created, summed over re-plans (each fans out to
-    /// every non-owner GPU).
+    /// Replica copies created, summed over re-plans (each ships to its
+    /// plan-chosen target subset of GPUs).
     pub replicas_added: u64,
     /// Replica copies retired, summed over re-plans (free).
     pub replicas_dropped: u64,

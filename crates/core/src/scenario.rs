@@ -328,10 +328,7 @@ mod tests {
     fn replication_scenario_matches_run_with_replication() {
         let eng = engine();
         let mode = ParallelismMode::Vanilla;
-        let plan = ReplicationPlan {
-            base: eng.placement_for(mode).clone(),
-            replicated: vec![Vec::new(); eng.config().model.n_layers],
-        };
+        let plan = ReplicationPlan::bare(eng.placement_for(mode).clone());
         let via_scenario =
             eng.run_scenario(&Scenario::offline(mode).with_replication(plan.clone()));
         #[allow(deprecated)]

@@ -59,7 +59,7 @@ use exflow_affinity::{RoutingTrace, StreamingAffinity};
 use exflow_model::arrival::ArrivalProcess;
 use exflow_model::{DriftSchedule, FaultKind, FaultSchedule, TokenBatch};
 use exflow_placement::online::{ExpertMove, MigrationPlan};
-use exflow_placement::{Placement, ReplicationPlan};
+use exflow_placement::{LayerReplicas, Placement, ReplicationPlan};
 
 use crate::engine::InferenceEngine;
 use crate::modes::ParallelismMode;
@@ -378,8 +378,8 @@ impl InferenceEngine {
         // persistent swap-gain cache) rides across every window boundary,
         // exactly as in the windowed loop.
         let mut replan_state = self.replan_state(&reference);
-        let (mut placement, mut replicated): (Placement, Vec<Vec<usize>>) = match initial {
-            Some(plan) => (plan.base.clone(), plan.replicated.clone()),
+        let (mut placement, mut replicated): (Placement, Vec<LayerReplicas>) = match initial {
+            Some(plan) => (plan.base.clone(), plan.replicas.clone()),
             None => (
                 self.placement_for(mode).clone(),
                 vec![Vec::new(); cfg.model.n_layers],
@@ -417,7 +417,7 @@ impl InferenceEngine {
         // An in-flight background weight copy: `(lands_at, placement,
         // replicas)` — the *stale* plan steps keep using until the copy
         // completes. `placement`/`replicated` already hold the new plan.
-        let mut copying: Option<(f64, Placement, Vec<Vec<usize>>)> = None;
+        let mut copying: Option<(f64, Placement, Vec<LayerReplicas>)> = None;
         let mut latencies: Vec<f64> = Vec::with_capacity(n);
         let mut makespan = 0.0f64;
         let mut queue_depth: Vec<(f64, usize)> = Vec::new();
@@ -490,6 +490,19 @@ impl InferenceEngine {
                                 &mut replicated,
                                 &mut carry,
                             ) {
+                                // A re-plan landing mid-outage may have
+                                // picked replica targets on dead GPUs;
+                                // those copies cannot exist (the shipped
+                                // bytes were still charged — a documented
+                                // overcharge).
+                                if live_mask.iter().any(|&up| !up) {
+                                    for lr in replicated.iter_mut() {
+                                        for (_, units) in lr.iter_mut() {
+                                            units.retain(|&u| live_mask[u]);
+                                        }
+                                        lr.retain(|(_, units)| !units.is_empty());
+                                    }
+                                }
                                 // The weight exchange streams in the
                                 // background: steps keep running on the
                                 // stale plan (with link contention) and
@@ -546,19 +559,30 @@ impl InferenceEngine {
                                 queue_depth.push((clock, queue.len()));
                             }
                             // Evacuate the dead GPU's experts onto the
-                            // least-loaded survivors: free failover where a
-                            // replica already holds the weights everywhere,
+                            // survivors: where the replica subset still
+                            // holds a live copy, the least-loaded holder
+                            // is *promoted* to owner for free (failover);
+                            // an expert whose only copies just died needs
                             // a priced emergency restore from a surviving
-                            // checkpoint shard otherwise. The evacuated
-                            // placement activates *immediately* — steps
-                            // must not route to a dead GPU — so any
-                            // in-flight background copy (whose stale plan
-                            // may still route there) is cancelled.
+                            // checkpoint shard. The evacuated placement
+                            // activates *immediately* — steps must not
+                            // route to a dead GPU — so any in-flight
+                            // background copy (whose stale plan may still
+                            // route there) is cancelled.
                             let live_ranks: Vec<usize> = live_mask
                                 .iter()
                                 .enumerate()
                                 .filter_map(|(r, &up)| up.then_some(r))
                                 .collect();
+                            // The dead GPU's replica copies are gone too:
+                            // strip it from every subset before failover
+                            // consults them.
+                            for lr in replicated.iter_mut() {
+                                for (_, units) in lr.iter_mut() {
+                                    units.retain(|&u| u != fev.gpu);
+                                }
+                                lr.retain(|(_, units)| !units.is_empty());
+                            }
                             let nl = cfg.model.n_layers;
                             let mut assign: Vec<Vec<usize>> = (0..nl)
                                 .map(|l| (0..e).map(|x| placement.unit_of(l, x)).collect())
@@ -574,31 +598,59 @@ impl InferenceEngine {
                                     if row[x] != fev.gpu {
                                         continue;
                                     }
-                                    let &dst = live_ranks
-                                        .iter()
-                                        .min_by_key(|&&r| (load[r], r))
-                                        .expect("at least one live GPU");
+                                    let holder = replicated[l]
+                                        .binary_search_by_key(&x, |r| r.0)
+                                        .ok()
+                                        .and_then(|i| {
+                                            replicated[l][i]
+                                                .1
+                                                .iter()
+                                                .copied()
+                                                .min_by_key(|&r| (load[r], r))
+                                        });
                                     load[fev.gpu] -= 1;
-                                    load[dst] += 1;
-                                    row[x] = dst;
-                                    if replicated[l].contains(&x) {
-                                        free_moves.push(ExpertMove {
-                                            layer: l,
-                                            expert: x,
-                                            from: fev.gpu,
-                                            to: dst,
-                                        });
-                                    } else {
-                                        // Deterministic surviving source of
-                                        // the restore copy (a checkpoint
-                                        // shard, not the dead GPU).
-                                        let src = live_ranks[(l + x) % live_ranks.len()];
-                                        moves.push(ExpertMove {
-                                            layer: l,
-                                            expert: x,
-                                            from: src,
-                                            to: dst,
-                                        });
+                                    match holder {
+                                        Some(dst) => {
+                                            // A surviving holder already has
+                                            // the weights: promote it to
+                                            // owner and retire its subset
+                                            // membership.
+                                            load[dst] += 1;
+                                            row[x] = dst;
+                                            free_moves.push(ExpertMove {
+                                                layer: l,
+                                                expert: x,
+                                                from: fev.gpu,
+                                                to: dst,
+                                            });
+                                            let i = replicated[l]
+                                                .iter()
+                                                .position(|r| r.0 == x)
+                                                .expect("holder came from this entry");
+                                            replicated[l][i].1.retain(|&u| u != dst);
+                                            if replicated[l][i].1.is_empty() {
+                                                replicated[l].remove(i);
+                                            }
+                                        }
+                                        None => {
+                                            let &dst = live_ranks
+                                                .iter()
+                                                .min_by_key(|&&r| (load[r], r))
+                                                .expect("at least one live GPU");
+                                            load[dst] += 1;
+                                            row[x] = dst;
+                                            // Deterministic surviving source
+                                            // of the restore copy (a
+                                            // checkpoint shard, not the dead
+                                            // GPU).
+                                            let src = live_ranks[(l + x) % live_ranks.len()];
+                                            moves.push(ExpertMove {
+                                                layer: l,
+                                                expert: x,
+                                                from: src,
+                                                to: dst,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -1019,10 +1071,8 @@ mod tests {
         let faults = FaultSchedule::gpu_loss(4, 1, 0.5 * horizon);
         // Every expert of every layer replicated on every GPU: a loss
         // fails over without copying a single byte.
-        let plan = ReplicationPlan {
-            base: eng.placement_for(mode).clone(),
-            replicated: vec![(0..8).collect(); 4],
-        };
+        let plan =
+            ReplicationPlan::everywhere(eng.placement_for(mode).clone(), vec![(0..8).collect(); 4]);
         let r = eng.run_serving_impl(mode, &schedule, &cfg, &faults, Some(&plan));
         assert_eq!(r.n_requests(), cfg.n_requests);
         assert_eq!(r.disruption.emergency_replans, 1);

@@ -135,6 +135,32 @@ impl FaultSchedule {
         )
     }
 
+    /// Two staggered unrecovered GPU losses: `first` fails at `t1`,
+    /// `second` at `t2`. The second loss lands on a fleet that already
+    /// failed over once, so it exercises the case where the first
+    /// failover consumed replica capacity the second loss would have
+    /// relied on.
+    pub fn double_loss(n_units: usize, first: usize, second: usize, t1: f64, t2: f64) -> Self {
+        assert!(first != second, "the two losses must hit distinct GPUs");
+        assert!(t2 >= t1, "the second loss cannot precede the first");
+        FaultSchedule::build(
+            "double-loss".to_string(),
+            n_units,
+            vec![
+                FaultEvent {
+                    time: t1,
+                    gpu: first,
+                    kind: FaultKind::Down,
+                },
+                FaultEvent {
+                    time: t2,
+                    gpu: second,
+                    kind: FaultKind::Down,
+                },
+            ],
+        )
+    }
+
     /// A whole node (its `gpus_per_node` consecutive GPUs) fails at
     /// `time`.
     pub fn node_loss(n_units: usize, gpus_per_node: usize, node: usize, time: f64) -> Self {
@@ -310,6 +336,21 @@ mod tests {
         // Every episode heals before the horizon's next episode begins.
         assert!(a.events().windows(2).all(|w| w[0].time <= w[1].time));
         assert_eq!(a.live_at(100.0), vec![true; 4]);
+    }
+
+    #[test]
+    fn double_loss_drops_both_gpus_for_good() {
+        let f = FaultSchedule::double_loss(4, 1, 3, 1.0, 2.0);
+        assert_eq!(f.name(), "double-loss");
+        assert_eq!(f.live_at(1.5), vec![true, false, true, true]);
+        assert_eq!(f.live_at(2.0), vec![true, false, true, false]);
+        assert_eq!(f.first_down_time(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct GPUs")]
+    fn double_loss_same_gpu_rejected() {
+        let _ = FaultSchedule::double_loss(4, 1, 1, 1.0, 2.0);
     }
 
     #[test]

@@ -27,10 +27,11 @@
 
 use crate::greedy::solve_greedy;
 use crate::objective::Objective;
-use crate::online::{net_moves, sort_by_gain, trim_to_slots};
+use crate::online::{net_moves, pack_to_gpu_slots, sort_by_score};
 use crate::placement::Placement;
 use crate::replication::{
-    replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan,
+    replica_gains_by_unit, replicated_cross_mass, LayerReplicas, ReplicaPolicy, ReplicationBudget,
+    ReplicationPlan,
 };
 
 /// Deterministic solver-cost accounting for one re-plan.
@@ -472,82 +473,201 @@ pub fn solve_budgeted_metered(
     (placement, meter.cost())
 }
 
+/// Remove the (possibly new) owner from every subset and drop entries
+/// whose subset emptied — owner moves executed after subset selection may
+/// land an owner on a unit that was picked as a replica target.
+fn sanitize_subsets(replicas: &mut [LayerReplicas], base: &Placement) {
+    for (layer, lr) in replicas.iter_mut().enumerate() {
+        for (expert, units) in lr.iter_mut() {
+            let owner = base.unit_of(layer, *expert);
+            units.retain(|&u| u != owner);
+        }
+        lr.retain(|(_, units)| !units.is_empty());
+    }
+}
+
+/// One replica-first candidate under `policy`: rank every positive-gain
+/// `(layer, expert)` by absorbed incoming cross mass per byte shipped to
+/// its policy-chosen target subset (entries the incumbent already holds
+/// in full ship nothing and rank first), greedily accept under the
+/// per-GPU slot cap and the migration byte budget, then spend the
+/// leftover bytes on owner moves.
+#[allow(clippy::too_many_arguments)]
+fn replica_first_candidate(
+    objective: &Objective,
+    incumbent: &ReplicationPlan,
+    gains: &[Vec<Vec<f64>>],
+    policy: &ReplicaPolicy,
+    bpe: u64,
+    slots: u64,
+    budget: &ReplicationBudget,
+    meter: &mut CostMeter,
+    cache: Option<&mut SwapGainCache>,
+) -> ReplicationPlan {
+    let n_layers = incumbent.base.n_layers();
+    let n_units = incumbent.base.n_units();
+    let e = objective.n_experts();
+    // Dense side tables so the ranked triples stay cheap to sort.
+    let mut subset_of: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); e]; n_layers];
+    let mut ship_bytes: Vec<Vec<u64>> = vec![vec![0; e]; n_layers];
+    let mut ranked: Vec<(usize, usize, f64)> = Vec::new();
+    for l in 0..n_layers {
+        for x in 0..e {
+            let owner = incumbent.base.unit_of(l, x);
+            let units = policy.target_units(l, x, owner, n_units);
+            if units.is_empty() {
+                continue;
+            }
+            let gain: f64 = units.iter().map(|&u| gains[l][x][u]).sum();
+            if gain <= 0.0 {
+                continue;
+            }
+            let to_ship = units
+                .iter()
+                .filter(|&&u| !incumbent.available_on(l, x, u))
+                .count() as u64;
+            let ship = to_ship * bpe;
+            // Fully-held subsets are free to keep and rank ahead of
+            // anything that costs bytes.
+            let score = if ship == 0 {
+                f64::INFINITY
+            } else {
+                gain / ship as f64
+            };
+            subset_of[l][x] = units;
+            ship_bytes[l][x] = ship;
+            ranked.push((l, x, score));
+        }
+    }
+    sort_by_score(&mut ranked);
+    let mut migration_left = budget.migration_budget_bytes;
+    let mut load = vec![0u64; n_units];
+    let mut replicas: Vec<LayerReplicas> = vec![Vec::new(); n_layers];
+    for &(l, x, _) in &ranked {
+        let units = &subset_of[l][x];
+        if units.iter().any(|&u| load[u] >= slots) {
+            continue;
+        }
+        if ship_bytes[l][x] > migration_left {
+            continue;
+        }
+        migration_left -= ship_bytes[l][x];
+        for &u in units {
+            load[u] += 1;
+        }
+        replicas[l].push((x, units.clone()));
+    }
+    for lr in &mut replicas {
+        lr.sort_unstable_by_key(|r| r.0);
+    }
+    let base = solve_budgeted_with_meter(
+        objective,
+        &incumbent.base,
+        migration_left / bpe,
+        meter,
+        cache,
+    );
+    sanitize_subsets(&mut replicas, &base);
+    ReplicationPlan { base, replicas }
+}
+
 /// Metered, optionally cached
-/// [`crate::online::solve_budgeted_replicated`]: the same two-candidate
-/// race (owner-moves-only vs replica-first), with both inner budgeted
-/// solves charged to one meter in a fixed order (candidate A first).
-/// Replica-gain ranking is `O(nnz)` bookkeeping and is not charged.
+/// [`crate::online::solve_budgeted_replicated`]: the three-candidate race
+/// (owner-moves-only, replica-first under `policy`, replica-first with
+/// full fan-out), with every inner budgeted solve charged to one meter in
+/// a fixed order (candidate A first, then B, then C). Replica-gain
+/// ranking is `O(nnz)` bookkeeping and is not charged. The winner is the
+/// lowest [`replicated_cross_mass`], earliest candidate on ties — so a
+/// partial policy, whose candidate set strictly contains the full-fan-out
+/// one, can never finish behind it at equal budgets.
 pub fn solve_budgeted_replicated_metered(
     objective: &Objective,
     incumbent: &ReplicationPlan,
     bytes_per_expert: u64,
     budget: &ReplicationBudget,
+    policy: &ReplicaPolicy,
     scan_budget: u64,
     mut cache: Option<&mut SwapGainCache>,
 ) -> (ReplicationPlan, ReplanCost) {
     let mut meter = CostMeter::new(scan_budget);
     let bpe = bytes_per_expert.max(1);
-    let slots = usize::try_from(budget.replica_memory_bytes / bpe).unwrap_or(usize::MAX);
-    let units = incumbent.base.n_units();
-    let fan_out_bytes = (units as u64 - 1) * bpe;
-    let gains = replica_gains(objective, &incumbent.base);
+    // Per-GPU slot cap: how many extra expert copies any single GPU may hold.
+    let slots = budget.replica_memory_bytes / bpe;
+    let n_layers = incumbent.base.n_layers();
+    let n_units = incumbent.base.n_units();
+    let gains = replica_gains_by_unit(objective, &incumbent.base);
 
-    // Candidate A: owner moves only, replicas carried over (trimmed if the
-    // memory budget no longer covers them — drops are free).
+    // Candidate A: owner moves only, incumbent subsets carried over —
+    // re-packed under the per-GPU slot cap by descending absorbed gain
+    // (drops are free), then sanitized against the moved owners.
     let owner_moves = budget.migration_budget_bytes / bpe;
-    let cand_a = ReplicationPlan {
-        base: solve_budgeted_with_meter(
-            objective,
-            &incumbent.base,
-            owner_moves,
-            &mut meter,
-            cache.as_deref_mut(),
-        ),
-        replicated: trim_to_slots(&incumbent.replicated, &gains, slots),
-    };
-
-    // Candidate B: replica-first. Desired set = the `slots` best positive
-    // gains; diff against the incumbent decides what ships.
-    let e = objective.n_experts();
-    let mut ranked: Vec<(usize, usize)> = (0..incumbent.base.n_layers())
-        .flat_map(|l| (0..e).map(move |x| (l, x)))
-        .filter(|&(l, x)| gains[l][x] > 0.0)
-        .collect();
-    sort_by_gain(&mut ranked, &gains);
-    ranked.truncate(slots);
-    let mut replicated = vec![Vec::new(); incumbent.base.n_layers()];
-    let mut migration_left = budget.migration_budget_bytes;
-    for (l, x) in ranked {
-        if incumbent.replicated[l].contains(&x) {
-            // Already everywhere: keeping it is free.
-            replicated[l].push(x);
-        } else if fan_out_bytes == 0 {
-            replicated[l].push(x);
-        } else if migration_left >= fan_out_bytes {
-            migration_left -= fan_out_bytes;
-            replicated[l].push(x);
+    let base_a = solve_budgeted_with_meter(
+        objective,
+        &incumbent.base,
+        owner_moves,
+        &mut meter,
+        cache.as_deref_mut(),
+    );
+    let mut held: Vec<(usize, usize, f64)> = Vec::new();
+    for (l, layer) in incumbent.replicas.iter().enumerate() {
+        for (x, units) in layer {
+            let gain: f64 = units.iter().map(|&u| gains[l][*x][u]).sum();
+            held.push((l, *x, gain));
         }
     }
-    for r in &mut replicated {
-        r.sort_unstable();
-    }
-    let cand_b = ReplicationPlan {
-        base: solve_budgeted_with_meter(
-            objective,
-            &incumbent.base,
-            migration_left / bpe,
-            &mut meter,
-            cache,
-        ),
-        replicated,
+    sort_by_score(&mut held);
+    let ranked: Vec<(usize, usize, Vec<usize>)> = held
+        .iter()
+        .map(|&(l, x, _)| (l, x, incumbent.replica_units(l, x).to_vec()))
+        .collect();
+    let mut replicas_a = pack_to_gpu_slots(&ranked, n_layers, n_units, slots);
+    sanitize_subsets(&mut replicas_a, &base_a);
+    let cand_a = ReplicationPlan {
+        base: base_a,
+        replicas: replicas_a,
     };
 
-    let winner =
-        if replicated_cross_mass(objective, &cand_b) < replicated_cross_mass(objective, &cand_a) {
-            cand_b
-        } else {
-            cand_a
-        };
+    // Candidate B: replica-first under the caller's policy.
+    let cand_b = replica_first_candidate(
+        objective,
+        incumbent,
+        &gains,
+        policy,
+        bpe,
+        slots,
+        budget,
+        &mut meter,
+        cache.as_deref_mut(),
+    );
+
+    // Candidate C: replica-first with full fan-out — kept in the race so
+    // a subset policy degrades gracefully to the Lina-style baseline on
+    // instances where only universal copies absorb enough mass.
+    let cand_c = if matches!(policy, ReplicaPolicy::Everywhere) {
+        None
+    } else {
+        Some(replica_first_candidate(
+            objective,
+            incumbent,
+            &gains,
+            &ReplicaPolicy::Everywhere,
+            bpe,
+            slots,
+            budget,
+            &mut meter,
+            cache,
+        ))
+    };
+
+    let mut winner = cand_a;
+    let mut best = replicated_cross_mass(objective, &winner);
+    for cand in [Some(cand_b), cand_c].into_iter().flatten() {
+        let cost = replicated_cross_mass(objective, &cand);
+        if cost < best {
+            best = cost;
+            winner = cand;
+        }
+    }
     (winner, meter.cost())
 }
 
@@ -662,32 +782,43 @@ mod tests {
     fn replicated_metered_matches_unmetered_and_respects_budgets() {
         let obj = sparse_objective(16, 4);
         let l = obj.n_layers();
-        let mut incumbent = ReplicationPlan {
-            base: Placement::round_robin(l, 16, 4),
-            replicated: vec![Vec::new(); l],
-        };
-        incumbent.replicated[1] = vec![2, 9];
+        let mut lists = vec![Vec::new(); l];
+        lists[1] = vec![2, 9];
+        let incumbent = ReplicationPlan::everywhere(Placement::round_robin(l, 16, 4), lists);
         let budget = ReplicationBudget {
             replica_memory_bytes: 40,
             migration_budget_bytes: 80,
         };
-        let plain = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
-        let (uncached, _) =
-            solve_budgeted_replicated_metered(&obj, &incumbent, 10, &budget, u64::MAX, None);
-        let mut cache = SwapGainCache::for_objective(&obj);
-        let (cached, cost) = solve_budgeted_replicated_metered(
-            &obj,
-            &incumbent,
-            10,
-            &budget,
-            u64::MAX,
-            Some(&mut cache),
-        );
-        assert_eq!(plain, uncached);
-        assert_eq!(plain, cached);
-        assert!(cost.reused > 0);
-        let plan = MigrationPlan::between_replicated(&incumbent, &cached, 10);
-        assert!(plan.total_bytes() <= budget.migration_budget_bytes);
+        for policy in [
+            ReplicaPolicy::Everywhere,
+            ReplicaPolicy::OnePerNode(exflow_topology::ClusterSpec::new(2, 2).unwrap()),
+        ] {
+            let plain = solve_budgeted_replicated(&obj, &incumbent, 10, &budget, &policy);
+            let (uncached, _) = solve_budgeted_replicated_metered(
+                &obj,
+                &incumbent,
+                10,
+                &budget,
+                &policy,
+                u64::MAX,
+                None,
+            );
+            let mut cache = SwapGainCache::for_objective(&obj);
+            let (cached, cost) = solve_budgeted_replicated_metered(
+                &obj,
+                &incumbent,
+                10,
+                &budget,
+                &policy,
+                u64::MAX,
+                Some(&mut cache),
+            );
+            assert_eq!(plain, uncached);
+            assert_eq!(plain, cached);
+            assert!(cost.reused > 0);
+            let plan = MigrationPlan::between_replicated(&incumbent, &cached, 10);
+            assert!(plan.total_bytes() <= budget.migration_budget_bytes);
+        }
     }
 
     #[test]

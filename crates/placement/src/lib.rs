@@ -77,6 +77,9 @@ pub use online::{
 };
 pub use parallel::{split_seed, Parallelism};
 pub use placement::Placement;
-pub use replication::{replica_gains, replicated_cross_mass, ReplicationBudget, ReplicationPlan};
+pub use replication::{
+    replica_gains, replica_gains_by_unit, replicated_cross_mass, LayerReplicas, ReplicaPolicy,
+    ReplicationBudget, ReplicationPlan,
+};
 pub use solver::{solve, solve_with, SolverKind};
 pub use staged::{solve_staged_with, StagedPlacement};

@@ -26,7 +26,7 @@ use crate::incremental::{
 use crate::local_search::improve;
 use crate::objective::Objective;
 use crate::placement::Placement;
-use crate::replication::{ReplicationBudget, ReplicationPlan};
+use crate::replication::{LayerReplicas, ReplicaPolicy, ReplicationBudget, ReplicationPlan};
 
 /// Warm-start solve: polish the incumbent in place with first-improvement
 /// swap passes (no restarts, no randomness). The cheap end of the
@@ -96,46 +96,41 @@ pub fn solve_budgeted_toward(
     solve_budgeted_toward_metered(objective, incumbent, target, max_moves, &mut meter, None)
 }
 
-/// Rank `(layer, expert)` replica candidates best-first under the total
-/// order both selection sites share: gain descending (`f64::total_cmp`),
-/// then layer ascending, then expert ascending. One comparator, used by
-/// [`trim_to_slots`] and [`solve_budgeted_replicated`] alike, so candidate
-/// A's trimmed incumbent and candidate B's desired set can never rank
-/// replicas inconsistently.
-pub(crate) fn sort_by_gain(entries: &mut [(usize, usize)], gains: &[Vec<f64>]) {
-    entries.sort_by(|a, b| {
-        gains[b.0][b.1]
-            .total_cmp(&gains[a.0][a.1])
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
+/// Rank `(layer, expert, score)` replica candidates best-first under the
+/// total order every selection site shares: score descending
+/// (`f64::total_cmp`), then layer ascending, then expert ascending. The
+/// score is absorbed-cross-mass-per-fan-out-byte for new adds and the raw
+/// subset gain for budget trims; one comparator everywhere means the
+/// solver's racing candidates can never rank replicas inconsistently.
+pub(crate) fn sort_by_score(entries: &mut [(usize, usize, f64)]) {
+    entries.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
 }
 
-/// Budget-trimmed replica selection: keep at most `slots` replicated
-/// experts (summed over layers), preferring the highest `gains` scores
-/// under the total order (gain desc, layer asc, expert asc).
-pub(crate) fn trim_to_slots(
-    replicated: &[Vec<usize>],
-    gains: &[Vec<f64>],
-    slots: usize,
-) -> Vec<Vec<usize>> {
-    let total: usize = replicated.iter().map(Vec::len).sum();
-    if total <= slots {
-        return replicated.to_vec();
+/// Greedy per-GPU replica-slot packing: walk `ranked` best-first and keep
+/// each `(layer, expert, units)` entry whose whole subset still fits —
+/// every unit in `units` must have a free slot (fewer than `slots` copies
+/// already packed onto it). Skipped entries do not block later, smaller
+/// ones. Returns per-layer entries sorted by expert, upholding the
+/// [`LayerReplicas`] invariant.
+pub(crate) fn pack_to_gpu_slots(
+    ranked: &[(usize, usize, Vec<usize>)],
+    n_layers: usize,
+    n_units: usize,
+    slots: u64,
+) -> Vec<LayerReplicas> {
+    let mut load = vec![0u64; n_units];
+    let mut out: Vec<LayerReplicas> = vec![Vec::new(); n_layers];
+    for (layer, expert, units) in ranked {
+        if units.is_empty() || units.iter().any(|&u| load[u] >= slots) {
+            continue;
+        }
+        for &u in units {
+            load[u] += 1;
+        }
+        out[*layer].push((*expert, units.clone()));
     }
-    let mut entries: Vec<(usize, usize)> = replicated
-        .iter()
-        .enumerate()
-        .flat_map(|(l, r)| r.iter().map(move |&x| (l, x)))
-        .collect();
-    sort_by_gain(&mut entries, gains);
-    entries.truncate(slots);
-    let mut out = vec![Vec::new(); replicated.len()];
-    for (l, x) in entries {
-        out[l].push(x);
-    }
-    for r in &mut out {
-        r.sort_unstable();
+    for lr in &mut out {
+        lr.sort_unstable_by_key(|r| r.0);
     }
     out
 }
@@ -144,28 +139,34 @@ pub(crate) fn trim_to_slots(
 /// [`ReplicationPlan`], spend a joint budget — replica memory per GPU plus
 /// migration bytes — on whichever mix of **replica adds/drops** and
 /// **owner moves** reduces the replication-aware objective
-/// ([`crate::replicated_cross_mass`]) the most. Two deterministic candidates
-/// race:
+/// ([`crate::replicated_cross_mass`]) the most. Up to three deterministic
+/// candidates race:
 ///
 /// * **owner-moves-only** — the full migration budget goes to
-///   [`solve_budgeted`] on the base placement; the incumbent's replica set
-///   is kept (trimmed to the memory budget if it shrank);
-/// * **replica-first** — replica candidates are ranked by
-///   [`crate::replica_gains`] (the incoming cross mass a replica would absorb,
-///   driven by the snapshot marginals baked into the objective's row
-///   weights) in the budgeted-subset-selection style of the
-///   interval-subset-sum line of work (Diao et al., arXiv:1704.06928):
-///   the top `replica_memory_bytes / bytes_per_expert` scorers with
-///   positive gain form the desired set; incumbent replicas that fell out
-///   are dropped (free), new ones are added best-gain-first while the
-///   migration budget covers their fan-out (`n_units - 1` payloads each),
-///   and whatever bytes remain fund owner-move descent.
+///   [`solve_budgeted`] on the base placement; the incumbent's replica
+///   entries are kept, re-packed into the per-GPU memory budget if it
+///   shrank;
+/// * **replica-first under `policy`** — `(expert, target-subset)`
+///   candidates (the subset is what `policy` selects for the expert's
+///   owner) are ranked by absorbed incoming cross mass *per fan-out byte*
+///   ([`crate::replica_gains_by_unit`] summed over the subset, divided by
+///   the bytes the add must ship), in the budgeted-subset-selection style
+///   of the interval-subset-sum line of work (Diao et al.,
+///   arXiv:1704.06928). Entries the incumbent already holds are free and
+///   rank first; new ones are accepted best-density-first while every
+///   subset unit has a free memory slot and the migration budget covers
+///   the fan-out; whatever bytes remain fund owner-move descent.
+/// * **replica-first everywhere** — the same construction under
+///   [`ReplicaPolicy::Everywhere`], raced only when `policy` is not
+///   already the full fan-out. This makes "partial replication never
+///   loses to full replication at equal budgets" structural: the partial
+///   solve's candidate set is a superset of the full solve's.
 ///
 /// The candidate with the lower [`crate::replicated_cross_mass`] wins
-/// (owner-moves-only on ties — the conservative choice that never spends
-/// memory without a measured win). Both candidates respect both budget
-/// axes by construction: extra copies per GPU never exceed
-/// `replica_memory_bytes / bytes_per_expert` and a
+/// (earlier candidate on ties, so owner-moves-only is the conservative
+/// default that never spends memory without a measured win). Every
+/// candidate respects both budget axes by construction: extra copies per
+/// GPU never exceed `replica_memory_bytes / bytes_per_expert` and a
 /// [`MigrationPlan::between_replicated`] diff against the incumbent never
 /// exceeds `migration_budget_bytes`. Everything is sequential and
 /// deterministic, so online runs stay bit-identical at any thread count.
@@ -174,12 +175,14 @@ pub fn solve_budgeted_replicated(
     incumbent: &ReplicationPlan,
     bytes_per_expert: u64,
     budget: &ReplicationBudget,
+    policy: &ReplicaPolicy,
 ) -> ReplicationPlan {
     solve_budgeted_replicated_metered(
         objective,
         incumbent,
         bytes_per_expert,
         budget,
+        policy,
         u64::MAX,
         None,
     )
@@ -201,8 +204,10 @@ pub struct ExpertMove {
 }
 
 /// One replica creation: `expert` at `layer` is copied from its owner
-/// `from` to every unit in `to` (all units but the owner), so it becomes
-/// available everywhere.
+/// `from` to the units in `to` — the selected replica subset, minus any
+/// unit that already held a copy. Under partial replication `to` is a
+/// strict subset of the fleet (e.g. one GPU per non-owner node), so the
+/// fan-out is priced per selected unit, not per world size.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaAdd {
     /// The MoE layer of the replicated expert.
@@ -211,7 +216,8 @@ pub struct ReplicaAdd {
     pub expert: usize,
     /// Unit (GPU) that owns the weights and sources the fan-out.
     pub from: usize,
-    /// Units receiving a copy (every unit except `from`).
+    /// Units receiving a new copy (subset units that did not already hold
+    /// one).
     pub to: Vec<usize>,
 }
 
@@ -249,13 +255,14 @@ pub struct MigrationPlan {
     /// Every expert that changes units *and* must ship weights, in
     /// (layer, expert) order.
     pub moves: Vec<ExpertMove>,
-    /// Owner relocations of experts that were already replicated
-    /// everywhere: the destination holds a copy, so these are bookkeeping
-    /// — zero bytes, but still a placement change the plan must surface
+    /// Owner relocations whose destination already held a replica of the
+    /// expert: the weights are already there, so these are bookkeeping —
+    /// zero bytes, but still a placement change the plan must surface
     /// (an "empty" plan must mean *nothing* changed).
     pub free_moves: Vec<ExpertMove>,
     /// Every replica creation, in (layer, expert) order. Each fans the
-    /// expert's weights out from its owner to every other unit.
+    /// expert's weights out from its owner to the units of its selected
+    /// subset that lack a copy.
     pub replica_adds: Vec<ReplicaAdd>,
     /// Every replica retirement, in (layer, expert) order. Dropping a
     /// replica frees memory but ships nothing.
@@ -298,15 +305,19 @@ impl MigrationPlan {
     /// Diff two [`ReplicationPlan`]s into the migration that turns `old`
     /// into `new`: owner moves, replica adds, and replica drops.
     ///
-    /// Pricing follows the replica semantics:
+    /// Pricing consults where copies actually were (`old`'s
+    /// [`ReplicationPlan::available_on`]), not a universal fan-out:
     ///
-    /// * an owner move of an expert that was replicated everywhere in
-    ///   `old` is **free** — the destination already holds a copy, so the
-    ///   relocation is bookkeeping, not traffic (such moves land in
-    ///   `free_moves`, never in the send matrix);
+    /// * an owner move whose destination already held a copy of the
+    ///   expert in `old` is **free** — the relocation is bookkeeping, not
+    ///   traffic (such moves land in `free_moves`, never in the send
+    ///   matrix);
     /// * a **replica add** ships the expert from its (new) owner to every
-    ///   other unit — `n_units - 1` payloads;
-    /// * a **replica drop** is free.
+    ///   unit of the *selected subset* that did not already hold a copy —
+    ///   `to.len()` payloads, not `n_units - 1`;
+    /// * a **replica drop** (an expert leaving the replicated set) is
+    ///   free. Subset shrinkage of an expert that stays replicated is
+    ///   likewise free and ships nothing.
     pub fn between_replicated(
         old: &ReplicationPlan,
         new: &ReplicationPlan,
@@ -315,25 +326,28 @@ impl MigrationPlan {
         let mut plan = MigrationPlan::between(&old.base, &new.base, bytes_per_expert);
         let (free, priced) = std::mem::take(&mut plan.moves)
             .into_iter()
-            .partition(|m| old.replicated[m.layer].contains(&m.expert));
+            .partition(|m: &ExpertMove| old.available_on(m.layer, m.expert, m.to));
         plan.free_moves = free;
         plan.moves = priced;
-        let units = new.base.n_units();
         for layer in 0..new.base.n_layers() {
-            for &expert in &new.replicated[layer] {
-                if !old.replicated[layer].contains(&expert) {
-                    let from = new.base.unit_of(layer, expert);
+            for (expert, units) in &new.replicas[layer] {
+                let to: Vec<usize> = units
+                    .iter()
+                    .copied()
+                    .filter(|&u| !old.available_on(layer, *expert, u))
+                    .collect();
+                if !to.is_empty() {
                     plan.replica_adds.push(ReplicaAdd {
                         layer,
-                        expert,
-                        from,
-                        to: (0..units).filter(|&u| u != from).collect(),
+                        expert: *expert,
+                        from: new.base.unit_of(layer, *expert),
+                        to,
                     });
                 }
             }
-            for &expert in &old.replicated[layer] {
-                if !new.replicated[layer].contains(&expert) {
-                    plan.replica_drops.push((layer, expert));
+            for (expert, _) in &old.replicas[layer] {
+                if !new.is_replicated(layer, *expert) {
+                    plan.replica_drops.push((layer, *expert));
                 }
             }
         }
@@ -373,7 +387,8 @@ impl MigrationPlan {
     }
 
     /// Total bytes of expert weights crossing GPUs: one payload per owner
-    /// move plus the full fan-out of every replica add (drops are free).
+    /// move plus one payload per unit each replica add fans out to (drops
+    /// are free).
     pub fn total_bytes(&self) -> u64 {
         let fan_out: u64 = self.replica_adds.iter().map(|a| a.to.len() as u64).sum();
         (self.moves.len() as u64 + fan_out) * self.bytes_per_expert
@@ -599,24 +614,14 @@ mod tests {
     }
 
     fn bare(base: Placement) -> ReplicationPlan {
-        let l = base.n_layers();
-        ReplicationPlan {
-            base,
-            replicated: vec![Vec::new(); l],
-        }
+        ReplicationPlan::bare(base)
     }
 
     #[test]
     fn replicated_diff_prices_adds_and_frees_drops() {
         let base = Placement::round_robin(2, 4, 2);
-        let old = ReplicationPlan {
-            base: base.clone(),
-            replicated: vec![vec![1], vec![]],
-        };
-        let new = ReplicationPlan {
-            base: base.clone(),
-            replicated: vec![vec![], vec![2]],
-        };
+        let old = ReplicationPlan::everywhere(base.clone(), vec![vec![1], vec![]]);
+        let new = ReplicationPlan::everywhere(base.clone(), vec![vec![], vec![2]]);
         let plan = MigrationPlan::between_replicated(&old, &new, 100);
         assert_eq!(plan.n_moves(), 0);
         assert_eq!(plan.n_replica_adds(), 1);
@@ -639,14 +644,8 @@ mod tests {
         let base = Placement::round_robin(1, 4, 2);
         let mut moved = base.clone();
         moved.swap(0, 0, 2); // experts 0 and 2 trade units
-        let old = ReplicationPlan {
-            base,
-            replicated: vec![vec![0]],
-        };
-        let new = ReplicationPlan {
-            base: moved,
-            replicated: vec![vec![0]],
-        };
+        let old = ReplicationPlan::everywhere(base, vec![vec![0]]);
+        let new = ReplicationPlan::everywhere(moved, vec![vec![0]]);
         let plan = MigrationPlan::between_replicated(&old, &new, 100);
         // Expert 0 was replicated everywhere: its relocation ships
         // nothing. Expert 2 pays one payload.
@@ -659,16 +658,10 @@ mod tests {
         // A plan whose only change is free moves of replicated experts
         // ships zero bytes but is NOT empty — the placement did change,
         // and callers key re-plan accounting off emptiness.
-        let both = ReplicationPlan {
-            base: old.base.clone(),
-            replicated: vec![vec![0, 2]],
-        };
+        let both = ReplicationPlan::everywhere(old.base.clone(), vec![vec![0, 2]]);
         let mut moved_base = old.base.clone();
         moved_base.swap(0, 0, 2);
-        let moved = ReplicationPlan {
-            base: moved_base,
-            replicated: vec![vec![0, 2]],
-        };
+        let moved = ReplicationPlan::everywhere(moved_base, vec![vec![0, 2]]);
         let free_only = MigrationPlan::between_replicated(&both, &moved, 100);
         assert_eq!(free_only.total_bytes(), 0);
         assert_eq!(free_only.n_moves(), 0);
@@ -681,22 +674,58 @@ mod tests {
     fn joint_solve_respects_both_budget_axes() {
         let obj = objective(16, 4, 0.9);
         let incumbent = bare(Placement::round_robin(5, 16, 4));
-        for (mem_slots, move_slots) in [(0u64, 4u64), (4, 0), (4, 8), (8, 16)] {
+        let policies = [
+            ReplicaPolicy::Everywhere,
+            ReplicaPolicy::OnePerNode(ClusterSpec::new(2, 2).unwrap()),
+        ];
+        for policy in &policies {
+            for (mem_slots, move_slots) in [(0u64, 4u64), (4, 0), (4, 8), (8, 16)] {
+                let budget = ReplicationBudget {
+                    replica_memory_bytes: mem_slots * 10,
+                    migration_budget_bytes: move_slots * 10,
+                };
+                let next = solve_budgeted_replicated(&obj, &incumbent, 10, &budget, policy);
+                let extra = next.extra_copies_per_gpu() as u64;
+                assert!(
+                    extra <= mem_slots,
+                    "{policy:?} ({mem_slots},{move_slots}): {extra} extra copies over budget"
+                );
+                let plan = MigrationPlan::between_replicated(&incumbent, &next, 10);
+                assert!(
+                    plan.total_bytes() <= budget.migration_budget_bytes,
+                    "{policy:?} ({mem_slots},{move_slots}): {} bytes over budget",
+                    plan.total_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_policy_never_loses_to_full_at_equal_budget() {
+        // The partial solve races the everywhere candidate too, so at any
+        // equal joint budget its winner is at least as good — exactly the
+        // bench gate's bar, here as a unit invariant.
+        let obj = objective(16, 4, 0.9);
+        let incumbent = bare(Placement::round_robin(5, 16, 4));
+        let partial = ReplicaPolicy::OnePerNode(ClusterSpec::new(2, 2).unwrap());
+        for (mem_slots, move_slots) in [(2u64, 8u64), (4, 8), (6, 16)] {
             let budget = ReplicationBudget {
                 replica_memory_bytes: mem_slots * 10,
                 migration_budget_bytes: move_slots * 10,
             };
-            let next = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
-            let extra = next.extra_copies_per_gpu() as u64;
-            assert!(
-                extra <= mem_slots,
-                "({mem_slots},{move_slots}): {extra} extra copies over budget"
+            let full_plan = solve_budgeted_replicated(
+                &obj,
+                &incumbent,
+                10,
+                &budget,
+                &ReplicaPolicy::Everywhere,
             );
-            let plan = MigrationPlan::between_replicated(&incumbent, &next, 10);
+            let partial_plan = solve_budgeted_replicated(&obj, &incumbent, 10, &budget, &partial);
+            let full_cross = replicated_cross_mass(&obj, &full_plan);
+            let partial_cross = replicated_cross_mass(&obj, &partial_plan);
             assert!(
-                plan.total_bytes() <= budget.migration_budget_bytes,
-                "({mem_slots},{move_slots}): {} bytes over budget",
-                plan.total_bytes()
+                partial_cross <= full_cross,
+                "({mem_slots},{move_slots}): partial {partial_cross} vs full {full_cross}"
             );
         }
     }
@@ -717,6 +746,7 @@ mod tests {
                     replica_memory_bytes: 6 * 10,
                     migration_budget_bytes: bytes,
                 },
+                &ReplicaPolicy::Everywhere,
             );
             let joint_cost = replicated_cross_mass(&obj, &joint);
             assert!(
@@ -734,8 +764,9 @@ mod tests {
             replica_memory_bytes: 0,
             migration_budget_bytes: 8 * 10,
         };
-        let next = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
-        assert!(next.replicated.iter().all(Vec::is_empty));
+        let next =
+            solve_budgeted_replicated(&obj, &incumbent, 10, &budget, &ReplicaPolicy::Everywhere);
+        assert!(!next.has_replicas());
         assert_eq!(next.base, solve_budgeted(&obj, &incumbent.base, 8));
     }
 
@@ -745,14 +776,17 @@ mod tests {
         // Incumbent replicates two experts the drifted objective gives no
         // incoming cross mass... pick experts and verify drop behavior on
         // a shrunken memory budget.
-        let mut incumbent = bare(Placement::round_robin(5, 16, 4));
-        incumbent.replicated[2] = vec![3, 7];
+        let mut lists = vec![Vec::new(); 5];
+        lists[2] = vec![3, 7];
+        let incumbent = ReplicationPlan::everywhere(Placement::round_robin(5, 16, 4), lists);
         let budget = ReplicationBudget {
-            replica_memory_bytes: 10, // one slot
+            replica_memory_bytes: 10, // one slot per GPU
             migration_budget_bytes: 6 * 10,
         };
-        let a = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
-        let b = solve_budgeted_replicated(&obj, &incumbent, 10, &budget);
+        let a =
+            solve_budgeted_replicated(&obj, &incumbent, 10, &budget, &ReplicaPolicy::Everywhere);
+        let b =
+            solve_budgeted_replicated(&obj, &incumbent, 10, &budget, &ReplicaPolicy::Everywhere);
         assert_eq!(a, b, "joint solve must be deterministic");
         assert!(a.extra_copies_per_gpu() <= 1);
     }

@@ -2,7 +2,8 @@
 
 use exflow_placement::objective::{measure_trace_locality, measure_trace_node_locality};
 use exflow_placement::{
-    solve, GapBackend, Objective, Placement, SolverKind, SPARSE_DENSITY_THRESHOLD,
+    solve, solve_budgeted_replicated, GapBackend, MigrationPlan, Objective, Placement,
+    ReplicaPolicy, ReplicationBudget, ReplicationPlan, SolverKind, SPARSE_DENSITY_THRESHOLD,
 };
 use exflow_topology::ClusterSpec;
 use proptest::prelude::*;
@@ -266,6 +267,167 @@ proptest! {
             prop_assert_eq!(dense.nnz(), over);
         }
     }
+
+    #[test]
+    fn replica_subsets_are_well_formed_and_include_the_owner(
+        (e, u) in divisor_pairs(),
+        slots in 0u64..5,
+        moves in 0u64..20,
+        seed in 0u64..60,
+    ) {
+        // Whatever subsets the budgeted replicated solver materialises,
+        // the owner is always implicitly available, subsets are sorted
+        // non-owner GPU sets, and no in-range query panics.
+        let obj = random_objective(e, 3, seed);
+        let bpe = 1 + seed % 7;
+        let budget = ReplicationBudget {
+            replica_memory_bytes: slots * bpe,
+            migration_budget_bytes: moves * bpe,
+        };
+        for policy in policies_for(u) {
+            let incumbent = ReplicationPlan::bare(Placement::round_robin(4, e, u));
+            let plan = solve_budgeted_replicated(&obj, &incumbent, bpe, &budget, &policy);
+            for layer in 0..4 {
+                for &(expert, ref units) in &plan.replicas[layer] {
+                    let owner = plan.base.unit_of(layer, expert);
+                    prop_assert!(!units.is_empty(), "empty subset survived sanitising");
+                    prop_assert!(!units.contains(&owner), "owner listed as its own replica");
+                    prop_assert!(units.windows(2).all(|w| w[0] < w[1]), "subset not sorted");
+                    prop_assert!(units.iter().all(|&x| x < u), "unit out of range");
+                }
+                for expert in 0..e {
+                    let owner = plan.base.unit_of(layer, expert);
+                    prop_assert!(
+                        plan.available_on(layer, expert, owner),
+                        "owner must always serve its own expert"
+                    );
+                    let avail = plan.available_units(layer, expert);
+                    prop_assert!(avail.contains(&owner));
+                    prop_assert!(avail.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_memory_and_migration_budgets_are_never_exceeded(
+        (e, u) in divisor_pairs(),
+        slots in 0u64..4,
+        moves in 0u64..16,
+        incumbent_picks in 0usize..4,
+        seed in 0u64..60,
+    ) {
+        // Across random subsets, budgets, and seeds: no GPU ever holds
+        // more extra copies than its slot budget allows, and the diff
+        // against the incumbent never ships more bytes than the
+        // migration budget — even when the incumbent itself arrives
+        // over-provisioned and must be repacked.
+        let obj = random_objective(e, 3, seed);
+        let bpe = 2 + seed % 5;
+        let budget = ReplicationBudget {
+            replica_memory_bytes: slots * bpe,
+            migration_budget_bytes: moves * bpe,
+        };
+        for policy in policies_for(u) {
+            let base = Placement::round_robin(4, e, u);
+            let listed: Vec<Vec<usize>> = (0..4)
+                .map(|l| (0..incumbent_picks).map(|i| (l + i * 3) % e).collect())
+                .collect();
+            let incumbent = ReplicationPlan::with_policy(base, listed, &policy);
+            let plan = solve_budgeted_replicated(&obj, &incumbent, bpe, &budget, &policy);
+            let mut load = vec![0u64; u];
+            for layer in 0..4 {
+                for (_, units) in &plan.replicas[layer] {
+                    for &x in units {
+                        load[x] += 1;
+                    }
+                }
+            }
+            for (gpu, &l) in load.iter().enumerate() {
+                prop_assert!(
+                    l <= slots,
+                    "GPU {gpu} holds {l} extra copies with only {slots} slots"
+                );
+            }
+            prop_assert!(plan.extra_copies_per_gpu() as u64 <= slots);
+            let diff = MigrationPlan::between_replicated(&incumbent, &plan, bpe);
+            prop_assert!(
+                diff.total_bytes() <= budget.migration_budget_bytes,
+                "diff ships {} bytes over a {} byte budget",
+                diff.total_bytes(),
+                budget.migration_budget_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_dispatch_locality_is_thread_and_backend_invariant(
+        density_pct in 20usize..=100,
+        slots in 1u64..4,
+        seed in 0u64..60,
+    ) {
+        // The replica-aware pipeline end to end — base solve, budgeted
+        // replicated solve, set-semantics dispatch locality — must be a
+        // pure function of its inputs: bit-identical at 1, 2, and 8
+        // solver threads and across the dense and CSR gap backends.
+        use exflow_affinity::RoutingTrace;
+        use exflow_model::routing::AffinityModelSpec;
+        use exflow_model::{CorpusSpec, TokenBatch};
+        use exflow_placement::local_search::solve_local_search_with;
+        use exflow_placement::Parallelism;
+        use exflow_topology::ClusterSpec;
+
+        let (e, u) = (8usize, 4usize);
+        let raw = random_gaps_with_density(e, 3, density_pct, seed);
+        let bpe = 4u64;
+        let budget = ReplicationBudget {
+            replica_memory_bytes: slots * bpe,
+            migration_budget_bytes: 8 * bpe,
+        };
+        let policy = ReplicaPolicy::OnePerNode(ClusterSpec::new(2, 2).unwrap());
+        let model = AffinityModelSpec::new(4, e).with_seed(seed).build();
+        let batch = TokenBatch::sample(&model, &CorpusSpec::pile_proxy(4), 200, 1, seed);
+        let trace = RoutingTrace::from_batch(&batch, e);
+
+        let mut reference: Option<(ReplicationPlan, u64, u64)> = None;
+        for backend in [GapBackend::Dense, GapBackend::Sparse] {
+            let obj = Objective::from_raw_with(raw.clone(), e, backend);
+            for threads in [1usize, 2, 8] {
+                let base = solve_local_search_with(&obj, u, 1, seed, Parallelism::new(threads));
+                let incumbent = ReplicationPlan::bare(base);
+                let plan = solve_budgeted_replicated(&obj, &incumbent, bpe, &budget, &policy);
+                let cross = exflow_placement::replicated_cross_mass(&obj, &plan).to_bits();
+                let frac = plan.trace_local_fraction(&trace).to_bits();
+                match &reference {
+                    None => reference = Some((plan, cross, frac)),
+                    Some((p0, c0, f0)) => {
+                        prop_assert!(
+                            &plan == p0,
+                            "plan diverged at {threads} threads on {backend:?}"
+                        );
+                        prop_assert_eq!(cross, *c0, "cross mass bits diverged");
+                        prop_assert_eq!(frac, *f0, "dispatch locality bits diverged");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The replica policies valid for a `u`-GPU fleet: the full fan-out plus
+/// a one-per-node layout over the largest even split (falling back to
+/// one-GPU nodes, where one-per-node degenerates to everywhere).
+fn policies_for(u: usize) -> Vec<ReplicaPolicy> {
+    use exflow_topology::ClusterSpec;
+    let cluster = if u.is_multiple_of(2) && u > 2 {
+        ClusterSpec::new(2, u / 2).unwrap()
+    } else {
+        ClusterSpec::new(u, 1).unwrap()
+    };
+    vec![
+        ReplicaPolicy::Everywhere,
+        ReplicaPolicy::OnePerNode(cluster),
+    ]
 }
 
 /// Random row-stochastic gaps where roughly `density_pct`% of off-diagonal

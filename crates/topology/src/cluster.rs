@@ -149,6 +149,31 @@ impl ClusterSpec {
         let g = self.gpus_per_node;
         (0..g).map(move |i| Rank(node * g + i))
     }
+
+    /// One rank on every node *other than* `owner`'s, chosen by rotating
+    /// `salt` through each node's local GPU slots — the node-aware replica
+    /// fan-out subset of the paper's topology (the owner's node is already
+    /// covered by the owner itself). The result is sorted ascending and
+    /// never contains `owner`; different salts land on different local
+    /// GPUs so many subsets spread across a node instead of piling onto
+    /// slot 0.
+    ///
+    /// ```
+    /// use exflow_topology::{ClusterSpec, Rank};
+    ///
+    /// let c = ClusterSpec::new(3, 2).unwrap();
+    /// assert_eq!(c.one_per_node(Rank(0), 0), vec![Rank(3), Rank(4)]);
+    /// assert_eq!(c.one_per_node(Rank(0), 1), vec![Rank(2), Rank(5)]);
+    /// assert!(ClusterSpec::single_node(4).unwrap().one_per_node(Rank(1), 7).is_empty());
+    /// ```
+    pub fn one_per_node(&self, owner: Rank, salt: usize) -> Vec<Rank> {
+        debug_assert!(owner.0 < self.world_size());
+        let g = self.gpus_per_node;
+        (0..self.n_nodes)
+            .filter(|&n| n != self.node_of(owner))
+            .map(|n| Rank(n * g + (salt + n) % g))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +227,22 @@ mod tests {
         let c = ClusterSpec::new(1, 4).unwrap();
         assert!(c.check_rank(Rank(3)).is_ok());
         assert!(c.check_rank(Rank(4)).is_err());
+    }
+
+    #[test]
+    fn one_per_node_skips_the_owner_node_and_rotates_slots() {
+        let c = ClusterSpec::new(2, 4).unwrap();
+        for salt in 0..8 {
+            for owner in c.ranks() {
+                let subset = c.one_per_node(owner, salt);
+                assert_eq!(subset.len(), 1, "one replica target per other node");
+                assert_ne!(c.node_of(subset[0]), c.node_of(owner));
+            }
+        }
+        // Distinct salts rotate through every local slot of the far node.
+        let slots: std::collections::HashSet<usize> =
+            (0..4).map(|s| c.one_per_node(Rank(0), s)[0].0).collect();
+        assert_eq!(slots.len(), 4);
     }
 
     #[test]

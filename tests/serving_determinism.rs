@@ -8,8 +8,8 @@
 //! well-formed.
 
 use exflow::core::{
-    events_from_report, BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode, Scenario,
-    ServingConfig, ServingReport,
+    events_from_report, BatchPolicy, InferenceEngine, OnlineConfig, ParallelismMode,
+    ReplicationPlan, Scenario, ServingConfig, ServingReport,
 };
 use exflow::model::arrival::ArrivalProcess;
 use exflow::model::drift::DriftSchedule;
@@ -194,6 +194,123 @@ fn faulted_runs_are_gap_backend_invariant() {
     let b = serve_faulted(&sparse, &drift, &cfg, &faults);
     assert_eq!(a.disruption.faults.len(), 2, "both markers recorded");
     assert_bit_identical(&a, &b, "faulted, gap backends");
+}
+
+/// A quiet engine (drift never fires) so the seeded replication plan
+/// survives untouched until the fault schedule strikes it.
+fn quiet_engine(threads: usize, seed: u64) -> InferenceEngine {
+    let mut model = moe_gpt_m(8);
+    model.n_layers = 4;
+    let online = OnlineConfig {
+        drift_threshold: f64::INFINITY,
+        decay: 0.3,
+        ..OnlineConfig::default()
+    };
+    InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+        .requests_per_gpu(MAX_BATCH / 4)
+        .prompt_len(4)
+        .profile_tokens(400)
+        .parallelism(Parallelism::new(threads))
+        .online(online)
+        .seed(seed)
+        .build()
+}
+
+/// A plan replicating every expert GPU `primary` owns onto exactly one
+/// backup GPU, so `primary`'s loss fails over for free and `backup` then
+/// holds the *only* copy of those experts.
+fn single_backup_plan(eng: &InferenceEngine, primary: usize, backup: usize) -> ReplicationPlan {
+    let base = eng.placement_for(MODE).clone();
+    let replicas = (0..base.n_layers())
+        .map(|l| {
+            (0..8)
+                .filter(|&x| base.unit_of(l, x) == primary)
+                .map(|x| (x, vec![backup]))
+                .collect()
+        })
+        .collect();
+    ReplicationPlan { base, replicas }
+}
+
+fn serve_seeded(
+    eng: &InferenceEngine,
+    cfg: &ServingConfig,
+    faults: &FaultSchedule,
+    plan: &ReplicationPlan,
+) -> ServingReport {
+    eng.run_scenario(
+        &Scenario::offline(MODE)
+            .with_serving(cfg.clone())
+            .with_faults(faults.clone())
+            .with_replication(plan.clone()),
+    )
+    .expect_serving()
+}
+
+#[test]
+fn losing_the_last_replica_holder_forces_a_priced_restore() {
+    let eng = quiet_engine(1, 11);
+    let (_, cfg) = scenario(&eng, 96, 0.9, 0);
+    let (primary, backup) = (2usize, 1usize);
+    let plan = single_backup_plan(&eng, primary, backup);
+
+    // Losing the primary alone is absorbed by the backup's replicas:
+    // an emergency re-plan fires, but it ships zero bytes.
+    let one = FaultSchedule::gpu_loss(WORLD, primary, 2.0 * cfg.window_duration);
+    let r1 = serve_seeded(&eng, &cfg, &one, &plan);
+    assert_eq!(r1.disruption.emergency_replans, 1);
+    assert_eq!(
+        r1.disruption.emergency_bytes, 0,
+        "every lost expert had a live replica; failover must be free"
+    );
+
+    // Then losing the backup — now the only holder of those experts —
+    // cannot silently fail over: the restore must ship real bytes.
+    let two = FaultSchedule::double_loss(
+        WORLD,
+        primary,
+        backup,
+        2.0 * cfg.window_duration,
+        4.0 * cfg.window_duration,
+    );
+    let r2 = serve_seeded(&eng, &cfg, &two, &plan);
+    assert_eq!(r2.disruption.emergency_replans, 2);
+    assert!(
+        r2.disruption.emergency_bytes > 0,
+        "the sole-holder loss must trigger an emergency restore, not a silent failover"
+    );
+    assert_eq!(r2.n_requests(), cfg.n_requests, "requests lost");
+}
+
+#[test]
+fn disruption_stats_are_bit_identical_across_thread_widths() {
+    let seq = quiet_engine(1, 11);
+    let (_, cfg) = scenario(&seq, 96, 0.9, 0);
+    let plan = single_backup_plan(&seq, 2, 1);
+    let faults = FaultSchedule::double_loss(
+        WORLD,
+        2,
+        1,
+        2.0 * cfg.window_duration,
+        4.0 * cfg.window_duration,
+    );
+    let baseline = serve_seeded(&seq, &cfg, &faults, &plan);
+    assert!(baseline.disruption.emergency_bytes > 0, "restore must fire");
+    for threads in [2, 8] {
+        let par = quiet_engine(threads, 11);
+        let plan = single_backup_plan(&par, 2, 1);
+        let report = serve_seeded(&par, &cfg, &faults, &plan);
+        assert_bit_identical(&report, &baseline, &format!("seeded, {threads} threads"));
+        assert_eq!(
+            report.disruption, baseline.disruption,
+            "{threads} threads: DisruptionStats diverged"
+        );
+        assert_eq!(
+            report.recovery_time().map(f64::to_bits),
+            baseline.recovery_time().map(f64::to_bits),
+            "{threads} threads: recovery_time bits diverged"
+        );
+    }
 }
 
 #[test]

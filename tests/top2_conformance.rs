@@ -1,0 +1,73 @@
+//! Top-2 meeting-point conformance gate: for every preset top-2 model,
+//! replica-aware dispatch with an *empty* replica set must be completely
+//! indistinguishable from the owner-only path — same realized routes,
+//! same dispatch locality, same cross-GPU mass, same virtual-time
+//! breakdown. The meeting-point rule (primaries merge on the owner,
+//! secondaries may be served by replicas) only ever deviates when a
+//! replica actually exists, so a bare [`ReplicationPlan`] must be a
+//! perfect no-op at every gate arity and execution mode.
+
+use exflow::core::{InferenceEngine, ParallelismMode, ReplicationPlan, Scenario};
+use exflow::model::presets::{large_zoo, table2};
+use exflow::model::ModelConfig;
+use exflow::topology::ClusterSpec;
+
+/// Every preset model routed with top-2 gating, trimmed to a few layers
+/// so the engine runs stay fast while still crossing several MoE gaps.
+fn top2_presets() -> Vec<ModelConfig> {
+    let mut zoo: Vec<ModelConfig> = large_zoo()
+        .into_iter()
+        .chain(table2())
+        .filter(|m| m.gate.k() == 2)
+        .collect();
+    assert!(!zoo.is_empty(), "the preset zoos must contain top-2 models");
+    for m in &mut zoo {
+        m.n_layers = 3;
+    }
+    zoo
+}
+
+fn engine(model: ModelConfig) -> InferenceEngine {
+    InferenceEngine::builder(model, ClusterSpec::new(2, 2).unwrap())
+        .requests_per_gpu(8)
+        .n_iterations(2)
+        .prompt_len(4)
+        .profile_tokens(400)
+        .seed(17)
+        .build()
+}
+
+#[test]
+fn empty_replica_sets_are_a_perfect_noop_for_every_top2_preset() {
+    for model in top2_presets() {
+        let name = model.name.clone();
+        let eng = engine(model);
+        for mode in [
+            ParallelismMode::Vanilla,
+            ParallelismMode::ContextCoherent,
+            ParallelismMode::ContextCoherentAffinity,
+        ] {
+            let owner_only = eng.run_scenario(&Scenario::offline(mode)).expect_offline();
+            let bare = ReplicationPlan::bare(eng.placement_for(mode).clone());
+            let replica_aware = eng
+                .run_scenario(&Scenario::offline(mode).with_replication(bare))
+                .expect_offline();
+            assert_eq!(
+                replica_aware, owner_only,
+                "{name} in {mode:?}: bare replication changed the run"
+            );
+            // PartialEq covers these, but pin the route-derived float
+            // surfaces at the bit level explicitly.
+            assert_eq!(
+                replica_aware.dispatch.gpu_local_fraction().to_bits(),
+                owner_only.dispatch.gpu_local_fraction().to_bits(),
+                "{name} in {mode:?}: dispatch locality bits diverged"
+            );
+            assert_eq!(
+                replica_aware.total_time.to_bits(),
+                owner_only.total_time.to_bits(),
+                "{name} in {mode:?}: virtual time bits diverged"
+            );
+        }
+    }
+}
