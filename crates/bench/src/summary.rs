@@ -1257,6 +1257,8 @@ pub fn online_table(scale: Scale, jobs: usize, seed: u64) -> Result<Vec<OnlineBe
 /// re-solve and the final cross mass are verified invariant across gap
 /// backends, and both policies are verified budget-compliant. Cross
 /// counts are measured on the realized window traces.
+// One scenario axis per knob the bench sweeps; a config struct would
+// obscure which cells vary which knob.
 #[allow(clippy::too_many_arguments)]
 fn replication_scenario(
     drift: &DriftSchedule,

@@ -2,7 +2,7 @@
 
 use exflow_topology::collective_cost::BytesByClass;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The kind of operation a [`CommRecord`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,7 +85,9 @@ pub struct OpTotals {
 /// communication-volume reports (paper Figs. 6 and 9, Table I).
 #[derive(Debug, Default)]
 pub struct CommStats {
-    inner: Mutex<HashMap<OpKind, OpTotals>>,
+    // Ordered map per the determinism contract (detlint D001): snapshots
+    // iterate in OpKind order whatever the record arrival interleaving.
+    inner: Mutex<BTreeMap<OpKind, OpTotals>>,
 }
 
 impl CommStats {
@@ -109,8 +111,8 @@ impl CommStats {
         self.inner.lock().get(&op).copied().unwrap_or_default()
     }
 
-    /// Snapshot everything.
-    pub fn all_totals(&self) -> HashMap<OpKind, OpTotals> {
+    /// Snapshot everything, in `OpKind` order.
+    pub fn all_totals(&self) -> BTreeMap<OpKind, OpTotals> {
         self.inner.lock().clone()
     }
 

@@ -2,7 +2,7 @@
 //! dispatch, expert compute, and context coherence over the simulated
 //! cluster.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -996,6 +996,8 @@ impl InferenceEngine {
     /// enter every collective so the virtual clocks agree. With every
     /// rank live this computes bit-identically to the unmasked loop:
     /// `live_ranks[id % live_ranks.len()]` is then exactly `id % w`.
+    // Mirrors the SPMD rank-body signature; bundling into a struct would
+    // hide which inputs every rank must agree on.
     #[allow(clippy::too_many_arguments)]
     fn rank_loop(
         &self,
@@ -1020,8 +1022,9 @@ impl InferenceEngine {
         // Load this rank's experts (deterministic per (layer, expert), so
         // any placement sees identical weights), including replicas whose
         // subset covers this rank. Dead ranks hold nothing — an evacuated
-        // placement never routes to them anyway.
-        let mut experts: HashMap<(usize, usize), Expert> = HashMap::new();
+        // placement never routes to them anyway. Ordered map per the
+        // determinism contract (detlint D001).
+        let mut experts: BTreeMap<(usize, usize), Expert> = BTreeMap::new();
         if alive {
             for (layer, layer_replicas) in replicated.iter().enumerate() {
                 let mut ids = placement.experts_on(layer, me);
@@ -1174,8 +1177,11 @@ impl InferenceEngine {
                     .collect();
 
                 // Expert FFN: group by expert, run the real reduced-dim
-                // matmuls, advance the clock by the true-dim cost.
-                let mut by_expert: HashMap<usize, Vec<usize>> = HashMap::new();
+                // matmuls, advance the clock by the true-dim cost. The
+                // per-token outputs are order-independent, but an ordered
+                // map keeps the group walk reproducible by construction
+                // (detlint D001).
+                let mut by_expert: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
                 for (idx, tok) in received.iter().enumerate() {
                     let expert = batch.routes[tok.id as usize][layer][tok.slot as usize] as usize;
                     by_expert.entry(expert).or_default().push(idx);
@@ -1359,7 +1365,7 @@ const TOP2_WEIGHTS: (f32, f32) = (0.7, 0.3);
 /// Merge top-2 copies: each primary output is blended with its token's
 /// secondary output (when present on this rank after the return Alltoall).
 fn merge_topk(primaries: Vec<Token>, secondaries: Vec<Token>, _sim_dim: usize) -> Vec<Token> {
-    let mut sec: HashMap<u32, Vec<f32>> = secondaries.into_iter().map(|t| (t.id, t.emb)).collect();
+    let mut sec: BTreeMap<u32, Vec<f32>> = secondaries.into_iter().map(|t| (t.id, t.emb)).collect();
     primaries
         .into_iter()
         .map(|mut t| {

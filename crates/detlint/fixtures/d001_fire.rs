@@ -1,0 +1,18 @@
+// D001 should-fire: unordered collections in a deterministic path.
+use std::collections::HashMap; //~ D001
+use std::collections::HashSet; //~ D001
+
+pub fn cross_mass_by_gpu(pairs: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut acc: HashMap<usize, f64> = HashMap::new(); //~ D001
+    for &(gpu, mass) in pairs {
+        *acc.entry(gpu).or_default() += mass;
+    }
+    // Iteration order is nondeterministic: float accumulation downstream
+    // would differ run to run.
+    acc.into_iter().collect()
+}
+
+pub fn seen(xs: &[u32]) -> usize {
+    let s: HashSet<u32> = xs.iter().copied().collect(); //~ D001
+    s.len()
+}

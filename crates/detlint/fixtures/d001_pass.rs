@@ -1,0 +1,32 @@
+// D001 should-pass: ordered collections, sorted collects, justified
+// suppressions, and test-only / literal mentions.
+use std::collections::BTreeMap;
+
+pub fn cross_mass_by_gpu(pairs: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut acc: BTreeMap<usize, f64> = BTreeMap::new();
+    for &(gpu, mass) in pairs {
+        *acc.entry(gpu).or_default() += mass;
+    }
+    acc.into_iter().collect()
+}
+
+// A lookup-only table that is never iterated is order-insensitive;
+// suppressing with a reason is the sanctioned escape hatch.
+pub fn lookup_table() -> std::collections::HashMap<u32, u32> // detlint: allow(D001) lookup-only; never iterated or drained
+{
+    std::collections::HashMap::new() // detlint: allow(D001) lookup-only; never iterated or drained
+}
+
+pub fn mentions_are_fine() -> &'static str {
+    // HashMap in a comment never fires.
+    "HashMap in a string literal never fires"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uniqueness_checks_may_hash() {
+        let s: std::collections::HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+// D003 should-fire: ambient RNG breaks seed-stream reproducibility.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); //~ D003
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn fresh() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy() //~ D003
+}

@@ -1,0 +1,6 @@
+// D003 should-pass: every stream is seeded from the scenario seed.
+pub fn stream(seed: u64, stream: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // SplitMix64-style per-stream derivation, as the solvers do.
+    rand::rngs::StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

@@ -1,0 +1,17 @@
+// D004 should-fire: unordered parallel float reductions.
+use rayon::prelude::*;
+
+pub fn norm(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * x).sum::<f32>().sqrt() //~ D004
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x + 1.0)
+        .sum::<f64>() //~ D004
+}
+
+pub fn folded(xs: Vec<f64>) -> f64 {
+    xs.into_par_iter()
+        .fold(0.0, |a, b| a + b) //~ D004
+}

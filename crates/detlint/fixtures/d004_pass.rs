@@ -1,0 +1,14 @@
+// D004 should-pass: index-ordered reduction (the rayon-shim idiom) and
+// sequential folds.
+use rayon::prelude::*;
+
+pub fn norm(xs: &[f32]) -> f32 {
+    // Parallel map into an index-ordered Vec, then a sequential fold:
+    // the accumulation order is fixed whatever the thread width.
+    let squares: Vec<f32> = xs.par_iter().map(|x| x * x).collect();
+    squares.iter().sum::<f32>().sqrt()
+}
+
+pub fn max_finish(finish: Vec<f64>) -> f64 {
+    finish.into_iter().fold(0.0f64, f64::max)
+}

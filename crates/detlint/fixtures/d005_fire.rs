@@ -1,0 +1,9 @@
+// D005 should-fire: unsafe without an explanatory SAFETY comment.
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() } //~ D005
+}
+
+// A comment that is not a SAFETY comment does not count.
+pub unsafe fn undocumented(p: *const u8) -> u8 { //~ D005
+    *p
+}

@@ -1,0 +1,16 @@
+// D005 should-pass: every unsafe block explains itself.
+pub fn read_first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is within bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn documented_same_line(p: &u8) -> u8 {
+    unsafe { *(p as *const u8) } // SAFETY: p is a valid reference, cast round-trips.
+}
+
+pub fn mentions_only() -> &'static str {
+    // The word unsafe in a comment, or "unsafe" in a string, never fires.
+    "unsafe"
+}

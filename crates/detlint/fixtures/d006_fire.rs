@@ -1,0 +1,16 @@
+// D006 should-fire: reason-less allows of workspace-policed lints.
+
+#[allow(clippy::too_many_arguments)] //~ D006
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}
+
+/// Doc comments do not count as reasons.
+#[allow(missing_docs)] //~ D006
+pub mod undocumented {}
+
+#[allow( //~ D006
+    clippy::needless_range_loop,
+    clippy::redundant_closure_call
+)]
+pub fn multi_line_attr() {}

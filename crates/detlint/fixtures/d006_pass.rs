@@ -1,0 +1,13 @@
+// D006 should-pass: every policed allow carries its justification.
+#[allow(clippy::too_many_arguments)] // mirrors the solver entry point it batches
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}
+
+// The legacy wrappers stay until the deprecation window closes.
+#[allow(missing_docs)]
+pub mod legacy {}
+
+// Lints the workspace does not police need no reason.
+#[allow(deprecated)]
+pub fn calls_deprecated() {}

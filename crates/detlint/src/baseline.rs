@@ -1,0 +1,194 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! Shift-left tools die when adoption requires fixing every historical
+//! finding in one PR. The baseline file (`detlint.baseline` at the
+//! workspace root) lists findings that predate the rule and are accepted
+//! for now: a finding whose fingerprint appears in the baseline does not
+//! fail the run, but it is still counted and reported, and an entry that
+//! no longer matches anything is flagged as stale so the file can only
+//! shrink. This repo ships with an **empty** baseline — every pre-existing
+//! finding was either fixed or inline-suppressed with a reason — and the
+//! file exists so the mechanism stays exercised and documented.
+//!
+//! Format, one entry per line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! D001 1a2b3c4d5e6f7a8b crates/foo/src/bar.rs  optional note
+//! ```
+//!
+//! The fingerprint is FNV-1a over `rule|path|trimmed-snippet`, so entries
+//! survive unrelated line-number drift but a touched line must be
+//! re-triaged.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One baseline entry as parsed from the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule code (`D001`…).
+    pub rule: String,
+    /// Fingerprint, 16 lowercase hex digits.
+    pub fingerprint: u64,
+    /// Path the entry was recorded against (informational).
+    pub path: String,
+}
+
+/// A parsed baseline: a multiset of fingerprints (the same snippet can
+/// legitimately appear twice in one file).
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+    counts: BTreeMap<u64, usize>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format. Malformed lines are returned as
+    /// errors with their 1-based line number.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for (i, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut parts = t.split_whitespace();
+            let (Some(rule), Some(fp), Some(path)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <fingerprint> <path>`",
+                    i + 1
+                ));
+            };
+            let fingerprint = u64::from_str_radix(fp, 16)
+                .map_err(|_| format!("baseline line {}: bad fingerprint `{fp}`", i + 1))?;
+            *b.counts.entry(fingerprint).or_default() += 1;
+            b.entries.push(BaselineEntry {
+                rule: rule.to_string(),
+                fingerprint,
+                path: path.to_string(),
+            });
+        }
+        Ok(b)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split findings into (active, baselined). Each baseline entry
+    /// absorbs at most one finding; leftovers are stale (see
+    /// [`Baseline::stale`] after calling this).
+    pub fn partition(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut active = Vec::new();
+        let mut baselined = Vec::new();
+        for f in findings {
+            match self.counts.get_mut(&f.fingerprint()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined.push(f);
+                }
+                _ => active.push(f),
+            }
+        }
+        (active, baselined)
+    }
+
+    /// Entries that absorbed nothing in the last [`Baseline::partition`]
+    /// call — findings that were fixed without pruning the baseline.
+    pub fn stale(&self) -> Vec<&BaselineEntry> {
+        // Walk entries in file order, consuming the per-fingerprint
+        // residual counts so duplicates report once per unmatched copy.
+        let mut residual = self.counts.clone();
+        let mut out = Vec::new();
+        for e in self.entries.iter().rev() {
+            if let Some(n) = residual.get_mut(&e.fingerprint) {
+                if *n > 0 {
+                    *n -= 1;
+                    out.push(e);
+                }
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Render findings as a fresh baseline file (used by
+    /// `--write-baseline`). Deterministic: sorted by path, line, rule.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut sorted: Vec<&Finding> = findings.iter().collect();
+        sorted.sort_by_key(|f| (f.path.clone(), f.line, f.rule));
+        let mut out = String::from(
+            "# detlint baseline — grandfathered findings.\n\
+             # One entry per line: <rule> <fingerprint> <path>  [note]\n\
+             # Regenerate with: cargo run -p exflow-detlint -- --write-baseline\n",
+        );
+        for f in sorted {
+            out.push_str(&format!(
+                "{} {:016x} {}\n",
+                f.rule.code(),
+                f.fingerprint(),
+                f.path
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::scan_and_check;
+
+    fn finding() -> Finding {
+        scan_and_check("crates/core/src/x.rs", "let m = HashMap::new();\n")
+            .findings
+            .remove(0)
+    }
+
+    #[test]
+    fn roundtrip_absorbs_the_finding() {
+        let f = finding();
+        let text = Baseline::render(std::slice::from_ref(&f));
+        let mut b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.len(), 1);
+        let (active, baselined) = b.partition(vec![f]);
+        assert!(active.is_empty());
+        assert_eq!(baselined.len(), 1);
+        assert!(b.stale().is_empty());
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let f = finding();
+        let text = Baseline::render(std::slice::from_ref(&f));
+        let mut b = Baseline::parse(&text).unwrap();
+        let (active, baselined) = b.partition(Vec::new());
+        assert!(active.is_empty() && baselined.is_empty());
+        assert_eq!(b.stale().len(), 1);
+    }
+
+    #[test]
+    fn one_entry_absorbs_one_finding_only() {
+        let f = finding();
+        let text = Baseline::render(std::slice::from_ref(&f));
+        let mut b = Baseline::parse(&text).unwrap();
+        let (active, baselined) = b.partition(vec![f.clone(), f]);
+        assert_eq!(active.len(), 1);
+        assert_eq!(baselined.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_malformed_rejected() {
+        let b = Baseline::parse("# comment\n\nD001 00000000000000ff crates/x.rs note\n").unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(Baseline::parse("D001 nothex crates/x.rs\n").is_err());
+        assert!(Baseline::parse("D001\n").is_err());
+    }
+}

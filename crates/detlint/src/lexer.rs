@@ -1,0 +1,353 @@
+//! A small hand-rolled, line-aware Rust lexer.
+//!
+//! The rule engine never wants a full parse tree — it wants to know, for
+//! every source line, *which characters are code and which are comment or
+//! literal text*, so that `HashMap` inside a string or a doc comment never
+//! fires a finding. This module splits a source file into per-line channels:
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   *contents* blanked to spaces (delimiters are kept, so `reason = "..."`
+//!   is still recognizable as tokens). Columns stay aligned with `raw`.
+//! * `comment` — the comment text on the line (including the `//` / `/*`
+//!   markers), used for `// SAFETY:` and `// detlint: allow(...)` scanning.
+//!
+//! Handled: line comments, nested block comments, string literals
+//! (including multi-line), raw strings `r#"…"#` (any hash depth, plus `br`
+//! byte-raw forms), byte strings, char literals vs lifetimes (`'a'` vs
+//! `'a`), and raw identifiers (`r#type` is *not* a raw string). This is a
+//! lexer, not a parser: macro-generated code is seen as written, which is
+//! exactly the shift-left granularity the determinism rules need.
+
+/// One scanned source line, split into channels.
+#[derive(Debug, Clone)]
+pub struct ScanLine {
+    /// The original line, verbatim (no trailing newline).
+    pub raw: String,
+    /// Code channel: comments stripped, literal contents blanked. Columns
+    /// align with `raw`.
+    pub code: String,
+    /// Comment channel: every comment fragment on the line, concatenated
+    /// in order (markers kept, so doc comments are recognizable by their
+    /// `///` / `//!` prefix).
+    pub comment: String,
+}
+
+impl ScanLine {
+    /// True when the line carries no code tokens at all (blank, or
+    /// comment-only) — such lines attach their suppressions to the line
+    /// below instead of themselves.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A whole file split into [`ScanLine`]s.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Lines in file order; index 0 is source line 1.
+    pub lines: Vec<ScanLine>,
+}
+
+/// Lexer state that survives across line boundaries.
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a block comment, with the current nesting depth.
+    Block(usize),
+    /// Inside a normal (escaping) string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(usize),
+}
+
+/// Split `src` into per-line code/comment channels.
+pub fn scan_source(src: &str) -> ScannedFile {
+    let mut st = State::Code;
+    let mut lines = Vec::new();
+    for raw_line in src.lines() {
+        let cs: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(cs.len());
+        let mut comment = String::new();
+        let mut j = 0;
+        while j < cs.len() {
+            match st {
+                State::Block(depth) => {
+                    if cs[j] == '*' && cs.get(j + 1) == Some(&'/') {
+                        comment.push_str("*/");
+                        code.push_str("  ");
+                        j += 2;
+                        st = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                    } else if cs[j] == '/' && cs.get(j + 1) == Some(&'*') {
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        j += 2;
+                        st = State::Block(depth + 1);
+                    } else {
+                        comment.push(cs[j]);
+                        code.push(' ');
+                        j += 1;
+                    }
+                }
+                State::Str => {
+                    if cs[j] == '\\' {
+                        code.push_str("  ");
+                        j += 2; // escaped char (may step past EOL; loop guard handles it)
+                    } else if cs[j] == '"' {
+                        code.push('"');
+                        j += 1;
+                        st = State::Code;
+                    } else {
+                        code.push(' ');
+                        j += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if cs[j] == '"' && closes_raw(&cs, j + 1, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        j += 1 + hashes;
+                        st = State::Code;
+                    } else {
+                        code.push(' ');
+                        j += 1;
+                    }
+                }
+                State::Code => {
+                    let c = cs[j];
+                    if c == '/' && cs.get(j + 1) == Some(&'/') {
+                        // Line comment: the rest of the line is comment.
+                        if !comment.is_empty() {
+                            comment.push(' ');
+                        }
+                        comment.extend(&cs[j..]);
+                        while j < cs.len() {
+                            code.push(' ');
+                            j += 1;
+                        }
+                    } else if c == '/' && cs.get(j + 1) == Some(&'*') {
+                        if !comment.is_empty() {
+                            comment.push(' ');
+                        }
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        j += 2;
+                        st = State::Block(1);
+                    } else if let Some(hashes) = raw_string_at(&cs, j) {
+                        // r"…", r#"…"#, br"…", … — skip prefix + hashes,
+                        // keep the opening quote in the code channel.
+                        let prefix = if c == 'b' { 2 } else { 1 };
+                        for _ in 0..(prefix + hashes) {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        j += prefix + hashes + 1;
+                        st = State::RawStr(hashes);
+                    } else if c == '"' {
+                        code.push('"');
+                        j += 1;
+                        st = State::Str;
+                    } else if c == '\'' {
+                        j = lex_quote(&cs, j, &mut code);
+                    } else {
+                        code.push(c);
+                        j += 1;
+                    }
+                }
+            }
+        }
+        lines.push(ScanLine {
+            raw: raw_line.to_string(),
+            code,
+            comment,
+        });
+    }
+    ScannedFile { lines }
+}
+
+/// Does a raw string literal start at `cs[j]`? Returns the hash count.
+/// Recognizes `r"`, `r#"`, `br"`, `br#"` (any depth); `r#ident` raw
+/// identifiers do not match because no quote follows the hashes.
+fn raw_string_at(cs: &[char], j: usize) -> Option<usize> {
+    let mut k = j;
+    if cs.get(k) == Some(&'b') {
+        k += 1;
+    }
+    if cs.get(k) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of a longer identifier (`attr"` is illegal
+    // Rust anyway, but stay conservative).
+    if j > 0 && is_ident_char(cs[j - 1]) {
+        return None;
+    }
+    k += 1;
+    let mut hashes = 0;
+    while cs.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if cs.get(k) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Does `"` at some position close a raw string expecting `hashes` hashes,
+/// i.e. are the next `hashes` chars all `#`?
+fn closes_raw(cs: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|h| cs.get(from + h) == Some(&'#'))
+}
+
+/// Lex a `'` in code position: either a char literal (blank its contents)
+/// or a lifetime (keep as code). Returns the next index to process.
+fn lex_quote(cs: &[char], j: usize, code: &mut String) -> usize {
+    // Escaped char literal: '\n', '\'', '\u{1F600}', …
+    if cs.get(j + 1) == Some(&'\\') {
+        let mut k = j + 2;
+        if k < cs.len() {
+            k += 1; // the escaped char itself (or u of \u{…})
+        }
+        while k < cs.len() && cs[k] != '\'' {
+            k += 1;
+        }
+        let end = (k + 1).min(cs.len());
+        code.push('\'');
+        for _ in (j + 1)..end {
+            code.push(' ');
+        }
+        return end;
+    }
+    // Plain char literal: 'x' (exactly one char then a closing quote).
+    if cs.get(j + 2) == Some(&'\'') && cs.get(j + 1) != Some(&'\'') {
+        code.push('\'');
+        code.push(' ');
+        code.push(' ');
+        return j + 3;
+    }
+    // Lifetime (or stray quote): keep in the code channel.
+    code.push('\'');
+    j + 1
+}
+
+/// Is `c` an identifier character?
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Does `code` contain `ident` as a whole identifier (not as a substring
+/// of a longer identifier)?
+pub fn has_ident(code: &str, ident: &str) -> bool {
+    find_token(code, ident).is_some()
+}
+
+/// Find `token` in `code` with identifier boundaries on both sides.
+/// `token` itself may contain `::` path separators (`Instant::now`).
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let ok_before = start == 0 || !is_ident_char(bytes[start - 1] as char);
+        let ok_after = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if ok_before && ok_after {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan1(src: &str) -> ScanLine {
+        scan_source(src).lines.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn line_comment_is_stripped_from_code() {
+        let l = scan1("let x = 1; // HashMap here");
+        assert!(l.code.contains("let x = 1;"));
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let l = scan1(r#"let s = "HashMap::new()"; let y = 2;"#);
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.code.contains('"'));
+        assert!(l.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = scan1(r#"let s = "a\"HashMap\""; let t = Instant::now();"#);
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let l = scan1(r###"let s = r#"thread_rng()"#; let u = 3;"###);
+        assert!(!l.code.contains("thread_rng"));
+        assert!(l.code.contains("let u = 3;"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let l = scan1("let r#type = HashSet::new();");
+        assert!(l.code.contains("HashSet"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = scan1("fn f<'a>(x: &'a str) { let c = 'H'; }");
+        // The lifetime survives as code; the char literal contents do not.
+        assert!(l.code.contains("'a"));
+        assert!(!l.code.contains('H'));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let f = scan_source("a /* one /* two */ still */ b\nc /* open\nHashMap\n*/ d");
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[1].code.contains('c') && !f.lines[1].code.contains("open"));
+        assert!(!f.lines[2].code.contains("HashMap"));
+        assert!(f.lines[2].comment.contains("HashMap"));
+        assert!(f.lines[3].code.contains('d'));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let f = scan_source("let s = \"first\nSystemTime::now()\nlast\"; let z = 9;");
+        assert!(!f.lines[1].code.contains("SystemTime"));
+        assert!(f.lines[2].code.contains("let z = 9;"));
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_ident("let m: HashMap<u32, u8>;", "HashMap"));
+        assert!(!has_ident("let m: FxHashMap<u32, u8>;", "HashMap"));
+        assert!(!has_ident("let hash_map_like = 1;", "HashMap"));
+        assert!(find_token("t::Instant::now()", "Instant::now").is_some());
+        assert!(find_token("MyInstant::now()", "Instant::now").is_none());
+    }
+
+    #[test]
+    fn doc_comments_land_in_comment_channel_with_prefix() {
+        let l = scan1("/// HashMap is fine to mention here");
+        assert!(l.is_code_blank());
+        assert!(l.comment.starts_with("///"));
+    }
+}

@@ -1,0 +1,159 @@
+//! CLI driver for `exflow-detlint`.
+//!
+//! ```text
+//! cargo run -p exflow-detlint                  # lint the whole tree
+//! cargo run -p exflow-detlint -- PATH...       # lint specific files/dirs
+//! cargo run -p exflow-detlint -- --list-rules
+//! cargo run -p exflow-detlint -- --markdown out.md
+//! cargo run -p exflow-detlint -- --write-baseline
+//! ```
+//!
+//! Exit codes: 0 clean, 1 active findings, 2 usage/IO error.
+
+use exflow_detlint::baseline::Baseline;
+use exflow_detlint::rules::RuleId;
+use exflow_detlint::{run_scan, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    markdown: Option<PathBuf>,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint [--root DIR] [--baseline FILE | --no-baseline] \
+     [--write-baseline] [--markdown FILE] [--list-rules] [PATH...]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        markdown: None,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let path_value = |it: &mut dyn Iterator<Item = String>| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--root" => args.root = Some(path_value(&mut it)?),
+            "--baseline" => args.baseline = Some(path_value(&mut it)?),
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--markdown" => args.markdown = Some(path_value(&mut it)?),
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}\n{}", usage())),
+            _ => args.paths.push(PathBuf::from(a)),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root`, or the nearest ancestor of the current
+/// directory holding a `Cargo.lock`.
+fn find_root(args: &Args) -> Result<PathBuf, String> {
+    if let Some(r) = &args.root {
+        return Ok(r.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Err("no Cargo.lock above the current directory; pass --root".to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("detlint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for r in RuleId::ALL {
+            println!("{}  {}", r.code(), r.summary());
+        }
+        return Ok(true);
+    }
+    let root = find_root(&args)?;
+
+    let mut files = Vec::new();
+    if args.paths.is_empty() {
+        files = walk::collect_default(&root).map_err(|e| e.to_string())?;
+    } else {
+        for p in &args.paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            if !abs.exists() {
+                return Err(format!("no such path: {}", p.display()));
+            }
+            files.extend(walk::collect_path(&root, &abs).map_err(|e| e.to_string())?);
+        }
+    }
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("detlint.baseline"));
+    let mut baseline = if args.no_baseline || !baseline_path.is_file() {
+        None
+    } else {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|e| e.to_string())?;
+        Some(Baseline::parse(&text)?)
+    };
+
+    if args.write_baseline {
+        // Scan without a baseline so every finding lands in the new file.
+        let outcome = run_scan(&root, &files, None).map_err(|e| e.to_string())?;
+        let text = Baseline::render(&outcome.active);
+        std::fs::write(&baseline_path, text).map_err(|e| e.to_string())?;
+        println!(
+            "detlint: wrote {} entr{} to {}",
+            outcome.active.len(),
+            if outcome.active.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let outcome = run_scan(&root, &files, baseline.as_mut()).map_err(|e| e.to_string())?;
+    print!("{}", outcome.render_text());
+    if let Some(md) = &args.markdown {
+        std::fs::write(md, outcome.render_markdown()).map_err(|e| e.to_string())?;
+    }
+    Ok(outcome.is_clean())
+}

@@ -1,0 +1,152 @@
+//! Rendering: human console output and the CI markdown step summary.
+
+use crate::baseline::BaselineEntry;
+use crate::rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+
+/// Outcome of a whole scan, ready to render.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Findings that fail the run (not baselined, not suppressed).
+    pub active: Vec<Finding>,
+    /// Findings absorbed by the committed baseline.
+    pub baselined: Vec<Finding>,
+    /// Count of findings silenced by inline `detlint: allow` comments.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (should be pruned).
+    pub stale: Vec<BaselineEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanOutcome {
+    /// True when the run should exit 0.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Render the console report (one `path:line: rule message` block per
+    /// active finding, then a summary line).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.active {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+            out.push_str(&format!("    {}\n", f.snippet));
+        }
+        for e in &self.stale {
+            out.push_str(&format!(
+                "warning: stale baseline entry {} {:016x} {} (matches nothing — prune it)\n",
+                e.rule, e.fingerprint, e.path
+            ));
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line verdict.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "detlint: {} active finding(s), {} baselined, {} suppressed, {} stale baseline entr{} — {} file(s) scanned",
+            self.active.len(),
+            self.baselined.len(),
+            self.suppressed,
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" },
+            self.files_scanned,
+        )
+    }
+
+    /// Render the markdown report appended to `$GITHUB_STEP_SUMMARY`.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("## detlint — determinism & safety lints\n\n");
+        out.push_str(&format!(
+            "**{}** — {} file(s) scanned, {} baselined, {} inline-suppressed.\n\n",
+            if self.is_clean() {
+                "clean ✅"
+            } else {
+                "findings ❌"
+            },
+            self.files_scanned,
+            self.baselined.len(),
+            self.suppressed,
+        ));
+        if !self.active.is_empty() {
+            out.push_str("| rule | location | finding |\n|---|---|---|\n");
+            for f in &self.active {
+                out.push_str(&format!(
+                    "| {} | `{}:{}` | {} |\n",
+                    f.rule,
+                    f.path,
+                    f.line,
+                    f.message.replace('|', "\\|")
+                ));
+            }
+            out.push('\n');
+            let mut by_rule: BTreeMap<RuleId, usize> = BTreeMap::new();
+            for f in &self.active {
+                *by_rule.entry(f.rule).or_default() += 1;
+            }
+            out.push_str("Per rule: ");
+            let parts: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}×{n}")).collect();
+            out.push_str(&parts.join(", "));
+            out.push_str(".\n\n");
+        }
+        if !self.stale.is_empty() {
+            out.push_str("Stale baseline entries (prune them):\n\n");
+            for e in &self.stale {
+                out.push_str(&format!(
+                    "- `{} {:016x} {}`\n",
+                    e.rule, e.fingerprint, e.path
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(
+            "<details><summary>Rules</summary>\n\n\
+             | rule | contract |\n|---|---|\n",
+        );
+        for r in RuleId::ALL {
+            out.push_str(&format!("| {} | {} |\n", r, r.summary()));
+        }
+        out.push_str("\n</details>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::scan_and_check;
+
+    #[test]
+    fn text_and_markdown_mention_the_finding() {
+        let report = scan_and_check("crates/core/src/x.rs", "let m = HashMap::new();\n");
+        let outcome = ScanOutcome {
+            active: report.findings,
+            files_scanned: 1,
+            ..ScanOutcome::default()
+        };
+        let text = outcome.render_text();
+        assert!(text.contains("crates/core/src/x.rs:1: D001"));
+        assert!(!outcome.is_clean());
+        let md = outcome.render_markdown();
+        assert!(md.contains("findings ❌"));
+        assert!(md.contains("`crates/core/src/x.rs:1`"));
+        assert!(md.contains("D001×1"));
+    }
+
+    #[test]
+    fn clean_outcome_renders_clean() {
+        let outcome = ScanOutcome {
+            files_scanned: 3,
+            ..ScanOutcome::default()
+        };
+        assert!(outcome.is_clean());
+        assert!(outcome.render_markdown().contains("clean ✅"));
+        assert!(outcome.render_text().contains("0 active finding(s)"));
+    }
+}

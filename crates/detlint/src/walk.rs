@@ -1,0 +1,112 @@
+//! Deterministic workspace walker.
+//!
+//! `std::fs::read_dir` order is filesystem-dependent; the linter sorts
+//! every directory listing so reports (and baseline files) come out in
+//! the same order on every machine — the linter holds itself to the
+//! determinism contract it enforces.
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned by default, relative to the workspace root.
+pub const DEFAULT_SUBDIRS: [&str; 5] = ["crates", "src", "tests", "shims", "examples"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+
+/// The fixture corpus: deliberately-violating snippets that must only be
+/// scanned when named explicitly (the self-test does), never by the tree
+/// walk.
+const FIXTURES: &str = "crates/detlint/fixtures";
+
+/// Collect every `.rs` file under `root`'s default subdirectories, sorted.
+pub fn collect_default(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for sub in DEFAULT_SUBDIRS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Collect `.rs` files under an explicit file-or-directory path. Explicit
+/// files are always scanned, even inside the fixture corpus.
+pub fn collect_path(root: &Path, path: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if path.is_dir() {
+        walk(root, path, &mut out)?;
+    } else {
+        out.push(path.to_path_buf());
+    }
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || rel_str(root, &path) == FIXTURES {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, forward slashes — the form rules and the
+/// baseline use.
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf()
+    }
+
+    #[test]
+    fn walk_skips_fixtures_and_is_sorted() {
+        let root = repo_root();
+        let files = collect_default(&root).unwrap();
+        assert!(!files.is_empty());
+        let rels: Vec<String> = files.iter().map(|p| rel_str(&root, p)).collect();
+        assert!(rels.iter().all(|r| !r.starts_with(FIXTURES)));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(
+            rels.iter().filter(|r| r.starts_with("crates/")).count(),
+            sorted.iter().filter(|r| r.starts_with("crates/")).count()
+        );
+        // Per-subdirectory listings are sorted.
+        let crates_only: Vec<&String> = rels.iter().filter(|r| r.starts_with("crates/")).collect();
+        let mut crates_sorted = crates_only.clone();
+        crates_sorted.sort();
+        assert_eq!(crates_only, crates_sorted);
+    }
+
+    #[test]
+    fn explicit_fixture_paths_are_scanned() {
+        let root = repo_root();
+        let fixture = root.join("crates/detlint/fixtures/d001_fire.rs");
+        let files = collect_path(&root, &fixture).unwrap();
+        assert_eq!(files.len(), 1);
+    }
+}

@@ -116,7 +116,10 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data.par_iter().map(|x| x * x).sum::<f32>().sqrt()
+        // Sequential, index-ordered accumulation (detlint D004): the shim
+        // `par_iter` is ordered today, but a real rayon would make
+        // `par_iter().sum()` accumulate in nondeterministic order.
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 }
 

@@ -65,8 +65,18 @@ done < <(awk '/^\[workspace\.dependencies\]/ { s = 1; next }
               /^\[/ { s = 0 }
               s && /=/ { print }' Cargo.toml)
 
+# 4. exflow-detlint must stay dependency-free (std only): the linter has
+#    to build before any shim and lint the workspace from outside it, so
+#    its [dependencies] and [dev-dependencies] tables must be empty.
+while IFS= read -r dep; do
+  echo "FAIL: exflow-detlint must be dependency-free, found: $dep" >&2
+  violations=$((violations + 1))
+done < <(awk '/^\[(dependencies|dev-dependencies)\]/ { s = 1; next }
+              /^\[/ { s = 0 }
+              s && /=/ { print }' crates/detlint/Cargo.toml)
+
 if [ "$violations" -ne 0 ]; then
   echo "deps-audit: $violations violation(s)" >&2
   exit 1
 fi
-echo "deps-audit: OK (no registry/git sources; shims/ and crates/ are the only path deps)"
+echo "deps-audit: OK (no registry/git sources; shims/ and crates/ are the only path deps; exflow-detlint is dependency-free)"

@@ -279,6 +279,7 @@ macro_rules! proptest {
         fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
     )*) => {$(
         $(#[$meta])*
+        // The expansion calls the user's closure immediately by design.
         #[allow(clippy::redundant_closure_call)]
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
